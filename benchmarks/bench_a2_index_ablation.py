@@ -1,0 +1,91 @@
+"""A2 — ablation: spatial index on/off.
+
+Quantifies what the uniform-grid segment index buys the coordinated-
+brushing engine at growing dataset sizes: query latency with and
+without the index for a localized brush (the Fig. 5 west-edge stroke),
+plus the index's candidate selectivity.  Expected shape: identical
+results, with the indexed query ~constant-factor faster and the gap
+widening with N.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.spatial_index import UniformGridIndex
+from repro.synth import generate_scaled_dataset
+
+SERIES = (500, 2_000, 8_000)
+
+
+def west_canvas(arena):
+    r = arena.radius
+    c = BrushCanvas()
+    c.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+    return c
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {n: generate_scaled_dataset(n, seed=29, max_duration_s=40.0) for n in SERIES}
+
+
+def test_a2_index_ablation(datasets, arena, report_sink, benchmark):
+    canvas = west_canvas(arena)
+    centers, radii = canvas.stamps_of("red")
+
+    # register the headline indexed query with pytest-benchmark
+    fast_large = CoordinatedBrushingEngine(datasets[SERIES[-1]], use_index=True)
+    benchmark(fast_large.query, canvas, "red")
+
+    rows = []
+    for n in SERIES:
+        ds = datasets[n]
+        fast = CoordinatedBrushingEngine(ds, use_index=True)
+        slow = CoordinatedBrushingEngine(ds, use_index=False)
+        # median of 3 runs to de-noise
+        fast_t = np.median([fast.query(canvas, "red").elapsed_s for _ in range(3)])
+        slow_t = np.median([slow.query(canvas, "red").elapsed_s for _ in range(3)])
+        r_fast = fast.query(canvas, "red")
+        r_slow = slow.query(canvas, "red")
+        np.testing.assert_array_equal(r_fast.traj_mask, r_slow.traj_mask)
+        selectivity = fast.index.candidate_fraction(centers, radii)
+        rows.append(
+            {
+                "n": n,
+                "segments": ds.packed().n_segments,
+                "with_s": fast_t,
+                "without_s": slow_t,
+                "speedup": slow_t / max(fast_t, 1e-9),
+                "selectivity": selectivity,
+            }
+        )
+
+    lines = [
+        f"{'N':>6} {'segments':>9} {'indexed (s)':>12} {'linear (s)':>11} "
+        f"{'speedup':>8} {'candidates':>11}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['n']:>6} {r['segments']:>9} {r['with_s']:>12.4f} "
+            f"{r['without_s']:>11.4f} {r['speedup']:>7.1f}x "
+            f"{r['selectivity']:>10.1%}"
+        )
+    lines += [
+        "(identical query results asserted; the index tests only the",
+        " segments in grid cells the brush touches)",
+    ]
+    report_sink("A2", "spatial index on/off (ablation)", lines)
+
+    # expected shape: index helps, more at larger N, results identical
+    assert rows[-1]["speedup"] > 1.5
+    assert rows[-1]["selectivity"] < 0.5
+
+
+def test_a2_index_build_bench(datasets, benchmark):
+    ds = datasets[SERIES[-1]]
+    packed = ds.packed()
+    index = benchmark(UniformGridIndex, packed, 64)
+    assert index.n_entries >= packed.n_segments

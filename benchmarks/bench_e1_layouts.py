@@ -1,0 +1,60 @@
+"""E1 — Fig. 3 / §IV-C layout-configuration table.
+
+Regenerates the paper's layout facts: the three keypad presets (15x4,
+24x6, 36x12) on the 6x3 wall's 2/3-surface viewport, their cell
+counts, dataset coverage, bezel-straddle count (zero by design), and
+pixels per trajectory cell.  The benchmark times grid construction —
+the operation behind the paper's instant keypad layout switching.
+"""
+
+import pytest
+
+from repro.layout.configs import LAYOUT_PRESETS
+from repro.layout.grid import BezelAwareGrid
+
+
+def layout_table(viewport, dataset_size: int) -> list[dict]:
+    rows = []
+    for key, config in sorted(LAYOUT_PRESETS.items()):
+        grid = config.build(viewport)
+        rows.append(
+            {
+                "key": key,
+                "grid": f"{config.n_cols}x{config.n_rows}",
+                "cells": config.n_cells,
+                "coverage": config.coverage(dataset_size),
+                "bezel_straddles": grid.straddle_count(),
+                "px_per_cell": grid.mean_cell_pixels(),
+            }
+        )
+    return rows
+
+
+def test_e1_layout_table(viewport, full_dataset, report_sink, benchmark):
+    rows = benchmark(layout_table, viewport, len(full_dataset))
+
+    lines = [
+        f"wall: {viewport.wall.summary()}",
+        f"viewport: {viewport.summary()}",
+        f"{'key':>3} {'grid':>7} {'cells':>6} {'coverage':>9} "
+        f"{'straddles':>10} {'px/cell':>9}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['key']:>3} {r['grid']:>7} {r['cells']:>6} "
+            f"{r['coverage']:>8.1%} {r['bezel_straddles']:>10} {r['px_per_cell']:>9.0f}"
+        )
+    lines.append("paper: presets 15x4 / 24x6 / 36x12; 432 cells cover ~85% of ~500")
+    report_sink("E1", "layout configurations (Fig. 3, §IV-C)", lines)
+
+    # expected shape: the paper's presets, bezel-free, 432 @ ~85 %
+    assert [r["grid"] for r in rows] == ["15x4", "24x6", "36x12"]
+    assert all(r["bezel_straddles"] == 0 for r in rows)
+    assert rows[-1]["cells"] == 432
+    assert rows[-1]["coverage"] == pytest.approx(0.864, abs=0.01)
+
+
+def test_e1_layout_switch_speed(viewport, benchmark):
+    """Layout switching must be interactive (well under a frame)."""
+    result = benchmark(BezelAwareGrid, viewport, 36, 12)
+    assert result.n_cells == 432

@@ -1,0 +1,143 @@
+"""E9 — §VI-C scalability: SOM cluster-level exploration.
+
+"Instead of showing individual trajectories, we can cluster those
+trajectories ... The unit of exploration becomes a cluster ...
+Coordinated brushing can still be employed ... a user can
+interactively 'zoom in' on a particular cluster."
+
+Series over dataset size N in {2 000, 10 000}: SOM fit time, cluster
+count (= a 24x6 wall layout), compression ratio, cluster-level brush
+query time, zoom-in query time, cluster-vs-exact support fidelity, and
+the k-means quantization comparison.  (The paper speculates up to 1M
+traces; we sweep to 10k here to keep the bench minutes-scale and check
+the scaling *shape* — fit time roughly linear in N, query time at the
+cluster level independent of N.)
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.features import dataset_features
+from repro.cluster.kmeans import kmeans
+from repro.cluster.model import fit_som_clusters
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.multiscale import MultiscaleExplorer
+from repro.synth import generate_scaled_dataset
+
+SERIES = (2_000, 10_000)
+ROWS, COLS = 6, 24  # the paper's 24x6 layout as the SOM lattice
+
+
+def west_canvas(arena):
+    r = arena.radius
+    c = BrushCanvas()
+    c.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+    return c
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {
+        n: generate_scaled_dataset(n, seed=13, max_duration_s=40.0) for n in SERIES
+    }
+
+
+def test_e9_som_scaling(datasets, arena, report_sink, benchmark):
+    canvas = west_canvas(arena)
+    rows = benchmark.pedantic(
+        _som_scaling_rows, args=(datasets, canvas), rounds=1, iterations=1
+    )
+    _report_and_assert(rows, report_sink)
+
+
+def _som_scaling_rows(datasets, canvas):
+    rows = []
+    for n in SERIES:
+        ds = datasets[n]
+        t0 = time.perf_counter()
+        model = fit_som_clusters(ds, ROWS, COLS, epochs=8, seed=0)
+        fit_s = time.perf_counter() - t0
+
+        explorer = MultiscaleExplorer(model)
+        overview = explorer.query_overview(canvas, "red")
+        clusters = explorer.interesting_clusters(canvas, "red")
+        t0 = time.perf_counter()
+        drill = explorer.drill_down(canvas, "red", max_clusters=3)
+        drill_s = time.perf_counter() - t0
+        fidelity = explorer.support_estimate_error(
+            canvas, exact_engine=CoordinatedBrushingEngine(ds)
+        )
+
+        # k-means comparison at equal unit count
+        feats, _ = dataset_features(ds)
+        km = kmeans(feats, ROWS * COLS, seed=0, max_iter=20)
+        som_qe = model.som.quantization_error(feats)
+
+        rows.append(
+            {
+                "n": n,
+                "fit_s": fit_s,
+                "nonempty": model.n_nonempty,
+                "compression": model.compression_ratio(),
+                "overview_query_s": overview.elapsed_s,
+                "n_interesting": len(clusters),
+                "drill_s": drill_s,
+                "cluster_support": fidelity["cluster_level_support"],
+                "exact_support": fidelity["exact_support"],
+                "abs_err": fidelity["abs_error"],
+                "som_qe": som_qe,
+                "kmeans_qe": km.inertia,
+            }
+        )
+    return rows
+
+
+def _report_and_assert(rows, report_sink):
+    lines = [
+        f"SOM lattice: {COLS}x{ROWS} = {ROWS * COLS} units (one wall layout)",
+        f"{'N':>7} {'fit (s)':>8} {'clusters':>9} {'compress':>9} "
+        f"{'ovw qry (s)':>12} {'drill (s)':>10} {'cl supp':>8} "
+        f"{'exact':>6} {'err':>5}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['n']:>7} {r['fit_s']:>8.2f} {r['nonempty']:>9} "
+            f"{r['compression']:>8.0f}x {r['overview_query_s']:>12.4f} "
+            f"{r['drill_s']:>10.3f} {r['cluster_support']:>7.0%} "
+            f"{r['exact_support']:>6.0%} {r['abs_err']:>5.2f}"
+        )
+    for r in rows:
+        lines.append(
+            f"quantization error at N={r['n']}: SOM {r['som_qe']:.3f} vs "
+            f"k-means {r['kmeans_qe']:.3f} "
+            f"(topology costs {(r['som_qe'] / r['kmeans_qe'] - 1) * 100:+.0f}%)"
+        )
+    lines.append(
+        "paper: cluster averages in the small multiples; brushing still "
+        "works; zoom-in reaches individual trajectories"
+    )
+    report_sink("E9", "SOM multi-scale scaling (§VI-C)", lines)
+
+    # expected shape: overview query time does not grow with N (it runs
+    # on <=144 averages); fit time grows with N; fidelity indicative
+    assert rows[-1]["overview_query_s"] < 0.5
+    assert rows[-1]["fit_s"] > rows[0]["fit_s"]
+    for r in rows:
+        assert r["abs_err"] < 0.35
+        assert r["nonempty"] > 10
+        # k-means (unconstrained) never quantizes worse than the SOM
+        assert r["kmeans_qe"] <= r["som_qe"] * 1.05
+
+
+def test_e9_overview_query_bench(datasets, arena, benchmark):
+    """Benchmark the cluster-level brush on the 10k dataset."""
+    ds = datasets[SERIES[-1]]
+    model = fit_som_clusters(ds, ROWS, COLS, epochs=6, seed=0)
+    explorer = MultiscaleExplorer(model)
+    canvas = west_canvas(arena)
+    result = benchmark(explorer.query_overview, canvas, "red")
+    assert result.n_displayed == len(model.averages)

@@ -1,0 +1,70 @@
+"""repro — Scalable Visual Queries for Data Exploration on Large,
+High-Resolution 3D Displays (SC 2012), reproduced as a headless Python
+library.
+
+The package implements the paper's trajectory-exploration application
+end to end: the ant-trajectory data substrate and a behavioural
+simulator standing in for the field data, a parametric tiled-wall
+display model, stereoscopic space-time-cube geometry, the bezel-aware
+small-multiple layout engine with trajectory grouping, the coordinated
+brushing / scalable visual query core, a software renderer, sensemaking
+and pilot-study machinery, SOM-based multi-scale exploration, and a
+process-parallel execution harness.
+
+Quick start::
+
+    from repro import TrajectoryExplorer, generate_study_dataset
+    from repro.core.brush import stroke_from_rect
+    from repro.core.temporal import TimeWindow
+
+    app = TrajectoryExplorer(generate_study_dataset())
+    app.group_by_capture_zone()
+    app.brush(stroke_from_rect((-0.5, -0.3), (-0.35, 0.3), radius=0.06))
+    app.set_time_window(TimeWindow.end(0.15))
+    print(app.query().summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.app import TrajectoryExplorer
+from repro.core import (
+    BrushCanvas,
+    BrushStroke,
+    CoordinatedBrushingEngine,
+    ExplorationSession,
+    Hypothesis,
+    MultiscaleExplorer,
+    QueryResult,
+    TimeWindow,
+    Verdict,
+)
+from repro.display.presets import CYBER_COMMONS, DESKTOP_24INCH, paper_viewport
+from repro.synth import AntStudyConfig, Arena, generate_scaled_dataset, generate_study_dataset
+from repro.trajectory import Trajectory, TrajectoryDataset, TrajectoryMeta
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TrajectoryExplorer",
+    "BrushCanvas",
+    "BrushStroke",
+    "CoordinatedBrushingEngine",
+    "ExplorationSession",
+    "Hypothesis",
+    "MultiscaleExplorer",
+    "QueryResult",
+    "TimeWindow",
+    "Verdict",
+    "CYBER_COMMONS",
+    "DESKTOP_24INCH",
+    "paper_viewport",
+    "AntStudyConfig",
+    "Arena",
+    "generate_scaled_dataset",
+    "generate_study_dataset",
+    "Trajectory",
+    "TrajectoryDataset",
+    "TrajectoryMeta",
+    "__version__",
+]

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``study``   — run the pilot-study replay and print the §V analysis;
+* ``query``   — run one visual query (zone/side/window configurable);
+* ``render``  — render a queried wall frame to PPM;
+* ``dataset`` — generate and save a synthetic dataset (npz/csv/json);
+* ``info``    — print the wall/viewport/layout facts (E1's table).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import AntStudyConfig, TimeWindow, TrajectoryExplorer, generate_study_dataset
+from repro.analytics.exits import opposite_side
+from repro.core.brush import stroke_from_rect
+from repro.core.hypothesis import Hypothesis
+from repro.synth.arena import Arena
+
+__all__ = ["main"]
+
+
+def _dataset(args):
+    return generate_study_dataset(AntStudyConfig(n_trajectories=args.n, seed=args.seed))
+
+
+def _edge_stroke(arena: Arena, side: str, color: str):
+    r = arena.radius
+    depth, half = 0.3 * r, 0.6 * r
+    rects = {
+        "west": ((-r, -half), (-r + depth, half)),
+        "east": ((r - depth, -half), (r, half)),
+        "north": ((-half, r - depth), (half, r)),
+        "south": ((-half, -r), (half, -r + depth)),
+    }
+    lo, hi = rects[side]
+    return stroke_from_rect(lo, hi, radius=0.12 * r, color=color)
+
+
+def cmd_info(args) -> int:
+    """``info``: print wall/viewport/layout facts."""
+    from repro.display.presets import CYBER_COMMONS, paper_viewport
+    from repro.layout.configs import LAYOUT_PRESETS
+
+    vp = paper_viewport(CYBER_COMMONS)
+    print("wall:    ", CYBER_COMMONS.summary())
+    print("viewport:", vp.summary())
+    for key, cfg in sorted(LAYOUT_PRESETS.items()):
+        grid = cfg.build(vp)
+        print(
+            f"layout '{key}': {cfg.n_cols}x{cfg.n_rows} = {cfg.n_cells} cells, "
+            f"straddles={grid.straddle_count()}, "
+            f"~{grid.mean_cell_pixels():.0f} px/cell"
+        )
+    return 0
+
+
+def cmd_dataset(args) -> int:
+    """``dataset``: generate and save a synthetic dataset."""
+    from repro.trajectory import io
+
+    ds = _dataset(args)
+    savers = {"npz": io.save_npz, "csv": io.save_csv, "json": io.save_json}
+    savers[args.format](ds, args.out)
+    print(f"wrote {len(ds)} trajectories ({ds.total_samples} samples) -> {args.out}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    """``query``: run one exit-side visual query; exit code = verdict."""
+    arena = Arena()
+    app = TrajectoryExplorer(_dataset(args), layout_key=args.layout)
+    app.group_by_capture_zone()
+    side = opposite_side(args.zone) if args.side == "auto" else args.side
+    hyp = Hypothesis(
+        statement=f"ants captured {args.zone} of the trail exit {side}",
+        strokes=(_edge_stroke(arena, side, "red"),),
+        window=TimeWindow.end(args.window),
+        target_group=args.zone,
+    )
+    verdict = app.test_hypothesis(hyp)
+    print(verdict.result.summary())
+    print(f"hypothesis: {hyp.statement!r} -> {verdict}")
+    return 0 if verdict.supported else 1
+
+
+def cmd_study(args) -> int:
+    """``study``: replay the pilot study; optionally save provenance."""
+    from repro.core.session import ExplorationSession
+    from repro.display.presets import paper_viewport
+    from repro.sensemaking import AnalystSimulator
+
+    session = ExplorationSession(_dataset(args), paper_viewport())
+    replay = AnalystSimulator(session).run()
+    for schema, verdict in zip(replay.schemas, replay.verdicts):
+        print(f"[{verdict.kind.value:9s}] {schema.theory}")
+    coding = replay.coding
+    print(f"events: {coding.counts()}")
+    print(f"hypotheses/minute: {coding.hypotheses_per_minute():.2f}")
+    print(f"provenance: {len(replay.provenance)} insight records")
+    if args.provenance:
+        replay.provenance.save(args.provenance)
+        print(f"saved provenance -> {args.provenance}")
+    return 0
+
+
+def cmd_render(args) -> int:
+    """``render``: render a queried wall frame to PPM."""
+    arena = Arena()
+    app = TrajectoryExplorer(_dataset(args), layout_key=args.layout)
+    app.group_by_capture_zone()
+    app.brush(_edge_stroke(arena, args.side, "red"))
+    app.set_time_window(TimeWindow.end(args.window))
+    print(app.query("red").summary())
+    app.save_frame(args.out, mode=args.mode, scale=args.scale)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--n", type=int, default=500, help="dataset size")
+        p.add_argument("--seed", type=int, default=20120101)
+
+    p = sub.add_parser("info", help="wall/viewport/layout facts")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("dataset", help="generate and save a dataset")
+    add_common(p)
+    p.add_argument("out", help="output path")
+    p.add_argument("--format", choices=("npz", "csv", "json"), default="npz")
+    p.set_defaults(func=cmd_dataset)
+
+    p = sub.add_parser("query", help="run one exit-side visual query")
+    add_common(p)
+    p.add_argument("--zone", default="east",
+                   choices=("on", "east", "west", "north", "south"))
+    p.add_argument("--side", default="auto",
+                   choices=("auto", "east", "west", "north", "south"),
+                   help="exit side to brush (auto = opposite of zone)")
+    p.add_argument("--window", type=float, default=0.15,
+                   help="end-window fraction")
+    p.add_argument("--layout", default="3", choices=("1", "2", "3"))
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("study", help="replay the pilot study")
+    add_common(p)
+    p.add_argument("--provenance", metavar="OUT.json", default=None)
+    p.set_defaults(func=cmd_study)
+
+    p = sub.add_parser("render", help="render a queried wall frame")
+    add_common(p)
+    p.add_argument("out", help="output PPM path")
+    p.add_argument("--layout", default="2", choices=("1", "2", "3"))
+    p.add_argument("--side", default="west",
+                   choices=("east", "west", "north", "south"))
+    p.add_argument("--window", type=float, default=0.15)
+    p.add_argument("--mode", default="left",
+                   choices=("left", "right", "pair", "anaglyph"))
+    p.add_argument("--scale", type=float, default=0.25)
+    p.set_defaults(func=cmd_render)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

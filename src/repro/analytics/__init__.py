@@ -1,0 +1,45 @@
+"""Exact trajectory analytics and the sequential baseline.
+
+Everything a visual query answers perceptually, this subpackage answers
+exactly: exit-side classification, dwell analysis, per-group statistics
+and hypothesis ground truth (used by integration tests to prove that
+the visual query engine's verdicts agree with first-principles
+computation), plus the researcher's *previous* workflow — sequential
+one-at-a-time per-trajectory inspection with a desktop cost model —
+which E5 benchmarks the coordinated brush against.
+"""
+
+from repro.analytics.exits import exit_side_of, exit_sides, exit_side_table
+from repro.analytics.dwell import central_dwell_table, early_dwell_seconds
+from repro.analytics.stats import group_statistics, zone_straightness_table
+from repro.analytics.verify import (
+    ground_truth_east_west,
+    ground_truth_seed_dwell,
+    verify_query_against_truth,
+)
+from repro.analytics.baseline import SequentialInspectionBaseline
+from repro.analytics.screening import (
+    ScreenedHypothesis,
+    exit_side_battery,
+    screen_hypotheses,
+)
+from repro.analytics.significance import PermutationReport, support_permutation_test
+
+__all__ = [
+    "PermutationReport",
+    "support_permutation_test",
+    "ScreenedHypothesis",
+    "exit_side_battery",
+    "screen_hypotheses",
+    "exit_side_of",
+    "exit_sides",
+    "exit_side_table",
+    "early_dwell_seconds",
+    "central_dwell_table",
+    "group_statistics",
+    "zone_straightness_table",
+    "ground_truth_east_west",
+    "ground_truth_seed_dwell",
+    "verify_query_against_truth",
+    "SequentialInspectionBaseline",
+]

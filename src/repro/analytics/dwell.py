@@ -1,0 +1,68 @@
+"""Dwell analysis.
+
+Exact counterpart of the §V-B spatio-temporal query: "do ants that have
+dropped the seed they were carrying spend more time in the center
+searching ... before deciding which direction to take?"  The visual
+form is a green brush on the arena center plus an early time window;
+the exact form is seconds-inside-disc during the early fraction of each
+experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.metrics import time_inside_mask
+from repro.trajectory.model import Trajectory
+
+__all__ = ["early_dwell_seconds", "central_dwell_table"]
+
+
+def early_dwell_seconds(
+    traj: Trajectory,
+    center,
+    radius: float,
+    *,
+    early_fraction: float = 0.2,
+) -> float:
+    """Seconds spent inside the disc during the first ``early_fraction``
+    of the trajectory's duration."""
+    if not 0.0 < early_fraction <= 1.0:
+        raise ValueError("early_fraction must be in (0, 1]")
+    center = np.asarray(center, dtype=np.float64)
+    t_cut = float(traj.times[0]) + early_fraction * traj.duration
+    d = traj.positions - center
+    inside = (np.einsum("ij,ij->i", d, d) <= radius * radius) & (traj.times <= t_cut)
+    return time_inside_mask(traj, inside)
+
+
+def central_dwell_table(
+    dataset: TrajectoryDataset,
+    radius: float,
+    *,
+    early_fraction: float = 0.2,
+) -> dict[str, dict[str, float]]:
+    """Early central-dwell statistics for seed-droppers vs. the rest.
+
+    Returns ``{"seed_dropped": {...}, "others": {...}}`` with count,
+    mean, and median dwell seconds per population — the exact numbers
+    behind the perpendicular-green-segment reading of the stereo view.
+    """
+    dropped: list[float] = []
+    others: list[float] = []
+    for traj in dataset:
+        dwell = early_dwell_seconds(traj, (0.0, 0.0), radius, early_fraction=early_fraction)
+        (dropped if traj.meta.seed_dropped else others).append(dwell)
+
+    def describe(vals: list[float]) -> dict[str, float]:
+        if not vals:
+            return {"count": 0, "mean_s": 0.0, "median_s": 0.0}
+        arr = np.asarray(vals)
+        return {
+            "count": int(len(arr)),
+            "mean_s": float(arr.mean()),
+            "median_s": float(np.median(arr)),
+        }
+
+    return {"seed_dropped": describe(dropped), "others": describe(others)}

@@ -1,0 +1,59 @@
+"""Exit-side analysis.
+
+The §V-B hypothesis ("east-captured ants exit the arena from the west
+side") reduces, in exact form, to classifying each trajectory's exit
+bearing into a compass quadrant and tabulating by capture zone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.synth.arena import Arena, EXIT_SIDES
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+__all__ = ["exit_side_of", "exit_sides", "exit_side_table", "opposite_side"]
+
+_OPPOSITE = {"east": "west", "west": "east", "north": "south", "south": "north"}
+
+
+def opposite_side(side: str) -> str:
+    """The compass side opposite ``side`` (homing ants head there)."""
+    try:
+        return _OPPOSITE[side]
+    except KeyError:
+        raise ValueError(f"unknown side {side!r}; valid: {sorted(_OPPOSITE)}") from None
+
+
+def exit_side_of(traj: Trajectory, arena: Arena) -> str:
+    """Compass side of the trajectory's final position.
+
+    Trajectories end at (or just past) the arena rim by construction;
+    if an ant never exits (timed out inside), the bearing of its final
+    position still defines the side it was heading for, which is the
+    reading the researcher would take visually.
+    """
+    return arena.exit_side(traj.end)
+
+
+def exit_sides(dataset: TrajectoryDataset, arena: Arena) -> np.ndarray:
+    """Object array of exit sides for every trajectory."""
+    return np.asarray([exit_side_of(t, arena) for t in dataset], dtype=object)
+
+
+def exit_side_table(
+    dataset: TrajectoryDataset, arena: Arena
+) -> dict[str, dict[str, int]]:
+    """Capture-zone x exit-side contingency table.
+
+    Keys: capture zone; values: {exit side: count}.  This is the exact
+    statistic behind Fig. 5's visual impression.
+    """
+    table: dict[str, dict[str, int]] = {}
+    for traj in dataset:
+        zone = traj.meta.capture_zone
+        side = exit_side_of(traj, arena)
+        row = table.setdefault(zone, {s: 0 for s in EXIT_SIDES})
+        row[side] += 1
+    return table

@@ -1,0 +1,127 @@
+"""Hypothesis-space screening.
+
+§VI-B: "visual queries ... provide a high-fidelity, low-cost data
+assessment scheme, which can be used to explore a larger number of
+hypotheses and identify the promising ones for further analysis."
+
+This module automates that pattern: generate a battery of candidate
+hypotheses (every capture-zone x exit-side combination, plus the
+seed-dwell contrast), evaluate each as a visual query, and rank the
+outcomes — the machine-side analogue of the researcher's rapid
+hypothesis cycling, useful both as an API feature and as a screening
+baseline the interactive workflow can be compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.brush import BrushStroke, stroke_from_rect
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.hypothesis import Hypothesis, Verdict, VerdictKind
+from repro.core.temporal import TimeWindow
+from repro.layout.cells import CellAssignment
+from repro.synth.arena import Arena, EXIT_SIDES
+from repro.trajectory.filters import SeedFilter
+
+__all__ = ["ScreenedHypothesis", "exit_side_battery", "screen_hypotheses"]
+
+
+def _edge_stroke(arena: Arena, side: str, color: str = "red") -> BrushStroke:
+    r = arena.radius
+    depth, half = 0.3 * r, 0.6 * r
+    rects = {
+        "west": ((-r, -half), (-r + depth, half)),
+        "east": ((r - depth, -half), (r, half)),
+        "north": ((-half, r - depth), (half, r)),
+        "south": ((-half, -r), (half, -r + depth)),
+    }
+    lo, hi = rects[side]
+    return stroke_from_rect(lo, hi, radius=0.12 * r, color=color)
+
+
+def exit_side_battery(
+    arena: Arena | None = None,
+    *,
+    zones: tuple[str, ...] = ("on", "east", "west", "north", "south"),
+    window: TimeWindow | None = None,
+    include_seed_dwell: bool = True,
+) -> list[Hypothesis]:
+    """Every zone x exit-side hypothesis, plus the seed-dwell contrast.
+
+    20 exit hypotheses (5 zones x 4 sides) with the Fig. 5 gesture each;
+    the battery deliberately contains mostly-false members — screening
+    is about *finding* the promising ones.
+    """
+    arena = arena or Arena()
+    window = window or TimeWindow.end(0.15)
+    battery: list[Hypothesis] = []
+    for zone in zones:
+        for side in EXIT_SIDES:
+            battery.append(
+                Hypothesis(
+                    statement=f"ants captured {zone} of the trail exit {side}",
+                    strokes=(_edge_stroke(arena, side),),
+                    window=window,
+                    target_group=zone,
+                )
+            )
+    if include_seed_dwell:
+        r = 0.15 * arena.radius
+        battery.append(
+            Hypothesis(
+                statement="seed-droppers linger centrally early on",
+                strokes=(
+                    stroke_from_rect((-r / 2, -r / 2), (r / 2, r / 2), r, "green"),
+                ),
+                window=TimeWindow.beginning(0.2),
+                target_filter=SeedFilter(dropped=True),
+                min_highlight_s=8.0,
+                contrast=True,
+            )
+        )
+    return battery
+
+
+@dataclass(frozen=True)
+class ScreenedHypothesis:
+    """One battery member with its outcome and rank score."""
+
+    hypothesis: Hypothesis
+    verdict: Verdict
+
+    @property
+    def score(self) -> float:
+        """Ranking score: margin over the decision criterion.
+
+        For plain hypotheses, support minus threshold; for contrast
+        hypotheses, the target-vs-complement advantage.  Inconclusive
+        outcomes score at negative infinity (never promising).
+        """
+        v = self.verdict
+        if v.kind is VerdictKind.INCONCLUSIVE:
+            return float("-inf")
+        if v.comparison_support is not None:
+            return v.support - v.comparison_support
+        return v.support - self.verdict.threshold
+
+
+def screen_hypotheses(
+    engine: CoordinatedBrushingEngine,
+    battery: list[Hypothesis],
+    assignment: CellAssignment | None = None,
+) -> list[ScreenedHypothesis]:
+    """Evaluate a battery and rank by score (most promising first).
+
+    Hypotheses targeting groups absent from the assignment are skipped
+    (recorded nowhere — a battery is exploratory).
+    """
+    out: list[ScreenedHypothesis] = []
+    for hyp in battery:
+        try:
+            verdict = hyp.evaluate(engine, assignment)
+        except KeyError:
+            continue
+        out.append(ScreenedHypothesis(hyp, verdict))
+    out.sort(key=lambda s: s.score, reverse=True)
+    return out

@@ -1,0 +1,69 @@
+"""Group-level movement statistics.
+
+The researcher's low-level inferences (§VI-A) — "more windy" on-trail
+ants vs. "more direct" off-trail ants — as exact per-group summaries of
+the movement metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.metrics import (
+    mean_speed,
+    net_displacement,
+    sinuosity,
+    straightness_index,
+    total_path_length,
+)
+from repro.trajectory.model import CaptureZone
+
+__all__ = ["group_statistics", "zone_straightness_table"]
+
+_METRICS = {
+    "path_length_m": total_path_length,
+    "net_displacement_m": net_displacement,
+    "straightness": straightness_index,
+    "sinuosity": sinuosity,
+    "mean_speed_mps": mean_speed,
+    "duration_s": lambda t: t.duration,
+}
+
+
+def group_statistics(
+    dataset: TrajectoryDataset, group_by: str = "capture_zone"
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Per-group mean/std of the movement metrics.
+
+    ``group_by`` is any :class:`TrajectoryMeta` attribute name
+    (``capture_zone``, ``direction``, ``carrying_seed``, ...).
+    Returns ``{group: {metric: {"mean": ..., "std": ..., "n": ...}}}``.
+    """
+    buckets: dict[str, list] = {}
+    for traj in dataset:
+        key = str(getattr(traj.meta, group_by))
+        buckets.setdefault(key, []).append(traj)
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for key, trajs in sorted(buckets.items()):
+        metrics: dict[str, dict[str, float]] = {}
+        for name, fn in _METRICS.items():
+            vals = np.asarray([fn(t) for t in trajs], dtype=np.float64)
+            metrics[name] = {
+                "mean": float(vals.mean()),
+                "std": float(vals.std()),
+                "n": int(len(vals)),
+            }
+        out[key] = metrics
+    return out
+
+
+def zone_straightness_table(dataset: TrajectoryDataset) -> dict[str, float]:
+    """Mean straightness per capture zone — the exact statistic behind
+    "windy on-trail vs. direct off-trail"."""
+    stats = group_statistics(dataset, "capture_zone")
+    return {
+        zone: stats[zone]["straightness"]["mean"]
+        for zone in CaptureZone
+        if zone in stats
+    }

@@ -1,0 +1,147 @@
+"""Ground-truth verification of visual queries.
+
+§VI-B: "While visual queries may not be enough to fully substantiate a
+particular theory, they nevertheless provide a high-fidelity, low-cost
+data assessment scheme."  This module quantifies that fidelity: it
+computes each study hypothesis exactly and compares the visual query's
+verdict and support fraction against the exact answer.  Integration
+tests require agreement; EXPERIMENTS.md reports the measured fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analytics.dwell import early_dwell_seconds
+from repro.analytics.exits import exit_side_of
+from repro.core.result import QueryResult
+from repro.synth.arena import Arena
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = [
+    "GroundTruth",
+    "ground_truth_east_west",
+    "ground_truth_seed_dwell",
+    "verify_query_against_truth",
+]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Exact answer to a study hypothesis.
+
+    Attributes
+    ----------
+    statement:
+        The hypothesis in words.
+    per_traj:
+        (T,) bool: does trajectory *i* satisfy the hypothesis predicate.
+    target:
+        (T,) bool: is trajectory *i* in the target population.
+    """
+
+    statement: str
+    per_traj: np.ndarray
+    target: np.ndarray
+
+    @property
+    def support(self) -> float:
+        """Exact support fraction within the target population."""
+        n = int(self.target.sum())
+        if n == 0:
+            return 0.0
+        return float((self.per_traj & self.target).sum() / n)
+
+    @property
+    def supported(self) -> bool:
+        """Majority criterion on the exact numbers."""
+        return self.support > 0.5
+
+
+def ground_truth_east_west(
+    dataset: TrajectoryDataset, arena: Arena, *, capture_zone: str = "east",
+    exit_side: str = "west",
+) -> GroundTruth:
+    """Exact form of the Fig. 5 hypothesis."""
+    per_traj = np.asarray(
+        [exit_side_of(t, arena) == exit_side for t in dataset], dtype=bool
+    )
+    target = np.asarray(
+        [t.meta.capture_zone == capture_zone for t in dataset], dtype=bool
+    )
+    return GroundTruth(
+        statement=(
+            f"ants captured {capture_zone} of the trail exit on the {exit_side} side"
+        ),
+        per_traj=per_traj,
+        target=target,
+    )
+
+
+def ground_truth_seed_dwell(
+    dataset: TrajectoryDataset,
+    *,
+    radius: float,
+    early_fraction: float = 0.2,
+    dwell_threshold_s: float = 5.0,
+) -> GroundTruth:
+    """Exact form of the seed-drop search hypothesis: a seed-dropper
+    'lingers' if it spends more than ``dwell_threshold_s`` inside the
+    central disc during the early window."""
+    per_traj = np.asarray(
+        [
+            early_dwell_seconds(t, (0.0, 0.0), radius, early_fraction=early_fraction)
+            >= dwell_threshold_s
+            for t in dataset
+        ],
+        dtype=bool,
+    )
+    target = np.asarray([t.meta.seed_dropped for t in dataset], dtype=bool)
+    return GroundTruth(
+        statement="seed-droppers linger in the arena center early in the experiment",
+        per_traj=per_traj,
+        target=target,
+    )
+
+
+@dataclass(frozen=True)
+class QueryFidelity:
+    """Agreement between a visual query and exact ground truth."""
+
+    visual_support: float
+    exact_support: float
+    agreement: float          # fraction of target trajs where both agree
+    verdict_match: bool       # same majority verdict
+
+    def __str__(self) -> str:
+        return (
+            f"visual {self.visual_support:.0%} vs exact {self.exact_support:.0%}, "
+            f"per-item agreement {self.agreement:.0%}, "
+            f"verdicts {'match' if self.verdict_match else 'DIFFER'}"
+        )
+
+
+def verify_query_against_truth(
+    result: QueryResult, truth: GroundTruth, *, restrict_displayed: bool = True
+) -> QueryFidelity:
+    """Compare a visual query result with the exact hypothesis answer.
+
+    The comparison population is the truth's target set, optionally
+    intersected with the displayed set (what the researcher could
+    actually see — the honest comparison for the wall).
+    """
+    target = truth.target.copy()
+    if restrict_displayed:
+        target &= result.displayed
+    n = int(target.sum())
+    if n == 0:
+        return QueryFidelity(0.0, 0.0, 1.0, True)
+    visual = result.traj_mask[target]
+    exact = truth.per_traj[target]
+    visual_support = float(visual.mean())
+    exact_support = float(exact.mean())
+    agreement = float((visual == exact).mean())
+    verdict_match = (visual_support > 0.5) == (exact_support > 0.5)
+    return QueryFidelity(visual_support, exact_support, agreement, verdict_match)

@@ -1,0 +1,35 @@
+"""Trajectory clustering for multi-scale exploration (§VI-C).
+
+The paper's scalability proposal: "Instead of showing individual
+trajectories, we can cluster those trajectories based on feature
+similarity by employing self-organizing maps ... The unit of
+exploration becomes a cluster of trajectories ... The small-multiple
+layout would be adapted to visualize and juxtapose cluster averages ...
+a user can interactively 'zoom in' on a particular cluster of interest
+and query the cluster at the individual-trajectory level."
+
+This subpackage implements that path from scratch: fixed-length
+trajectory feature vectors, a vectorized batch self-organizing map
+whose lattice *is* a small-multiple grid, cluster-average trajectories
+renderable in the ordinary pipeline, a k-means comparison baseline, and
+the :class:`ClusterModel` the multi-scale explorer drills through.
+"""
+
+from repro.cluster.features import FeatureSpec, trajectory_features, dataset_features
+from repro.cluster.som import SelfOrganizingMap, SomTrainLog
+from repro.cluster.kmeans import kmeans
+from repro.cluster.averages import cluster_average_trajectory, cluster_average_dataset
+from repro.cluster.model import ClusterModel, fit_som_clusters
+
+__all__ = [
+    "FeatureSpec",
+    "trajectory_features",
+    "dataset_features",
+    "SelfOrganizingMap",
+    "SomTrainLog",
+    "kmeans",
+    "cluster_average_trajectory",
+    "cluster_average_dataset",
+    "ClusterModel",
+    "fit_som_clusters",
+]

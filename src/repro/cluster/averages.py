@@ -1,0 +1,81 @@
+"""Cluster-average trajectories.
+
+§VI-C: "The small-multiple layout would be adapted to visualize and
+juxtapose cluster averages instead of showing individual trajectories."
+A cluster average is itself a :class:`~repro.trajectory.model.Trajectory`
+(mean resampled polyline on a mean time base), so the ordinary layout,
+render and query machinery applies to it unchanged — including
+coordinated brushing at the cluster level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+from repro.trajectory.resample import resample_by_count
+
+__all__ = ["cluster_average_trajectory", "cluster_average_dataset"]
+
+
+def cluster_average_trajectory(
+    members: list[Trajectory], n_points: int = 64, cluster_id: int = -1
+) -> Trajectory:
+    """Mean trajectory of a cluster.
+
+    Each member is resampled to ``n_points`` equal-time samples; the
+    average takes the pointwise mean of positions and of (relative)
+    timestamps.  Metadata records the member count and the majority
+    capture zone so cluster cells can still be group-binned.
+    """
+    if not members:
+        raise ValueError("cannot average an empty cluster")
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    pos = np.zeros((n_points, 2))
+    t = np.zeros(n_points)
+    zones: dict[str, int] = {}
+    for m in members:
+        rs = resample_by_count(m, n_points)
+        pos += rs.positions
+        t += rs.times - rs.times[0]
+        zones[m.meta.capture_zone] = zones.get(m.meta.capture_zone, 0) + 1
+    pos /= len(members)
+    t /= len(members)
+    # guard: mean timestamps are strictly increasing because each
+    # member's are, but enforce against float ties on tiny clusters
+    eps = 1e-9 * max(1.0, t[-1])
+    t = np.maximum.accumulate(t + eps * np.arange(n_points))
+    majority_zone = max(zones, key=zones.get)
+    meta = TrajectoryMeta(
+        capture_zone=majority_zone,
+        direction="outbound",
+        extra={"cluster_size": len(members), "zone_histogram": zones},
+    )
+    return Trajectory(pos, t, meta, traj_id=cluster_id)
+
+
+def cluster_average_dataset(
+    dataset: TrajectoryDataset,
+    labels: np.ndarray,
+    n_clusters: int,
+    *,
+    n_points: int = 64,
+) -> TrajectoryDataset:
+    """One average trajectory per non-empty cluster, id = cluster index.
+
+    Empty clusters are skipped (their wall cell renders empty); the
+    returned dataset is ordered by cluster index.
+    """
+    labels = np.asarray(labels)
+    if len(labels) != len(dataset):
+        raise ValueError("labels must match the dataset length")
+    out = TrajectoryDataset(name=f"{dataset.name}|cluster-averages")
+    for c in range(n_clusters):
+        member_idx = np.flatnonzero(labels == c)
+        if len(member_idx) == 0:
+            continue
+        members = [dataset[int(i)] for i in member_idx]
+        out.append(cluster_average_trajectory(members, n_points, cluster_id=c))
+    return out

@@ -1,0 +1,106 @@
+"""Trajectory feature extraction.
+
+Clustering needs fixed-length vectors.  Following the trajectory-SOM
+literature the paper cites (Schreck et al.), each trajectory is
+resampled to ``n_points`` equal-time samples; the feature vector
+concatenates the normalized XY polyline with optional global shape
+descriptors (straightness, sinuosity, duration, net displacement),
+each z-scored across the dataset so no component dominates the
+Euclidean metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.metrics import (
+    net_displacement,
+    sinuosity,
+    straightness_index,
+)
+from repro.trajectory.model import Trajectory
+from repro.trajectory.resample import resample_by_count
+
+__all__ = ["FeatureSpec", "trajectory_features", "dataset_features"]
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Configuration of the feature map.
+
+    Attributes
+    ----------
+    n_points:
+        Resampled polyline length (each contributes x and y).
+    scale:
+        Spatial normalization divisor (arena radius, typically) so
+        coordinates land in [-1, 1].
+    include_shape:
+        Append the 4 global shape descriptors.
+    shape_weight:
+        Relative weight of the shape block vs. the polyline block.
+    """
+
+    n_points: int = 32
+    scale: float = 0.5
+    include_shape: bool = True
+    shape_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_points < 2:
+            raise ValueError("n_points must be >= 2")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.shape_weight < 0:
+            raise ValueError("shape_weight must be >= 0")
+
+    @property
+    def dim(self) -> int:
+        return 2 * self.n_points + (4 if self.include_shape else 0)
+
+
+def trajectory_features(traj: Trajectory, spec: FeatureSpec) -> np.ndarray:
+    """Raw (un-standardized) feature vector of one trajectory."""
+    rs = resample_by_count(traj, spec.n_points)
+    poly = (rs.positions / spec.scale).ravel()
+    if not spec.include_shape:
+        return poly
+    shape = np.array(
+        [
+            straightness_index(traj),
+            sinuosity(traj),
+            traj.duration,
+            net_displacement(traj) / spec.scale,
+        ],
+        dtype=np.float64,
+    )
+    return np.concatenate([poly, shape])
+
+
+def dataset_features(
+    dataset: TrajectoryDataset, spec: FeatureSpec | None = None
+) -> tuple[np.ndarray, FeatureSpec]:
+    """(T, D) standardized feature matrix for a dataset.
+
+    The shape block (when present) is z-scored per column and weighted
+    by ``spec.shape_weight``; the polyline block is already normalized
+    by the arena scale.  Returns the matrix and the spec used.
+    """
+    spec = spec or FeatureSpec()
+    if len(dataset) == 0:
+        raise ValueError("cannot featurize an empty dataset")
+    feats = np.empty((len(dataset), spec.dim), dtype=np.float64)
+    for i, traj in enumerate(dataset):
+        feats[i] = trajectory_features(traj, spec)
+    if spec.include_shape:
+        block = feats[:, 2 * spec.n_points :]
+        mean = block.mean(axis=0)
+        std = block.std(axis=0)
+        std[std == 0] = 1.0
+        block -= mean
+        block /= std
+        block *= spec.shape_weight
+    return feats, spec

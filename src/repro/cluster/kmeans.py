@@ -1,0 +1,92 @@
+"""Lloyd's k-means, the clustering comparison baseline.
+
+The SOM buys lattice topology (neighbouring wall cells show similar
+clusters); k-means is the topology-free reference point.  E9 reports
+quantization error of both at equal unit counts so the cost of the
+SOM's topology constraint is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.geometry import pairwise_distances
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Fitted k-means model."""
+
+    centers: np.ndarray      # (K, D)
+    labels: np.ndarray       # (N,)
+    inertia: float           # mean distance to assigned center
+    n_iter: int
+    converged: bool
+
+
+def _assign(data: np.ndarray, centers: np.ndarray, chunk: int = 8192) -> np.ndarray:
+    labels = np.empty(len(data), dtype=np.int64)
+    for lo in range(0, len(data), chunk):
+        hi = min(lo + chunk, len(data))
+        labels[lo:hi] = np.argmin(pairwise_distances(data[lo:hi], centers), axis=1)
+    return labels
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    *,
+    seed: int = 0,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+) -> KMeansResult:
+    """Lloyd iterations with k-means++ initialization.
+
+    Empty clusters are re-seeded to the farthest point from its current
+    center, the standard fix keeping ``k`` effective clusters.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    n = len(data)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    rng = np.random.default_rng(seed)
+
+    # k-means++ seeding
+    centers = np.empty((k, data.shape[1]))
+    centers[0] = data[rng.integers(n)]
+    closest_d2 = np.sum((data - centers[0]) ** 2, axis=1)
+    for j in range(1, k):
+        probs = closest_d2 / max(closest_d2.sum(), 1e-300)
+        centers[j] = data[rng.choice(n, p=probs)]
+        d2 = np.sum((data - centers[j]) ** 2, axis=1)
+        np.minimum(closest_d2, d2, out=closest_d2)
+
+    converged = False
+    it = 0
+    for it in range(1, max_iter + 1):
+        labels = _assign(data, centers)
+        new_centers = np.zeros_like(centers)
+        counts = np.bincount(labels, minlength=k).astype(np.float64)
+        np.add.at(new_centers, labels, data)
+        nonempty = counts > 0
+        new_centers[nonempty] /= counts[nonempty, None]
+        if np.any(~nonempty):
+            # re-seed empty clusters at the worst-fit points
+            d = np.linalg.norm(data - new_centers[labels], axis=1)
+            far = np.argsort(d)[::-1]
+            for j, slot in enumerate(np.flatnonzero(~nonempty)):
+                new_centers[slot] = data[far[j % n]]
+        shift = float(np.linalg.norm(new_centers - centers, axis=1).max())
+        centers = new_centers
+        if shift < tol:
+            converged = True
+            break
+    labels = _assign(data, centers)
+    inertia = float(np.linalg.norm(data - centers[labels], axis=1).mean())
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=it, converged=converged)

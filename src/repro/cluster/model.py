@@ -1,0 +1,115 @@
+"""The fitted cluster model the multi-scale explorer drills through.
+
+A :class:`ClusterModel` packages a trained SOM (or any labeling), the
+source dataset, labels, and the cluster-average dataset; it answers
+"which trajectories are in cluster c?" (the zoom-in of §VI-C) and
+exposes the averages as an ordinary dataset for layout/query/render.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.averages import cluster_average_dataset
+from repro.cluster.features import FeatureSpec, dataset_features
+from repro.cluster.som import SelfOrganizingMap, SomTrainLog
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["ClusterModel", "fit_som_clusters"]
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """A clustering of a trajectory dataset.
+
+    Attributes
+    ----------
+    source:
+        The full-resolution dataset.
+    labels:
+        (T,) cluster index per trajectory.
+    n_clusters:
+        Number of cluster slots (SOM units); some may be empty.
+    averages:
+        Cluster-average dataset (one entry per non-empty cluster;
+        ``traj_id`` is the cluster index).
+    som:
+        The trained SOM, when SOM-fitted (None for external labelings).
+    train_log:
+        SOM training log, when available.
+    """
+
+    source: TrajectoryDataset
+    labels: np.ndarray
+    n_clusters: int
+    averages: TrajectoryDataset
+    som: SelfOrganizingMap | None = None
+    train_log: SomTrainLog | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.source):
+            raise ValueError("labels must match the source dataset length")
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if len(self.labels) and (self.labels.min() < 0 or self.labels.max() >= self.n_clusters):
+            raise ValueError("labels out of range")
+
+    def members_of(self, cluster: int) -> np.ndarray:
+        """Source dataset indices belonging to a cluster."""
+        if not 0 <= cluster < self.n_clusters:
+            raise IndexError(f"cluster {cluster} outside [0, {self.n_clusters})")
+        return np.flatnonzero(self.labels == cluster)
+
+    def member_dataset(self, cluster: int) -> TrajectoryDataset:
+        """The zoom-in dataset of one cluster (§VI-C drill-down)."""
+        idx = self.members_of(cluster)
+        out = TrajectoryDataset(name=f"{self.source.name}|cluster{cluster}")
+        for i in idx:
+            out.append(self.source[int(i)])
+        return out
+
+    def cluster_sizes(self) -> np.ndarray:
+        """(n_clusters,) member counts."""
+        return np.bincount(self.labels, minlength=self.n_clusters)
+
+    @property
+    def n_nonempty(self) -> int:
+        return int((self.cluster_sizes() > 0).sum())
+
+    def compression_ratio(self) -> float:
+        """Source trajectories per displayed cluster cell."""
+        return len(self.source) / max(1, self.n_nonempty)
+
+
+def fit_som_clusters(
+    dataset: TrajectoryDataset,
+    rows: int,
+    cols: int,
+    *,
+    spec: FeatureSpec | None = None,
+    epochs: int = 20,
+    seed: int = 0,
+    average_points: int = 64,
+) -> ClusterModel:
+    """Featurize, train a ``rows x cols`` SOM, and build the model.
+
+    The lattice dimensions should match the wall layout that will show
+    the averages, so lattice neighbourhoods land in adjacent cells.
+    """
+    feats, spec = dataset_features(dataset, spec)
+    som = SelfOrganizingMap(rows, cols, feats.shape[1], seed=seed)
+    log = som.fit(feats, epochs=epochs)
+    labels = som.bmu(feats)
+    averages = cluster_average_dataset(
+        dataset, labels, som.n_units, n_points=average_points
+    )
+    return ClusterModel(
+        source=dataset,
+        labels=labels,
+        n_clusters=som.n_units,
+        averages=averages,
+        som=som,
+        train_log=log,
+    )

@@ -1,0 +1,86 @@
+"""Multi-query combination.
+
+The canvas supports several brush colors at once — each an independent
+query region.  The researcher composes them implicitly ("trajectories
+that cross the center early AND exit west late"); this module makes the
+composition explicit: combine per-color :class:`QueryResult` objects
+with AND / OR / AND-NOT semantics at the trajectory level.
+
+Segment masks do not generally compose (a conjunction is a property of
+a whole trajectory, not of a single segment), so combined results carry
+the operands' segment-mask union (AND/OR) or the kept operand's mask
+(AND-NOT) for rendering, and the combined *trajectory* mask for reading
+support.  Group breakdowns are dropped — recompute them by evaluating a
+fresh query under the layout if needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.result import QueryResult
+
+__all__ = ["combine_and", "combine_or", "combine_and_not"]
+
+
+def _check_compatible(a: QueryResult, b: QueryResult) -> None:
+    if a.traj_mask.shape != b.traj_mask.shape:
+        raise ValueError(
+            f"results cover different datasets: {a.traj_mask.shape} vs "
+            f"{b.traj_mask.shape}"
+        )
+    if not np.array_equal(a.displayed, b.displayed):
+        raise ValueError("results were computed under different layouts")
+
+
+def combine_and(a: QueryResult, b: QueryResult) -> QueryResult:
+    """Trajectories highlighted by *both* queries.
+
+    Highlight time is the minimum of the operands' — a conservative
+    bound on "time satisfying both".
+    """
+    _check_compatible(a, b)
+    mask = a.traj_mask & b.traj_mask
+    return QueryResult(
+        color=f"({a.color} & {b.color})",
+        segment_mask=a.segment_mask | b.segment_mask,
+        traj_mask=mask,
+        traj_highlight_time=np.where(
+            mask, np.minimum(a.traj_highlight_time, b.traj_highlight_time), 0.0
+        ),
+        displayed=a.displayed,
+        group_support={},
+        elapsed_s=a.elapsed_s + b.elapsed_s,
+    )
+
+
+def combine_or(a: QueryResult, b: QueryResult) -> QueryResult:
+    """Trajectories highlighted by *either* query."""
+    _check_compatible(a, b)
+    return QueryResult(
+        color=f"({a.color} | {b.color})",
+        segment_mask=a.segment_mask | b.segment_mask,
+        traj_mask=a.traj_mask | b.traj_mask,
+        traj_highlight_time=np.maximum(a.traj_highlight_time, b.traj_highlight_time),
+        displayed=a.displayed,
+        group_support={},
+        elapsed_s=a.elapsed_s + b.elapsed_s,
+    )
+
+
+def combine_and_not(a: QueryResult, b: QueryResult) -> QueryResult:
+    """Trajectories highlighted by ``a`` but *not* by ``b``.
+
+    The exclusion pattern: "exited west but never lingered centrally".
+    """
+    _check_compatible(a, b)
+    mask = a.traj_mask & ~b.traj_mask
+    return QueryResult(
+        color=f"({a.color} &! {b.color})",
+        segment_mask=a.segment_mask,
+        traj_mask=mask,
+        traj_highlight_time=np.where(mask, a.traj_highlight_time, 0.0),
+        displayed=a.displayed,
+        group_support={},
+        elapsed_s=a.elapsed_s + b.elapsed_s,
+    )

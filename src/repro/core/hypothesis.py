@@ -1,0 +1,236 @@
+"""Declarative hypotheses as visual queries.
+
+§VI-B: "in many cases, a query corresponds to a hypothesis."  A
+:class:`Hypothesis` captures that correspondence explicitly: a natural-
+language statement, the visual query that tests it (brush strokes +
+time window), the target group the researcher reads the answer off, and
+a support threshold (the paper's informal criterion was a *majority* of
+the target group highlighted).  Evaluating a hypothesis runs the query
+and returns a :class:`Verdict`.
+
+The sensemaking layer (:mod:`repro.sensemaking`) logs these objects as
+the researcher's externalized theories; the analyst simulator replays
+the pilot study's hypothesis sequence through them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.brush import BrushStroke
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.result import QueryResult
+from repro.core.temporal import TimeWindow
+from repro.layout.cells import CellAssignment
+from repro.trajectory.filters import MetaFilter
+
+__all__ = ["Hypothesis", "Verdict", "VerdictKind"]
+
+
+class VerdictKind(enum.Enum):
+    """Outcome of weighing a hypothesis against the data."""
+
+    SUPPORTED = "supported"
+    REFUTED = "refuted"
+    INCONCLUSIVE = "inconclusive"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """A hypothesis evaluation outcome.
+
+    Attributes
+    ----------
+    kind:
+        Supported / refuted / inconclusive.
+    support:
+        Measured support fraction in the target population.
+    threshold:
+        The support level the hypothesis demanded.
+    result:
+        The underlying query result (for drill-down and rendering).
+    """
+
+    kind: VerdictKind
+    support: float
+    threshold: float
+    result: QueryResult
+    comparison_support: float | None = None
+
+    @property
+    def supported(self) -> bool:
+        return self.kind is VerdictKind.SUPPORTED
+
+    def __str__(self) -> str:
+        if self.comparison_support is not None:
+            return (
+                f"{self.kind.value} (target {self.support:.0%} vs "
+                f"complement {self.comparison_support:.0%})"
+            )
+        return f"{self.kind.value} (support {self.support:.0%} vs threshold {self.threshold:.0%})"
+
+
+@dataclass(frozen=True)
+class Hypothesis:
+    """A hypothesis expressed as a visual query.
+
+    Attributes
+    ----------
+    statement:
+        Natural-language form, as the researcher voiced it.
+    strokes:
+        The brush strokes encoding the query region(s).
+    window:
+        The temporal filter to combine with the brush.
+    target_group:
+        Group whose support fraction answers the hypothesis; ``None``
+        reads support over all displayed trajectories.
+    target_filter:
+        Alternative/additional target selection by metadata (e.g.
+        seed-droppers), intersected with the displayed set and with the
+        target group when both are given.
+    threshold:
+        Required support fraction (default: majority).
+    min_population:
+        Below this many displayed target trajectories the verdict is
+        INCONCLUSIVE regardless of support (tiny bins prove nothing).
+    min_highlight_s:
+        A trajectory counts as satisfying the query only if its
+        highlighted time reaches this many seconds — the "spend more
+        time there" reading the stereo view affords (a long
+        near-perpendicular highlighted run is a long time, §V-B).
+    contrast:
+        When True, the verdict compares the target population's support
+        against the *complement* population's (displayed, non-target):
+        supported iff target exceeds complement by ``contrast_margin``.
+        This is the comparative form of the seed-drop hypothesis.
+    contrast_margin:
+        Required support advantage in contrast mode.
+    """
+
+    statement: str
+    strokes: tuple[BrushStroke, ...]
+    window: TimeWindow = field(default_factory=TimeWindow.all)
+    target_group: str | None = None
+    target_filter: MetaFilter | None = None
+    threshold: float = 0.5
+    min_population: int = 5
+    min_highlight_s: float = 0.0
+    contrast: bool = False
+    contrast_margin: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not self.statement:
+            raise ValueError("a hypothesis needs a statement")
+        if not self.strokes:
+            raise ValueError("a hypothesis needs at least one brush stroke")
+        if not 0.0 < self.threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if self.min_highlight_s < 0:
+            raise ValueError("min_highlight_s must be >= 0")
+        if self.contrast and self.contrast_margin < 0:
+            raise ValueError("contrast_margin must be >= 0")
+        if self.contrast and self.target_group is None and self.target_filter is None:
+            raise ValueError("contrast mode needs a target group or filter")
+        colors = {s.color for s in self.strokes}
+        if len(colors) != 1:
+            raise ValueError(
+                f"one hypothesis = one query color; got {sorted(colors)}"
+            )
+
+    @property
+    def color(self) -> str:
+        return self.strokes[0].color
+
+    def build_canvas(self) -> BrushCanvas:
+        """A fresh canvas holding only this hypothesis's strokes."""
+        canvas = BrushCanvas()
+        for s in self.strokes:
+            canvas.add(s)
+        return canvas
+
+    def evaluate(
+        self,
+        engine: CoordinatedBrushingEngine,
+        assignment: CellAssignment | None = None,
+    ) -> Verdict:
+        """Run the visual query and judge the outcome.
+
+        With a ``target_group`` the support is read from that group's
+        bin (requires a grouped assignment); otherwise from the overall
+        displayed population.
+        """
+        canvas = self.build_canvas()
+        result = engine.query(
+            canvas, self.color, window=self.window, assignment=assignment
+        )
+        # a trajectory "satisfies" the query: highlighted, and for at
+        # least min_highlight_s of trajectory time when required
+        satisfies = result.traj_mask.copy()
+        if self.min_highlight_s > 0.0:
+            satisfies &= result.traj_highlight_time >= self.min_highlight_s
+
+        # target population: displayed, group-restricted, filter-restricted
+        target = result.displayed.copy()
+        if self.target_group is not None:
+            if (
+                assignment is None
+                or assignment.groups is None
+                or self.target_group not in result.group_support
+            ):
+                raise KeyError(
+                    f"hypothesis targets group {self.target_group!r} but the "
+                    f"assignment defines {sorted(result.group_support)}"
+                )
+            # membership = displayed in that group's bin, exactly what
+            # the researcher reads off the wall
+            in_group = np.zeros(len(target), dtype=bool)
+            for gi, spec in enumerate(assignment.groups):
+                if spec.name != self.target_group:
+                    continue
+                cells = np.flatnonzero(assignment.group_of_cell == gi)
+                trajs = assignment.cell_to_traj[cells]
+                in_group[trajs[trajs >= 0]] = True
+            target &= in_group
+        if self.target_filter is not None:
+            matches = np.fromiter(
+                (bool(self.target_filter(t)) for t in engine.dataset),
+                dtype=bool,
+                count=len(engine.dataset),
+            )
+            target &= matches
+
+        population = int(target.sum())
+        support = float(satisfies[target].mean()) if population else 0.0
+
+        comparison_support: float | None = None
+        if self.contrast:
+            complement = result.displayed & ~target
+            n_comp = int(complement.sum())
+            comparison_support = (
+                float(satisfies[complement].mean()) if n_comp else 0.0
+            )
+            if population < self.min_population or n_comp < self.min_population:
+                kind = VerdictKind.INCONCLUSIVE
+            elif support >= comparison_support + self.contrast_margin:
+                kind = VerdictKind.SUPPORTED
+            else:
+                kind = VerdictKind.REFUTED
+        else:
+            if population < self.min_population:
+                kind = VerdictKind.INCONCLUSIVE
+            elif support >= self.threshold:
+                kind = VerdictKind.SUPPORTED
+            else:
+                kind = VerdictKind.REFUTED
+        return Verdict(
+            kind=kind,
+            support=support,
+            threshold=self.threshold,
+            result=result,
+            comparison_support=comparison_support,
+        )

@@ -1,0 +1,98 @@
+"""Temporal query profiles.
+
+The range slider gives the researcher one time window at a time; the
+profile sweeps it: evaluate the same brush under a sliding fractional
+window and return support as a function of window position.  This is
+the quantitative form of "scrubbing the slider and watching the
+highlight" — it shows *when* a spatial pattern occurs (e.g. west-edge
+occupancy concentrates at the end of each run for east-captured ants),
+and it makes a natural ablation/analysis target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.temporal import TimeWindow
+
+__all__ = ["TemporalProfile", "temporal_profile"]
+
+
+@dataclass(frozen=True)
+class TemporalProfile:
+    """Support as a function of (fractional) window position.
+
+    Attributes
+    ----------
+    centers:
+        (B,) window-center fractions in [0, 1].
+    support:
+        (B,) overall highlighted fraction per window.
+    group_support:
+        Optional {group: (B,) support series}.
+    window_width:
+        The sliding window's fractional width.
+    """
+
+    centers: np.ndarray
+    support: np.ndarray
+    group_support: dict[str, np.ndarray]
+    window_width: float
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.centers)
+
+    def peak(self) -> tuple[float, float]:
+        """(center, support) of the maximum-support window."""
+        i = int(np.argmax(self.support))
+        return float(self.centers[i]), float(self.support[i])
+
+    def peak_of(self, group: str) -> tuple[float, float]:
+        """Peak window of one group's series."""
+        series = self.group_support[group]
+        i = int(np.argmax(series))
+        return float(self.centers[i]), float(series[i])
+
+
+def temporal_profile(
+    engine: CoordinatedBrushingEngine,
+    canvas: BrushCanvas,
+    color: str = "red",
+    *,
+    n_bins: int = 10,
+    window_width: float | None = None,
+    assignment=None,
+) -> TemporalProfile:
+    """Sweep a fractional window across [0, 1] and record support.
+
+    ``window_width`` defaults to one bin (non-overlapping windows);
+    wider values produce overlapping, smoothed profiles.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    width = 1.0 / n_bins if window_width is None else float(window_width)
+    if not 0.0 < width <= 1.0:
+        raise ValueError("window_width must be in (0, 1]")
+    centers = (np.arange(n_bins) + 0.5) / n_bins
+    support = np.empty(n_bins)
+    group_series: dict[str, list[float]] = {}
+    for i, c in enumerate(centers):
+        lo = max(0.0, c - width / 2.0)
+        hi = min(1.0, c + width / 2.0)
+        res = engine.query(
+            canvas, color, window=TimeWindow.fraction(lo, hi), assignment=assignment
+        )
+        support[i] = res.overall_support
+        for name, gs in res.group_support.items():
+            group_series.setdefault(name, []).append(gs.support)
+    return TemporalProfile(
+        centers=centers,
+        support=support,
+        group_support={k: np.asarray(v) for k, v in group_series.items()},
+        window_width=width,
+    )

@@ -1,0 +1,204 @@
+"""Interactive exploration session facade.
+
+Ties the pieces of the application together the way the study's
+researcher experienced them: a dataset on a wall viewport, a current
+layout (switchable by keypad digit), a group scheme, a shared brush
+canvas, a temporal window, and a query engine — with a history log of
+every action taken (the raw material for the sensemaking analysis of
+§V/§VI).  :class:`repro.app.TrajectoryExplorer` builds on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.brush import BrushStroke
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.hypothesis import Hypothesis, Verdict
+from repro.core.result import QueryResult
+from repro.core.temporal import TimeWindow
+from repro.display.viewport import Viewport
+from repro.layout.cells import CellAssignment, assign_groups_to_cells, assign_sequential
+from repro.layout.configs import LayoutConfig, preset
+from repro.layout.grid import BezelAwareGrid
+from repro.layout.groups import TrajectoryGroups
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["ExplorationSession", "SessionEvent"]
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One logged user action (layout switch, brush, query, ...)."""
+
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+
+
+class ExplorationSession:
+    """One researcher's sitting with the application.
+
+    Parameters
+    ----------
+    dataset:
+        The trajectory collection under study.
+    viewport:
+        The wall viewport hosting the small multiples.
+    layout_key:
+        Initial keypad layout preset ('1' | '2' | '3').
+    use_index:
+        Whether the query engine builds its spatial index.
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        viewport: Viewport,
+        *,
+        layout_key: str = "3",
+        use_index: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.viewport = viewport
+        self.engine = CoordinatedBrushingEngine(dataset, use_index=use_index)
+        self.canvas = BrushCanvas()
+        self.window: TimeWindow = TimeWindow.all()
+        self.events: list[SessionEvent] = []
+        self.groups: TrajectoryGroups | None = None
+        self.page: int = 0
+        self._grid: BezelAwareGrid | None = None
+        self._assignment: CellAssignment | None = None
+        self._config: LayoutConfig | None = None
+        self.switch_layout(layout_key)
+
+    # Layout -------------------------------------------------------------
+    def switch_layout(self, key: str) -> LayoutConfig:
+        """Keypad layout switching ('1', '2', ...); resets paging."""
+        config = preset(key)
+        self._config = config
+        self._grid = config.build(self.viewport)
+        self.page = 0
+        if self.groups is not None:
+            # group rectangles are grid-specific; re-derive the standard
+            # scheme on the new grid (custom schemes must be re-applied)
+            self.groups = TrajectoryGroups.fig3_scheme(self._grid)
+        self._reassign()
+        self._log("layout", key=key, cells=config.n_cells)
+        return config
+
+    def _reassign(self) -> None:
+        assert self._grid is not None
+        if self.groups is not None:
+            self._assignment = assign_groups_to_cells(
+                self.dataset, self._grid, self.groups, page=self.page
+            )
+        else:
+            self._assignment = assign_sequential(
+                self.dataset, self._grid, page=self.page
+            )
+
+    # Paging ---------------------------------------------------------------
+    def next_page(self) -> int:
+        """Scroll every bin forward one page (clamped at the end:
+        pages showing nothing roll back)."""
+        self.page += 1
+        self._reassign()
+        if self._assignment.n_displayed == 0 and self.page > 0:
+            self.page -= 1
+            self._reassign()
+        self._log("page", page=self.page)
+        return self.page
+
+    def prev_page(self) -> int:
+        """Scroll back one page (clamped at zero)."""
+        if self.page > 0:
+            self.page -= 1
+            self._reassign()
+        self._log("page", page=self.page)
+        return self.page
+
+    def enable_fig3_groups(self) -> TrajectoryGroups:
+        """Apply the five-zone grouping scheme of Fig. 3."""
+        assert self._grid is not None
+        self.groups = TrajectoryGroups.fig3_scheme(self._grid)
+        self.page = 0
+        self._reassign()
+        self._log("groups", scheme="fig3", names=self.groups.names())
+        return self.groups
+
+    def set_groups(self, groups: TrajectoryGroups) -> None:
+        """Apply a custom group scheme (resets paging)."""
+        self.groups = groups
+        self.page = 0
+        self._reassign()
+        self._log("groups", scheme="custom", names=groups.names())
+
+    @property
+    def grid(self) -> BezelAwareGrid:
+        assert self._grid is not None
+        return self._grid
+
+    @property
+    def assignment(self) -> CellAssignment:
+        assert self._assignment is not None
+        return self._assignment
+
+    @property
+    def layout(self) -> LayoutConfig:
+        assert self._config is not None
+        return self._config
+
+    # Brushing & temporal filter ------------------------------------------
+    def brush(self, stroke: BrushStroke) -> None:
+        """Paint a stroke onto the shared canvas."""
+        self.canvas.add(stroke)
+        self._log("brush", color=stroke.color, stamps=stroke.n_stamps, radius=stroke.radius)
+
+    def erase(self, color: str | None = None) -> None:
+        """Clear the canvas (one color or all)."""
+        self.canvas.clear(color)
+        self._log("erase", color=color or "*")
+
+    def set_time_window(self, window: TimeWindow) -> None:
+        """Move the temporal range slider."""
+        self.window = window
+        self._log("temporal", window=window.describe())
+
+    # Queries ---------------------------------------------------------------
+    def run_query(self, color: str = "red") -> QueryResult:
+        """Evaluate the canvas under the current window and layout."""
+        result = self.engine.query(
+            self.canvas, color, window=self.window, assignment=self._assignment
+        )
+        self._log(
+            "query",
+            color=color,
+            highlighted=result.n_highlighted,
+            displayed=result.n_displayed,
+            elapsed_s=result.elapsed_s,
+        )
+        return result
+
+    def test_hypothesis(self, hypothesis: Hypothesis) -> Verdict:
+        """Evaluate a declarative hypothesis under the current layout."""
+        verdict = hypothesis.evaluate(self.engine, self._assignment)
+        self._log(
+            "hypothesis",
+            statement=hypothesis.statement,
+            verdict=verdict.kind.value,
+            support=verdict.support,
+        )
+        return verdict
+
+    # Bookkeeping ------------------------------------------------------------
+    def _log(self, kind: str, **detail: Any) -> None:
+        self.events.append(SessionEvent(kind, detail))
+
+    def event_counts(self) -> dict[str, int]:
+        """Histogram of logged action kinds."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out

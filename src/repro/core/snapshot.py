@@ -1,0 +1,141 @@
+"""Session snapshots.
+
+§VII: "We will also look at ways of integrating our application into
+larger scientific workflows."  The minimal integration primitive is a
+serializable session state: the layout key, page, grouping mode, brush
+strokes, and temporal window — everything needed to reconstruct the
+exact view and re-run its queries later, elsewhere, or alongside the
+provenance log.  Snapshots are plain JSON; trajectory data itself is
+referenced by the dataset's name, not embedded (datasets have their own
+I/O in :mod:`repro.trajectory.io`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.brush import BrushStroke
+from repro.core.session import ExplorationSession
+from repro.core.temporal import TimeWindow
+
+__all__ = ["SessionSnapshot", "snapshot_session", "restore_session"]
+
+
+def _stroke_to_dict(stroke: BrushStroke) -> dict[str, Any]:
+    return {
+        "centers": stroke.centers.tolist(),
+        "radius": stroke.radius,
+        "color": stroke.color,
+    }
+
+
+def _stroke_from_dict(d: dict[str, Any]) -> BrushStroke:
+    return BrushStroke(
+        np.asarray(d["centers"], dtype=np.float64), float(d["radius"]), d["color"]
+    )
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """A serializable exploration-session state.
+
+    Attributes
+    ----------
+    layout_key:
+        The keypad layout preset in effect.
+    page:
+        Bin paging position.
+    fig3_groups:
+        Whether the standard five-zone grouping was active.  (Custom
+        group schemes are code, not data; they are re-applied by the
+        caller after restore.)
+    strokes:
+        The brush canvas contents.
+    window:
+        The temporal filter.
+    dataset_name:
+        Name of the dataset the session explored (for bookkeeping; the
+        restore target supplies the actual data).
+    """
+
+    layout_key: str
+    page: int
+    fig3_groups: bool
+    strokes: tuple[BrushStroke, ...]
+    window: TimeWindow
+    dataset_name: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form."""
+        return {
+            "layout_key": self.layout_key,
+            "page": self.page,
+            "fig3_groups": self.fig3_groups,
+            "strokes": [_stroke_to_dict(s) for s in self.strokes],
+            "window": {
+                "lo": self.window.lo,
+                "hi": self.window.hi,
+                "fractional": self.window.fractional,
+            },
+            "dataset_name": self.dataset_name,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "SessionSnapshot":
+        """Inverse of :meth:`to_dict`."""
+        w = d["window"]
+        return cls(
+            layout_key=d["layout_key"],
+            page=int(d["page"]),
+            fig3_groups=bool(d["fig3_groups"]),
+            strokes=tuple(_stroke_from_dict(s) for s in d["strokes"]),
+            window=TimeWindow(float(w["lo"]), float(w["hi"]), bool(w["fractional"])),
+            dataset_name=d.get("dataset_name", ""),
+            extra=dict(d.get("extra", {})),
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write the snapshot to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionSnapshot":
+        """Read a snapshot written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def snapshot_session(session: ExplorationSession, **extra: Any) -> SessionSnapshot:
+    """Capture a session's current state."""
+    return SessionSnapshot(
+        layout_key=session.layout.key,
+        page=session.page,
+        fig3_groups=session.groups is not None,
+        strokes=tuple(session.canvas.strokes()),
+        window=session.window,
+        dataset_name=session.dataset.name,
+        extra=extra,
+    )
+
+
+def restore_session(session: ExplorationSession, snapshot: SessionSnapshot) -> None:
+    """Apply a snapshot to a (fresh or dirty) session in place.
+
+    The session's dataset is left as-is; layout, grouping, paging,
+    canvas and window are replaced to match the snapshot.
+    """
+    session.switch_layout(snapshot.layout_key)
+    if snapshot.fig3_groups:
+        session.enable_fig3_groups()
+    for _ in range(snapshot.page):
+        session.next_page()
+    session.erase()
+    for stroke in snapshot.strokes:
+        session.brush(stroke)
+    session.set_time_window(snapshot.window)

@@ -1,0 +1,151 @@
+"""Uniform-grid spatial index over packed segments.
+
+Brush hit-testing is a segments-vs-discs proximity query.  Testing
+every segment against every stamp is O(S*K); at study scale (~300k
+segments) that is already interactive, but the §VI-C workloads reach
+tens of millions of segments.  The index bins segment bounding boxes
+into a uniform grid over the arena so a brush query only tests the
+segments in grid cells its stamps touch — typically a few percent of
+the dataset for localized brushes (quantified by ablation A2).
+
+The bin structure is CSR-like (one int array of segment rows + one
+offset array per cell), built fully vectorized with a counting sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trajectory.dataset import PackedSegments
+
+__all__ = ["UniformGridIndex"]
+
+
+class UniformGridIndex:
+    """A ``res`` x ``res`` uniform grid over the segments' bounding box.
+
+    Each segment is registered in every cell its axis-aligned bounding
+    box overlaps (segments are short relative to cells at sensible
+    resolutions, so the duplication factor stays near 1).
+    """
+
+    def __init__(self, packed: PackedSegments, res: int = 64) -> None:
+        if res < 1:
+            raise ValueError("res must be >= 1")
+        if packed.n_segments == 0:
+            raise ValueError("cannot index an empty segment set")
+        self.res = int(res)
+        self.packed = packed
+
+        lo = np.minimum(packed.a, packed.b).min(axis=0)
+        hi = np.maximum(packed.a, packed.b).max(axis=0)
+        span = np.maximum(hi - lo, 1e-12)
+        # pad so boundary points land strictly inside
+        self.lo = lo - 1e-9 * span
+        self.cell_size = (span * (1.0 + 2e-9)) / res
+
+        # integer cell ranges per segment (inclusive)
+        lo_cells = self._cell_of(np.minimum(packed.a, packed.b))
+        hi_cells = self._cell_of(np.maximum(packed.a, packed.b))
+        spans = (hi_cells - lo_cells + 1).prod(axis=1)
+        total = int(spans.sum())
+
+        # expand each segment id into all covered cells, vectorized by
+        # span size classes (the vast majority cover a single cell)
+        seg_ids = np.empty(total, dtype=np.int64)
+        cell_ids = np.empty(total, dtype=np.int64)
+        cursor = 0
+        max_span = int(spans.max())
+        for sx in range(1, int((hi_cells[:, 0] - lo_cells[:, 0] + 1).max()) + 1):
+            for sy in range(1, int((hi_cells[:, 1] - lo_cells[:, 1] + 1).max()) + 1):
+                sel = (
+                    (hi_cells[:, 0] - lo_cells[:, 0] + 1 == sx)
+                    & (hi_cells[:, 1] - lo_cells[:, 1] + 1 == sy)
+                )
+                if not sel.any():
+                    continue
+                rows = np.flatnonzero(sel)
+                base = lo_cells[rows]
+                # all (dx, dy) offsets of this span class
+                dx, dy = np.meshgrid(np.arange(sx), np.arange(sy), indexing="ij")
+                offs = np.stack([dx.ravel(), dy.ravel()], axis=1)  # (sx*sy, 2)
+                cells = base[:, None, :] + offs[None, :, :]  # (R, sx*sy, 2)
+                flat = cells[..., 1] * res + cells[..., 0]
+                count = rows.size * sx * sy
+                seg_ids[cursor : cursor + count] = np.repeat(rows, sx * sy)
+                cell_ids[cursor : cursor + count] = flat.ravel()
+                cursor += count
+        assert cursor == total, (cursor, total)
+        del max_span
+
+        order = np.argsort(cell_ids, kind="stable")
+        self._entries = seg_ids[order]
+        sorted_cells = cell_ids[order]
+        counts = np.bincount(sorted_cells, minlength=res * res)
+        self._offsets = np.zeros(res * res + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._offsets[1:])
+
+    # Internals -----------------------------------------------------------
+    def _cell_of(self, points: np.ndarray) -> np.ndarray:
+        """Integer grid cell of (N, 2) points, clipped into the grid."""
+        cells = np.floor((points - self.lo) / self.cell_size).astype(np.int64)
+        np.clip(cells, 0, self.res - 1, out=cells)
+        return cells
+
+    @property
+    def n_entries(self) -> int:
+        """Total (segment, cell) registrations (>= n_segments)."""
+        return len(self._entries)
+
+    @property
+    def duplication_factor(self) -> float:
+        """Mean cells per segment; near 1 at sane resolutions."""
+        return self.n_entries / self.packed.n_segments
+
+    def cell_entries(self, cx: int, cy: int) -> np.ndarray:
+        """Segment rows registered in grid cell (cx, cy)."""
+        if not (0 <= cx < self.res and 0 <= cy < self.res):
+            raise IndexError(f"cell ({cx}, {cy}) outside {self.res}x{self.res} grid")
+        flat = cy * self.res + cx
+        return self._entries[self._offsets[flat] : self._offsets[flat + 1]]
+
+    # Queries --------------------------------------------------------------
+    def candidates_for_discs(self, centers: np.ndarray, radii: np.ndarray) -> np.ndarray:
+        """Unique segment rows whose cells a set of discs may touch.
+
+        Conservative (never misses a hit): each disc selects the cell
+        rectangle covering its bounding box.
+        """
+        centers = np.asarray(centers, dtype=np.float64)
+        radii = np.asarray(radii, dtype=np.float64)
+        if centers.ndim != 2 or centers.shape[1] != 2:
+            raise ValueError(f"centers must be (K, 2), got {centers.shape}")
+        if len(radii) != len(centers):
+            raise ValueError("radii must match centers")
+        if len(centers) == 0:
+            return np.empty(0, dtype=np.int64)
+        lo_cells = self._cell_of(centers - radii[:, None])
+        hi_cells = self._cell_of(centers + radii[:, None])
+        # collect the set of flat cells touched by any disc
+        touched = np.zeros(self.res * self.res, dtype=bool)
+        for (cx0, cy0), (cx1, cy1) in zip(lo_cells, hi_cells):
+            sub = np.zeros((cy1 - cy0 + 1, cx1 - cx0 + 1), dtype=bool)
+            sub[:] = True
+            ys = np.arange(cy0, cy1 + 1)
+            flat = (ys[:, None] * self.res + np.arange(cx0, cx1 + 1)[None, :]).ravel()
+            touched[flat] = True
+        cells = np.flatnonzero(touched)
+        if len(cells) == 0:
+            return np.empty(0, dtype=np.int64)
+        chunks = [
+            self._entries[self._offsets[c] : self._offsets[c + 1]] for c in cells
+        ]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks))
+
+    def candidate_fraction(self, centers: np.ndarray, radii: np.ndarray) -> float:
+        """Fraction of the dataset's segments a query must test —
+        the selectivity number ablation A2 reports."""
+        cand = self.candidates_for_discs(centers, radii)
+        return len(cand) / self.packed.n_segments

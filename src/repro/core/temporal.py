@@ -1,0 +1,134 @@
+"""The temporal filter (§IV-C.2).
+
+"A time-window can be specified, causing the visualization to display
+segments of trajectories corresponding to insect movement during the
+specified time window only."
+
+Two window modes, both used in the study:
+
+* **absolute** — [t0, t1] in seconds from release, identical for every
+  trajectory;
+* **fractional** — [f0, f1] of each trajectory's own duration, so
+  "the beginning of the experiment" or "the last few seconds" means the
+  same thing for a 15-second track and a 3-minute one.  This is the
+  form the researcher actually used ("set the temporal filter to
+  display the beginning of the experiment").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trajectory.dataset import PackedSegments, TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+__all__ = ["TimeWindow"]
+
+
+@dataclass(frozen=True)
+class TimeWindow:
+    """A time window, absolute or per-trajectory fractional.
+
+    Construct via :meth:`absolute` or :meth:`fraction`.
+    """
+
+    lo: float
+    hi: float
+    fractional: bool
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"window upper bound {self.hi} below lower bound {self.lo}")
+        if self.fractional and not (0.0 <= self.lo and self.hi <= 1.0):
+            raise ValueError("fractional window bounds must lie in [0, 1]")
+
+    @classmethod
+    def absolute(cls, t0: float, t1: float) -> "TimeWindow":
+        """Window in seconds from release."""
+        return cls(float(t0), float(t1), fractional=False)
+
+    @classmethod
+    def fraction(cls, f0: float, f1: float) -> "TimeWindow":
+        """Window as fractions of each trajectory's duration."""
+        return cls(float(f0), float(f1), fractional=True)
+
+    @classmethod
+    def all(cls) -> "TimeWindow":
+        """The no-op window (entire experiment)."""
+        return cls(0.0, 1.0, fractional=True)
+
+    # Named conveniences matching the study's phrasing ------------------
+    @classmethod
+    def beginning(cls, frac: float = 0.2) -> "TimeWindow":
+        """The first ``frac`` of each experiment."""
+        return cls.fraction(0.0, frac)
+
+    @classmethod
+    def middle(cls, frac: float = 0.2) -> "TimeWindow":
+        """The central ``frac`` of each experiment."""
+        half = frac / 2.0
+        return cls.fraction(0.5 - half, 0.5 + half)
+
+    @classmethod
+    def end(cls, frac: float = 0.2) -> "TimeWindow":
+        """The final ``frac`` of each experiment."""
+        return cls.fraction(1.0 - frac, 1.0)
+
+    @property
+    def is_everything(self) -> bool:
+        return self.fractional and self.lo <= 0.0 and self.hi >= 1.0
+
+    # Mask computation ----------------------------------------------------
+    def segment_mask(
+        self, packed: PackedSegments, dataset: TrajectoryDataset
+    ) -> np.ndarray:
+        """(S,) mask over packed segments: segment overlaps the window.
+
+        A segment [t0, t1] passes if its time span intersects the
+        window; for fractional windows the bounds are scaled by the
+        owning trajectory's start/duration via the packed ``owner``
+        index (one fancy-indexing gather, no Python loop).
+        """
+        if self.is_everything:
+            return np.ones(packed.n_segments, dtype=bool)
+        if self.fractional:
+            starts = np.fromiter(
+                (float(t.times[0]) for t in dataset), dtype=np.float64, count=len(dataset)
+            )
+            durs = np.fromiter(
+                (t.duration for t in dataset), dtype=np.float64, count=len(dataset)
+            )
+            lo = starts + self.lo * durs
+            hi = starts + self.hi * durs
+            w_lo = lo[packed.owner]
+            w_hi = hi[packed.owner]
+        else:
+            w_lo = self.lo
+            w_hi = self.hi
+        return (packed.t1 >= w_lo) & (packed.t0 <= w_hi)
+
+    def sample_mask(self, traj: Trajectory) -> np.ndarray:
+        """(N,) mask over one trajectory's samples inside the window."""
+        if self.fractional:
+            t0 = float(traj.times[0])
+            lo = t0 + self.lo * traj.duration
+            hi = t0 + self.hi * traj.duration
+        else:
+            lo, hi = self.lo, self.hi
+        return (traj.times >= lo) & (traj.times <= hi)
+
+    def bounds_for(self, traj: Trajectory) -> tuple[float, float]:
+        """Concrete (lo, hi) seconds for one trajectory."""
+        if not self.fractional:
+            return (self.lo, self.hi)
+        t0 = float(traj.times[0])
+        return (t0 + self.lo * traj.duration, t0 + self.hi * traj.duration)
+
+    def describe(self) -> str:
+        """Compact human-readable form (used in logs and reports)."""
+        if self.is_everything:
+            return "t=*"
+        kind = "frac" if self.fractional else "s"
+        return f"t=[{self.lo:g},{self.hi:g}]{kind}"

@@ -1,0 +1,34 @@
+"""Tiled display-wall model.
+
+Parametric model of a large, high-resolution tiled LCD wall: panel
+grid, bezel (mullion) geometry, pixel <-> physical-meter coordinate
+mapping, and viewport carving.  The preset
+:data:`repro.display.presets.CYBER_COMMONS` reproduces the wall the
+paper used: a 6 x 3 arrangement, roughly 7 x 3 meters, ~19 Mpixel
+stereoscopic, with sub-centimeter bezels; the application occupied 2/3
+of the surface at 8192 x 1536 (§IV-C).
+"""
+
+from repro.display.tile import Tile
+from repro.display.bezel import BezelSpec
+from repro.display.wall import DisplayWall
+from repro.display.viewport import Viewport
+from repro.display.coords import CoordinateMapper
+from repro.display.presets import (
+    CYBER_COMMONS,
+    DESKTOP_24INCH,
+    cyber_commons_wall,
+    desktop_display,
+)
+
+__all__ = [
+    "Tile",
+    "BezelSpec",
+    "DisplayWall",
+    "Viewport",
+    "CoordinateMapper",
+    "CYBER_COMMONS",
+    "DESKTOP_24INCH",
+    "cyber_commons_wall",
+    "desktop_display",
+]

@@ -1,0 +1,62 @@
+"""Bezel (mullion) geometry.
+
+Tiled LCD walls have physical borders between panels.  The paper's
+design deliberately avoids placing any trajectory across a bezel —
+stereo content straddling a bezel causes viewer discomfort, and bezels
+double as natural group dividers (§IV-C.2).  The layout engine
+therefore needs exact bezel rectangles and straddle predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BezelSpec"]
+
+
+@dataclass(frozen=True)
+class BezelSpec:
+    """Physical bezel widths of one panel, in meters.
+
+    A mullion between two adjacent panels is the sum of the facing
+    bezels.  The paper's panels had mullions under 1 cm, so the default
+    is 4 mm per edge (8 mm mullion).
+    """
+
+    left: float = 0.004
+    right: float = 0.004
+    top: float = 0.004
+    bottom: float = 0.004
+
+    def __post_init__(self) -> None:
+        for name in ("left", "right", "top", "bottom"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"bezel {name} must be >= 0")
+
+    @property
+    def horizontal_mullion(self) -> float:
+        """Width of the vertical gap between horizontally adjacent panels."""
+        return self.left + self.right
+
+    @property
+    def vertical_mullion(self) -> float:
+        """Height of the horizontal gap between vertically adjacent panels."""
+        return self.top + self.bottom
+
+    def mullion_rects_x(self, cols: int, panel_w: float) -> np.ndarray:
+        """X-intervals (meters from wall left edge) of the vertical
+        mullions of a ``cols``-wide grid, shape (cols-1, 2).
+
+        Panel pitch is ``panel_w`` (active area) + horizontal mullion.
+        """
+        pitch = panel_w + self.horizontal_mullion
+        starts = panel_w + pitch * np.arange(cols - 1, dtype=np.float64)
+        return np.stack([starts, starts + self.horizontal_mullion], axis=1)
+
+    def mullion_rects_y(self, rows: int, panel_h: float) -> np.ndarray:
+        """Y-intervals of the horizontal mullions, shape (rows-1, 2)."""
+        pitch = panel_h + self.vertical_mullion
+        starts = panel_h + pitch * np.arange(rows - 1, dtype=np.float64)
+        return np.stack([starts, starts + self.vertical_mullion], axis=1)

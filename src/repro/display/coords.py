@@ -1,0 +1,95 @@
+"""Coordinate mapping between arena space and display space.
+
+Three coordinate systems cooperate:
+
+* **arena meters** — trajectory data space (origin at release point);
+* **cell-normalized [0,1]^2** — position within one small-multiple cell;
+* **wall meters / wall pixels** — physical and device space.
+
+A :class:`CoordinateMapper` binds an arena to a rectangular region of
+the wall (one layout cell) and provides vectorized transforms in both
+directions.  The same mapper underlies rendering (arena -> pixels) and
+brushing (pointer pixels -> arena), so a brush painted in one cell is
+*exactly* invertible into the shared arena space that all trajectories
+are queried in — the property coordinated brushing relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.arena import Arena
+
+__all__ = ["CoordinateMapper"]
+
+
+@dataclass(frozen=True)
+class CoordinateMapper:
+    """Affine arena <-> wall mapping for one display cell.
+
+    The arena's bounding square ([-R, R]^2, plus a margin) is fitted
+    into the cell rectangle with uniform scale (aspect preserved) and
+    centered.  Wall coordinates are meters, +y down; arena +y is north
+    (up), so the vertical axis flips.
+
+    Attributes
+    ----------
+    arena:
+        The arena whose square is being mapped.
+    cell_rect:
+        (x0, y0, x1, y1) cell rectangle in wall meters.
+    margin:
+        Fractional padding inside the cell (default 5 %).
+    """
+
+    arena: Arena
+    cell_rect: tuple[float, float, float, float]
+    margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        x0, y0, x1, y1 = self.cell_rect
+        if x1 <= x0 or y1 <= y0:
+            raise ValueError(f"degenerate cell rect {self.cell_rect}")
+        if not 0.0 <= self.margin < 0.5:
+            raise ValueError(f"margin must be in [0, 0.5), got {self.margin}")
+
+    @property
+    def _params(self) -> tuple[float, float, float]:
+        """(scale, cx, cy): wall meters per arena meter and cell center."""
+        x0, y0, x1, y1 = self.cell_rect
+        usable_w = (x1 - x0) * (1.0 - 2.0 * self.margin)
+        usable_h = (y1 - y0) * (1.0 - 2.0 * self.margin)
+        scale = min(usable_w, usable_h) / (2.0 * self.arena.radius)
+        return scale, (x0 + x1) / 2.0, (y0 + y1) / 2.0
+
+    @property
+    def scale(self) -> float:
+        """Wall meters per arena meter."""
+        return self._params[0]
+
+    def arena_to_wall(self, points: np.ndarray) -> np.ndarray:
+        """Arena meters -> wall meters (vectorized over (..., 2))."""
+        points = np.asarray(points, dtype=np.float64)
+        s, cx, cy = self._params
+        out = np.empty_like(points)
+        out[..., 0] = cx + points[..., 0] * s
+        out[..., 1] = cy - points[..., 1] * s  # north is up; wall +y is down
+        return out
+
+    def wall_to_arena(self, points_m: np.ndarray) -> np.ndarray:
+        """Wall meters -> arena meters; exact inverse of
+        :meth:`arena_to_wall` (round-trip property-tested)."""
+        points_m = np.asarray(points_m, dtype=np.float64)
+        s, cx, cy = self._params
+        out = np.empty_like(points_m)
+        out[..., 0] = (points_m[..., 0] - cx) / s
+        out[..., 1] = (cy - points_m[..., 1]) / s
+        return out
+
+    def brush_radius_to_arena(self, radius_wall_m: float) -> float:
+        """Convert a paintbrush radius from wall meters to arena meters."""
+        if radius_wall_m < 0:
+            raise ValueError("radius must be >= 0")
+        return radius_wall_m / self.scale

@@ -1,0 +1,80 @@
+"""Display presets.
+
+:data:`CYBER_COMMONS` models the wall the paper used (EVL's
+Cyber-Commons-class tiled 3D wall): 6 x 3 panels of 1366 x 768 each
+(~18.9 "19" Mpixels), roughly 7 x 3 meters, thin (<1 cm) mullions,
+stereoscopic.  The application viewport covered 2/3 of the surface —
+the full 6-panel width by 2 of the 3 rows — i.e. ~8192 x 1536
+(~12.5 Mpixels), exactly the numbers of §IV-C.
+
+:data:`DESKTOP_24INCH` models the "traditional desktop screen" the
+paper argues against, used as the comparison substrate in E5/E6.
+"""
+
+from __future__ import annotations
+
+from repro.display.bezel import BezelSpec
+from repro.display.viewport import Viewport
+from repro.display.wall import DisplayWall
+
+__all__ = [
+    "CYBER_COMMONS",
+    "DESKTOP_24INCH",
+    "cyber_commons_wall",
+    "desktop_display",
+    "paper_viewport",
+]
+
+
+def cyber_commons_wall() -> DisplayWall:
+    """The paper's 6 x 3, ~19 Mpixel stereoscopic wall.
+
+    The paper quotes "7 x 3 meters (approximately 23 x 10 feet)" and
+    ~19 Mpixels from 6 x 3 panels; at the stated 1366 x 768-class panel
+    resolution those numbers cannot all hold with square pixels (a
+    16:9 panel grid 6 x 3 has aspect 3.56:1, not 7:3).  We preserve the
+    *load-bearing* quantities — the 6 x 3 arrangement, per-panel
+    resolution (hence the 8192 x 1536 viewport and 19 Mpixel total),
+    and the ~7 m width — and derive the panel height from square
+    pixels (wall height ~1.97 m).  All layout/bezel/parallax behaviour
+    depends on ratios that this preserves.
+    """
+    return DisplayWall(
+        cols=6,
+        rows=3,
+        panel_width=1.16,
+        panel_height=1.16 * 768 / 1366,  # square pixels
+        panel_px_width=1366,
+        panel_px_height=768,
+        bezel=BezelSpec(left=0.004, right=0.004, top=0.004, bottom=0.004),
+        stereo=True,
+        name="cyber-commons-6x3",
+    )
+
+
+def desktop_display() -> DisplayWall:
+    """A single 24-inch 1920 x 1200 desktop monitor (the baseline)."""
+    return DisplayWall(
+        cols=1,
+        rows=1,
+        panel_width=0.518,
+        panel_height=0.324,
+        panel_px_width=1920,
+        panel_px_height=1200,
+        bezel=BezelSpec(0.0, 0.0, 0.0, 0.0),
+        stereo=False,
+        name="desktop-24in",
+    )
+
+
+#: Singleton presets (walls are frozen dataclasses; safe to share).
+CYBER_COMMONS = cyber_commons_wall()
+DESKTOP_24INCH = desktop_display()
+
+
+def paper_viewport(wall: DisplayWall | None = None) -> Viewport:
+    """The application viewport of §IV-C: 2/3 of the wall surface —
+    full width by the top two panel rows, ~8192 x 1536 pixels."""
+    wall = wall or CYBER_COMMONS
+    rows = max(1, (2 * wall.rows) // 3)
+    return Viewport(wall, col0=0, row0=0, cols=wall.cols, rows=rows)

@@ -1,0 +1,93 @@
+"""Single display tile (panel).
+
+A tile is one LCD panel of the wall: its grid position, active-area
+physical rectangle, and pixel resolution.  Tiles know how to convert
+between their local pixel space and wall physical space; the renderer
+assigns each tile its own framebuffer so tiles can be rasterized in
+parallel worker processes (see :mod:`repro.parallel.tilerender`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Tile"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One panel of a tiled wall.
+
+    Attributes
+    ----------
+    col, row:
+        Grid indices (column 0 is the wall's left edge, row 0 the top).
+    x, y:
+        Physical position (meters) of the panel's active-area top-left
+        corner in wall coordinates (origin: wall top-left, +y down).
+    width, height:
+        Active-area physical size in meters.
+    px_width, px_height:
+        Pixel resolution of the active area.
+    """
+
+    col: int
+    row: int
+    x: float
+    y: float
+    width: float
+    height: float
+    px_width: int
+    px_height: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("tile physical size must be positive")
+        if self.px_width <= 0 or self.px_height <= 0:
+            raise ValueError("tile pixel size must be positive")
+
+    @property
+    def rect(self) -> tuple[float, float, float, float]:
+        """(x0, y0, x1, y1) active-area rectangle in wall meters."""
+        return (self.x, self.y, self.x + self.width, self.y + self.height)
+
+    @property
+    def pixels(self) -> int:
+        return self.px_width * self.px_height
+
+    @property
+    def pixels_per_meter(self) -> tuple[float, float]:
+        """(horizontal, vertical) pixel density."""
+        return (self.px_width / self.width, self.px_height / self.height)
+
+    def contains(self, points_m: np.ndarray) -> np.ndarray:
+        """Mask of wall-space (N, 2) points falling on this panel's
+        active area (bezel gaps excluded by construction)."""
+        points_m = np.asarray(points_m, dtype=np.float64)
+        x0, y0, x1, y1 = self.rect
+        return (
+            (points_m[:, 0] >= x0)
+            & (points_m[:, 0] < x1)
+            & (points_m[:, 1] >= y0)
+            & (points_m[:, 1] < y1)
+        )
+
+    def wall_to_pixel(self, points_m: np.ndarray) -> np.ndarray:
+        """Wall meters -> this tile's local pixel coordinates (float)."""
+        points_m = np.asarray(points_m, dtype=np.float64)
+        sx, sy = self.pixels_per_meter
+        out = np.empty_like(points_m)
+        out[:, 0] = (points_m[:, 0] - self.x) * sx
+        out[:, 1] = (points_m[:, 1] - self.y) * sy
+        return out
+
+    def pixel_to_wall(self, points_px: np.ndarray) -> np.ndarray:
+        """Local pixel coordinates -> wall meters (pixel centers)."""
+        points_px = np.asarray(points_px, dtype=np.float64)
+        sx, sy = self.pixels_per_meter
+        out = np.empty_like(points_px)
+        out[:, 0] = self.x + points_px[:, 0] / sx
+        out[:, 1] = self.y + points_px[:, 1] / sy
+        return out

@@ -1,0 +1,137 @@
+"""Viewport carving.
+
+The paper's application used 2/3 of the wall surface at 8192 x 1536
+(§IV-C) — i.e. a pixel-space viewport carved out of the full wall.  A
+:class:`Viewport` is an axis-aligned region in *wall pixel space* (the
+concatenation of panel pixels, bezels excluded) with the physical
+rectangle it covers, plus helpers to map normalized viewport
+coordinates to wall meters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.display.wall import DisplayWall
+
+__all__ = ["Viewport"]
+
+
+@dataclass(frozen=True)
+class Viewport:
+    """A rectangular application viewport on a wall.
+
+    Attributes
+    ----------
+    wall:
+        The hosting wall.
+    col0, row0:
+        Top-left panel (inclusive) of the viewport.
+    cols, rows:
+        Panel extent of the viewport.
+    """
+
+    wall: DisplayWall
+    col0: int = 0
+    row0: int = 0
+    cols: int | None = None
+    rows: int | None = None
+
+    def __post_init__(self) -> None:
+        cols = self.cols if self.cols is not None else self.wall.cols - self.col0
+        rows = self.rows if self.rows is not None else self.wall.rows - self.row0
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "rows", rows)
+        if not (0 <= self.col0 and self.col0 + cols <= self.wall.cols):
+            raise ValueError("viewport columns exceed the wall")
+        if not (0 <= self.row0 and self.row0 + rows <= self.wall.rows):
+            raise ValueError("viewport rows exceed the wall")
+        if cols < 1 or rows < 1:
+            raise ValueError("viewport must cover at least one panel")
+
+    # Pixel properties --------------------------------------------------
+    @property
+    def px_width(self) -> int:
+        """Addressable pixel width (active areas only)."""
+        return self.cols * self.wall.panel_px_width
+
+    @property
+    def px_height(self) -> int:
+        return self.rows * self.wall.panel_px_height
+
+    @property
+    def pixels(self) -> int:
+        return self.px_width * self.px_height
+
+    @property
+    def megapixels(self) -> float:
+        return self.pixels / 1e6
+
+    # Physical properties ------------------------------------------------
+    @property
+    def x0(self) -> float:
+        """Left edge in wall meters."""
+        return self.col0 * self.wall.pitch_x
+
+    @property
+    def y0(self) -> float:
+        return self.row0 * self.wall.pitch_y
+
+    @property
+    def width_m(self) -> float:
+        """Physical width including interior mullions."""
+        return self.cols * self.wall.panel_width + (self.cols - 1) * self.wall.bezel.horizontal_mullion
+
+    @property
+    def height_m(self) -> float:
+        return self.rows * self.wall.panel_height + (self.rows - 1) * self.wall.bezel.vertical_mullion
+
+    @property
+    def rect_m(self) -> tuple[float, float, float, float]:
+        """(x0, y0, x1, y1) in wall meters."""
+        return (self.x0, self.y0, self.x0 + self.width_m, self.y0 + self.height_m)
+
+    def surface_fraction(self) -> float:
+        """Fraction of the wall's panels this viewport occupies."""
+        return (self.cols * self.rows) / self.wall.n_tiles
+
+    # Mapping ------------------------------------------------------------
+    def norm_to_wall(self, points01: np.ndarray) -> np.ndarray:
+        """Normalized viewport coordinates [0,1]^2 -> wall meters.
+
+        (0, 0) is the viewport's top-left, (1, 1) bottom-right; the
+        mapping spans mullions (they are part of physical space).
+        """
+        points01 = np.asarray(points01, dtype=np.float64)
+        out = np.empty_like(points01)
+        out[..., 0] = self.x0 + points01[..., 0] * self.width_m
+        out[..., 1] = self.y0 + points01[..., 1] * self.height_m
+        return out
+
+    def wall_to_norm(self, points_m: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`norm_to_wall`."""
+        points_m = np.asarray(points_m, dtype=np.float64)
+        out = np.empty_like(points_m)
+        out[..., 0] = (points_m[..., 0] - self.x0) / self.width_m
+        out[..., 1] = (points_m[..., 1] - self.y0) / self.height_m
+        return out
+
+    def tiles(self):
+        """The panels covered by this viewport, row-major."""
+        return [
+            self.wall.tile(c, r)
+            for r in range(self.row0, self.row0 + self.rows)
+            for c in range(self.col0, self.col0 + self.cols)
+        ]
+
+    def summary(self) -> dict:
+        """Headline numbers (panels, pixels, physical size)."""
+        return {
+            "panels": f"{self.cols}x{self.rows}",
+            "px": f"{self.px_width}x{self.px_height}",
+            "megapixels": round(self.megapixels, 2),
+            "surface_fraction": round(self.surface_fraction(), 3),
+            "size_m": (round(self.width_m, 2), round(self.height_m, 2)),
+        }

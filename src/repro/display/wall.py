@@ -1,0 +1,193 @@
+"""Tiled display wall.
+
+A :class:`DisplayWall` is a grid of :class:`~repro.display.tile.Tile`
+panels separated by mullions.  Wall coordinates are physical meters
+with the origin at the top-left corner of the top-left panel's active
+area and +y pointing down (screen convention).  The wall exposes the
+geometric predicates the layout engine needs: which rectangles straddle
+a mullion, which tile a point falls on, and total pixel counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.display.bezel import BezelSpec
+from repro.display.tile import Tile
+
+__all__ = ["DisplayWall"]
+
+
+@dataclass(frozen=True)
+class DisplayWall:
+    """A ``cols`` x ``rows`` tiled display wall.
+
+    Attributes
+    ----------
+    cols, rows:
+        Panel grid arrangement (the paper: 6 x 3).
+    panel_width, panel_height:
+        Active-area size of each panel in meters.
+    panel_px_width, panel_px_height:
+        Pixel resolution of each panel.
+    bezel:
+        Per-panel bezel widths.
+    stereo:
+        Whether the wall is stereoscopic (the paper's wall was;
+        doubles the rendered view count, not the pixel count).
+    """
+
+    cols: int = 6
+    rows: int = 3
+    panel_width: float = 1.16
+    panel_height: float = 1.16 * 768 / 1366  # square pixels at the default resolution
+    panel_px_width: int = 1366
+    panel_px_height: int = 768
+    bezel: BezelSpec = field(default_factory=BezelSpec)
+    stereo: bool = True
+    name: str = "wall"
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError("wall must have at least one panel")
+        if self.panel_width <= 0 or self.panel_height <= 0:
+            raise ValueError("panel physical size must be positive")
+        if self.panel_px_width < 1 or self.panel_px_height < 1:
+            raise ValueError("panel pixel size must be positive")
+
+    # Geometry ----------------------------------------------------------
+    @property
+    def pitch_x(self) -> float:
+        """Horizontal panel pitch: active width + mullion."""
+        return self.panel_width + self.bezel.horizontal_mullion
+
+    @property
+    def pitch_y(self) -> float:
+        """Vertical panel pitch: active height + mullion."""
+        return self.panel_height + self.bezel.vertical_mullion
+
+    @property
+    def width(self) -> float:
+        """Total wall width in meters (active areas + interior mullions)."""
+        return self.cols * self.panel_width + (self.cols - 1) * self.bezel.horizontal_mullion
+
+    @property
+    def height(self) -> float:
+        """Total wall height in meters."""
+        return self.rows * self.panel_height + (self.rows - 1) * self.bezel.vertical_mullion
+
+    @property
+    def n_tiles(self) -> int:
+        return self.cols * self.rows
+
+    @property
+    def total_pixels(self) -> int:
+        """Total addressable pixels (per eye on stereo walls)."""
+        return self.n_tiles * self.panel_px_width * self.panel_px_height
+
+    @property
+    def megapixels(self) -> float:
+        return self.total_pixels / 1e6
+
+    def tile(self, col: int, row: int) -> Tile:
+        """The panel at grid position (col, row)."""
+        if not (0 <= col < self.cols and 0 <= row < self.rows):
+            raise IndexError(f"tile ({col}, {row}) outside {self.cols}x{self.rows} wall")
+        return Tile(
+            col=col,
+            row=row,
+            x=col * self.pitch_x,
+            y=row * self.pitch_y,
+            width=self.panel_width,
+            height=self.panel_height,
+            px_width=self.panel_px_width,
+            px_height=self.panel_px_height,
+        )
+
+    def tiles(self) -> list[Tile]:
+        """All panels, row-major."""
+        return [self.tile(c, r) for r in range(self.rows) for c in range(self.cols)]
+
+    # Bezel predicates ---------------------------------------------------
+    def mullions_x(self) -> np.ndarray:
+        """(cols-1, 2) x-intervals of the vertical mullions."""
+        return self.bezel.mullion_rects_x(self.cols, self.panel_width)
+
+    def mullions_y(self) -> np.ndarray:
+        """(rows-1, 2) y-intervals of the horizontal mullions."""
+        return self.bezel.mullion_rects_y(self.rows, self.panel_height)
+
+    def _interval_straddles(self, lo: np.ndarray, hi: np.ndarray, mullions: np.ndarray) -> np.ndarray:
+        """Which [lo, hi] intervals overlap any mullion interval."""
+        if len(mullions) == 0:
+            return np.zeros(len(lo), dtype=bool)
+        # drop zero-width mullions (bezel-less walls cannot be straddled)
+        mullions = mullions[mullions[:, 1] > mullions[:, 0]]
+        if len(mullions) == 0:
+            return np.zeros(len(lo), dtype=bool)
+        # interval [lo, hi] overlaps mullion [m0, m1] iff lo < m1 and hi > m0
+        overlap = (lo[:, None] < mullions[None, :, 1]) & (hi[:, None] > mullions[None, :, 0])
+        return overlap.any(axis=1)
+
+    def rects_straddle_bezel(self, rects: np.ndarray) -> np.ndarray:
+        """Mask over (N, 4) wall-space rectangles (x0, y0, x1, y1):
+        True where a rectangle's interior crosses a mullion.
+
+        This is the layout engine's core feasibility check — the
+        paper's pre-configured grids (15x4, 24x6, 36x12) were "chosen
+        to avoid a trajectory overlapping with a bezel".
+        """
+        rects = np.asarray(rects, dtype=np.float64)
+        if rects.ndim != 2 or rects.shape[1] != 4:
+            raise ValueError(f"rects must be (N, 4), got {rects.shape}")
+        sx = self._interval_straddles(rects[:, 0], rects[:, 2], self.mullions_x())
+        sy = self._interval_straddles(rects[:, 1], rects[:, 3], self.mullions_y())
+        return sx | sy
+
+    def point_on_bezel(self, points_m: np.ndarray) -> np.ndarray:
+        """Mask of (N, 2) wall points landing in a mullion gap."""
+        points_m = np.asarray(points_m, dtype=np.float64)
+        fx = np.mod(points_m[:, 0], self.pitch_x)
+        fy = np.mod(points_m[:, 1], self.pitch_y)
+        in_gap_x = fx >= self.panel_width
+        in_gap_y = fy >= self.panel_height
+        inside = (
+            (points_m[:, 0] >= 0)
+            & (points_m[:, 0] <= self.width)
+            & (points_m[:, 1] >= 0)
+            & (points_m[:, 1] <= self.height)
+        )
+        return inside & (in_gap_x | in_gap_y)
+
+    def tile_of(self, points_m: np.ndarray) -> np.ndarray:
+        """(N, 2) int array of (col, row) per point; -1 for points off
+        the wall or on a bezel."""
+        points_m = np.asarray(points_m, dtype=np.float64)
+        col = np.floor_divide(points_m[:, 0], self.pitch_x).astype(np.int64)
+        row = np.floor_divide(points_m[:, 1], self.pitch_y).astype(np.int64)
+        bad = (
+            self.point_on_bezel(points_m)
+            | (points_m[:, 0] < 0)
+            | (points_m[:, 0] > self.width)
+            | (points_m[:, 1] < 0)
+            | (points_m[:, 1] > self.height)
+            | (col >= self.cols)
+            | (row >= self.rows)
+        )
+        out = np.stack([col, row], axis=1)
+        out[bad] = -1
+        return out
+
+    def summary(self) -> dict:
+        """Headline numbers (compared against the paper's in E1/E6)."""
+        return {
+            "name": self.name,
+            "arrangement": f"{self.cols}x{self.rows}",
+            "width_m": round(self.width, 3),
+            "height_m": round(self.height, 3),
+            "total_pixels": self.total_pixels,
+            "megapixels": round(self.megapixels, 2),
+            "stereo": self.stereo,
+        }

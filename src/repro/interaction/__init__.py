@@ -1,0 +1,29 @@
+"""Input and interaction model.
+
+The study's researcher drove the wall with a mouse and keyboard from a
+desk ~3 m away (§IV-C).  This subpackage models that input layer
+headlessly: pointer/key events, the paintbrush tool state machine
+(pointer pixels -> cell -> shared arena coordinates -> brush stamps),
+the range sliders (temporal window, depth, time exaggeration), the
+keypad layout map, and a session recorder that can replay an input
+stream deterministically.
+"""
+
+from repro.interaction.events import InputEvent, KeyEvent, PointerEvent
+from repro.interaction.tools import PaintbrushTool, PointerRouter
+from repro.interaction.sliders import RangeSlider, Slider
+from repro.interaction.keymap import KeyMap, default_keymap
+from repro.interaction.recorder import SessionRecorder
+
+__all__ = [
+    "InputEvent",
+    "KeyEvent",
+    "PointerEvent",
+    "PaintbrushTool",
+    "PointerRouter",
+    "Slider",
+    "RangeSlider",
+    "KeyMap",
+    "default_keymap",
+    "SessionRecorder",
+]

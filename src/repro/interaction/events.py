@@ -1,0 +1,99 @@
+"""Input events.
+
+Minimal, serializable event types: pointer (position in wall pixels,
+button state, phase) and key presses.  Everything downstream — the
+paintbrush, keypad layout switching, slider drags — consumes these.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["PointerPhase", "PointerEvent", "KeyEvent", "InputEvent"]
+
+
+class PointerPhase(enum.Enum):
+    """Lifecycle of a drag gesture."""
+
+    DOWN = "down"
+    MOVE = "move"
+    UP = "up"
+
+
+@dataclass(frozen=True)
+class PointerEvent:
+    """A pointer sample in wall pixel coordinates.
+
+    Attributes
+    ----------
+    t:
+        Session time in seconds.
+    x, y:
+        Wall pixel position (viewport pixel space; origin top-left).
+    phase:
+        Down / move / up.
+    button:
+        Mouse button index (0 = primary).
+    """
+
+    t: float
+    x: float
+    y: float
+    phase: PointerPhase
+    button: int = 0
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ValueError("event time must be >= 0")
+
+    def to_dict(self) -> dict:
+        """Serializable form for session recording."""
+        return {
+            "type": "pointer",
+            "t": self.t,
+            "x": self.x,
+            "y": self.y,
+            "phase": self.phase.value,
+            "button": self.button,
+        }
+
+
+@dataclass(frozen=True)
+class KeyEvent:
+    """A key press.
+
+    ``key`` is the character or symbolic name ('1', '2', 'b', 'g', ...).
+    """
+
+    t: float
+    key: str
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ValueError("event time must be >= 0")
+        if not self.key:
+            raise ValueError("key must be non-empty")
+
+    def to_dict(self) -> dict:
+        """Serializable form for session recording."""
+        return {"type": "key", "t": self.t, "key": self.key}
+
+
+#: Union alias for annotations.
+InputEvent = PointerEvent | KeyEvent
+
+
+def event_from_dict(d: dict) -> InputEvent:
+    """Inverse of ``to_dict`` for both event types."""
+    if d.get("type") == "pointer":
+        return PointerEvent(
+            t=float(d["t"]),
+            x=float(d["x"]),
+            y=float(d["y"]),
+            phase=PointerPhase(d["phase"]),
+            button=int(d.get("button", 0)),
+        )
+    if d.get("type") == "key":
+        return KeyEvent(t=float(d["t"]), key=d["key"])
+    raise ValueError(f"unknown event record: {d!r}")

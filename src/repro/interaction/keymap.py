@@ -1,0 +1,81 @@
+"""Keypad bindings.
+
+§IV-C.2: "The user can switch between a number of configurations by
+pressing a number on the keypad: '1', '2', etc."  The keymap binds
+digits to layout presets and letters to tool actions; it is data, so
+sessions can rebind without code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["KeyBinding", "KeyMap", "default_keymap"]
+
+
+@dataclass(frozen=True)
+class KeyBinding:
+    """One binding: an action name plus an optional argument."""
+
+    action: str
+    arg: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.action:
+            raise ValueError("binding needs an action")
+
+
+class KeyMap:
+    """Key -> binding table with rebind support."""
+
+    def __init__(self, bindings: dict[str, KeyBinding] | None = None) -> None:
+        self._bindings: dict[str, KeyBinding] = dict(bindings or {})
+
+    def bind(self, key: str, action: str, arg: str = "") -> None:
+        """Bind (or rebind) a key to an action."""
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._bindings[key] = KeyBinding(action, arg)
+
+    def unbind(self, key: str) -> None:
+        """Remove a binding (idempotent)."""
+        self._bindings.pop(key, None)
+
+    def lookup(self, key: str) -> KeyBinding | None:
+        """The binding for ``key``, or None."""
+        return self._bindings.get(key)
+
+    def keys_for(self, action: str) -> list[str]:
+        """All keys bound to an action."""
+        return sorted(k for k, b in self._bindings.items() if b.action == action)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._bindings
+
+
+def default_keymap() -> KeyMap:
+    """The application's default bindings.
+
+    Digits 1-3 switch layouts (the paper's presets); 'b' cycles brush
+    color, 'e' erases, 'g' applies the Fig. 3 grouping, 't' resets the
+    temporal filter, 'n'/'p' page every bin forward/back through its
+    filtered population, '[' / ']' nudge the depth slider, '-' / '='
+    the exaggeration slider.
+    """
+    km = KeyMap()
+    for digit in ("1", "2", "3"):
+        km.bind(digit, "layout", digit)
+    km.bind("b", "cycle_brush_color")
+    km.bind("e", "erase")
+    km.bind("g", "group_fig3")
+    km.bind("t", "reset_temporal")
+    km.bind("n", "next_page")
+    km.bind("p", "prev_page")
+    km.bind("[", "depth_down")
+    km.bind("]", "depth_up")
+    km.bind("-", "exaggeration_down")
+    km.bind("=", "exaggeration_up")
+    return km

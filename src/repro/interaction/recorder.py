@@ -1,0 +1,65 @@
+"""Session recording and replay.
+
+The pilot study was "video and audio taped" and analyzed offline; the
+headless equivalent records the raw input-event stream to JSON so any
+session is exactly replayable (the analyst simulator and the
+interaction tests both rely on this determinism).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.interaction.events import InputEvent, event_from_dict
+
+__all__ = ["SessionRecorder"]
+
+
+class SessionRecorder:
+    """Append-only, time-ordered input-event log with JSON round-trip."""
+
+    def __init__(self) -> None:
+        self._events: list[InputEvent] = []
+
+    def record(self, event: InputEvent) -> None:
+        """Append an event; must not move backward in time."""
+        if self._events and event.t < self._events[-1].t:
+            raise ValueError(
+                f"events must be time-ordered; got t={event.t} after "
+                f"t={self._events[-1].t}"
+            )
+        self._events.append(event)
+
+    def record_all(self, events: Iterable[InputEvent]) -> None:
+        """Append a sequence of events in order."""
+        for e in events:
+            self.record(e)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def duration_s(self) -> float:
+        return self._events[-1].t if self._events else 0.0
+
+    def replay(self, handler: Callable[[InputEvent], None]) -> int:
+        """Feed every event to ``handler`` in order; returns the count."""
+        for e in self._events:
+            handler(e)
+        return len(self._events)
+
+    def save(self, path: str | Path) -> None:
+        """Write the event stream to a JSON file."""
+        Path(path).write_text(json.dumps([e.to_dict() for e in self._events]))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionRecorder":
+        rec = cls()
+        for d in json.loads(Path(path).read_text()):
+            rec.record(event_from_dict(d))
+        return rec

@@ -1,0 +1,155 @@
+"""Pointer routing and the paintbrush tool.
+
+The decisive property of coordinated brushing is that a brush painted
+in *one* cell is meaningful in *all* cells, because the pointer
+position is resolved through the cell's coordinate mapper into shared
+arena space.  :class:`PointerRouter` performs that resolution (viewport
+pixels -> wall meters -> cell -> arena meters); :class:`PaintbrushTool`
+is the drag state machine that turns pointer streams into
+:class:`~repro.core.brush.BrushStroke` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.brush import BrushStroke, stroke_from_path
+from repro.display.coords import CoordinateMapper
+from repro.display.viewport import Viewport
+from repro.interaction.events import PointerEvent, PointerPhase
+from repro.layout.grid import BezelAwareGrid, Cell
+from repro.synth.arena import Arena
+
+__all__ = ["PointerRouter", "PaintbrushTool"]
+
+
+class PointerRouter:
+    """Resolves viewport pixel positions to cells and arena coordinates.
+
+    Viewport pixel space is the application framebuffer: the
+    concatenated active areas of the viewport's panels (bezels carry no
+    pixels), origin at the viewport's top-left.
+    """
+
+    def __init__(self, viewport: Viewport, grid: BezelAwareGrid, arena: Arena) -> None:
+        self.viewport = viewport
+        self.grid = grid
+        self.arena = arena
+
+    def pixel_to_wall(self, x: float, y: float) -> tuple[float, float]:
+        """Viewport pixel -> wall meters (continuous across bezels)."""
+        wall = self.viewport.wall
+        if not (0 <= x < self.viewport.px_width and 0 <= y < self.viewport.px_height):
+            raise ValueError(
+                f"pointer ({x}, {y}) outside viewport "
+                f"{self.viewport.px_width}x{self.viewport.px_height}"
+            )
+        pcol = int(x // wall.panel_px_width)
+        prow = int(y // wall.panel_px_height)
+        in_x = x - pcol * wall.panel_px_width
+        in_y = y - prow * wall.panel_px_height
+        tile = wall.tile(self.viewport.col0 + pcol, self.viewport.row0 + prow)
+        wx, wy = tile.pixel_to_wall(np.array([[in_x, in_y]]))[0]
+        return float(wx), float(wy)
+
+    def cell_at(self, x: float, y: float) -> Cell | None:
+        """The grid cell under a viewport pixel position, if any."""
+        wx, wy = self.pixel_to_wall(x, y)
+        for cell in self.grid.cells():
+            x0, y0, x1, y1 = cell.rect
+            if x0 <= wx < x1 and y0 <= wy < y1:
+                return cell
+        return None
+
+    def mapper_for(self, cell: Cell) -> CoordinateMapper:
+        """The arena<->wall mapper of one cell."""
+        return CoordinateMapper(self.arena, cell.rect)
+
+    def pixel_to_arena(self, x: float, y: float) -> tuple[np.ndarray, Cell] | None:
+        """Viewport pixel -> (arena meters, cell); None off-cell."""
+        cell = self.cell_at(x, y)
+        if cell is None:
+            return None
+        wx, wy = self.pixel_to_wall(x, y)
+        mapper = self.mapper_for(cell)
+        arena_pt = mapper.wall_to_arena(np.array([wx, wy]))
+        return arena_pt, cell
+
+
+@dataclass
+class _DragState:
+    cell: Cell
+    path_arena: list  # list of (2,) arrays
+
+
+class PaintbrushTool:
+    """The circular paintbrush: pointer drags -> brush strokes.
+
+    Parameters
+    ----------
+    router:
+        Pointer resolution.
+    radius_px:
+        Brush radius in viewport pixels; converted to arena meters
+        through the anchor cell's mapper when the stroke completes.
+    color:
+        Current brush color (settable between strokes).
+    """
+
+    def __init__(self, router: PointerRouter, *, radius_px: float = 12.0, color: str = "red") -> None:
+        if radius_px <= 0:
+            raise ValueError("radius_px must be positive")
+        self.router = router
+        self.radius_px = float(radius_px)
+        self.color = color
+        self._drag: _DragState | None = None
+
+    @property
+    def dragging(self) -> bool:
+        return self._drag is not None
+
+    def set_color(self, color: str) -> None:
+        """Select the brush color for the next stroke."""
+        if self.dragging:
+            raise RuntimeError("cannot change color mid-stroke")
+        self.color = color
+
+    def handle(self, event: PointerEvent) -> BrushStroke | None:
+        """Feed one pointer event; returns a stroke when one completes.
+
+        The stroke is anchored to the cell where the drag started;
+        samples that wander outside that cell still resolve through the
+        anchor cell's mapper (the brush clips to the arena, as on the
+        real wall).  Drags starting outside any cell are ignored.
+        """
+        if event.phase is PointerPhase.DOWN:
+            resolved = self.router.pixel_to_arena(event.x, event.y)
+            if resolved is None:
+                self._drag = None
+                return None
+            arena_pt, cell = resolved
+            self._drag = _DragState(cell=cell, path_arena=[arena_pt])
+            return None
+        if self._drag is None:
+            return None
+        mapper = self.router.mapper_for(self._drag.cell)
+        wx, wy = self.router.pixel_to_wall(event.x, event.y)
+        arena_pt = mapper.wall_to_arena(np.array([wx, wy]))
+        if event.phase is PointerPhase.MOVE:
+            self._drag.path_arena.append(arena_pt)
+            return None
+        # UP: finish the stroke
+        self._drag.path_arena.append(arena_pt)
+        path = np.asarray(self._drag.path_arena)
+        # pixel radius -> arena meters through the anchor cell's scale
+        wall_radius_m = self.radius_px / self.router.viewport.wall.panel_px_width * \
+            self.router.viewport.wall.panel_width
+        radius_arena = mapper.brush_radius_to_arena(wall_radius_m)
+        self._drag = None
+        return stroke_from_path(path, radius_arena, self.color)
+
+    def cancel(self) -> None:
+        """Abort the in-progress drag."""
+        self._drag = None

@@ -1,0 +1,28 @@
+"""Small-multiple layout engine.
+
+Places hundreds of trajectory cells on the wall viewport (§IV-C.2):
+bezel-aware grids (cells never straddle a mullion — the paper's
+pre-configured 15x4, 24x6 and 36x12 layouts were "chosen to avoid a
+trajectory overlapping with a bezel"), a naive uniform grid for the
+bezel ablation (A1), rectangular group bins with per-group filters and
+background colors, and the keypad-switchable layout presets.
+"""
+
+from repro.layout.grid import BezelAwareGrid, Cell, NaiveGrid
+from repro.layout.configs import LAYOUT_PRESETS, LayoutConfig, preset
+from repro.layout.groups import GroupSpec, TrajectoryGroups
+from repro.layout.cells import CellAssignment, assign_groups_to_cells, assign_sequential
+
+__all__ = [
+    "Cell",
+    "BezelAwareGrid",
+    "NaiveGrid",
+    "LayoutConfig",
+    "LAYOUT_PRESETS",
+    "preset",
+    "GroupSpec",
+    "TrajectoryGroups",
+    "CellAssignment",
+    "assign_groups_to_cells",
+    "assign_sequential",
+]

@@ -1,0 +1,140 @@
+"""Cell assignment: which trajectory renders in which cell.
+
+Given a dataset, a grid and a group scheme, assignment fills each
+group's cells (row-major within the group's rectangle) with the
+trajectories matching the group's filter, in dataset order, leaving
+surplus cells empty and surplus trajectories off-screen — exactly the
+paged small-multiple behaviour the paper describes.  A ``page`` offset
+scrolls each group through its filtered population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.grid import BezelAwareGrid, Cell
+from repro.layout.groups import TrajectoryGroups
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["CellAssignment", "assign_groups_to_cells"]
+
+
+@dataclass(frozen=True)
+class CellAssignment:
+    """The result of laying a dataset out on a grid.
+
+    Attributes
+    ----------
+    grid:
+        The grid assigned over.
+    cell_to_traj:
+        (n_cells,) int array: dataset index shown in each cell, or -1
+        for empty cells.
+    traj_to_cell:
+        Mapping from dataset index to cell index for displayed
+        trajectories.
+    group_of_cell:
+        (n_cells,) int array: index of the owning group per cell
+        (-1 for cells outside every group).
+    groups:
+        The group scheme used.
+    """
+
+    grid: BezelAwareGrid
+    cell_to_traj: np.ndarray
+    traj_to_cell: dict[int, int]
+    group_of_cell: np.ndarray
+    groups: TrajectoryGroups | None = None
+
+    @property
+    def n_displayed(self) -> int:
+        """How many trajectories are on screen."""
+        return int((self.cell_to_traj >= 0).sum())
+
+    def displayed_indices(self) -> np.ndarray:
+        """Sorted dataset indices of displayed trajectories."""
+        shown = self.cell_to_traj[self.cell_to_traj >= 0]
+        return np.sort(shown)
+
+    def coverage(self, dataset_size: int) -> float:
+        """Fraction of the dataset visible at once."""
+        if dataset_size <= 0:
+            return 0.0
+        return self.n_displayed / dataset_size
+
+    def cell_of(self, traj_index: int) -> Cell | None:
+        """The cell showing dataset index ``traj_index``, if any."""
+        ci = self.traj_to_cell.get(int(traj_index))
+        return None if ci is None else self.grid.cell(ci)
+
+    def group_name_of_traj(self, traj_index: int) -> str | None:
+        """Name of the group containing a displayed trajectory."""
+        ci = self.traj_to_cell.get(int(traj_index))
+        if ci is None or self.groups is None:
+            return None
+        gi = int(self.group_of_cell[ci])
+        if gi < 0:
+            return None
+        return list(self.groups)[gi].name
+
+
+def assign_groups_to_cells(
+    dataset: TrajectoryDataset,
+    grid: BezelAwareGrid,
+    groups: TrajectoryGroups,
+    *,
+    page: int = 0,
+) -> CellAssignment:
+    """Fill each group's cells with its filtered trajectories.
+
+    ``page`` scrolls every group forward by ``page * capacity``
+    trajectories within its filtered population (clamped; a page past
+    the end leaves the group empty).
+    """
+    if page < 0:
+        raise ValueError("page must be >= 0")
+    n_cells = grid.n_cells
+    cell_to_traj = np.full(n_cells, -1, dtype=np.int64)
+    group_of_cell = np.full(n_cells, -1, dtype=np.int64)
+    traj_to_cell: dict[int, int] = {}
+
+    for gi, spec in enumerate(groups):
+        cells = spec.cell_indices(grid)
+        group_of_cell[cells] = gi
+        matching = dataset.indices_where(spec.filter)
+        start = page * len(cells)
+        chunk = matching[start : start + len(cells)]
+        for slot, ds_index in zip(cells, chunk):
+            cell_to_traj[slot] = ds_index
+            traj_to_cell[int(ds_index)] = int(slot)
+    return CellAssignment(
+        grid=grid,
+        cell_to_traj=cell_to_traj,
+        traj_to_cell=traj_to_cell,
+        group_of_cell=group_of_cell,
+        groups=groups,
+    )
+
+
+def assign_sequential(
+    dataset: TrajectoryDataset, grid: BezelAwareGrid, *, page: int = 0
+) -> CellAssignment:
+    """Ungrouped assignment: dataset order, row-major across the grid."""
+    if page < 0:
+        raise ValueError("page must be >= 0")
+    n_cells = grid.n_cells
+    cell_to_traj = np.full(n_cells, -1, dtype=np.int64)
+    traj_to_cell: dict[int, int] = {}
+    start = page * n_cells
+    for slot, ds_index in enumerate(range(start, min(start + n_cells, len(dataset)))):
+        cell_to_traj[slot] = ds_index
+        traj_to_cell[ds_index] = slot
+    return CellAssignment(
+        grid=grid,
+        cell_to_traj=cell_to_traj,
+        traj_to_cell=traj_to_cell,
+        group_of_cell=np.full(n_cells, -1, dtype=np.int64),
+        groups=None,
+    )

@@ -1,0 +1,66 @@
+"""Layout presets.
+
+§IV-C.2: "The user can switch between a number of configurations by
+pressing a number on the keypad: '1', '2', etc...  Some of the
+pre-configured layouts provided include a 15x4, 24x6, and 36x12."
+
+The presets below bind those grids to keypad keys.  The 36x12 grid
+yields 432 simultaneous cells — the paper's "it was possible to
+simultaneously visualize 432 trajectories ... 85% of the data" with
+the ~500-trace study dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.display.viewport import Viewport
+from repro.layout.grid import BezelAwareGrid
+
+__all__ = ["LayoutConfig", "LAYOUT_PRESETS", "preset"]
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """A named small-multiple grid configuration."""
+
+    key: str
+    n_cols: int
+    n_rows: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_cols < 1 or self.n_rows < 1:
+            raise ValueError("layout must be at least 1x1")
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_cols * self.n_rows
+
+    def build(self, viewport: Viewport) -> BezelAwareGrid:
+        """Instantiate the grid on a viewport."""
+        return BezelAwareGrid(viewport, self.n_cols, self.n_rows)
+
+    def coverage(self, dataset_size: int) -> float:
+        """Fraction of a dataset visible at once under this layout."""
+        if dataset_size <= 0:
+            return 0.0
+        return min(1.0, self.n_cells / dataset_size)
+
+
+#: The paper's keypad presets ('1', '2', '3').
+LAYOUT_PRESETS: dict[str, LayoutConfig] = {
+    "1": LayoutConfig("1", 15, 4, "coarse (60 cells)"),
+    "2": LayoutConfig("2", 24, 6, "medium (144 cells)"),
+    "3": LayoutConfig("3", 36, 12, "fine (432 cells)"),
+}
+
+
+def preset(key: str) -> LayoutConfig:
+    """Look up a keypad preset ('1', '2', '3')."""
+    try:
+        return LAYOUT_PRESETS[key]
+    except KeyError:
+        raise KeyError(
+            f"no layout preset bound to key {key!r}; available: {sorted(LAYOUT_PRESETS)}"
+        ) from None

@@ -1,0 +1,180 @@
+"""Small-multiple grid construction.
+
+Two strategies over the same interface:
+
+* :class:`BezelAwareGrid` — the paper's approach: grid columns are
+  distributed among panel columns (and rows among panel rows) so every
+  cell lies entirely inside one panel's active area.  When the grid
+  does not divide the panel grid evenly (e.g. 15 columns over 6
+  panels), panels receive 2 or 3 columns each and cell widths differ
+  slightly per panel; no cell ever straddles a mullion.
+* :class:`NaiveGrid` — uniform division of the viewport's physical
+  rectangle, ignoring bezels.  Cells may straddle mullions; used by
+  ablation A1 to quantify what bezel-awareness buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.display.viewport import Viewport
+
+__all__ = ["Cell", "BezelAwareGrid", "NaiveGrid"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One small-multiple cell.
+
+    Attributes
+    ----------
+    index:
+        Row-major cell index within the grid.
+    gcol, grow:
+        Grid column/row of the cell.
+    rect:
+        (x0, y0, x1, y1) wall-meter rectangle of the cell.
+    """
+
+    index: int
+    gcol: int
+    grow: int
+    rect: tuple[float, float, float, float]
+
+    @property
+    def width(self) -> float:
+        return self.rect[2] - self.rect[0]
+
+    @property
+    def height(self) -> float:
+        return self.rect[3] - self.rect[1]
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.rect[0] + self.rect[2]) / 2.0, (self.rect[1] + self.rect[3]) / 2.0)
+
+    def area_px(self, px_per_m_x: float, px_per_m_y: float) -> float:
+        """Approximate pixel area given panel pixel densities."""
+        return self.width * px_per_m_x * self.height * px_per_m_y
+
+
+def _distribute(n_items: int, n_bins: int) -> np.ndarray:
+    """Split ``n_items`` into ``n_bins`` near-equal integer parts.
+
+    The first ``n_items % n_bins`` bins get the extra item, so the
+    result is deterministic and as balanced as possible.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    base, extra = divmod(n_items, n_bins)
+    out = np.full(n_bins, base, dtype=np.int64)
+    out[:extra] += 1
+    return out
+
+
+class BezelAwareGrid:
+    """A bezel-avoiding ``n_cols`` x ``n_rows`` grid over a viewport.
+
+    Raises ``ValueError`` if the grid is too sparse to give every panel
+    column/row at least... cells are allowed to be zero in a panel only
+    when the grid has fewer columns than panels; the distribution then
+    simply leaves trailing panels empty, which still never straddles.
+    """
+
+    def __init__(self, viewport: Viewport, n_cols: int, n_rows: int) -> None:
+        if n_cols < 1 or n_rows < 1:
+            raise ValueError("grid must be at least 1x1")
+        self.viewport = viewport
+        self.n_cols = int(n_cols)
+        self.n_rows = int(n_rows)
+        self._cells = self._build()
+
+    def _build(self) -> list[Cell]:
+        vp = self.viewport
+        wall = vp.wall
+        cols_per_panel = _distribute(self.n_cols, vp.cols)
+        rows_per_panel = _distribute(self.n_rows, vp.rows)
+        # Grid-column -> (panel col, x0, x1) assignments.
+        x_edges: list[tuple[float, float]] = []
+        for pc, k in enumerate(cols_per_panel):
+            if k == 0:
+                continue
+            panel_x0 = (vp.col0 + pc) * wall.pitch_x
+            widths = np.full(k, wall.panel_width / k)
+            edges = panel_x0 + np.concatenate([[0.0], np.cumsum(widths)])
+            x_edges.extend(zip(edges[:-1], edges[1:]))
+        y_edges: list[tuple[float, float]] = []
+        for pr, k in enumerate(rows_per_panel):
+            if k == 0:
+                continue
+            panel_y0 = (vp.row0 + pr) * wall.pitch_y
+            heights = np.full(k, wall.panel_height / k)
+            edges = panel_y0 + np.concatenate([[0.0], np.cumsum(heights)])
+            y_edges.extend(zip(edges[:-1], edges[1:]))
+        cells: list[Cell] = []
+        index = 0
+        for grow, (y0, y1) in enumerate(y_edges):
+            for gcol, (x0, x1) in enumerate(x_edges):
+                cells.append(Cell(index, gcol, grow, (x0, y0, x1, y1)))
+                index += 1
+        return cells
+
+    # Shared grid interface ----------------------------------------------
+    @property
+    def n_cells(self) -> int:
+        return len(self._cells)
+
+    def cells(self) -> list[Cell]:
+        """All cells, row-major."""
+        return list(self._cells)
+
+    def cell(self, index: int) -> Cell:
+        """Cell by row-major index."""
+        return self._cells[index]
+
+    def cell_at(self, gcol: int, grow: int) -> Cell:
+        """Cell by grid column/row."""
+        if not (0 <= gcol < self.n_cols and 0 <= grow < self.n_rows):
+            raise IndexError(f"cell ({gcol}, {grow}) outside {self.n_cols}x{self.n_rows} grid")
+        return self._cells[grow * self.n_cols + gcol]
+
+    def rects(self) -> np.ndarray:
+        """(N, 4) array of all cell rectangles (wall meters)."""
+        return np.asarray([c.rect for c in self._cells], dtype=np.float64)
+
+    def straddle_count(self) -> int:
+        """Number of cells whose rect crosses a mullion (0 by design)."""
+        return int(self.viewport.wall.rects_straddle_bezel(self.rects()).sum())
+
+    def mean_cell_pixels(self) -> float:
+        """Mean pixels per cell (cells lie inside single panels)."""
+        wall = self.viewport.wall
+        sx = wall.panel_px_width / wall.panel_width
+        sy = wall.panel_px_height / wall.panel_height
+        areas = [c.area_px(sx, sy) for c in self._cells]
+        return float(np.mean(areas)) if areas else 0.0
+
+
+class NaiveGrid(BezelAwareGrid):
+    """Uniform grid ignoring bezels (ablation A1).
+
+    Divides the viewport's full physical rectangle — mullions included —
+    into equal cells, exactly what a bezel-unaware port of a desktop
+    small-multiple view would do.
+    """
+
+    def _build(self) -> list[Cell]:
+        vp = self.viewport
+        x0, y0, x1, y1 = vp.rect_m
+        xs = np.linspace(x0, x1, self.n_cols + 1)
+        ys = np.linspace(y0, y1, self.n_rows + 1)
+        cells: list[Cell] = []
+        index = 0
+        for grow in range(self.n_rows):
+            for gcol in range(self.n_cols):
+                rect = (float(xs[gcol]), float(ys[grow]), float(xs[gcol + 1]), float(ys[grow + 1]))
+                cells.append(Cell(index, gcol, grow, rect))
+                index += 1
+        return cells

@@ -1,0 +1,167 @@
+"""Trajectory grouping — the rectangular data bins of §IV-C.2.
+
+"The user can define rectangular groups that encompass a contiguous
+subset of trajectories.  A set of filters can be associated with each
+group ...  Groups can be given different background colors."
+
+A :class:`GroupSpec` is a rectangle in *grid cell coordinates* plus a
+metadata filter and a background color; :class:`TrajectoryGroups`
+manages a non-overlapping collection of them over one grid, including
+the paper's five-zone scheme of Fig. 3 (on/west/east/north/south of the
+foraging trail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.layout.grid import BezelAwareGrid
+from repro.trajectory.filters import CaptureZoneFilter, MetaFilter, TrueFilter
+
+__all__ = ["GroupSpec", "TrajectoryGroups", "FIG3_GROUP_COLORS"]
+
+#: Fig. 3's background colors: on=blue, west=red, east=yellow,
+#: north=gray, south=green (RGB in [0, 1]).
+FIG3_GROUP_COLORS: dict[str, tuple[float, float, float]] = {
+    "on": (0.20, 0.35, 0.80),
+    "west": (0.85, 0.25, 0.20),
+    "east": (0.90, 0.80, 0.20),
+    "north": (0.55, 0.55, 0.55),
+    "south": (0.25, 0.70, 0.30),
+}
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """A rectangular group bin.
+
+    Attributes
+    ----------
+    name:
+        Display label.
+    gcol0, grow0:
+        Top-left grid cell (inclusive).
+    gcols, grows:
+        Extent in grid cells.
+    filter:
+        Metadata filter selecting which trajectories may fill the bin.
+    color:
+        Background RGB in [0, 1].
+    """
+
+    name: str
+    gcol0: int
+    grow0: int
+    gcols: int
+    grows: int
+    filter: MetaFilter = field(default_factory=TrueFilter)
+    color: tuple[float, float, float] = (0.15, 0.15, 0.18)
+
+    def __post_init__(self) -> None:
+        if self.gcols < 1 or self.grows < 1:
+            raise ValueError("group must span at least one cell")
+        if self.gcol0 < 0 or self.grow0 < 0:
+            raise ValueError("group origin must be non-negative")
+        if not all(0.0 <= c <= 1.0 for c in self.color):
+            raise ValueError("color channels must be in [0, 1]")
+
+    @property
+    def capacity(self) -> int:
+        """Number of cells (trajectory slots) in the bin."""
+        return self.gcols * self.grows
+
+    def cell_indices(self, grid: BezelAwareGrid) -> np.ndarray:
+        """Row-major grid cell indices covered by this group."""
+        if self.gcol0 + self.gcols > grid.n_cols or self.grow0 + self.grows > grid.n_rows:
+            raise ValueError(
+                f"group {self.name!r} ({self.gcol0}+{self.gcols} x {self.grow0}+{self.grows}) "
+                f"exceeds the {grid.n_cols}x{grid.n_rows} grid"
+            )
+        cols = np.arange(self.gcol0, self.gcol0 + self.gcols)
+        rows = np.arange(self.grow0, self.grow0 + self.grows)
+        return (rows[:, None] * grid.n_cols + cols[None, :]).ravel()
+
+    def overlaps(self, other: "GroupSpec") -> bool:
+        """Whether two bins share any cell."""
+        return not (
+            self.gcol0 + self.gcols <= other.gcol0
+            or other.gcol0 + other.gcols <= self.gcol0
+            or self.grow0 + self.grows <= other.grow0
+            or other.grow0 + other.grows <= self.grow0
+        )
+
+
+class TrajectoryGroups:
+    """A validated, non-overlapping collection of group bins on a grid."""
+
+    def __init__(self, grid: BezelAwareGrid, groups: list[GroupSpec] | None = None) -> None:
+        self.grid = grid
+        self._groups: list[GroupSpec] = []
+        for g in groups or []:
+            self.add(g)
+
+    def add(self, group: GroupSpec) -> None:
+        """Add a bin; rejects grid overflow and overlap with existing bins."""
+        group.cell_indices(self.grid)  # validates bounds
+        for existing in self._groups:
+            if group.overlaps(existing):
+                raise ValueError(
+                    f"group {group.name!r} overlaps existing group {existing.name!r}"
+                )
+        self._groups.append(group)
+
+    def __iter__(self):
+        return iter(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __getitem__(self, name: str) -> GroupSpec:
+        for g in self._groups:
+            if g.name == name:
+                return g
+        raise KeyError(f"no group named {name!r}")
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(g.capacity for g in self._groups)
+
+    def names(self) -> list[str]:
+        """Group names in definition order."""
+        return [g.name for g in self._groups]
+
+    @classmethod
+    def fig3_scheme(cls, grid: BezelAwareGrid) -> "TrajectoryGroups":
+        """The five-zone grouping of Fig. 3.
+
+        Grid columns are split into five vertical bands — on, west,
+        east, north, south — each filtered to its capture zone and
+        painted with its Fig. 3 background color.  Bands divide the
+        columns as evenly as possible.
+        """
+        zones = ["on", "west", "east", "north", "south"]
+        n = len(zones)
+        base, extra = divmod(grid.n_cols, n)
+        if base == 0:
+            raise ValueError(
+                f"grid has only {grid.n_cols} columns; needs >= {n} for the Fig. 3 scheme"
+            )
+        groups = []
+        col = 0
+        for i, zone in enumerate(zones):
+            w = base + (1 if i < extra else 0)
+            groups.append(
+                GroupSpec(
+                    name=zone,
+                    gcol0=col,
+                    grow0=0,
+                    gcols=w,
+                    grows=grid.n_rows,
+                    filter=CaptureZoneFilter(zone),
+                    color=FIG3_GROUP_COLORS[zone],
+                )
+            )
+            col += w
+        return cls(grid, groups)

@@ -1,0 +1,51 @@
+"""Work partitioning.
+
+Utilities for splitting work across workers: plain index chunking for
+homogeneous items, and a longest-processing-time (LPT) partitioner for
+jobs with known cost estimates (tiles hosting more trajectory cells
+cost more to render; LPT keeps workers balanced within the classic
+4/3 bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["chunk_indices", "partition_jobs_by_cost"]
+
+
+def chunk_indices(n: int, n_chunks: int) -> list[np.ndarray]:
+    """Split ``range(n)`` into at most ``n_chunks`` contiguous chunks of
+    near-equal size (earlier chunks at most one element larger)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    n_chunks = min(n_chunks, max(1, n))
+    base, extra = divmod(n, n_chunks)
+    out: list[np.ndarray] = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(np.arange(start, start + size))
+        start += size
+    return [c for c in out if len(c)] or [np.arange(0)]
+
+
+def partition_jobs_by_cost(costs: np.ndarray, n_workers: int) -> list[list[int]]:
+    """LPT scheduling: assign jobs to workers, heaviest first, each to
+    the currently lightest worker.  Returns job-index lists per worker
+    (some possibly empty when jobs < workers).
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    if np.any(costs < 0):
+        raise ValueError("costs must be non-negative")
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    buckets: list[list[int]] = [[] for _ in range(n_workers)]
+    loads = np.zeros(n_workers)
+    for j in np.argsort(costs)[::-1]:
+        w = int(np.argmin(loads))
+        buckets[w].append(int(j))
+        loads[w] += costs[j]
+    return buckets

@@ -1,0 +1,77 @@
+"""Process pool wrapper.
+
+A thin, test-friendly layer over :mod:`concurrent.futures`:
+
+* ``max_workers=0`` (or 1) degrades to in-process serial execution —
+  identical results, no fork, so unit tests and small jobs skip pool
+  overhead entirely;
+* work functions and payloads must be picklable (jobs are resolved to
+  plain arrays before shipping, mirroring what a cluster-driven wall
+  sends its render nodes).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["WorkerPool", "pool_map", "default_workers"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """A sane default worker count: physical parallelism minus one,
+    at least one."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class WorkerPool:
+    """Context-managed process pool with a serial fallback.
+
+    >>> with WorkerPool(0) as pool:          # serial mode
+    ...     pool.map(str, [1, 2])
+    ['1', '2']
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is None:
+            max_workers = default_workers()
+        if max_workers < 0:
+            raise ValueError("max_workers must be >= 0")
+        self.max_workers = int(max_workers)
+        self._executor: ProcessPoolExecutor | None = None
+
+    @property
+    def serial(self) -> bool:
+        return self.max_workers <= 1
+
+    def __enter__(self) -> "WorkerPool":
+        if not self.serial:
+            self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T], *, chunksize: int = 1) -> list[R]:
+        """Ordered map over items (serial or pooled)."""
+        if self.serial or self._executor is None:
+            return [fn(item) for item in items]
+        return list(self._executor.map(fn, items, chunksize=chunksize))
+
+
+def pool_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    max_workers: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """One-shot pooled map."""
+    with WorkerPool(max_workers) as pool:
+        return pool.map(fn, items, chunksize=chunksize)

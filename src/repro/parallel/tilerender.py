@@ -1,0 +1,96 @@
+"""Process-parallel tile rendering.
+
+Each (tile, eye) render job is independent, so the frame parallelizes
+across a process pool.  State that every job needs — the renderer (with
+its dataset), brush canvas, and query results — is shipped *once per
+worker* through the pool initializer rather than once per job, which is
+what makes the speedup survive Python's pickling costs (the dataset is
+megabytes; a job description is kilobytes).
+
+``max_workers<=1`` runs serially in-process and is bit-identical to
+:meth:`WallRenderer.render_viewport`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.canvas import BrushCanvas
+from repro.core.result import QueryResult
+from repro.layout.cells import CellAssignment
+from repro.render.framebuffer import Framebuffer
+from repro.render.pipeline import RenderJob, WallRenderer
+from repro.stereo.camera import Eye
+
+__all__ = ["render_viewport_parallel", "ParallelRenderReport"]
+
+# Per-worker state installed by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(renderer: WallRenderer, canvas: BrushCanvas | None,
+                 results: dict[str, QueryResult] | None) -> None:
+    _WORKER_STATE["renderer"] = renderer
+    _WORKER_STATE["canvas"] = canvas
+    _WORKER_STATE["results"] = results
+
+
+def _render_one(job: RenderJob) -> tuple[int, int, int, np.ndarray]:
+    renderer: WallRenderer = _WORKER_STATE["renderer"]
+    fb = renderer.render_job(
+        job, canvas=_WORKER_STATE["canvas"], results=_WORKER_STATE["results"]
+    )
+    return (job.tile.col, job.tile.row, int(job.eye), fb.data)
+
+
+@dataclass(frozen=True)
+class ParallelRenderReport:
+    """Frames plus timing of a parallel render pass."""
+
+    frames: dict[Eye, dict[tuple[int, int], Framebuffer]]
+    elapsed_s: float
+    n_jobs: int
+    workers: int
+
+
+def render_viewport_parallel(
+    renderer: WallRenderer,
+    assignment: CellAssignment,
+    *,
+    eyes: tuple[Eye, ...] = (Eye.LEFT, Eye.RIGHT),
+    canvas: BrushCanvas | None = None,
+    results: dict[str, QueryResult] | None = None,
+    max_workers: int = 0,
+) -> ParallelRenderReport:
+    """Render all viewport tiles, optionally over a process pool.
+
+    Returns the same ``{eye: {(col, row): Framebuffer}}`` structure as
+    the serial path, wrapped with timing for benchmark E11.
+    """
+    jobs = renderer.make_jobs(assignment, eyes)
+    t0 = time.perf_counter()
+    frames: dict[Eye, dict[tuple[int, int], Framebuffer]] = {eye: {} for eye in eyes}
+    if max_workers <= 1:
+        for job in jobs:
+            fb = renderer.render_job(job, canvas=canvas, results=results)
+            frames[job.eye][(job.tile.col, job.tile.row)] = fb
+        workers = 1
+    else:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(renderer, canvas, results),
+        ) as executor:
+            for col, row, eye_val, data in executor.map(_render_one, jobs):
+                fb = Framebuffer(data.shape[1], data.shape[0])
+                fb.data[...] = data
+                frames[Eye(eye_val)][(col, row)] = fb
+        workers = max_workers
+    elapsed = time.perf_counter() - t0
+    return ParallelRenderReport(
+        frames=frames, elapsed_s=elapsed, n_jobs=len(jobs), workers=workers
+    )

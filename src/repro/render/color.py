@@ -1,0 +1,64 @@
+"""Colors and palettes.
+
+RGB triples in [0, 1] float.  The highlight palette matches the brush
+colors the study used (red for the west-exit query, green for the
+seed-drop query, blue in Fig. 3's inset); the trajectory body uses a
+cool-to-warm time gradient so even the mono view hints at temporal
+order, with stereo depth carrying the exact encoding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Color", "NAMED_COLORS", "HIGHLIGHT_COLORS", "named_color", "time_gradient"]
+
+#: An RGB triple in [0, 1].
+Color = tuple[float, float, float]
+
+NAMED_COLORS: dict[str, Color] = {
+    "black": (0.0, 0.0, 0.0),
+    "white": (1.0, 1.0, 1.0),
+    "red": (0.95, 0.20, 0.15),
+    "green": (0.20, 0.85, 0.30),
+    "blue": (0.25, 0.45, 0.95),
+    "yellow": (0.95, 0.85, 0.20),
+    "cyan": (0.20, 0.85, 0.85),
+    "magenta": (0.90, 0.25, 0.85),
+    "orange": (0.95, 0.55, 0.15),
+    "gray": (0.55, 0.55, 0.55),
+    "dark": (0.10, 0.10, 0.12),
+}
+
+#: Brush colors available on the palette, in keypad order.
+HIGHLIGHT_COLORS: tuple[str, ...] = ("red", "green", "blue", "yellow", "cyan", "magenta")
+
+
+def named_color(name: str) -> Color:
+    """Look up a named color; raises KeyError with the valid set."""
+    try:
+        return NAMED_COLORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown color {name!r}; valid: {sorted(NAMED_COLORS)}"
+        ) from None
+
+
+def time_gradient(t01: np.ndarray) -> np.ndarray:
+    """(N, 3) cool-to-warm gradient over normalized time in [0, 1].
+
+    Early samples render blue-ish, late samples warm white-orange —
+    a simple diverging ramp with monotone luminance so temporal order
+    is readable pre-attentively.
+    """
+    t = np.clip(np.asarray(t01, dtype=np.float64), 0.0, 1.0)
+    out = np.empty(t.shape + (3,), dtype=np.float64)
+    out[..., 0] = 0.25 + 0.70 * t          # red ramps up
+    out[..., 1] = 0.35 + 0.45 * t          # green ramps gently
+    out[..., 2] = 0.90 - 0.55 * t          # blue ramps down
+    return out
+
+
+def to_uint8(rgb: np.ndarray) -> np.ndarray:
+    """Float [0,1] image -> uint8, rounding and clipping."""
+    return (np.clip(rgb, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)

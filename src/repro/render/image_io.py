@@ -1,0 +1,68 @@
+"""Image output.
+
+PPM (binary P6) for zero-dependency viewable frames and NPZ for exact
+float round-trips in tests.  PNG is deliberately absent (no imaging
+libraries in the offline environment); PPM opens in any image viewer
+and converts losslessly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_ppm", "read_ppm", "write_npz", "read_npz"]
+
+
+def write_ppm(image: np.ndarray, path: str | Path) -> None:
+    """Write an (H, W, 3) image (float [0,1] or uint8) as binary PPM."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"expected (H, W, 3) image, got {image.shape}")
+    if image.dtype != np.uint8:
+        image = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+    h, w = image.shape[:2]
+    with Path(path).open("wb") as fh:
+        fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
+        fh.write(np.ascontiguousarray(image).tobytes())
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary P6 PPM written by :func:`write_ppm`."""
+    data = Path(path).read_bytes()
+    if not data.startswith(b"P6"):
+        raise ValueError("not a binary P6 PPM file")
+    # header: magic, width, height, maxval, then EXACTLY ONE whitespace
+    # byte before the raster.  Tokenize by scanning, never by split():
+    # raster bytes may themselves be whitespace values (0x20, 0x0a).
+    pos = 2
+    tokens: list[int] = []
+    while len(tokens) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        if start == pos:
+            raise ValueError("truncated PPM header")
+        tokens.append(int(data[start:pos]))
+    pos += 1  # the single whitespace separating header from raster
+    w, h, maxval = tokens
+    if maxval != 255:
+        raise ValueError(f"only maxval 255 supported, got {maxval}")
+    raster = data[pos : pos + w * h * 3]
+    if len(raster) < w * h * 3:
+        raise ValueError("truncated PPM raster")
+    return np.frombuffer(raster, dtype=np.uint8).reshape(h, w, 3).copy()
+
+
+def write_npz(image: np.ndarray, path: str | Path) -> None:
+    """Exact float image dump for tests."""
+    np.savez_compressed(path, image=np.asarray(image))
+
+
+def read_npz(path: str | Path) -> np.ndarray:
+    """Load an image written by :func:`write_npz`."""
+    with np.load(path) as archive:
+        return archive["image"]

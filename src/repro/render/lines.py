@@ -1,0 +1,166 @@
+"""Vectorized polyline splatting.
+
+Rendering hundreds of trajectory cells means rasterizing hundreds of
+thousands of short segments per frame.  A per-segment scanline loop in
+Python is hopeless; instead we *splat*: every polyline is resampled
+along its arc length at sub-pixel spacing, and the resulting point
+cloud is accumulated into a coverage map with bilinear weights via
+``np.add.at`` — a single unsorted scatter-add over flat arrays.  Line
+width is achieved by stamping a small disc kernel of offsets around
+each sample (a tiny constant-size loop, vectorized over all points).
+
+This trades exact analytic anti-aliasing for an approximation that is
+visually equivalent at sub-pixel step sizes, and it turns the frame
+into a handful of NumPy passes regardless of trajectory count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["resample_segments", "splat_points", "splat_polylines", "disc_kernel"]
+
+
+def resample_segments(
+    a: np.ndarray, b: np.ndarray, step: float, values: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Resample segments a[i]->b[i] at ``step`` pixel spacing.
+
+    Returns the (P, 2) sample points and, when ``values`` gives a
+    per-segment scalar (e.g. normalized time), the (P,) per-sample
+    values (linearly carried, constant per segment).
+
+    Fully vectorized: per-segment sample counts come from the segment
+    lengths; samples are generated with a repeat/cumulative pattern.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    if len(a) == 0:
+        return np.empty((0, 2)), (np.empty(0) if values is not None else None)
+    d = b - a
+    lengths = np.hypot(d[:, 0], d[:, 1])
+    counts = np.maximum(1, np.ceil(lengths / step).astype(np.int64)) + 1
+    total = int(counts.sum())
+    seg_of = np.repeat(np.arange(len(a)), counts)
+    # within-segment sample rank: 0..counts[i]-1 via cumulative trick
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    rank = np.arange(total) - starts[seg_of]
+    t = rank / np.maximum(counts[seg_of] - 1, 1)
+    points = a[seg_of] + t[:, None] * d[seg_of]
+    vals = values[seg_of] if values is not None else None
+    return points, vals
+
+
+def disc_kernel(width: float) -> tuple[np.ndarray, np.ndarray]:
+    """Offsets and weights of a disc stamp for line width ``width`` px.
+
+    Width <= 1 collapses to a single center tap.  Weights fall off
+    linearly at the rim for soft edges.
+    """
+    if width <= 1.0:
+        return np.zeros((1, 2)), np.ones(1)
+    r = width / 2.0
+    n = int(np.ceil(r))
+    ys, xs = np.mgrid[-n : n + 1, -n : n + 1]
+    d = np.hypot(xs, ys)
+    weights_full = np.clip(r + 0.5 - d, 0.0, 1.0)
+    keep = weights_full > 0.0
+    offsets = np.stack([xs[keep], ys[keep]], axis=1).astype(np.float64)
+    return offsets, weights_full[keep]
+
+
+def splat_points(
+    coverage: np.ndarray,
+    points: np.ndarray,
+    *,
+    weights: np.ndarray | float = 1.0,
+    rgb_accum: np.ndarray | None = None,
+    colors: np.ndarray | None = None,
+) -> None:
+    """Accumulate points into a coverage map with bilinear weights.
+
+    Parameters
+    ----------
+    coverage:
+        (H, W) float array accumulated in place.
+    points:
+        (P, 2) pixel coordinates (x, y).
+    weights:
+        Scalar or (P,) per-point weight.
+    rgb_accum, colors:
+        Optional (H, W, 3) color accumulator and (P, 3) per-point
+        colors; enables per-pixel color averaging
+        (``rgb = rgb_accum / coverage``) for gradient-colored lines.
+    """
+    h, w = coverage.shape
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) == 0:
+        return
+    wts = np.broadcast_to(np.asarray(weights, dtype=np.float64), (len(points),))
+
+    x = points[:, 0]
+    y = points[:, 1]
+    x0 = np.floor(x).astype(np.int64)
+    y0 = np.floor(y).astype(np.int64)
+    fx = x - x0
+    fy = y - y0
+
+    for dx, dy, bw in (
+        (0, 0, (1 - fx) * (1 - fy)),
+        (1, 0, fx * (1 - fy)),
+        (0, 1, (1 - fx) * fy),
+        (1, 1, fx * fy),
+    ):
+        xi = x0 + dx
+        yi = y0 + dy
+        ok = (xi >= 0) & (xi < w) & (yi >= 0) & (yi < h)
+        if not ok.any():
+            continue
+        contrib = bw[ok] * wts[ok]
+        np.add.at(coverage, (yi[ok], xi[ok]), contrib)
+        if rgb_accum is not None and colors is not None:
+            np.add.at(rgb_accum, (yi[ok], xi[ok]), contrib[:, None] * colors[ok])
+
+
+def splat_polylines(
+    coverage: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    width: float = 1.5,
+    step: float = 0.7,
+    seg_values: np.ndarray | None = None,
+    rgb_accum: np.ndarray | None = None,
+    value_to_rgb=None,
+) -> None:
+    """Splat segments a[i]->b[i] (pixel space) into ``coverage``.
+
+    ``seg_values`` + ``value_to_rgb`` enable per-segment color ramps
+    (the time gradient): values are resampled along with the geometry
+    and mapped to RGB per sample point.
+
+    The per-sample weight is normalized by the samples-per-pixel
+    density (step) and kernel mass so accumulated coverage saturates
+    near 1.0 on the line body independent of ``step`` and ``width``.
+    """
+    points, vals = resample_segments(a, b, step, seg_values)
+    if len(points) == 0:
+        return
+    offsets, kweights = disc_kernel(width)
+    # normalize: one pixel of line body receives ~ (1/step) samples,
+    # each stamping kernel mass sum(kweights)
+    norm = step / max(1e-9, float(kweights.max()))
+    colors = None
+    if vals is not None and value_to_rgb is not None and rgb_accum is not None:
+        colors = np.asarray(value_to_rgb(vals), dtype=np.float64)
+    for (dx, dy), kw in zip(offsets, kweights):
+        shifted = points + (dx, dy)
+        splat_points(
+            coverage,
+            shifted,
+            weights=kw * norm,
+            rgb_accum=rgb_accum if colors is not None else None,
+            colors=colors,
+        )

@@ -1,0 +1,43 @@
+"""Sensemaking machinery (§III, §V, §VI).
+
+The paper grounds its design in Pirolli & Card's sensemaking model and
+evaluates it by video-coding a pilot study session.  This subpackage
+reifies both:
+
+* :mod:`model` — the stage graph of Fig. 2 (information foraging loop
+  and sensemaking loop, with the back arrows);
+* :mod:`evidence` / :mod:`schema` — the evidence file and schema
+  artifacts (the paper argues the persistent small-multiple wall *is*
+  the evidence file, and a brushed/highlighted wall a schema);
+* :mod:`coding` — the study's video coding scheme (observation /
+  hypothesis / tool-use events) as a typed, analyzable event log;
+* :mod:`analyst` — a scripted analyst that replays the pilot study's
+  documented analysis sequence through the real query engine (E8);
+* :mod:`provenance` — insight-provenance records (the paper's stated
+  future work: "integrating our application into larger scientific
+  workflows to support evidence and insight provenance").
+"""
+
+from repro.sensemaking.model import SensemakingModel, Stage
+from repro.sensemaking.evidence import Evidence, EvidenceFile
+from repro.sensemaking.schema import Schema
+from repro.sensemaking.coding import CodedEvent, CodingScheme, EventKind, SessionCoding
+from repro.sensemaking.analyst import AnalystSimulator, StudyScript, default_study_script
+from repro.sensemaking.provenance import InsightRecord, ProvenanceLog
+
+__all__ = [
+    "SensemakingModel",
+    "Stage",
+    "Evidence",
+    "EvidenceFile",
+    "Schema",
+    "CodedEvent",
+    "CodingScheme",
+    "EventKind",
+    "SessionCoding",
+    "AnalystSimulator",
+    "StudyScript",
+    "default_study_script",
+    "InsightRecord",
+    "ProvenanceLog",
+]

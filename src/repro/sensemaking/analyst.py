@@ -1,0 +1,309 @@
+"""The scripted analyst — replaying the pilot study (E8).
+
+We cannot re-run the human study, but its analysis sequence is
+documented in §V-§VI: the researcher grouped the data by capture zone,
+compared groups and voiced low-level observations (windy vs. direct),
+then cycled through hypotheses — the east/west exit query of Fig. 5,
+its compass-symmetric variants, and the seed-drop dwell query —
+testing each with a coordinated brush plus temporal filter in rapid
+succession.
+
+:class:`AnalystSimulator` drives a real
+:class:`~repro.core.session.ExplorationSession` through that script,
+producing the artifacts the paper's evaluation analyzed: a
+:class:`~repro.sensemaking.coding.SessionCoding` (the tagged video),
+an :class:`~repro.sensemaking.evidence.EvidenceFile`, per-theory
+:class:`~repro.sensemaking.schema.Schema` objects, and the verdicts.
+
+Action timing uses a simple cost model (seconds per action kind) so
+rates like hypotheses-per-minute are meaningful and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analytics.exits import opposite_side
+from repro.analytics.stats import zone_straightness_table
+from repro.core.brush import BrushStroke, stroke_from_rect
+from repro.core.hypothesis import Hypothesis, Verdict
+from repro.core.session import ExplorationSession
+from repro.core.temporal import TimeWindow
+from repro.sensemaking.coding import CodingScheme, SessionCoding
+from repro.sensemaking.evidence import EvidenceFile
+from repro.sensemaking.provenance import InsightRecord, ProvenanceLog
+from repro.sensemaking.schema import Schema
+from repro.synth.arena import Arena
+from repro.trajectory.filters import SeedFilter
+
+__all__ = ["ScriptAction", "StudyScript", "AnalystSimulator", "default_study_script"]
+
+#: Seconds each action kind takes in the session-time model.
+ACTION_COST_S = {
+    "layout": 5.0,
+    "group": 20.0,
+    "observe": 15.0,
+    "hypothesize": 20.0,
+    "brush": 6.0,
+    "temporal": 4.0,
+    "read": 4.0,
+}
+
+
+@dataclass(frozen=True)
+class ScriptAction:
+    """One scripted step.
+
+    ``kind`` selects the behaviour:
+
+    * ``layout`` — switch layout preset (``arg`` = keypad key);
+    * ``group`` — apply the Fig. 3 five-zone grouping;
+    * ``observe`` — voice an observation (``arg`` = text, ``tags``);
+    * ``test`` — formulate and test a hypothesis (``hypothesis``).
+    """
+
+    kind: str
+    arg: str = ""
+    tags: tuple[str, ...] = ()
+    hypothesis: Hypothesis | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("layout", "group", "observe", "test"):
+            raise ValueError(f"unknown action kind {self.kind!r}")
+        if self.kind == "test" and self.hypothesis is None:
+            raise ValueError("test actions need a hypothesis")
+
+
+@dataclass(frozen=True)
+class StudyScript:
+    """An ordered analyst script."""
+
+    actions: tuple[ScriptAction, ...]
+    name: str = "pilot-study"
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+def _exit_brush(arena: Arena, side: str, color: str) -> BrushStroke:
+    """Brush covering the ``side`` edge strip of the arena — the Fig. 5
+    gesture ('the researcher brushed the left (west) part of the
+    arena')."""
+    r = arena.radius
+    depth = 0.3 * r       # strip thickness toward the center
+    half_span = 0.6 * r   # strip extent along the rim
+    rects = {
+        "west": ((-r, -half_span), (-r + depth, half_span)),
+        "east": ((r - depth, -half_span), (r, half_span)),
+        "north": ((-half_span, r - depth), (half_span, r)),
+        "south": ((-half_span, -r), (half_span, -r + depth)),
+    }
+    lo, hi = rects[side]
+    return stroke_from_rect(lo, hi, radius=0.12 * r, color=color)
+
+
+def _center_brush(arena: Arena, color: str) -> BrushStroke:
+    """Brush on the arena center (the seed-drop query gesture)."""
+    r = 0.15 * arena.radius
+    return stroke_from_rect((-r / 2, -r / 2), (r / 2, r / 2), radius=r, color=color)
+
+
+def default_study_script(arena: Arena | None = None) -> StudyScript:
+    """The pilot study's documented sequence as a script.
+
+    Layout -> grouping -> comparison observations -> the Fig. 5
+    east->west hypothesis -> its three compass-symmetric variants ->
+    the seed-drop dwell hypothesis.
+    """
+    arena = arena or Arena()
+    actions: list[ScriptAction] = [
+        ScriptAction("layout", arg="3"),
+        ScriptAction("group"),
+        ScriptAction(
+            "observe",
+            arg="trajectories of ants captured on the trail look more windy",
+            tags=("windiness", "on-trail"),
+        ),
+        ScriptAction(
+            "observe",
+            arg="trajectories of ants captured off the trail look more direct",
+            tags=("windiness", "off-trail"),
+        ),
+    ]
+    for zone in ("east", "west", "north", "south"):
+        side = opposite_side(zone)
+        actions.append(
+            ScriptAction(
+                "test",
+                hypothesis=Hypothesis(
+                    statement=(
+                        f"ants captured {zone} of the foraging trail exit the "
+                        f"arena from the {side} side"
+                    ),
+                    strokes=(_exit_brush(arena, side, "red"),),
+                    window=TimeWindow.end(0.15),
+                    target_group=zone,
+                ),
+            )
+        )
+    actions.append(
+        ScriptAction(
+            "test",
+            hypothesis=Hypothesis(
+                statement=(
+                    "ants that dropped their seed spend the beginning of the "
+                    "experiment searching near the arena center"
+                ),
+                strokes=(_center_brush(arena, "green"),),
+                window=TimeWindow.beginning(0.2),
+                # comparative reading: seed-droppers show long green
+                # (near-perpendicular) early runs more often than the rest
+                target_filter=SeedFilter(dropped=True),
+                min_highlight_s=8.0,
+                contrast=True,
+            ),
+        )
+    )
+    return StudyScript(tuple(actions))
+
+
+@dataclass
+class StudyReplay:
+    """Everything the simulated session produced."""
+
+    coding: SessionCoding
+    evidence: EvidenceFile
+    schemas: list[Schema]
+    verdicts: list[Verdict]
+    session: ExplorationSession
+    provenance: ProvenanceLog = field(default_factory=ProvenanceLog)
+
+    def hypotheses_tested(self) -> int:
+        """Number of hypotheses evaluated in the session."""
+        return len(self.verdicts)
+
+    def supported_count(self) -> int:
+        """Number of supported verdicts."""
+        return sum(1 for v in self.verdicts if v.supported)
+
+
+class AnalystSimulator:
+    """Drives an exploration session through a study script."""
+
+    def __init__(self, session: ExplorationSession, arena: Arena | None = None) -> None:
+        self.session = session
+        self.arena = arena or Arena()
+        self._coder = CodingScheme()
+
+    def run(self, script: StudyScript | None = None) -> StudyReplay:
+        """Execute the script; returns the full replay record."""
+        script = script or default_study_script(self.arena)
+        coding = SessionCoding()
+        evidence = EvidenceFile()
+        provenance = ProvenanceLog()
+        schemas: list[Schema] = []
+        verdicts: list[Verdict] = []
+        t = 0.0
+        hyp_counter = 0
+        for action in script.actions:
+            if action.kind == "layout":
+                t += ACTION_COST_S["layout"]
+                self.session.switch_layout(action.arg)
+                coding.add(self._coder.tool_use(t, "layout_switch", f"layout {action.arg}"))
+            elif action.kind == "group":
+                t += ACTION_COST_S["group"]
+                self.session.enable_fig3_groups()
+                coding.add(self._coder.tool_use(t, "grouping", "five-zone grouping"))
+            elif action.kind == "observe":
+                t += ACTION_COST_S["observe"]
+                coding.add(self._coder.observation(t, action.arg))
+                evidence.record(action.arg, tags=action.tags, source_stage=4)
+            elif action.kind == "test":
+                hyp = action.hypothesis
+                assert hyp is not None
+                hyp_id = hyp_counter
+                hyp_counter += 1
+                t += ACTION_COST_S["hypothesize"]
+                coding.add(self._coder.hypothesis(t, hyp.statement, hyp_id))
+                # brush gesture(s)
+                for stroke in hyp.strokes:
+                    t += ACTION_COST_S["brush"]
+                    self.session.brush(stroke)
+                    coding.add(
+                        self._coder.tool_use(
+                            t, "coordinated_brush", f"brush {stroke.color}", hyp_id
+                        )
+                    )
+                if not hyp.window.is_everything:
+                    t += ACTION_COST_S["temporal"]
+                    self.session.set_time_window(hyp.window)
+                    coding.add(
+                        self._coder.tool_use(
+                            t, "temporal_filter", hyp.window.describe(), hyp_id
+                        )
+                    )
+                verdict = self.session.test_hypothesis(hyp)
+                verdicts.append(verdict)
+                t += ACTION_COST_S["read"]
+                support_pct = f"{verdict.support:.0%}"
+                coding.add(
+                    self._coder.observation(
+                        t,
+                        f"query result: {support_pct} highlighted -> {verdict.kind.value}",
+                        hypothesis_id=hyp_id,
+                    )
+                )
+                schema = Schema(theory=hyp.statement)
+                schema.attach_verdict(verdict)
+                ev_id = evidence.record(
+                    f"visual query for {hyp.statement!r}: {support_pct} support",
+                    traj_indices=verdict.result.highlighted_indices()[:20],
+                    tags=("visual-query",),
+                    source_stage=5,
+                )
+                schema.marshal(evidence[ev_id])
+                schemas.append(schema)
+                provenance.add(
+                    InsightRecord(
+                        insight=f"{hyp.statement}: {verdict.kind.value}",
+                        hypothesis=hyp.statement,
+                        query_spec={
+                            "color": hyp.color,
+                            "window": hyp.window.describe(),
+                            "target_group": hyp.target_group,
+                        },
+                        verdict={
+                            "kind": verdict.kind.value,
+                            "support": verdict.support,
+                        },
+                        evidence_ids=(ev_id,),
+                    )
+                )
+                # reset brush state between hypotheses, as the study did
+                self.session.erase()
+                self.session.set_time_window(TimeWindow.all())
+        return StudyReplay(
+            coding=coding,
+            evidence=evidence,
+            schemas=schemas,
+            verdicts=verdicts,
+            session=self.session,
+            provenance=provenance,
+        )
+
+    def data_grounded_observations(self) -> list[str]:
+        """Observations re-derived from the data itself (not scripted):
+        confirms the windy/direct comparison the researcher voiced also
+        holds in the synthetic dataset."""
+        table = zone_straightness_table(self.session.dataset)
+        on = table.get("on", 0.0)
+        off = np.mean([v for z, v in table.items() if z != "on"]) if len(table) > 1 else 0.0
+        out = []
+        if off > on:
+            out.append(
+                f"on-trail straightness {on:.2f} < off-trail {off:.2f}: "
+                "on-trail ants are windier"
+            )
+        return out

@@ -1,0 +1,211 @@
+"""The pilot study's video coding scheme (§V).
+
+"To analyze the recording, we developed a coding scheme to tag the
+video, indicating instances when: the researcher made an observation
+about the data; the researcher created a hypothesis; the researcher
+utilized one of the interactive tools ... along with the question or
+hypothesis she was trying to answer."
+
+:class:`CodedEvent` is one tag; :class:`SessionCoding` is the tagged
+recording plus the analyses the paper ran over it (event counts, tool
+usage per hypothesis, hypotheses-per-minute, stage mapping).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sensemaking.model import SensemakingModel, Stage
+
+__all__ = ["EventKind", "CodedEvent", "CodingScheme", "SessionCoding"]
+
+
+class EventKind(enum.Enum):
+    """The coding scheme's tag taxonomy."""
+
+    OBSERVATION = "observation"
+    HYPOTHESIS = "hypothesis"
+    TOOL_USE = "tool_use"
+
+
+#: Tools the scheme distinguishes (the paper's interactive features).
+TOOLS = (
+    "layout_switch",
+    "grouping",
+    "coordinated_brush",
+    "temporal_filter",
+    "depth_slider",
+    "exaggeration_slider",
+)
+
+#: Default mapping of coded events onto sensemaking stages used by
+#: :meth:`SessionCoding.stage_trace` — the §VI analysis: comparisons
+#: and observations live in steps 3-4 (evidence file), brushing in
+#: step 5 (schematize), hypothesis creation in step 6 (build case).
+_STAGE_OF = {
+    EventKind.OBSERVATION: Stage.EVIDENCE_FILE,
+    EventKind.HYPOTHESIS: Stage.HYPOTHESES,
+}
+_TOOL_STAGE = {
+    "layout_switch": Stage.VISUAL_REPRESENTATION,
+    "grouping": Stage.FILTERED_DATA,
+    "coordinated_brush": Stage.SCHEMA,
+    "temporal_filter": Stage.FILTERED_DATA,
+    "depth_slider": Stage.VISUAL_REPRESENTATION,
+    "exaggeration_slider": Stage.VISUAL_REPRESENTATION,
+}
+
+
+@dataclass(frozen=True)
+class CodedEvent:
+    """One tag on the session recording.
+
+    Attributes
+    ----------
+    t:
+        Session time in seconds.
+    kind:
+        Observation / hypothesis / tool use.
+    text:
+        What was said or done.
+    tool:
+        For TOOL_USE events, which tool.
+    hypothesis_id:
+        The hypothesis the action served, when attributable (the coding
+        scheme records "the question or hypothesis she was trying to
+        answer").
+    """
+
+    t: float
+    kind: EventKind
+    text: str
+    tool: str | None = None
+    hypothesis_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ValueError("event time must be >= 0")
+        if self.kind is EventKind.TOOL_USE:
+            if self.tool not in TOOLS:
+                raise ValueError(f"unknown tool {self.tool!r}; valid: {TOOLS}")
+        elif self.tool is not None:
+            raise ValueError("only TOOL_USE events carry a tool")
+
+
+class CodingScheme:
+    """Factory/validator for coded events."""
+
+    def observation(self, t: float, text: str, hypothesis_id: int | None = None) -> CodedEvent:
+        """Tag an observation about the data."""
+        return CodedEvent(t, EventKind.OBSERVATION, text, hypothesis_id=hypothesis_id)
+
+    def hypothesis(self, t: float, text: str, hypothesis_id: int) -> CodedEvent:
+        """Tag the creation of a hypothesis."""
+        return CodedEvent(t, EventKind.HYPOTHESIS, text, hypothesis_id=hypothesis_id)
+
+    def tool_use(
+        self, t: float, tool: str, text: str = "", hypothesis_id: int | None = None
+    ) -> CodedEvent:
+        """Tag a use of an interactive tool."""
+        return CodedEvent(t, EventKind.TOOL_USE, text, tool=tool, hypothesis_id=hypothesis_id)
+
+
+class SessionCoding:
+    """A tagged session recording plus the paper's analyses."""
+
+    def __init__(self, events: list[CodedEvent] | None = None) -> None:
+        self._events: list[CodedEvent] = []
+        for e in events or []:
+            self.add(e)
+
+    def add(self, event: CodedEvent) -> None:
+        """Append in (non-strictly) increasing time order."""
+        if self._events and event.t < self._events[-1].t:
+            raise ValueError(
+                f"events must be time-ordered; got t={event.t} after t={self._events[-1].t}"
+            )
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    @property
+    def duration_s(self) -> float:
+        return self._events[-1].t if self._events else 0.0
+
+    # Analyses ----------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Events per kind."""
+        out = {k.value: 0 for k in EventKind}
+        for e in self._events:
+            out[e.kind.value] += 1
+        return out
+
+    def tool_usage(self) -> dict[str, int]:
+        """Tool-use events per tool."""
+        out: dict[str, int] = {}
+        for e in self._events:
+            if e.kind is EventKind.TOOL_USE and e.tool:
+                out[e.tool] = out.get(e.tool, 0) + 1
+        return out
+
+    def hypotheses_per_minute(self) -> float:
+        """Rate of hypothesis creation — the paper's 'several hypotheses
+        ... within a span of few minutes'."""
+        n = self.counts()[EventKind.HYPOTHESIS.value]
+        minutes = self.duration_s / 60.0
+        return n / minutes if minutes > 0 else 0.0
+
+    def queries_per_hypothesis(self) -> dict[int, int]:
+        """Coordinated-brush uses attributed to each hypothesis."""
+        out: dict[int, int] = {}
+        for e in self._events:
+            if (
+                e.kind is EventKind.TOOL_USE
+                and e.tool == "coordinated_brush"
+                and e.hypothesis_id is not None
+            ):
+                out[e.hypothesis_id] = out.get(e.hypothesis_id, 0) + 1
+        return out
+
+    def hypothesis_latencies(self) -> np.ndarray:
+        """Seconds from each hypothesis tag to its first attributed
+        brush use — how quickly a theory became a visual query."""
+        created: dict[int, float] = {}
+        first_query: dict[int, float] = {}
+        for e in self._events:
+            if e.kind is EventKind.HYPOTHESIS and e.hypothesis_id is not None:
+                created.setdefault(e.hypothesis_id, e.t)
+            if (
+                e.kind is EventKind.TOOL_USE
+                and e.tool == "coordinated_brush"
+                and e.hypothesis_id is not None
+            ):
+                first_query.setdefault(e.hypothesis_id, e.t)
+        lat = [
+            first_query[h] - created[h]
+            for h in created
+            if h in first_query and first_query[h] >= created[h]
+        ]
+        return np.asarray(lat, dtype=np.float64)
+
+    def stage_trace(self) -> list[Stage]:
+        """Events mapped onto sensemaking stages, in time order."""
+        trace: list[Stage] = []
+        for e in self._events:
+            if e.kind is EventKind.TOOL_USE and e.tool:
+                trace.append(_TOOL_STAGE[e.tool])
+            else:
+                trace.append(_STAGE_OF[e.kind])
+        return trace
+
+    def stage_coverage(self, model: SensemakingModel | None = None) -> float:
+        """Fraction of the model's stages the session touched."""
+        model = model or SensemakingModel()
+        return model.path_coverage(self.stage_trace())

@@ -1,0 +1,107 @@
+"""The evidence file (Box C of the sensemaking model).
+
+§VI-A: "the small-multiple layout in itself could be considered an
+evidence file in our case" — low-level inferences (this group is
+windier; those ants head west) stayed externalized on the wall instead
+of in a separate artifact.  §VI-A also notes the missing feature:
+"there was no explicit way of recording or tagging those inferences.
+A future iteration of the design could add this feature."  This module
+*is* that future iteration: typed evidence items, taggable and linkable
+to the trajectories that support them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Evidence", "EvidenceFile"]
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """One low-level inference extracted from the visualization.
+
+    Attributes
+    ----------
+    text:
+        The inference as the researcher voiced it.
+    traj_indices:
+        Dataset indices of the trajectories supporting it.
+    tags:
+        Free-form labels ("windiness", "exit-side", ...).
+    source_stage:
+        Which numbered model step produced it (3 = extract features,
+        4 = search for patterns).
+    """
+
+    text: str
+    traj_indices: tuple[int, ...] = ()
+    tags: frozenset[str] = frozenset()
+    source_stage: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ValueError("evidence needs text")
+        if self.source_stage not in (1, 2, 3, 4, 5, 6, 7):
+            raise ValueError("source_stage must be a model step 1-7")
+
+
+class EvidenceFile:
+    """A taggable collection of evidence items."""
+
+    def __init__(self) -> None:
+        self._items: list[Evidence] = []
+
+    def add(self, evidence: Evidence) -> int:
+        """Record an item; returns its id within the file."""
+        self._items.append(evidence)
+        return len(self._items) - 1
+
+    def record(
+        self,
+        text: str,
+        traj_indices=(),
+        tags=(),
+        source_stage: int = 4,
+    ) -> int:
+        """Convenience constructor + add."""
+        return self.add(
+            Evidence(
+                text=text,
+                traj_indices=tuple(int(i) for i in traj_indices),
+                tags=frozenset(tags),
+                source_stage=source_stage,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __getitem__(self, i: int) -> Evidence:
+        return self._items[i]
+
+    def with_tag(self, tag: str) -> list[Evidence]:
+        """All items carrying a tag."""
+        return [e for e in self._items if tag in e.tags]
+
+    def supporting(self, traj_index: int) -> list[Evidence]:
+        """Items citing a particular trajectory."""
+        return [e for e in self._items if traj_index in e.traj_indices]
+
+    def tag_histogram(self) -> dict[str, int]:
+        """Counts of evidence items per tag."""
+        out: dict[str, int] = {}
+        for e in self._items:
+            for t in e.tags:
+                out[t] = out.get(t, 0) + 1
+        return out
+
+    def cited_trajectories(self) -> np.ndarray:
+        """Sorted unique dataset indices cited by any evidence."""
+        cited = sorted({i for e in self._items for i in e.traj_indices})
+        return np.asarray(cited, dtype=np.int64)

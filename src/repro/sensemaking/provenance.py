@@ -1,0 +1,127 @@
+"""Insight provenance (the paper's stated future work).
+
+§VII: "We will also look at ways of integrating our application into
+larger scientific workflows to support evidence and insight
+provenance."  An :class:`InsightRecord` captures one insight with the
+full chain that produced it — the hypothesis, the query parameters, the
+verdict, and the evidence it rests on — and a :class:`ProvenanceLog`
+stores the session's chain in replayable, serializable form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["InsightRecord", "ProvenanceLog"]
+
+
+@dataclass(frozen=True)
+class InsightRecord:
+    """One insight with its derivation chain.
+
+    Attributes
+    ----------
+    insight:
+        The conclusion drawn.
+    hypothesis:
+        The hypothesis statement it came from.
+    query_spec:
+        Serializable description of the visual query (brush color,
+        stamp count, radius, time window).
+    verdict:
+        The verdict kind and support fraction.
+    evidence_ids:
+        Evidence-file item ids marshaled behind it.
+    parents:
+        Indices of earlier insights this one builds on.
+    """
+
+    insight: str
+    hypothesis: str = ""
+    query_spec: dict[str, Any] = field(default_factory=dict)
+    verdict: dict[str, Any] = field(default_factory=dict)
+    evidence_ids: tuple[int, ...] = ()
+    parents: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.insight:
+            raise ValueError("insight text required")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serializable form."""
+        return {
+            "insight": self.insight,
+            "hypothesis": self.hypothesis,
+            "query_spec": dict(self.query_spec),
+            "verdict": dict(self.verdict),
+            "evidence_ids": list(self.evidence_ids),
+            "parents": list(self.parents),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "InsightRecord":
+        return cls(
+            insight=d["insight"],
+            hypothesis=d.get("hypothesis", ""),
+            query_spec=d.get("query_spec", {}),
+            verdict=d.get("verdict", {}),
+            evidence_ids=tuple(d.get("evidence_ids", ())),
+            parents=tuple(d.get("parents", ())),
+        )
+
+
+class ProvenanceLog:
+    """Append-only insight chain with JSON round-trip."""
+
+    def __init__(self) -> None:
+        self._records: list[InsightRecord] = []
+
+    def add(self, record: InsightRecord) -> int:
+        """Append; parent references must point at earlier records."""
+        for p in record.parents:
+            if not 0 <= p < len(self._records):
+                raise ValueError(f"parent {p} does not exist yet")
+        self._records.append(record)
+        return len(self._records) - 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, i: int) -> InsightRecord:
+        return self._records[i]
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def lineage(self, index: int) -> list[int]:
+        """All ancestor indices of an insight (depth-first, oldest last)."""
+        if not 0 <= index < len(self._records):
+            raise IndexError(index)
+        seen: list[int] = []
+        stack = list(self._records[index].parents)
+        while stack:
+            p = stack.pop()
+            if p not in seen:
+                seen.append(p)
+                stack.extend(self._records[p].parents)
+        return seen
+
+    def roots(self) -> list[int]:
+        """Insights with no parents."""
+        return [i for i, r in enumerate(self._records) if not r.parents]
+
+    def save(self, path: str | Path) -> None:
+        """Write the chain to a JSON file."""
+        Path(path).write_text(
+            json.dumps([r.to_dict() for r in self._records], indent=1)
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProvenanceLog":
+        log = cls()
+        for d in json.loads(Path(path).read_text()):
+            log.add(InsightRecord.from_dict(d))
+        return log

@@ -1,0 +1,76 @@
+"""Schemas (Box D): marshaled evidence supporting a theory.
+
+§VI-B links coordinated brushing to schematization: "Brushing and
+highlighting amounts to a refinement process that elevates the evidence
+file to a schema — a higher-order representation that provides concrete
+support for a particular theory."  A :class:`Schema` therefore binds a
+theory statement to the evidence items and query verdicts marshaled
+behind it, and can report how well-supported the theory currently is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hypothesis import Verdict
+from repro.sensemaking.evidence import Evidence
+
+__all__ = ["Schema"]
+
+
+@dataclass
+class Schema:
+    """A theory with its marshaled support.
+
+    Attributes
+    ----------
+    theory:
+        The theory being built (e.g. "off-trail ants home toward the
+        foraging trail").
+    evidence:
+        Low-level inferences marshaled behind the theory.
+    verdicts:
+        Visual-query verdicts accumulated while testing it.
+    """
+
+    theory: str
+    evidence: list[Evidence] = field(default_factory=list)
+    verdicts: list[Verdict] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.theory:
+            raise ValueError("a schema needs a theory statement")
+
+    def marshal(self, evidence: Evidence) -> None:
+        """Attach an evidence item."""
+        self.evidence.append(evidence)
+
+    def attach_verdict(self, verdict: Verdict) -> None:
+        """Attach a visual-query verdict."""
+        self.verdicts.append(verdict)
+
+    @property
+    def n_supporting(self) -> int:
+        return sum(1 for v in self.verdicts if v.supported)
+
+    @property
+    def n_refuting(self) -> int:
+        from repro.core.hypothesis import VerdictKind
+
+        return sum(1 for v in self.verdicts if v.kind is VerdictKind.REFUTED)
+
+    def case_strength(self) -> float:
+        """Net verdict balance in [-1, 1]: +1 all queries supported the
+        theory, -1 all refuted, 0 balanced or untested."""
+        n = self.n_supporting + self.n_refuting
+        if n == 0:
+            return 0.0
+        return (self.n_supporting - self.n_refuting) / n
+
+    def summary(self) -> str:
+        """One-line state of the case."""
+        return (
+            f"{self.theory!r}: {len(self.evidence)} evidence items, "
+            f"{self.n_supporting} supporting / {self.n_refuting} refuting queries, "
+            f"strength {self.case_strength():+.2f}"
+        )

@@ -1,0 +1,31 @@
+"""Stereoscopic space-time-cube geometry.
+
+The paper renders each trajectory as a space-time cube (§IV-C.1,
+Fig. 4): the display plane carries XY movement, and time extends along
++Z, out of the display toward the viewer, so a stationary ant shows as
+a segment perpendicular to the screen.  Rendering is orthographic (to
+avoid perspective distortion) with per-eye horizontal shear providing
+stereo disparity; a pair of ergonomic sliders (§IV-C.2) repositions the
+depth range and (de)exaggerates the time scale to keep binocular
+parallax inside the comfort zone.
+
+This subpackage implements that geometry exactly: per-eye projections,
+screen-parallax computation, the comfort model, and the slider state.
+"""
+
+from repro.stereo.camera import Eye, StereoCamera
+from repro.stereo.projection import SpaceTimeProjection
+from repro.stereo.parallax import screen_parallax, parallax_visual_angle_deg
+from repro.stereo.comfort import ComfortModel, ComfortReport
+from repro.stereo.controls import ErgonomicControls
+
+__all__ = [
+    "Eye",
+    "StereoCamera",
+    "SpaceTimeProjection",
+    "screen_parallax",
+    "parallax_visual_angle_deg",
+    "ComfortModel",
+    "ComfortReport",
+    "ErgonomicControls",
+]

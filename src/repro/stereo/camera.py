@@ -1,0 +1,86 @@
+"""Stereo camera model.
+
+A :class:`StereoCamera` describes the viewing situation of the study:
+a viewer with interocular distance ``eye_separation`` standing
+``viewer_distance`` meters from the display plane (the paper's desk was
+~3 m from the wall).  Each eye's orthographic projection is a
+horizontal shear proportional to depth; the shear factor is
+``(eye_separation / 2) / viewer_distance``, which makes the rendered
+disparity reproduce (to first order) the physical parallax a real point
+at that depth would cast — see :mod:`repro.stereo.parallax` for the
+exact relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = ["Eye", "StereoCamera"]
+
+
+class Eye(IntEnum):
+    """Which eye a view is rendered for; values are shear signs."""
+
+    LEFT = -1
+    RIGHT = 1
+
+
+@dataclass(frozen=True)
+class StereoCamera:
+    """Viewing geometry for sheared-orthographic stereo.
+
+    Attributes
+    ----------
+    eye_separation:
+        Interocular distance in meters (population mean ~0.065).
+    viewer_distance:
+        Viewer-to-display distance in meters (the study: ~3 m).
+    """
+
+    eye_separation: float = 0.065
+    viewer_distance: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.eye_separation <= 0:
+            raise ValueError("eye_separation must be positive")
+        if self.viewer_distance <= 0:
+            raise ValueError("viewer_distance must be positive")
+
+    @property
+    def shear(self) -> float:
+        """Per-eye horizontal shear per meter of depth (unsigned)."""
+        return (self.eye_separation / 2.0) / self.viewer_distance
+
+    def eye_offset(self, eye: Eye) -> float:
+        """Signed horizontal eye position relative to the cyclopean axis.
+
+        The left eye sits at -separation/2; its view of near content
+        shifts *right*, hence the opposite-signed shear below.
+        """
+        return eye.value * (self.eye_separation / 2.0)
+
+    def project_points(self, points_xyz: np.ndarray, eye: Eye) -> np.ndarray:
+        """Sheared-orthographic projection of (..., 3) points to (..., 2).
+
+        ``z`` is depth in meters *in front of* the display plane
+        (positive toward the viewer).  The projected x is
+        ``x - sign(eye) * shear * z``: content in front of the screen
+        shifts left in the right eye and right in the left eye
+        (crossed disparity), matching physical stereo.
+        """
+        points_xyz = np.asarray(points_xyz, dtype=np.float64)
+        if points_xyz.shape[-1] != 3:
+            raise ValueError(f"expected (..., 3) points, got {points_xyz.shape}")
+        out = np.empty(points_xyz.shape[:-1] + (2,), dtype=np.float64)
+        out[..., 0] = points_xyz[..., 0] - eye.value * self.shear * points_xyz[..., 2]
+        out[..., 1] = points_xyz[..., 1]
+        return out
+
+    def rendered_parallax(self, z: np.ndarray | float) -> np.ndarray:
+        """Screen disparity (left-eye x minus right-eye x) produced by
+        the shear projection for depth ``z``: ``eye_separation * z /
+        viewer_distance``.  Positive for in-front (crossed) content."""
+        return (self.eye_separation / self.viewer_distance) * np.asarray(z, dtype=np.float64)

@@ -1,0 +1,109 @@
+"""Stereoscopic comfort model.
+
+§IV-C.2: "Prolonged viewing of stereoscopic images has been known to
+cause discomfort ... mainly due to excessive binocular parallax and
+accommodation-convergence conflict."  The model below quantifies both
+for a depth interval, so the ergonomic sliders can be validated (E7):
+
+* **disparity angle** — binocular parallax as a visual angle, bounded
+  by ``limit_deg`` (default 1 degree, the customary comfort zone);
+* **AC conflict** — the diopter mismatch between accommodation (always
+  at the screen) and convergence (at the virtual depth),
+  ``|1/(d - z) - 1/d|``, bounded by ``ac_limit_diopters``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stereo.parallax import depth_for_parallax, parallax_visual_angle_deg
+
+__all__ = ["ComfortModel", "ComfortReport"]
+
+
+@dataclass(frozen=True)
+class ComfortReport:
+    """Comfort assessment of a depth interval.
+
+    Attributes
+    ----------
+    max_disparity_deg:
+        Largest absolute disparity angle over the interval.
+    max_ac_conflict_diopters:
+        Largest accommodation-convergence mismatch.
+    comfortable:
+        True iff both quantities are within their limits.
+    fraction_comfortable:
+        Fraction of the (uniformly sampled) depth interval inside the
+        comfort zone — the E7 sweep series.
+    """
+
+    max_disparity_deg: float
+    max_ac_conflict_diopters: float
+    comfortable: bool
+    fraction_comfortable: float
+
+
+@dataclass(frozen=True)
+class ComfortModel:
+    """Comfort limits for a given viewing geometry."""
+
+    eye_separation: float = 0.065
+    viewer_distance: float = 3.0
+    limit_deg: float = 1.0
+    ac_limit_diopters: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.limit_deg <= 0 or self.ac_limit_diopters <= 0:
+            raise ValueError("comfort limits must be positive")
+        if self.viewer_distance <= 0 or self.eye_separation <= 0:
+            raise ValueError("viewing geometry must be positive")
+
+    def disparity_deg(self, z: np.ndarray | float) -> np.ndarray:
+        """Disparity angle (degrees) at depths ``z``."""
+        return parallax_visual_angle_deg(z, self.eye_separation, self.viewer_distance)
+
+    def ac_conflict(self, z: np.ndarray | float) -> np.ndarray:
+        """Accommodation-convergence conflict (diopters) at depths ``z``."""
+        z = np.asarray(z, dtype=np.float64)
+        if np.any(z >= self.viewer_distance):
+            raise ValueError("depth must be less than viewer distance")
+        return np.abs(1.0 / (self.viewer_distance - z) - 1.0 / self.viewer_distance)
+
+    def depth_in_comfort(self, z: np.ndarray | float) -> np.ndarray:
+        """Mask of depths inside the comfort zone."""
+        z = np.asarray(z, dtype=np.float64)
+        return (np.abs(self.disparity_deg(z)) <= self.limit_deg) & (
+            self.ac_conflict(z) <= self.ac_limit_diopters
+        )
+
+    def comfort_depth_budget(self) -> tuple[float, float]:
+        """The (z_behind, z_front) comfortable depth interval, meters.
+
+        The near bound comes from whichever constraint (disparity or AC
+        conflict) binds first; the far (behind-screen) bound likewise.
+        """
+        front_disp = depth_for_parallax(self.limit_deg, self.eye_separation, self.viewer_distance)
+        behind_disp = depth_for_parallax(-self.limit_deg, self.eye_separation, self.viewer_distance)
+        # AC bound: |1/(d-z) - 1/d| = L  =>  z = d - 1/(1/d +/- L)
+        d, L = self.viewer_distance, self.ac_limit_diopters
+        front_ac = d - 1.0 / (1.0 / d + L)
+        behind_ac = d - 1.0 / max(1.0 / d - L, 1e-9)
+        return (max(behind_disp, behind_ac), min(front_disp, front_ac))
+
+    def assess(self, z_min: float, z_max: float, samples: int = 256) -> ComfortReport:
+        """Assess a depth interval [z_min, z_max]."""
+        if z_max < z_min:
+            raise ValueError("z_max must be >= z_min")
+        z = np.linspace(z_min, z_max, samples)
+        disp = np.abs(self.disparity_deg(z))
+        ac = self.ac_conflict(z)
+        ok = (disp <= self.limit_deg) & (ac <= self.ac_limit_diopters)
+        return ComfortReport(
+            max_disparity_deg=float(disp.max()),
+            max_ac_conflict_diopters=float(ac.max()),
+            comfortable=bool(ok.all()),
+            fraction_comfortable=float(ok.mean()),
+        )

@@ -1,0 +1,94 @@
+"""Ergonomic stereo controls.
+
+The two sliders of §IV-C.2 as stateful application controls:
+
+* the **depth slider** positions trajectories in front of, behind, or
+  through the display surface (``depth_offset``);
+* the **exaggeration slider** scales the temporal axis (``time_scale``).
+
+:meth:`ErgonomicControls.fit_to_comfort` solves the inverse problem the
+user solved by hand: given the longest displayed trajectory, choose the
+largest time exaggeration (and centering offset) that keeps the whole
+depth range inside the comfort zone — "control the maximum amount of
+binocular parallax and keep it within a comfortable range while
+maintaining sufficient depth cues".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stereo.comfort import ComfortModel
+from repro.stereo.projection import SpaceTimeProjection
+
+__all__ = ["ErgonomicControls"]
+
+
+@dataclass
+class ErgonomicControls:
+    """Mutable slider state feeding a :class:`SpaceTimeProjection`.
+
+    Attributes
+    ----------
+    comfort:
+        The comfort model used for validation/fitting.
+    time_scale:
+        Current exaggeration slider value (m of depth per second).
+    depth_offset:
+        Current depth slider value (m; + toward the viewer).
+    """
+
+    comfort: ComfortModel = field(default_factory=ComfortModel)
+    time_scale: float = 0.001
+    depth_offset: float = 0.0
+
+    def projection(self) -> SpaceTimeProjection:
+        """A projection snapshot of the current slider state."""
+        from repro.stereo.camera import StereoCamera
+
+        camera = StereoCamera(
+            eye_separation=self.comfort.eye_separation,
+            viewer_distance=self.comfort.viewer_distance,
+        )
+        return SpaceTimeProjection(
+            camera=camera, time_scale=self.time_scale, depth_offset=self.depth_offset
+        )
+
+    def set_depth(self, depth_offset: float) -> None:
+        """Move the depth slider."""
+        self.depth_offset = float(depth_offset)
+
+    def set_exaggeration(self, time_scale: float) -> None:
+        """Move the exaggeration slider."""
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.time_scale = float(time_scale)
+
+    def depth_range_for(self, max_duration_s: float) -> tuple[float, float]:
+        """Depth interval occupied by a trajectory of ``max_duration_s``."""
+        return (self.depth_offset, self.depth_offset + self.time_scale * max_duration_s)
+
+    def is_comfortable(self, max_duration_s: float) -> bool:
+        """Whether the current settings keep that depth range comfortable."""
+        z0, z1 = self.depth_range_for(max_duration_s)
+        return self.comfort.assess(min(z0, z1), max(z0, z1)).comfortable
+
+    def fit_to_comfort(self, max_duration_s: float, *, center: bool = True) -> None:
+        """Choose the largest comfortable exaggeration for a duration.
+
+        With ``center=True`` the depth range spans the *whole*
+        comfortable interval, behind-screen included (the uncrossed
+        side of the budget is far more forgiving, so this buys a much
+        larger exaggeration); otherwise trajectories start at the
+        surface and float forward, as in Fig. 4.
+        """
+        if max_duration_s <= 0:
+            raise ValueError("max_duration_s must be positive")
+        z_behind, z_front = self.comfort.comfort_depth_budget()
+        if center:
+            budget = z_front - z_behind
+            self.time_scale = budget / max_duration_s
+            self.depth_offset = z_behind
+        else:
+            self.time_scale = z_front / max_duration_s
+            self.depth_offset = 0.0

@@ -1,0 +1,39 @@
+"""Synthetic ant-behaviour simulator.
+
+The paper's dataset — ~500 field-tracked *Messor cephalotes*
+trajectories from Kenya — is proprietary and unavailable, so this
+subpackage generates a statistically matched substitute: a circular
+experimental arena, a correlated-random-walk movement model with
+condition-dependent homing bias, and a dataset builder that plants the
+exact ground-truth effects the paper's visual queries tested (east-
+captured ants exiting west; seed-droppers dwelling centrally early).
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.synth.arena import Arena
+from repro.synth.conditions import CaptureCondition, STUDY_CONDITION_MIX, condition_mix
+from repro.synth.walker import CorrelatedRandomWalk, WalkParams
+from repro.synth.behavior import BehaviorParams, simulate_ant
+from repro.synth.antsim import AntStudyConfig, generate_study_dataset, generate_scaled_dataset
+from repro.synth.ensembles import (
+    EnsembleConfig,
+    generate_oscillator_ensemble,
+    generate_vdp_ensemble,
+)
+
+__all__ = [
+    "EnsembleConfig",
+    "generate_oscillator_ensemble",
+    "generate_vdp_ensemble",
+    "Arena",
+    "CaptureCondition",
+    "STUDY_CONDITION_MIX",
+    "condition_mix",
+    "CorrelatedRandomWalk",
+    "WalkParams",
+    "BehaviorParams",
+    "simulate_ant",
+    "AntStudyConfig",
+    "generate_study_dataset",
+    "generate_scaled_dataset",
+]

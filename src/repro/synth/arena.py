@@ -1,0 +1,101 @@
+"""Experimental arena model.
+
+The study released each captured ant at the center of a circular
+experimental arena and tracked it until it exited (§IV-B).  The arena
+model provides the geometry every other component shares: the release
+point, containment tests, exit detection, and the compass convention
+used to classify exit sides (the §V-B query asks whether east-captured
+ants exit on the *west* side).
+
+Convention: arena coordinates are meters with the release point at the
+origin; +X is east, +Y is north.  The colony's main foraging trail runs
+north-south through the origin, so "east of the trail" means x > 0 at
+the capture site, and "exiting west" means leaving the arena with a
+bearing in the western quadrant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Arena", "EXIT_SIDES", "bearing_to_side"]
+
+#: The four compass exit sides, in counterclockwise quadrant order.
+EXIT_SIDES = ("east", "north", "west", "south")
+
+
+def bearing_to_side(angle_rad: float | np.ndarray) -> np.ndarray:
+    """Map bearings (radians, atan2 convention) to compass quadrants.
+
+    East is the quadrant within +/-45 degrees of +X, north within
+    +/-45 degrees of +Y, and so on.  Vectorized over arrays.
+    """
+    angle = np.asarray(angle_rad, dtype=np.float64)
+    quadrant = np.floor_divide(angle + np.pi / 4.0, np.pi / 2.0).astype(np.int64) % 4
+    return np.asarray(EXIT_SIDES, dtype=object)[quadrant]
+
+
+@dataclass(frozen=True)
+class Arena:
+    """A circular experimental arena.
+
+    Attributes
+    ----------
+    radius:
+        Arena radius in meters (default 0.5 m — a 1 m dish, consistent
+        with the ~3 mm tracking resolution of the study).
+    """
+
+    radius: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+
+    @property
+    def center(self) -> np.ndarray:
+        """The release point (the origin)."""
+        return np.zeros(2)
+
+    def contains(self, points: np.ndarray) -> np.ndarray:
+        """Boolean mask: which (N, 2) points lie inside the arena."""
+        points = np.asarray(points, dtype=np.float64)
+        return np.einsum("ij,ij->i", points, points) <= self.radius**2
+
+    def contains_point(self, point) -> bool:
+        """Scalar convenience wrapper over :meth:`contains`."""
+        return bool(self.contains(np.asarray(point, dtype=np.float64)[None, :])[0])
+
+    def exit_bearing(self, point) -> float:
+        """Bearing (radians) from the center to ``point``."""
+        x, y = float(point[0]), float(point[1])
+        return float(np.arctan2(y, x))
+
+    def exit_side(self, point) -> str:
+        """Compass side (east/north/west/south) of an exit point."""
+        return str(bearing_to_side(self.exit_bearing(point)))
+
+    def clamp_inside(self, points: np.ndarray, margin: float = 0.0) -> np.ndarray:
+        """Project points outside radius-margin back onto that circle."""
+        points = np.asarray(points, dtype=np.float64).copy()
+        limit = self.radius - margin
+        r = np.linalg.norm(points, axis=-1)
+        outside = r > limit
+        if np.any(outside):
+            scale = limit / r[outside]
+            points[outside] *= scale[:, None]
+        return points
+
+    def random_boundary_point(self, rng: np.random.Generator, side: str | None = None) -> np.ndarray:
+        """A uniformly random point on the rim, optionally within a side's
+        90-degree quadrant.  Used by tests and workload generators."""
+        if side is None:
+            theta = rng.uniform(-np.pi, np.pi)
+        else:
+            if side not in EXIT_SIDES:
+                raise ValueError(f"unknown side {side!r}; valid: {EXIT_SIDES}")
+            base = {"east": 0.0, "north": np.pi / 2, "west": np.pi, "south": -np.pi / 2}[side]
+            theta = base + rng.uniform(-np.pi / 4, np.pi / 4)
+        return self.radius * np.array([np.cos(theta), np.sin(theta)])

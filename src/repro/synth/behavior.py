@@ -1,0 +1,207 @@
+"""Condition-dependent ant behaviour.
+
+Combines the CRW movement kernel with the behavioural hypotheses the
+paper's pilot study actually tested, so every visual query in the
+reproduction has a planted, verifiable ground truth:
+
+* **Homing** (§V-B, Fig. 5): ants captured *east* of the foraging
+  trail tend to head back *west* toward it (and symmetrically for the
+  other zones); on-trail ants have no directional goal and produce the
+  "more windy" paths the researcher described, while off-trail ants are
+  "more direct" (§VI-A).
+* **Seed-drop search** (§V-B): ants that dropped their seed during
+  handling spend an initial dwell phase searching near the release
+  point (the arena center) before committing to a direction —
+  detectable as a near-perpendicular early segment in the space-time
+  cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synth.arena import Arena
+from repro.synth.conditions import CaptureCondition
+from repro.synth.walker import CorrelatedRandomWalk, WalkParams
+from repro.trajectory.model import Trajectory
+
+__all__ = ["BehaviorParams", "homing_goal", "simulate_ant"]
+
+#: Zone -> homing bearing (radians): the direction back toward the trail.
+_HOMING_BEARING = {
+    "east": np.pi,        # captured east of the trail -> head west
+    "west": 0.0,          # captured west -> head east
+    "north": -np.pi / 2,  # captured north -> head south
+    "south": np.pi / 2,   # captured south -> head north
+}
+
+
+@dataclass(frozen=True)
+class BehaviorParams:
+    """Tunable strengths of the planted behavioural effects.
+
+    Attributes
+    ----------
+    homing_fidelity:
+        Probability that an off-trail ant actually homes toward the
+        trail (the rest behave like on-trail ants).  The paper reports
+        the east->west hypothesis held for "a majority", so the default
+        is strong but not absolute.
+    on_trail_turn_std / off_trail_turn_std:
+        CRW turning noise for on-trail (windy) vs. off-trail (direct)
+        ants.
+    off_trail_bias:
+        Goal-attraction strength for homing ants.
+    search_dwell_s:
+        Mean duration of the seed-drop central search phase (seconds).
+    search_radius:
+        Radius (fraction of arena radius) the search phase stays within.
+    max_duration_s:
+        Hard cap matching the study's 3-minute maximum.
+    min_duration_s:
+        Trajectories shorter than this are re-padded by continued
+        walking along the rim; study minimum was 10 s.
+    """
+
+    homing_fidelity: float = 0.8
+    on_trail_turn_std: float = 0.55
+    off_trail_turn_std: float = 0.22
+    off_trail_bias: float = 0.3
+    search_dwell_s: float = 25.0
+    search_radius: float = 0.15
+    max_duration_s: float = 180.0
+    min_duration_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.homing_fidelity <= 1.0:
+            raise ValueError("homing_fidelity must be in [0, 1]")
+        if self.max_duration_s <= self.min_duration_s:
+            raise ValueError("max_duration_s must exceed min_duration_s")
+        if not 0.0 < self.search_radius < 1.0:
+            raise ValueError("search_radius must be a fraction of the arena radius")
+
+
+def homing_goal(arena: Arena, cond: CaptureCondition, rng: np.random.Generator,
+                params: BehaviorParams) -> np.ndarray | None:
+    """The attraction point for an ant under ``cond``, or None.
+
+    Off-trail ants home toward the trail with probability
+    ``homing_fidelity``; inbound ants home slightly more reliably than
+    outbound ones (they were already heading back).  On-trail ants have
+    no goal.
+    """
+    if cond.capture_zone == "on":
+        return None
+    fidelity = params.homing_fidelity
+    if cond.direction == "inbound":
+        fidelity = min(1.0, fidelity + 0.1)
+    else:
+        fidelity = max(0.0, fidelity - 0.1)
+    if rng.uniform() > fidelity:
+        return None
+    bearing = _HOMING_BEARING[cond.capture_zone] + rng.normal(0.0, 0.25)
+    # goal well outside the arena so the pull direction is stable
+    return 3.0 * arena.radius * np.array([np.cos(bearing), np.sin(bearing)])
+
+
+def _search_phase(
+    arena: Arena,
+    walker: CorrelatedRandomWalk,
+    rng: np.random.Generator,
+    params: BehaviorParams,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Central search dwell for seed-droppers: a tight, slow walk
+    confined near the release point.  Capped at 40 % of the study's
+    duration limit so the exit walk always gets its share."""
+    dwell = max(params.search_dwell_s * rng.lognormal(0.0, 0.3), 2.0)
+    dwell = min(dwell, 0.4 * params.max_duration_s)
+    n_steps = max(2, int(dwell / walker.params.dt))
+    limit = params.search_radius * arena.radius
+
+    def confine(chunk: np.ndarray) -> np.ndarray:
+        # never triggers a stop; confinement is applied after walking
+        return np.zeros(len(chunk), dtype=bool)
+
+    positions, times = walker.walk(
+        np.zeros(2), n_steps, rng.uniform(-np.pi, np.pi), goal=None, stop_predicate=confine
+    )
+    # Project the search walk inside the search disc (the ant circles
+    # the release point); this preserves the slow, central character.
+    r = np.linalg.norm(positions, axis=1)
+    outside = r > limit
+    if outside.any():
+        positions = positions.copy()
+        positions[outside] *= (limit / r[outside])[:, None]
+    return positions, times
+
+
+def simulate_ant(
+    arena: Arena,
+    cond: CaptureCondition,
+    rng: np.random.Generator,
+    params: BehaviorParams | None = None,
+    traj_id: int = -1,
+) -> Trajectory:
+    """Simulate one released ant under capture condition ``cond``.
+
+    The walk starts at the arena center and terminates when the ant
+    crosses the rim or the 3-minute study cap elapses.  Seed-droppers
+    prepend the central search phase.
+    """
+    params = params or BehaviorParams()
+    turn_std = (
+        params.on_trail_turn_std if cond.capture_zone == "on" else params.off_trail_turn_std
+    )
+    goal = homing_goal(arena, cond, rng, params)
+    bias = params.off_trail_bias if goal is not None else 0.0
+    if goal is None:
+        # undirected ants get windy movement regardless of zone
+        turn_std = max(turn_std, params.on_trail_turn_std)
+    walk_params = WalkParams(
+        speed_mean=0.02 * rng.lognormal(0.0, 0.2),
+        speed_std=0.006,
+        turn_std=turn_std,
+        bias_strength=bias,
+    )
+    walker = CorrelatedRandomWalk(walk_params, rng)
+
+    chunks_pos: list[np.ndarray] = []
+    chunks_t: list[np.ndarray] = []
+    t_offset = 0.0
+
+    if cond.seed_dropped:
+        pos_s, t_s = _search_phase(arena, walker, rng, params)
+        chunks_pos.append(pos_s)
+        chunks_t.append(t_s)
+        t_offset = float(t_s[-1]) + walk_params.dt
+
+    start = chunks_pos[-1][-1] if chunks_pos else np.zeros(2)
+    heading = (
+        arena.exit_bearing(goal) if goal is not None else rng.uniform(-np.pi, np.pi)
+    )
+    remaining_s = params.max_duration_s - t_offset
+    n_steps = max(2, int(remaining_s / walk_params.dt))
+
+    def hit_rim(chunk: np.ndarray) -> np.ndarray:
+        return ~arena.contains(chunk)
+
+    pos_w, t_w = walker.walk(start, n_steps, heading, goal=goal, stop_predicate=hit_rim)
+    if chunks_pos:
+        chunks_pos.append(pos_w[1:])  # drop duplicated joint sample
+        chunks_t.append(t_w[1:] + t_offset)
+    else:
+        chunks_pos.append(pos_w)
+        chunks_t.append(t_w)
+
+    positions = np.concatenate(chunks_pos, axis=0)
+    times = np.concatenate(chunks_t, axis=0)
+
+    # Enforce the study's 10 s minimum: too-short escapes get their
+    # pre-exit portion time-dilated (slow ant), never re-simulated, so
+    # the spatial shape (and exit side) is untouched.
+    if times[-1] < params.min_duration_s:
+        times = times * (params.min_duration_s / times[-1])
+
+    return Trajectory(positions, times, cond.to_meta(), traj_id)

@@ -1,0 +1,105 @@
+"""Capture-condition taxonomy and study mix.
+
+§IV-B: trajectories were categorized by the ant's state at capture —
+position relative to the main foraging trail (on / east / west / north /
+south), journey direction (outbound / inbound), and seed carrying.
+This module enumerates the cross product and defines the mixing
+proportions used to synthesize a study-shaped dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trajectory.model import CaptureZone, Direction, TrajectoryMeta
+
+__all__ = ["CaptureCondition", "STUDY_CONDITION_MIX", "condition_mix", "sample_conditions"]
+
+
+@dataclass(frozen=True)
+class CaptureCondition:
+    """One cell of the experimental design."""
+
+    capture_zone: str
+    direction: str
+    carrying_seed: bool
+    seed_dropped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capture_zone not in CaptureZone:
+            raise ValueError(f"unknown zone {self.capture_zone!r}")
+        if self.direction not in Direction:
+            raise ValueError(f"unknown direction {self.direction!r}")
+        if self.seed_dropped and not self.carrying_seed:
+            raise ValueError("seed_dropped requires carrying_seed")
+
+    def to_meta(self, **extra) -> TrajectoryMeta:
+        """The metadata record a trajectory under this condition carries."""
+        return TrajectoryMeta(
+            capture_zone=self.capture_zone,
+            direction=self.direction,
+            carrying_seed=self.carrying_seed,
+            seed_dropped=self.seed_dropped,
+            extra=extra,
+        )
+
+    @property
+    def label(self) -> str:
+        seed = (
+            "seed-dropped" if self.seed_dropped else ("seed" if self.carrying_seed else "noseed")
+        )
+        return f"{self.capture_zone}/{self.direction}/{seed}"
+
+
+def _mix() -> dict[CaptureCondition, float]:
+    """The default study mix.
+
+    Zones weighted so the trail itself is sampled most heavily (that is
+    where ants are abundant); inbound ants more often carry seeds
+    (returning foragers); a fraction of carriers drop the seed during
+    handling.  Probabilities sum to 1.
+    """
+    zone_w = {"on": 0.30, "east": 0.20, "west": 0.20, "north": 0.15, "south": 0.15}
+    mix: dict[CaptureCondition, float] = {}
+    for zone, zw in zone_w.items():
+        for direction in ("outbound", "inbound"):
+            dw = 0.5
+            p_seed = 0.55 if direction == "inbound" else 0.15
+            p_drop_given_seed = 0.35
+            combos = (
+                (False, False, (1.0 - p_seed)),
+                (True, False, p_seed * (1.0 - p_drop_given_seed)),
+                (True, True, p_seed * p_drop_given_seed),
+            )
+            for carrying, dropped, sw in combos:
+                cond = CaptureCondition(zone, direction, carrying, dropped)
+                mix[cond] = zw * dw * sw
+    return mix
+
+
+#: Default condition mix used by :func:`repro.synth.generate_study_dataset`.
+STUDY_CONDITION_MIX = _mix()
+
+
+def condition_mix() -> dict[CaptureCondition, float]:
+    """A fresh copy of the default mix (callers may re-weight it)."""
+    return dict(STUDY_CONDITION_MIX)
+
+
+def sample_conditions(
+    n: int, rng: np.random.Generator, mix: dict[CaptureCondition, float] | None = None
+) -> list[CaptureCondition]:
+    """Draw ``n`` conditions i.i.d. from ``mix`` (default study mix)."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    mix = mix or STUDY_CONDITION_MIX
+    conds = list(mix.keys())
+    probs = np.array([mix[c] for c in conds], dtype=np.float64)
+    total = probs.sum()
+    if total <= 0:
+        raise ValueError("condition mix weights must sum to a positive value")
+    probs /= total
+    idx = rng.choice(len(conds), size=n, p=probs)
+    return [conds[i] for i in idx]

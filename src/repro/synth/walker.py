@@ -1,0 +1,150 @@
+"""Correlated random walk movement kernel.
+
+Insect movement is commonly modeled as a correlated random walk (CRW):
+each step's heading is the previous heading plus wrapped-Gaussian noise,
+optionally pulled toward a goal bearing.  The kernel below generates a
+whole walk in one vectorized pass: headings are a cumulative sum of
+turning deviations blended with the bias field, and positions a
+cumulative sum of step vectors — no per-step Python loop except the
+(cheap) bias re-evaluation, which is itself chunk-vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["WalkParams", "CorrelatedRandomWalk"]
+
+
+@dataclass(frozen=True)
+class WalkParams:
+    """Parameters of a correlated random walk.
+
+    Attributes
+    ----------
+    speed_mean, speed_std:
+        Step speed distribution (m/s), truncated at zero.
+    turn_std:
+        Std-dev of per-step heading deviation (radians).  Larger makes
+        windier paths — the paper's on-trail ants.
+    bias_strength:
+        In [0, 1]: per-step blending weight pulling the heading toward
+        the goal bearing.  0 is a pure CRW; 1 beelines to the goal.
+    dt:
+        Simulation step in seconds (tracking was ~3 mm resolution;
+        with ~2 cm/s ant speeds, dt=0.15 s gives ~3 mm steps).
+    """
+
+    speed_mean: float = 0.02
+    speed_std: float = 0.006
+    turn_std: float = 0.35
+    bias_strength: float = 0.0
+    dt: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.speed_mean <= 0:
+            raise ValueError(f"speed_mean must be > 0, got {self.speed_mean}")
+        if self.speed_std < 0:
+            raise ValueError(f"speed_std must be >= 0, got {self.speed_std}")
+        if self.turn_std < 0:
+            raise ValueError(f"turn_std must be >= 0, got {self.turn_std}")
+        if not 0.0 <= self.bias_strength <= 1.0:
+            raise ValueError(f"bias_strength must be in [0,1], got {self.bias_strength}")
+        if self.dt <= 0:
+            raise ValueError(f"dt must be > 0, got {self.dt}")
+
+
+def _wrap_angle(a: np.ndarray) -> np.ndarray:
+    """Wrap angles into (-pi, pi]."""
+    return (a + np.pi) % (2.0 * np.pi) - np.pi
+
+
+class CorrelatedRandomWalk:
+    """Generates CRW paths, optionally biased toward a goal bearing.
+
+    The walk is advanced in vectorized chunks: within a chunk the goal
+    bearing is held fixed (it changes slowly relative to the step), so
+    headings and positions are produced by cumulative sums.  This keeps
+    the generator O(N) with NumPy-level constants, per the HPC guide's
+    vectorize-the-inner-loop rule.
+    """
+
+    #: Steps per vectorized chunk; bias bearing is refreshed per chunk.
+    CHUNK = 32
+
+    def __init__(self, params: WalkParams, rng: np.random.Generator) -> None:
+        self.params = params
+        self.rng = rng
+
+    def walk(
+        self,
+        start: np.ndarray,
+        n_steps: int,
+        initial_heading: float,
+        goal: np.ndarray | None = None,
+        stop_predicate=None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Generate a path of up to ``n_steps`` steps.
+
+        Parameters
+        ----------
+        start:
+            (2,) starting position.
+        n_steps:
+            Maximum number of steps.
+        initial_heading:
+            Starting heading in radians.
+        goal:
+            Optional (2,) attraction point; with ``bias_strength`` > 0
+            the heading is pulled toward it each chunk.
+        stop_predicate:
+            Optional callable ``(positions_chunk) -> bool mask``;
+            the walk stops after the first True sample (inclusive).
+            Used to terminate at the arena rim.
+
+        Returns
+        -------
+        (positions, times):
+            (N+1, 2) positions including the start, and (N+1,) times
+            starting at 0.
+        """
+        p = self.params
+        if n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+        pos_chunks: list[np.ndarray] = [np.asarray(start, dtype=np.float64)[None, :]]
+        heading = float(initial_heading)
+        current = np.asarray(start, dtype=np.float64).copy()
+        produced = 0
+        stopped = False
+        while produced < n_steps and not stopped:
+            m = min(self.CHUNK, n_steps - produced)
+            turns = self.rng.normal(0.0, p.turn_std, size=m)
+            headings = heading + np.cumsum(turns)
+            if goal is not None and p.bias_strength > 0.0:
+                goal_bearing = np.arctan2(goal[1] - current[1], goal[0] - current[0])
+                # blend by rotating each heading a fraction of the way
+                # toward the goal bearing (shortest angular path)
+                delta = _wrap_angle(goal_bearing - headings)
+                headings = headings + p.bias_strength * delta
+            speeds = self.rng.normal(p.speed_mean, p.speed_std, size=m)
+            np.maximum(speeds, 1e-4, out=speeds)
+            steps = (speeds * p.dt)[:, None] * np.stack(
+                [np.cos(headings), np.sin(headings)], axis=1
+            )
+            chunk = current + np.cumsum(steps, axis=0)
+            if stop_predicate is not None:
+                hit = np.asarray(stop_predicate(chunk), dtype=bool)
+                if hit.any():
+                    cut = int(np.argmax(hit)) + 1
+                    chunk = chunk[:cut]
+                    headings = headings[:cut]
+                    stopped = True
+            pos_chunks.append(chunk)
+            produced += len(chunk)
+            current = chunk[-1].copy()
+            heading = float(headings[-1])
+        positions = np.concatenate(pos_chunks, axis=0)
+        times = p.dt * np.arange(len(positions), dtype=np.float64)
+        return positions, times

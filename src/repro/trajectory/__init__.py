@@ -1,0 +1,71 @@
+"""Trajectory data substrate.
+
+This subpackage provides the data model the paper's application is
+built on: individual trajectories (2D positions over time plus the
+capture-condition metadata the ecologists recorded), datasets of
+trajectories, movement metrics, resampling, simplification (the
+"compact visual encodings" of §VI-C), metadata filtering, and I/O.
+"""
+
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.filters import (
+    AndFilter,
+    CaptureZoneFilter,
+    DirectionFilter,
+    DurationFilter,
+    MetaFilter,
+    NotFilter,
+    OrFilter,
+    SeedFilter,
+    TrueFilter,
+    parse_filter,
+)
+from repro.trajectory.metrics import (
+    dwell_time_in_disc,
+    heading_angles,
+    mean_speed,
+    net_displacement,
+    sinuosity,
+    straightness_index,
+    total_path_length,
+    turning_angles,
+)
+from repro.trajectory.noise import add_jitter, degrade_dataset, drop_samples, inject_gaps
+from repro.trajectory.resample import resample_by_count, resample_uniform_dt
+from repro.trajectory.simplify import douglas_peucker, lowpass_smooth, simplify_dataset
+from repro.trajectory import io
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryMeta",
+    "TrajectoryDataset",
+    "AndFilter",
+    "CaptureZoneFilter",
+    "DirectionFilter",
+    "DurationFilter",
+    "MetaFilter",
+    "NotFilter",
+    "OrFilter",
+    "SeedFilter",
+    "TrueFilter",
+    "parse_filter",
+    "dwell_time_in_disc",
+    "heading_angles",
+    "mean_speed",
+    "net_displacement",
+    "sinuosity",
+    "straightness_index",
+    "total_path_length",
+    "turning_angles",
+    "add_jitter",
+    "degrade_dataset",
+    "drop_samples",
+    "inject_gaps",
+    "resample_by_count",
+    "resample_uniform_dt",
+    "douglas_peucker",
+    "lowpass_smooth",
+    "simplify_dataset",
+    "io",
+]

@@ -1,0 +1,238 @@
+"""Metadata filter algebra for trajectory grouping.
+
+The paper's *Trajectory Grouping* feature associates "a set of filters"
+with each rectangular group so the bin shows only trajectories
+satisfying them (§IV-C.2).  Filters here form a small composable
+algebra (AND/OR/NOT over primitive predicates) with a parseable string
+form, e.g. ``"zone=east & direction=inbound & !seed"``, which the
+interaction layer and the analyst simulator both use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.trajectory.model import CaptureZone, Direction, Trajectory
+
+__all__ = [
+    "MetaFilter",
+    "TrueFilter",
+    "CaptureZoneFilter",
+    "DirectionFilter",
+    "SeedFilter",
+    "DurationFilter",
+    "AndFilter",
+    "OrFilter",
+    "NotFilter",
+    "PredicateFilter",
+    "parse_filter",
+]
+
+
+class MetaFilter:
+    """Base class: a boolean predicate over trajectories.
+
+    Supports ``&``, ``|`` and ``~`` composition.
+    """
+
+    def __call__(self, traj: Trajectory) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __and__(self, other: "MetaFilter") -> "AndFilter":
+        return AndFilter(self, other)
+
+    def __or__(self, other: "MetaFilter") -> "OrFilter":
+        return OrFilter(self, other)
+
+    def __invert__(self) -> "NotFilter":
+        return NotFilter(self)
+
+    def describe(self) -> str:  # pragma: no cover - abstract
+        """Compact textual form of the filter (parseable syntax)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class TrueFilter(MetaFilter):
+    """Matches everything — the default group filter."""
+
+    def __call__(self, traj: Trajectory) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True, repr=False)
+class CaptureZoneFilter(MetaFilter):
+    """Matches trajectories captured in ``zone``."""
+
+    zone: str
+
+    def __post_init__(self) -> None:
+        if self.zone not in CaptureZone:
+            raise ValueError(f"unknown capture zone {self.zone!r}; valid: {CaptureZone}")
+
+    def __call__(self, traj: Trajectory) -> bool:
+        return traj.meta.capture_zone == self.zone
+
+    def describe(self) -> str:
+        return f"zone={self.zone}"
+
+
+@dataclass(frozen=True, repr=False)
+class DirectionFilter(MetaFilter):
+    """Matches trajectories with journey direction ``direction``."""
+
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in Direction:
+            raise ValueError(
+                f"unknown direction {self.direction!r}; valid: {Direction}"
+            )
+
+    def __call__(self, traj: Trajectory) -> bool:
+        return traj.meta.direction == self.direction
+
+    def describe(self) -> str:
+        return f"direction={self.direction}"
+
+
+@dataclass(frozen=True, repr=False)
+class SeedFilter(MetaFilter):
+    """Matches ants carrying a seed; with ``dropped=True``, only those
+    that dropped it during handling (the §V-B hypothesis population)."""
+
+    dropped: bool = False
+
+    def __call__(self, traj: Trajectory) -> bool:
+        if self.dropped:
+            return traj.meta.seed_dropped
+        return traj.meta.carrying_seed
+
+    def describe(self) -> str:
+        return "seed_dropped" if self.dropped else "seed"
+
+
+@dataclass(frozen=True, repr=False)
+class DurationFilter(MetaFilter):
+    """Matches trajectories with duration in [min_s, max_s] seconds."""
+
+    min_s: float = 0.0
+    max_s: float = float("inf")
+
+    def __call__(self, traj: Trajectory) -> bool:
+        return self.min_s <= traj.duration <= self.max_s
+
+    def describe(self) -> str:
+        return f"duration[{self.min_s:g},{self.max_s:g}]"
+
+
+@dataclass(frozen=True, repr=False)
+class PredicateFilter(MetaFilter):
+    """Wraps an arbitrary callable predicate with a label."""
+
+    predicate: Callable[[Trajectory], bool]
+    label: str = "custom"
+
+    def __call__(self, traj: Trajectory) -> bool:
+        return bool(self.predicate(traj))
+
+    def describe(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True, repr=False)
+class AndFilter(MetaFilter):
+    left: MetaFilter
+    right: MetaFilter
+
+    def __call__(self, traj: Trajectory) -> bool:
+        return self.left(traj) and self.right(traj)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} & {self.right.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class OrFilter(MetaFilter):
+    left: MetaFilter
+    right: MetaFilter
+
+    def __call__(self, traj: Trajectory) -> bool:
+        return self.left(traj) or self.right(traj)
+
+    def describe(self) -> str:
+        return f"({self.left.describe()} | {self.right.describe()})"
+
+
+@dataclass(frozen=True, repr=False)
+class NotFilter(MetaFilter):
+    inner: MetaFilter
+
+    def __call__(self, traj: Trajectory) -> bool:
+        return not self.inner(traj)
+
+    def describe(self) -> str:
+        return f"!{self.inner.describe()}"
+
+
+def _parse_atom(token: str) -> MetaFilter:
+    token = token.strip()
+    negate = False
+    while token.startswith("!"):
+        negate = not negate
+        token = token[1:].strip()
+    if token in ("*", "true", ""):
+        f: MetaFilter = TrueFilter()
+    elif token == "seed":
+        f = SeedFilter()
+    elif token == "seed_dropped":
+        f = SeedFilter(dropped=True)
+    elif token.startswith("zone="):
+        f = CaptureZoneFilter(token[len("zone="):])
+    elif token.startswith("direction="):
+        f = DirectionFilter(token[len("direction="):])
+    elif token.startswith("duration"):
+        body = token[len("duration"):].strip()
+        if not (body.startswith("[") and body.endswith("]")):
+            raise ValueError(f"bad duration filter syntax: {token!r}")
+        lo_s, hi_s = body[1:-1].split(",")
+        f = DurationFilter(float(lo_s), float(hi_s))
+    else:
+        raise ValueError(f"unrecognized filter atom: {token!r}")
+    return NotFilter(f) if negate else f
+
+
+def parse_filter(expr: str) -> MetaFilter:
+    """Parse a filter expression.
+
+    Grammar (no parentheses; ``&`` binds tighter than ``|``)::
+
+        expr  := term ('|' term)*
+        term  := atom ('&' atom)*
+        atom  := '!'* (  '*' | 'seed' | 'seed_dropped'
+                       | 'zone=' ZONE | 'direction=' DIR
+                       | 'duration[' LO ',' HI ']' )
+
+    >>> f = parse_filter("zone=east & direction=inbound")
+    >>> f.describe()
+    '(zone=east & direction=inbound)'
+    """
+    terms = expr.split("|")
+    term_filters: list[MetaFilter] = []
+    for term in terms:
+        atoms = [_parse_atom(a) for a in term.split("&")]
+        f = atoms[0]
+        for nxt in atoms[1:]:
+            f = AndFilter(f, nxt)
+        term_filters.append(f)
+    out = term_filters[0]
+    for nxt in term_filters[1:]:
+        out = OrFilter(out, nxt)
+    return out

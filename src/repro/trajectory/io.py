@@ -1,0 +1,151 @@
+"""Trajectory dataset I/O.
+
+Three formats:
+
+* **NPZ** — the fast native format: packed position/time arrays plus a
+  JSON metadata sidecar inside the archive.  Round-trips exactly.
+* **CSV** — one row per sample (``traj_id,x,y,t``) plus a companion
+  ``*.meta.json``; interoperable with the ecologists' spreadsheet
+  tooling.
+* **JSON** — fully self-describing, human-inspectable, slowest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+__all__ = [
+    "save_npz",
+    "load_npz",
+    "save_csv",
+    "load_csv",
+    "save_json",
+    "load_json",
+]
+
+
+def save_npz(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Save a dataset to a compressed ``.npz`` archive."""
+    path = Path(path)
+    counts = np.array([t.n_samples for t in dataset], dtype=np.int64)
+    offsets = np.zeros(len(dataset) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total = int(offsets[-1])
+    positions = np.empty((total, 2), dtype=np.float64)
+    times = np.empty(total, dtype=np.float64)
+    ids = np.empty(len(dataset), dtype=np.int64)
+    metas = []
+    for i, traj in enumerate(dataset):
+        lo, hi = offsets[i], offsets[i + 1]
+        positions[lo:hi] = traj.positions
+        times[lo:hi] = traj.times
+        ids[i] = traj.traj_id
+        metas.append(traj.meta.to_dict())
+    np.savez_compressed(
+        path,
+        positions=positions,
+        times=times,
+        offsets=offsets,
+        ids=ids,
+        meta_json=np.frombuffer(
+            json.dumps({"name": dataset.name, "metas": metas}).encode("utf-8"),
+            dtype=np.uint8,
+        ),
+    )
+
+
+def load_npz(path: str | Path) -> TrajectoryDataset:
+    """Load a dataset saved by :func:`save_npz`."""
+    with np.load(path) as archive:
+        positions = archive["positions"]
+        times = archive["times"]
+        offsets = archive["offsets"]
+        ids = archive["ids"]
+        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+    dataset = TrajectoryDataset(name=meta.get("name", "dataset"))
+    for i in range(len(offsets) - 1):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        dataset.append(
+            Trajectory(
+                positions[lo:hi],
+                times[lo:hi],
+                TrajectoryMeta.from_dict(meta["metas"][i]),
+                int(ids[i]),
+            )
+        )
+    return dataset
+
+
+def save_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Save as ``traj_id,x,y,t`` rows plus a ``.meta.json`` sidecar."""
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write("traj_id,x,y,t\n")
+        for traj in dataset:
+            for x, y, t in traj.iter_points():
+                fh.write(f"{traj.traj_id},{x:.9g},{y:.9g},{t:.9g}\n")
+    sidecar = {
+        "name": dataset.name,
+        "metas": {str(t.traj_id): t.meta.to_dict() for t in dataset},
+    }
+    path.with_suffix(path.suffix + ".meta.json").write_text(json.dumps(sidecar, indent=1))
+
+
+def load_csv(path: str | Path) -> TrajectoryDataset:
+    """Load a dataset saved by :func:`save_csv`."""
+    path = Path(path)
+    raw = np.genfromtxt(path, delimiter=",", skip_header=1, dtype=np.float64)
+    raw = np.atleast_2d(raw)
+    sidecar_path = path.with_suffix(path.suffix + ".meta.json")
+    sidecar = (
+        json.loads(sidecar_path.read_text()) if sidecar_path.exists() else {"metas": {}}
+    )
+    dataset = TrajectoryDataset(name=sidecar.get("name", path.stem))
+    ids = raw[:, 0].astype(np.int64)
+    for traj_id in np.unique(ids):
+        rows = ids == traj_id
+        meta_dict = sidecar["metas"].get(str(int(traj_id)))
+        meta = TrajectoryMeta.from_dict(meta_dict) if meta_dict else TrajectoryMeta()
+        dataset.append(
+            Trajectory(raw[rows, 1:3], raw[rows, 3], meta, int(traj_id))
+        )
+    return dataset
+
+
+def save_json(dataset: TrajectoryDataset, path: str | Path) -> None:
+    """Save the dataset as one self-describing JSON document."""
+    doc = {
+        "name": dataset.name,
+        "trajectories": [
+            {
+                "id": t.traj_id,
+                "meta": t.meta.to_dict(),
+                "positions": t.positions.tolist(),
+                "times": t.times.tolist(),
+            }
+            for t in dataset
+        ],
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_json(path: str | Path) -> TrajectoryDataset:
+    """Load a dataset saved by :func:`save_json`."""
+    doc = json.loads(Path(path).read_text())
+    dataset = TrajectoryDataset(name=doc.get("name", "dataset"))
+    for rec in doc["trajectories"]:
+        dataset.append(
+            Trajectory(
+                np.asarray(rec["positions"], dtype=np.float64),
+                np.asarray(rec["times"], dtype=np.float64),
+                TrajectoryMeta.from_dict(rec["meta"]),
+                int(rec["id"]),
+            )
+        )
+    return dataset

@@ -1,0 +1,121 @@
+"""Movement metrics.
+
+These implement the low-level inferences the ecologist made visually
+during the study ("more windy" vs. "more direct" trajectories, §VI-A),
+as exact quantities: path length, net displacement, straightness,
+sinuosity, turning-angle statistics, speed, and dwell time inside a
+disc (the stationary-ant signal of the §V-B seed-drop query).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trajectory.model import Trajectory
+from repro.util.geometry import polyline_length
+
+__all__ = [
+    "total_path_length",
+    "net_displacement",
+    "straightness_index",
+    "sinuosity",
+    "heading_angles",
+    "turning_angles",
+    "mean_speed",
+    "dwell_time_in_disc",
+    "time_inside_mask",
+]
+
+
+def total_path_length(traj: Trajectory) -> float:
+    """Arc length of the path in meters."""
+    return polyline_length(traj.positions)
+
+
+def net_displacement(traj: Trajectory) -> float:
+    """Straight-line distance from first to last sample."""
+    return float(np.linalg.norm(traj.end - traj.start))
+
+
+def straightness_index(traj: Trajectory) -> float:
+    """Net displacement / path length, in [0, 1].
+
+    1 means a perfectly direct path ("more direct" ants captured off
+    the trail); values near 0 mean heavy meandering ("more windy" ants
+    captured on the trail).  Zero-length paths return 0.
+    """
+    length = total_path_length(traj)
+    if length <= 0:
+        return 0.0
+    return min(1.0, net_displacement(traj) / length)
+
+
+def heading_angles(traj: Trajectory) -> np.ndarray:
+    """(N-1,) headings of each segment in radians, in (-pi, pi]."""
+    d = np.diff(traj.positions, axis=0)
+    return np.arctan2(d[:, 1], d[:, 0])
+
+
+def turning_angles(traj: Trajectory) -> np.ndarray:
+    """(N-2,) signed turning angles between consecutive segments,
+    wrapped into (-pi, pi]."""
+    h = heading_angles(traj)
+    d = np.diff(h)
+    return (d + np.pi) % (2.0 * np.pi) - np.pi
+
+
+def sinuosity(traj: Trajectory) -> float:
+    """Benhamou (2004) corrected sinuosity for a discrete path.
+
+    S = 2 * sqrt(p * (1 - c) / (1 + c)) / sqrt(E[step])  with mean step
+    length p and mean cosine of turning angles c.  Larger is windier.
+    Falls back to 0 for paths too short to estimate.
+    """
+    steps = np.linalg.norm(np.diff(traj.positions, axis=0), axis=1)
+    steps = steps[steps > 0]
+    if len(steps) < 2:
+        return 0.0
+    turns = turning_angles(traj)
+    if len(turns) == 0:
+        return 0.0
+    c = float(np.cos(turns).mean())
+    c = min(c, 1.0 - 1e-12)
+    p = float(steps.mean())
+    return float(2.0 / np.sqrt(p * (1.0 + c) / (1.0 - c)))
+
+
+def mean_speed(traj: Trajectory) -> float:
+    """Path length divided by duration (m/s)."""
+    dur = traj.duration
+    if dur <= 0:
+        return 0.0
+    return total_path_length(traj) / dur
+
+
+def time_inside_mask(traj: Trajectory, inside: np.ndarray) -> float:
+    """Total time spent in samples flagged ``inside`` ((N,) bool).
+
+    Each segment contributes its dt when *both* endpoints are inside,
+    and half its dt when exactly one is — a trapezoidal approximation
+    of the boundary crossing that is exact in expectation for straight
+    crossings.
+    """
+    inside = np.asarray(inside, dtype=bool)
+    if inside.shape != traj.times.shape:
+        raise ValueError("inside mask must match the sample count")
+    dt = np.diff(traj.times)
+    both = inside[:-1] & inside[1:]
+    one = inside[:-1] ^ inside[1:]
+    return float(dt[both].sum() + 0.5 * dt[one].sum())
+
+
+def dwell_time_in_disc(traj: Trajectory, center, radius: float) -> float:
+    """Seconds the ant spent inside a disc of ``radius`` around ``center``.
+
+    This is the exact-analytics counterpart of the §V-B visual query
+    ("do seed-droppers linger in the arena center early on?").
+    """
+    center = np.asarray(center, dtype=np.float64)
+    d = traj.positions - center
+    inside = np.einsum("ij,ij->i", d, d) <= radius * radius
+    return time_inside_mask(traj, inside)

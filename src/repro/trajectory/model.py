@@ -1,0 +1,232 @@
+"""Trajectory data model.
+
+A :class:`Trajectory` is a time-stamped 2D path across the experimental
+arena plus the metadata the field protocol recorded for each captured
+ant (§IV-B of the paper): the capture zone relative to the colony's
+main foraging trail (``on``/``east``/``west``/``north``/``south``),
+the journey direction at capture (``outbound``/``inbound``), and
+whether the ant was carrying a seed.
+
+Positions are stored in arena coordinates (meters, arena center at the
+origin); timestamps in seconds from release.  Arrays are immutable
+(NumPy write flag cleared) so trajectories can be shared freely between
+layout cells, query engines and render workers without defensive
+copies — a guide-mandated views-not-copies discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterator, Mapping
+
+import numpy as np
+
+from repro.util.validation import check_finite, check_shape
+
+__all__ = ["CaptureZone", "Direction", "TrajectoryMeta", "Trajectory"]
+
+#: Valid capture zones relative to the main foraging trail (Fig. 3).
+CaptureZone = ("on", "east", "west", "north", "south")
+
+#: Valid journey directions at capture time.
+Direction = ("outbound", "inbound")
+
+
+@dataclass(frozen=True)
+class TrajectoryMeta:
+    """Capture-condition metadata for one tracked ant.
+
+    Attributes
+    ----------
+    capture_zone:
+        Where the ant was captured relative to the colony's main
+        foraging trail: ``on`` the trail or ``east``/``west``/``north``/
+        ``south`` of it.
+    direction:
+        Whether the ant was heading away from (``outbound``) or back to
+        (``inbound``) the colony when captured.
+    carrying_seed:
+        True if the ant carried a seed at capture.
+    seed_dropped:
+        True if the ant dropped its seed during handling — the
+        §V-B spatio-temporal hypothesis concerns these ants.
+    species:
+        Tracked species; the study used *Messor cephalotes*.
+    extra:
+        Free-form additional annotations.
+    """
+
+    capture_zone: str = "on"
+    direction: str = "outbound"
+    carrying_seed: bool = False
+    seed_dropped: bool = False
+    species: str = "Messor cephalotes"
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capture_zone not in CaptureZone:
+            raise ValueError(
+                f"capture_zone must be one of {CaptureZone}, got {self.capture_zone!r}"
+            )
+        if self.direction not in Direction:
+            raise ValueError(
+                f"direction must be one of {Direction}, got {self.direction!r}"
+            )
+        if self.seed_dropped and not self.carrying_seed:
+            raise ValueError("seed_dropped requires carrying_seed")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for serialization."""
+        return {
+            "capture_zone": self.capture_zone,
+            "direction": self.direction,
+            "carrying_seed": self.carrying_seed,
+            "seed_dropped": self.seed_dropped,
+            "species": self.species,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "TrajectoryMeta":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            capture_zone=d.get("capture_zone", "on"),
+            direction=d.get("direction", "outbound"),
+            carrying_seed=bool(d.get("carrying_seed", False)),
+            seed_dropped=bool(d.get("seed_dropped", False)),
+            species=d.get("species", "Messor cephalotes"),
+            extra=dict(d.get("extra", {})),
+        )
+
+
+class Trajectory:
+    """One ant's tracked movement: positions over time plus metadata.
+
+    Parameters
+    ----------
+    positions:
+        (N, 2) float array of XY positions in arena meters.
+    times:
+        (N,) float array of strictly increasing timestamps in seconds.
+    meta:
+        Capture-condition metadata.
+    traj_id:
+        Stable identifier within a dataset.
+    """
+
+    __slots__ = ("_positions", "_times", "meta", "traj_id")
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        times: np.ndarray,
+        meta: TrajectoryMeta | None = None,
+        traj_id: int = -1,
+    ) -> None:
+        positions = check_shape("positions", check_finite("positions", positions), (None, 2))
+        times = check_finite("times", times)
+        times = check_shape("times", times, (None,))
+        if len(positions) != len(times):
+            raise ValueError(
+                f"positions ({len(positions)}) and times ({len(times)}) "
+                "must have equal length"
+            )
+        if len(times) < 2:
+            raise ValueError("a trajectory needs at least 2 samples")
+        if np.any(np.diff(times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        positions = np.ascontiguousarray(positions, dtype=np.float64)
+        times = np.ascontiguousarray(times, dtype=np.float64)
+        positions.setflags(write=False)
+        times.setflags(write=False)
+        self._positions = positions
+        self._times = times
+        self.meta = meta if meta is not None else TrajectoryMeta()
+        self.traj_id = int(traj_id)
+
+    # Data access ------------------------------------------------------
+    @property
+    def positions(self) -> np.ndarray:
+        """(N, 2) read-only position array (arena meters)."""
+        return self._positions
+
+    @property
+    def times(self) -> np.ndarray:
+        """(N,) read-only timestamp array (seconds from release)."""
+        return self._times
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._times)
+
+    @property
+    def duration(self) -> float:
+        """Total tracked duration in seconds."""
+        return float(self._times[-1] - self._times[0])
+
+    @property
+    def start(self) -> np.ndarray:
+        return self._positions[0]
+
+    @property
+    def end(self) -> np.ndarray:
+        return self._positions[-1]
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __repr__(self) -> str:
+        return (
+            f"Trajectory(id={self.traj_id}, n={self.n_samples}, "
+            f"duration={self.duration:.1f}s, zone={self.meta.capture_zone!r})"
+        )
+
+    # Derived views ----------------------------------------------------
+    def segments(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (N-1, 2) segment endpoint views (a, b) — zero-copy."""
+        return self._positions[:-1], self._positions[1:]
+
+    def segment_times(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (N-1,) start/end time views of each segment."""
+        return self._times[:-1], self._times[1:]
+
+    def spacetime(self) -> np.ndarray:
+        """(N, 3) space-time-cube points: (x, y, t).
+
+        This is the geometry the stereoscopic encoding renders (Fig. 4):
+        XY is the display plane, time extends along +Z.
+        """
+        out = np.empty((self.n_samples, 3), dtype=np.float64)
+        out[:, :2] = self._positions
+        out[:, 2] = self._times
+        return out
+
+    def bounding_box(self) -> tuple[np.ndarray, np.ndarray]:
+        """(min_xy, max_xy) of the path."""
+        return self._positions.min(axis=0), self._positions.max(axis=0)
+
+    def time_slice(self, t0: float, t1: float) -> "Trajectory | None":
+        """Sub-trajectory restricted to the closed window [t0, t1].
+
+        Returns ``None`` if fewer than two samples fall inside.  This is
+        the data-level form of the temporal filter; the query engine
+        uses masks instead (no allocation), but the slice form is
+        convenient in analytics and tests.
+        """
+        mask = (self._times >= t0) & (self._times <= t1)
+        if mask.sum() < 2:
+            return None
+        return Trajectory(
+            self._positions[mask], self._times[mask], self.meta, self.traj_id
+        )
+
+    def with_meta(self, **changes: Any) -> "Trajectory":
+        """Copy with updated metadata fields."""
+        return Trajectory(
+            self._positions, self._times, replace(self.meta, **changes), self.traj_id
+        )
+
+    def iter_points(self) -> Iterator[tuple[float, float, float]]:
+        """Iterate (x, y, t) tuples — convenience for examples/tests."""
+        for (x, y), t in zip(self._positions, self._times):
+            yield float(x), float(y), float(t)

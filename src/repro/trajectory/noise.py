@@ -1,0 +1,103 @@
+"""Tracking-noise and failure injection.
+
+Field tracking is imperfect: positional jitter at the tracker's
+resolution, dropped frames, and whole gaps when the subject is
+occluded.  These utilities inject such defects into clean trajectories
+so robustness can be tested — the query engine should give (nearly)
+the same answers on realistically degraded data, and the tests in
+``tests/trajectory/test_noise.py`` / the robustness suite assert that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+
+__all__ = ["add_jitter", "drop_samples", "inject_gaps", "degrade_dataset"]
+
+
+def add_jitter(
+    traj: Trajectory, sigma_m: float, rng: np.random.Generator
+) -> Trajectory:
+    """Add i.i.d. Gaussian positional noise of ``sigma_m`` meters.
+
+    Models the tracker's spatial resolution (~3 mm in the study).
+    Timestamps are untouched.
+    """
+    if sigma_m < 0:
+        raise ValueError("sigma_m must be >= 0")
+    if sigma_m == 0:
+        return traj
+    noisy = traj.positions + rng.normal(0.0, sigma_m, size=traj.positions.shape)
+    return Trajectory(noisy, traj.times, traj.meta, traj.traj_id)
+
+
+def drop_samples(
+    traj: Trajectory, drop_fraction: float, rng: np.random.Generator
+) -> Trajectory:
+    """Randomly drop a fraction of interior samples (lost frames).
+
+    Endpoints are always kept; at least two samples always survive.
+    """
+    if not 0.0 <= drop_fraction < 1.0:
+        raise ValueError("drop_fraction must be in [0, 1)")
+    if drop_fraction == 0.0 or traj.n_samples <= 2:
+        return traj
+    keep = rng.uniform(size=traj.n_samples) >= drop_fraction
+    keep[0] = keep[-1] = True
+    return Trajectory(traj.positions[keep], traj.times[keep], traj.meta, traj.traj_id)
+
+
+def inject_gaps(
+    traj: Trajectory,
+    n_gaps: int,
+    gap_fraction: float,
+    rng: np.random.Generator,
+) -> Trajectory:
+    """Remove ``n_gaps`` contiguous occlusion windows.
+
+    Each gap removes a contiguous run of ``gap_fraction`` of the
+    samples (interior only).  Gaps may merge if drawn overlapping.
+    """
+    if n_gaps < 0:
+        raise ValueError("n_gaps must be >= 0")
+    if not 0.0 <= gap_fraction < 0.5:
+        raise ValueError("gap_fraction must be in [0, 0.5)")
+    if n_gaps == 0 or gap_fraction == 0.0 or traj.n_samples <= 4:
+        return traj
+    n = traj.n_samples
+    keep = np.ones(n, dtype=bool)
+    width = max(1, int(gap_fraction * n))
+    for _ in range(n_gaps):
+        start = int(rng.integers(1, max(2, n - width - 1)))
+        keep[start : start + width] = False
+    keep[0] = keep[-1] = True
+    if keep.sum() < 2:
+        keep[:] = False
+        keep[0] = keep[-1] = True
+    return Trajectory(traj.positions[keep], traj.times[keep], traj.meta, traj.traj_id)
+
+
+def degrade_dataset(
+    dataset: TrajectoryDataset,
+    rng: np.random.Generator,
+    *,
+    jitter_m: float = 0.003,
+    drop_fraction: float = 0.05,
+    n_gaps: int = 1,
+    gap_fraction: float = 0.05,
+) -> TrajectoryDataset:
+    """Apply the full degradation stack to every trajectory.
+
+    Defaults model the study's conditions: 3 mm jitter, 5 % frame
+    loss, and one short occlusion per track.
+    """
+    out = TrajectoryDataset(name=f"{dataset.name}|degraded")
+    for traj in dataset:
+        t = add_jitter(traj, jitter_m, rng)
+        t = drop_samples(t, drop_fraction, rng)
+        t = inject_gaps(t, n_gaps, gap_fraction, rng)
+        out.append(t)
+    return out

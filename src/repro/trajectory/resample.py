@@ -1,0 +1,54 @@
+"""Trajectory resampling.
+
+The tracker sampled ant positions at ~3 mm spatial resolution with an
+irregular clock; analytics and clustering want either a uniform time
+step or a fixed sample count (feature vectors for the SOM need equal
+lengths).  Both resamplers interpolate linearly in time and preserve
+the first and last samples exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trajectory.model import Trajectory
+
+__all__ = ["resample_uniform_dt", "resample_by_count"]
+
+
+def _interp_positions(traj: Trajectory, new_times: np.ndarray) -> np.ndarray:
+    out = np.empty((len(new_times), 2), dtype=np.float64)
+    out[:, 0] = np.interp(new_times, traj.times, traj.positions[:, 0])
+    out[:, 1] = np.interp(new_times, traj.times, traj.positions[:, 1])
+    return out
+
+
+def resample_uniform_dt(traj: Trajectory, dt: float) -> Trajectory:
+    """Resample to a uniform time step ``dt`` seconds.
+
+    The final sample is pinned to the trajectory's true end time even
+    when the duration is not a multiple of ``dt``, so endpoints (and
+    therefore exit-side classification) are preserved exactly.
+    """
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    t_start, t_end = float(traj.times[0]), float(traj.times[-1])
+    n_steps = max(1, int(np.floor((t_end - t_start) / dt)))
+    new_times = t_start + dt * np.arange(n_steps + 1, dtype=np.float64)
+    if t_end - new_times[-1] > 1e-9 * max(1.0, abs(t_end)):
+        new_times = np.append(new_times, t_end)
+    else:
+        new_times[-1] = t_end
+    return Trajectory(_interp_positions(traj, new_times), new_times, traj.meta, traj.traj_id)
+
+
+def resample_by_count(traj: Trajectory, n: int) -> Trajectory:
+    """Resample to exactly ``n`` samples, uniformly spaced in time.
+
+    Used by :mod:`repro.cluster.features` to build fixed-length feature
+    vectors.  ``n`` must be at least 2; endpoints are exact.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    new_times = np.linspace(float(traj.times[0]), float(traj.times[-1]), n)
+    return Trajectory(_interp_positions(traj, new_times), new_times, traj.meta, traj.traj_id)

@@ -1,0 +1,119 @@
+"""Trajectory simplification — the paper's "compact visual encodings".
+
+§VI-C proposes scaling the small-multiple layout by rendering "general
+trajectory shape while discarding high-frequency features", shrinking
+the screen real-estate each instance needs.  Two mechanisms:
+
+* :func:`douglas_peucker` — classic tolerance-bounded polyline
+  simplification (keeps endpoints, max perpendicular error <= eps);
+* :func:`lowpass_smooth` — moving-average low-pass filter that
+  suppresses high-frequency jitter while keeping the sample count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+from repro.util.geometry import point_segment_distance
+
+__all__ = ["douglas_peucker", "lowpass_smooth", "simplify_dataset", "simplification_error"]
+
+
+def _dp_mask(points: np.ndarray, eps: float) -> np.ndarray:
+    """Boolean keep-mask of Douglas-Peucker on (N, 2) points.
+
+    Iterative stack formulation (no recursion-depth hazard on long
+    tracks); each split finds the farthest point from the chord with a
+    vectorized distance computation.
+    """
+    n = len(points)
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    stack: list[tuple[int, int]] = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        a = points[lo]
+        b = points[hi]
+        # true distance to the chord *segment* (not the infinite line):
+        # points projecting beyond the chord ends would otherwise be
+        # under-measured and wrongly dropped on hook-shaped paths
+        dist = point_segment_distance(points[lo + 1 : hi], a, b)
+        k = int(np.argmax(dist))
+        if dist[k] > eps:
+            mid = lo + 1 + k
+            keep[mid] = True
+            stack.append((lo, mid))
+            stack.append((mid, hi))
+    return keep
+
+
+def douglas_peucker(traj: Trajectory, eps: float) -> Trajectory:
+    """Simplify with the Douglas-Peucker algorithm, tolerance ``eps`` meters.
+
+    Invariants (property-tested): endpoints are preserved; every removed
+    point lies within ``eps`` of the simplified polyline; the keep set
+    is monotone in ``eps`` in the sense that larger tolerances never
+    keep more points.
+    """
+    if eps < 0:
+        raise ValueError(f"eps must be >= 0, got {eps}")
+    if eps == 0 or traj.n_samples <= 2:
+        return traj
+    keep = _dp_mask(traj.positions, eps)
+    return Trajectory(traj.positions[keep], traj.times[keep], traj.meta, traj.traj_id)
+
+
+def lowpass_smooth(traj: Trajectory, window: int) -> Trajectory:
+    """Moving-average smoothing with an odd ``window`` (samples).
+
+    Endpoints are pinned; interior samples are replaced by a centered
+    mean computed with a prefix-sum (O(N), no Python loop).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window % 2 == 0:
+        raise ValueError(f"window must be odd, got {window}")
+    if window == 1 or traj.n_samples <= 2:
+        return traj
+    half = window // 2
+    pos = traj.positions
+    n = len(pos)
+    # prefix sums with edge padding via index clamping
+    idx_lo = np.clip(np.arange(n) - half, 0, n - 1)
+    idx_hi = np.clip(np.arange(n) + half, 0, n - 1)
+    csum = np.vstack([np.zeros((1, 2)), np.cumsum(pos, axis=0)])
+    counts = (idx_hi - idx_lo + 1).astype(np.float64)
+    smoothed = (csum[idx_hi + 1] - csum[idx_lo]) / counts[:, None]
+    smoothed[0] = pos[0]
+    smoothed[-1] = pos[-1]
+    return Trajectory(smoothed, traj.times, traj.meta, traj.traj_id)
+
+
+def simplification_error(original: Trajectory, simplified: Trajectory) -> float:
+    """Max distance from any original sample to the simplified polyline.
+
+    Measures shape fidelity for the E10 compact-encoding sweep.
+    """
+    from repro.util.geometry import point_segment_distance
+
+    a = simplified.positions[:-1]
+    b = simplified.positions[1:]
+    pts = original.positions
+    # (P, S) distances; P*S stays small for study-scale tracks.
+    d = point_segment_distance(pts[:, None, :], a[None, :, :], b[None, :, :])
+    return float(d.min(axis=1).max())
+
+
+def simplify_dataset(
+    dataset: TrajectoryDataset, eps: float, *, smooth_window: int = 1
+) -> TrajectoryDataset:
+    """Apply optional smoothing then Douglas-Peucker to every trajectory."""
+    out = TrajectoryDataset(name=f"{dataset.name}|dp{eps:g}")
+    for traj in dataset:
+        t = lowpass_smooth(traj, smooth_window) if smooth_window > 1 else traj
+        out.append(douglas_peucker(t, eps))
+    return out

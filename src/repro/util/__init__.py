@@ -1,0 +1,65 @@
+"""Shared low-level utilities: seeded RNG streams, geometry kernels,
+argument validation, and physical units.
+
+These modules contain no domain logic; everything here is a small,
+heavily-tested building block used by the trajectory, display, stereo,
+layout, render and query subsystems.
+"""
+
+from repro.util.rng import RngStream, derive_rng, spawn_streams
+from repro.util.units import (
+    CM_PER_INCH,
+    Degrees,
+    Meters,
+    Pixels,
+    Seconds,
+    deg_to_rad,
+    mm_to_m,
+    rad_to_deg,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_shape,
+)
+from repro.util.geometry import (
+    circle_segment_intersections,
+    clip_segments_to_circle,
+    pairwise_distances,
+    point_segment_distance,
+    points_in_circle,
+    points_in_rect,
+    polyline_length,
+    rotate2d,
+    segment_circle_overlap_mask,
+    unit_vector,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_rng",
+    "spawn_streams",
+    "CM_PER_INCH",
+    "Degrees",
+    "Meters",
+    "Pixels",
+    "Seconds",
+    "deg_to_rad",
+    "mm_to_m",
+    "rad_to_deg",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_shape",
+    "circle_segment_intersections",
+    "clip_segments_to_circle",
+    "pairwise_distances",
+    "point_segment_distance",
+    "points_in_circle",
+    "points_in_rect",
+    "polyline_length",
+    "rotate2d",
+    "segment_circle_overlap_mask",
+    "unit_vector",
+]

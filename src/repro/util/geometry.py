@@ -1,0 +1,178 @@
+"""Vectorized 2D geometry kernels.
+
+All functions operate on NumPy arrays of points/segments at once — the
+coordinated-brushing engine calls these over every segment of every
+displayed trajectory per query, so the kernels are written
+allocation-lean and loop-free per the HPC guide idioms (broadcasting,
+in-place masks, contiguous float64 arrays).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "unit_vector",
+    "rotate2d",
+    "polyline_length",
+    "pairwise_distances",
+    "points_in_circle",
+    "points_in_rect",
+    "point_segment_distance",
+    "segment_circle_overlap_mask",
+    "circle_segment_intersections",
+    "clip_segments_to_circle",
+]
+
+
+def unit_vector(v: np.ndarray) -> np.ndarray:
+    """Normalize vectors along the last axis; zero vectors stay zero."""
+    v = np.asarray(v, dtype=np.float64)
+    norm = np.linalg.norm(v, axis=-1, keepdims=True)
+    out = np.zeros_like(v)
+    np.divide(v, norm, out=out, where=norm > 0)
+    return out
+
+
+def rotate2d(points: np.ndarray, angle_rad: float) -> np.ndarray:
+    """Rotate (N, 2) points about the origin by ``angle_rad``."""
+    points = np.asarray(points, dtype=np.float64)
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    rot = np.array([[c, -s], [s, c]])
+    return points @ rot.T
+
+
+def polyline_length(points: np.ndarray) -> float:
+    """Total arc length of an (N, 2) or (N, 3) polyline."""
+    points = np.asarray(points, dtype=np.float64)
+    if len(points) < 2:
+        return 0.0
+    return float(np.linalg.norm(np.diff(points, axis=0), axis=1).sum())
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix between (N, D) and (M, D) point sets.
+
+    Uses the ``|a|^2 + |b|^2 - 2ab`` expansion (one GEMM) rather than a
+    broadcasted difference tensor, keeping peak memory at N*M floats.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    aa = np.einsum("ij,ij->i", a, a)
+    bb = np.einsum("ij,ij->i", b, b)
+    d2 = aa[:, None] + bb[None, :] - 2.0 * (a @ b.T)
+    np.maximum(d2, 0.0, out=d2)  # clamp tiny negatives from cancellation
+    return np.sqrt(d2, out=d2)
+
+
+def points_in_circle(points: np.ndarray, center, radius: float) -> np.ndarray:
+    """Boolean mask of (N, 2) points inside (or on) a circle."""
+    points = np.asarray(points, dtype=np.float64)
+    center = np.asarray(center, dtype=np.float64)
+    d = points - center
+    return np.einsum("ij,ij->i", d, d) <= radius * radius
+
+
+def points_in_rect(points: np.ndarray, lo, hi) -> np.ndarray:
+    """Boolean mask of (N, 2) points inside the axis-aligned box [lo, hi]."""
+    points = np.asarray(points, dtype=np.float64)
+    lo = np.asarray(lo, dtype=np.float64)
+    hi = np.asarray(hi, dtype=np.float64)
+    return np.all((points >= lo) & (points <= hi), axis=1)
+
+
+def point_segment_distance(p: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Distance from points ``p`` (broadcastable (..., 2)) to segments a->b.
+
+    ``a`` and ``b`` are (..., 2) and broadcast against ``p``.  Degenerate
+    segments (a == b) reduce to point distance.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    ab = b - a
+    ap = p - a
+    denom = np.einsum("...i,...i->...", ab, ab)
+    t = np.einsum("...i,...i->...", ap, ab)
+    t = np.divide(t, denom, out=np.zeros_like(t), where=denom > 0)
+    np.clip(t, 0.0, 1.0, out=t)
+    closest = a + t[..., None] * ab
+    return np.linalg.norm(p - closest, axis=-1)
+
+
+def segment_circle_overlap_mask(
+    seg_a: np.ndarray, seg_b: np.ndarray, center, radius: float
+) -> np.ndarray:
+    """Boolean mask over (N, 2) segment endpoints arrays: True where the
+    segment a[i]->b[i] comes within ``radius`` of ``center``.
+
+    This is the inner kernel of circular-brush hit testing: a segment is
+    highlighted iff any point on it lies inside the brush disc, i.e. the
+    point-to-segment distance from the disc center is <= radius.
+    """
+    center = np.asarray(center, dtype=np.float64)
+    return point_segment_distance(center, seg_a, seg_b) <= radius
+
+
+def circle_segment_intersections(
+    a: np.ndarray, b: np.ndarray, center, radius: float
+) -> np.ndarray:
+    """Parametric entry/exit of segments a[i]->b[i] through a circle.
+
+    Returns an (N, 2) array of clamped parameters (t_in, t_out) in
+    [0, 1]; rows where the segment misses the circle have t_in > t_out
+    (conventionally (1, 0)).  Used to clip highlighted sub-segments
+    exactly to the brush footprint for rendering.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    center = np.asarray(center, dtype=np.float64)
+    d = b - a
+    f = a - center
+    A = np.einsum("ij,ij->i", d, d)
+    B = 2.0 * np.einsum("ij,ij->i", f, d)
+    C = np.einsum("ij,ij->i", f, f) - radius * radius
+
+    out = np.empty((len(a), 2), dtype=np.float64)
+    out[:, 0] = 1.0
+    out[:, 1] = 0.0
+
+    disc = B * B - 4.0 * A * C
+    # Degenerate (zero-length) segments: inside iff C <= 0.
+    degen = A <= 0
+    inside_pt = degen & (C <= 0.0)
+    out[inside_pt] = (0.0, 1.0)
+
+    ok = (~degen) & (disc >= 0.0)
+    if np.any(ok):
+        sq = np.sqrt(disc[ok])
+        t1 = (-B[ok] - sq) / (2.0 * A[ok])
+        t2 = (-B[ok] + sq) / (2.0 * A[ok])
+        t_in = np.clip(t1, 0.0, 1.0)
+        t_out = np.clip(t2, 0.0, 1.0)
+        hit = t_out > t_in
+        # Also count tangential grazes where the clamped span collapses
+        # but the segment genuinely touches inside [0, 1].
+        rows = np.flatnonzero(ok)[hit]
+        out[rows, 0] = t_in[hit]
+        out[rows, 1] = t_out[hit]
+    return out
+
+
+def clip_segments_to_circle(
+    a: np.ndarray, b: np.ndarray, center, radius: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Clip segments to a circle; return (clipped_a, clipped_b, index).
+
+    ``index[k]`` is the row in the input arrays that produced clipped
+    segment ``k``.  Segments entirely outside are dropped.
+    """
+    t = circle_segment_intersections(a, b, center, radius)
+    keep = t[:, 1] > t[:, 0]
+    idx = np.flatnonzero(keep)
+    a = np.asarray(a, dtype=np.float64)[idx]
+    b = np.asarray(b, dtype=np.float64)[idx]
+    d = b - a
+    t_in = t[idx, 0][:, None]
+    t_out = t[idx, 1][:, None]
+    return a + t_in * d, a + t_out * d, idx

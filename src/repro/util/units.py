@@ -1,0 +1,66 @@
+"""Physical units and conversions.
+
+The display-wall model mixes three coordinate systems — physical meters
+on the wall surface, device pixels, and normalized arena coordinates —
+and the stereo model additionally reasons in visual degrees.  Type
+aliases make signatures self-documenting; conversion helpers keep the
+constants in one place.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Meters",
+    "Pixels",
+    "Seconds",
+    "Degrees",
+    "CM_PER_INCH",
+    "mm_to_m",
+    "m_to_mm",
+    "deg_to_rad",
+    "rad_to_deg",
+    "visual_angle_deg",
+]
+
+# Type aliases used purely for documentation value in signatures.
+Meters = float
+Pixels = float
+Seconds = float
+Degrees = float
+
+CM_PER_INCH = 2.54
+
+
+def mm_to_m(mm: float) -> Meters:
+    """Millimeters to meters."""
+    return mm * 1e-3
+
+
+def m_to_mm(m: Meters) -> float:
+    """Meters to millimeters."""
+    return m * 1e3
+
+
+def deg_to_rad(deg: Degrees) -> float:
+    """Degrees to radians."""
+    return deg * math.pi / 180.0
+
+
+def rad_to_deg(rad: float) -> Degrees:
+    """Radians to degrees."""
+    return rad * 180.0 / math.pi
+
+
+def visual_angle_deg(extent_m: Meters, distance_m: Meters) -> Degrees:
+    """Visual angle subtended by ``extent_m`` seen from ``distance_m``.
+
+    Used by the stereo comfort model: the on-screen binocular parallax
+    (a physical extent on the display plane) is converted to a visual
+    angle at the viewer's position, which is the quantity the
+    stereoscopic-comfort literature bounds (~1 degree; Lambooij et al.).
+    """
+    if distance_m <= 0:
+        raise ValueError(f"distance must be positive, got {distance_m}")
+    return rad_to_deg(2.0 * math.atan2(extent_m / 2.0, distance_m))

@@ -1,0 +1,71 @@
+"""Argument-validation helpers.
+
+Public API entry points validate their inputs eagerly with these
+helpers so that misuse fails with a precise message at the boundary
+rather than as a shape error deep inside a vectorized kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["check_finite", "check_positive", "check_in_range", "check_shape"]
+
+
+def check_finite(name: str, value) -> np.ndarray:
+    """Coerce to ndarray and require all entries finite."""
+    arr = np.asarray(value, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must be finite; got non-finite entries")
+    return arr
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Require a (strictly) positive scalar."""
+    v = float(value)
+    if strict and v <= 0:
+        raise ValueError(f"{name} must be > 0, got {v}")
+    if not strict and v < 0:
+        raise ValueError(f"{name} must be >= 0, got {v}")
+    return v
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Require ``low <= value <= high`` (or strict if not inclusive)."""
+    v = float(value)
+    ok = (low <= v <= high) if inclusive else (low < v < high)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must be in {bracket[0]}{low}, {high}{bracket[1]}, got {v}"
+        )
+    return v
+
+
+def check_shape(name: str, arr: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
+    """Require an exact shape; ``None`` entries match any extent.
+
+    >>> check_shape("pts", np.zeros((7, 2)), (None, 2)).shape
+    (7, 2)
+    """
+    arr = np.asarray(arr)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {arr.ndim}"
+        )
+    for axis, want in enumerate(shape):
+        if want is not None and arr.shape[axis] != want:
+            raise ValueError(
+                f"{name} axis {axis} must have extent {want}, "
+                f"got {arr.shape[axis]} (full shape {arr.shape})"
+            )
+    return arr

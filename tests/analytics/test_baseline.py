@@ -1,0 +1,73 @@
+"""Tests for the sequential one-at-a-time inspection baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.baseline import SequentialInspectionBaseline
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.temporal import TimeWindow
+
+
+@pytest.fixture()
+def west_canvas(arena):
+    c = BrushCanvas()
+    r = arena.radius
+    c.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+    return c
+
+
+class TestSemantics:
+    def test_matches_engine_exactly(self, study_dataset, west_canvas):
+        """The baseline computes the same per-trajectory outcome as the
+        vectorized engine — only the execution schedule differs."""
+        engine = CoordinatedBrushingEngine(study_dataset)
+        for window in (None, TimeWindow.end(0.15), TimeWindow.absolute(5.0, 20.0)):
+            res = engine.query(west_canvas, "red", window=window)
+            base = SequentialInspectionBaseline(study_dataset).run(
+                west_canvas, "red", window=window
+            )
+            np.testing.assert_array_equal(base.per_traj, res.traj_mask)
+
+    def test_empty_canvas(self, study_dataset):
+        base = SequentialInspectionBaseline(study_dataset).run(BrushCanvas(), "red")
+        assert not base.per_traj.any()
+
+    def test_subset_indices(self, study_dataset, west_canvas):
+        idx = np.arange(10)
+        base = SequentialInspectionBaseline(study_dataset).run(
+            west_canvas, "red", indices=idx
+        )
+        assert base.n_inspected == 10
+        assert not base.per_traj[10:].any()
+
+
+class TestCostModel:
+    def test_interaction_dominates(self, study_dataset, west_canvas):
+        base = SequentialInspectionBaseline(study_dataset, per_view_s=3.0).run(
+            west_canvas, "red"
+        )
+        assert base.interaction_s == 3.0 * len(study_dataset)
+        assert base.total_s > base.compute_s
+
+    def test_zero_view_cost(self, study_dataset, west_canvas):
+        base = SequentialInspectionBaseline(study_dataset, per_view_s=0.0).run(
+            west_canvas, "red"
+        )
+        assert base.interaction_s == 0.0
+        assert base.total_s == pytest.approx(base.compute_s)
+
+    def test_negative_view_cost_rejected(self, study_dataset):
+        with pytest.raises(ValueError):
+            SequentialInspectionBaseline(study_dataset, per_view_s=-1.0)
+
+    def test_coordinated_brush_beats_baseline(self, study_dataset, west_canvas):
+        """E5's shape: the visual query is orders of magnitude faster
+        than one-at-a-time inspection with any plausible human cost."""
+        engine = CoordinatedBrushingEngine(study_dataset)
+        res = engine.query(west_canvas, "red")
+        base = SequentialInspectionBaseline(study_dataset, per_view_s=3.0).run(
+            west_canvas, "red"
+        )
+        assert base.total_s / max(res.elapsed_s, 1e-9) > 100

@@ -1,0 +1,53 @@
+"""Tests for dwell analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.dwell import central_dwell_table, early_dwell_seconds
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+
+class TestEarlyDwell:
+    def test_validation(self, simple_traj):
+        with pytest.raises(ValueError):
+            early_dwell_seconds(simple_traj, (0, 0), 0.1, early_fraction=0.0)
+
+    def test_full_fraction_equals_plain_dwell(self, simple_traj):
+        from repro.trajectory.metrics import dwell_time_in_disc
+
+        a = early_dwell_seconds(simple_traj, (0.0, 0.0), 0.3, early_fraction=1.0)
+        b = dwell_time_in_disc(simple_traj, (0.0, 0.0), 0.3)
+        assert a == pytest.approx(b)
+
+    def test_window_restricts(self, simple_traj):
+        # whole walk inside a huge disc; early 20 % of 10 s = 2 s
+        dwell = early_dwell_seconds(simple_traj, (0.0, 0.0), 10.0, early_fraction=0.2)
+        assert dwell == pytest.approx(2.0, abs=0.6)
+
+    def test_outside_disc_zero(self, simple_traj):
+        assert early_dwell_seconds(simple_traj, (0.0, 9.0), 0.1) == 0.0
+
+    def test_stationary_ant_full_dwell(self):
+        pos = np.zeros((11, 2))
+        pos[:, 0] = np.linspace(0, 1e-4, 11)
+        traj = Trajectory(pos, np.linspace(0, 50, 11))
+        dwell = early_dwell_seconds(traj, (0, 0), 0.05, early_fraction=0.5)
+        assert dwell == pytest.approx(25.0, abs=3.0)
+
+
+class TestCentralDwellTable:
+    def test_keys_and_counts(self, full_dataset):
+        table = central_dwell_table(full_dataset, radius=0.075)
+        assert set(table) == {"seed_dropped", "others"}
+        total = table["seed_dropped"]["count"] + table["others"]["count"]
+        assert total == len(full_dataset)
+
+    def test_seed_droppers_dwell_more(self, full_dataset):
+        table = central_dwell_table(full_dataset, radius=0.075)
+        assert table["seed_dropped"]["mean_s"] > table["others"]["mean_s"]
+        assert table["seed_dropped"]["median_s"] > table["others"]["median_s"]
+
+    def test_empty_population_handled(self, tiny_dataset):
+        table = central_dwell_table(tiny_dataset, radius=0.1)
+        assert table["seed_dropped"]["count"] == 0
+        assert table["seed_dropped"]["mean_s"] == 0.0

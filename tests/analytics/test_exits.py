@@ -1,0 +1,57 @@
+"""Tests for exit-side analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.exits import exit_side_of, exit_side_table, exit_sides, opposite_side
+from repro.synth.arena import EXIT_SIDES
+from repro.trajectory.model import Trajectory
+
+
+class TestOppositeSide:
+    def test_pairs(self):
+        assert opposite_side("east") == "west"
+        assert opposite_side("west") == "east"
+        assert opposite_side("north") == "south"
+        assert opposite_side("south") == "north"
+
+    def test_involution(self):
+        for s in EXIT_SIDES:
+            assert opposite_side(opposite_side(s)) == s
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            opposite_side("up")
+
+
+class TestExitSide:
+    def test_straight_east_walker(self, simple_traj, arena):
+        assert exit_side_of(simple_traj, arena) == "east"
+
+    def test_synthetic_exit(self, arena):
+        pos = np.array([[0.0, 0.0], [0.0, -0.6]])
+        traj = Trajectory(pos, np.array([0.0, 1.0]))
+        assert exit_side_of(traj, arena) == "south"
+
+    def test_vectorized(self, study_dataset, arena):
+        sides = exit_sides(study_dataset, arena)
+        assert len(sides) == len(study_dataset)
+        assert set(np.unique(sides)).issubset(set(EXIT_SIDES))
+
+
+class TestExitTable:
+    def test_rows_sum_to_group_sizes(self, study_dataset, arena):
+        table = exit_side_table(study_dataset, arena)
+        zones = study_dataset.zones()
+        for zone, row in table.items():
+            assert sum(row.values()) == zones[zone]
+
+    def test_all_sides_keyed(self, study_dataset, arena):
+        table = exit_side_table(study_dataset, arena)
+        for row in table.values():
+            assert set(row) == set(EXIT_SIDES)
+
+    def test_planted_effect_visible(self, full_dataset, arena):
+        table = exit_side_table(full_dataset, arena)
+        east_row = table["east"]
+        assert east_row["west"] > sum(east_row.values()) / 2

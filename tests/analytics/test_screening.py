@@ -1,0 +1,90 @@
+"""Tests for hypothesis-space screening."""
+
+import pytest
+
+from repro.analytics.screening import (
+    exit_side_battery,
+    screen_hypotheses,
+)
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.hypothesis import VerdictKind
+from repro.layout.cells import assign_groups_to_cells
+from repro.layout.configs import preset
+from repro.layout.groups import TrajectoryGroups
+
+
+@pytest.fixture(scope="module")
+def engine(full_dataset):
+    return CoordinatedBrushingEngine(full_dataset)
+
+
+@pytest.fixture(scope="module")
+def assignment(full_dataset, viewport):
+    grid = preset("3").build(viewport)
+    groups = TrajectoryGroups.fig3_scheme(grid)
+    return assign_groups_to_cells(full_dataset, grid, groups)
+
+
+class TestBattery:
+    def test_size(self, arena):
+        battery = exit_side_battery(arena)
+        assert len(battery) == 5 * 4 + 1
+
+    def test_without_seed(self, arena):
+        battery = exit_side_battery(arena, include_seed_dwell=False)
+        assert len(battery) == 20
+        assert all(h.target_group is not None for h in battery)
+
+    def test_statements_unique(self, arena):
+        battery = exit_side_battery(arena)
+        statements = [h.statement for h in battery]
+        assert len(set(statements)) == len(statements)
+
+
+class TestScreening:
+    @pytest.fixture(scope="class")
+    def screened(self, engine, assignment, arena):
+        return screen_hypotheses(engine, exit_side_battery(arena), assignment)
+
+    def test_everything_evaluated(self, screened, arena):
+        assert len(screened) == len(exit_side_battery(arena))
+
+    def test_sorted_by_score(self, screened):
+        scores = [s.score for s in screened]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_promising_hypotheses_are_the_planted_ones(self, screened):
+        """The four true homing hypotheses (+ seed dwell) surface at the
+        top; everything else is refuted — §VI-B's 'identify the
+        promising ones'."""
+        supported = [s for s in screened if s.verdict.supported]
+        statements = {s.hypothesis.statement for s in supported}
+        expected = {
+            "ants captured east of the trail exit west",
+            "ants captured west of the trail exit east",
+            "ants captured north of the trail exit south",
+            "ants captured south of the trail exit north",
+            "seed-droppers linger centrally early on",
+        }
+        assert statements == expected
+        # and they are exactly the top of the ranking
+        top = {s.hypothesis.statement for s in screened[: len(expected)]}
+        assert top == expected
+
+    def test_false_hypotheses_refuted(self, screened):
+        refuted = [s for s in screened if s.verdict.kind is VerdictKind.REFUTED]
+        assert len(refuted) == len(screened) - 5
+
+    def test_score_semantics(self, screened):
+        best = screened[0]
+        if best.verdict.comparison_support is not None:
+            expected = best.verdict.support - best.verdict.comparison_support
+        else:
+            expected = best.verdict.support - best.hypothesis.threshold
+        assert best.score == pytest.approx(expected)
+
+    def test_without_assignment_group_hypotheses_skipped(self, engine, arena):
+        screened = screen_hypotheses(engine, exit_side_battery(arena), None)
+        # only the group-free seed-dwell hypothesis survives
+        assert len(screened) == 1
+        assert "seed" in screened[0].hypothesis.statement

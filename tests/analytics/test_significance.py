@@ -1,0 +1,111 @@
+"""Tests for the permutation significance test."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.significance import support_permutation_test
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            support_permutation_test(np.ones(5, bool), np.ones(4, bool))
+
+    def test_degenerate_target(self):
+        h = np.ones(5, dtype=bool)
+        with pytest.raises(ValueError):
+            support_permutation_test(h, np.zeros(5, bool))
+        with pytest.raises(ValueError):
+            support_permutation_test(h, np.ones(5, bool))
+
+    def test_permutation_count(self):
+        h = np.ones(6, dtype=bool)
+        t = np.array([1, 1, 0, 0, 0, 0], dtype=bool)
+        with pytest.raises(ValueError):
+            support_permutation_test(h, t, n_permutations=0)
+
+
+class TestStatistics:
+    def test_strong_effect_significant(self):
+        rng = np.random.default_rng(0)
+        target = np.zeros(200, dtype=bool)
+        target[:50] = True
+        highlighted = np.where(target, rng.uniform(size=200) < 0.8,
+                               rng.uniform(size=200) < 0.1)
+        rep = support_permutation_test(highlighted, target, rng=rng)
+        assert rep.significant()
+        assert rep.observed_diff > 0.5
+        assert rep.target_support > rep.complement_support
+
+    def test_null_effect_not_significant(self):
+        rng = np.random.default_rng(1)
+        target = np.zeros(200, dtype=bool)
+        target[:50] = True
+        highlighted = rng.uniform(size=200) < 0.4  # same rate everywhere
+        rep = support_permutation_test(highlighted, target, rng=rng)
+        assert rep.p_value > 0.05
+
+    def test_p_value_range(self):
+        rng = np.random.default_rng(2)
+        target = np.zeros(40, dtype=bool)
+        target[:10] = True
+        highlighted = rng.uniform(size=40) < 0.5
+        rep = support_permutation_test(highlighted, target, n_permutations=500, rng=rng)
+        assert 0.0 < rep.p_value <= 1.0
+
+    def test_deterministic_with_seeded_rng(self):
+        target = np.zeros(60, dtype=bool)
+        target[:20] = True
+        highlighted = np.zeros(60, dtype=bool)
+        highlighted[:15] = True
+        a = support_permutation_test(highlighted, target, rng=np.random.default_rng(3))
+        b = support_permutation_test(highlighted, target, rng=np.random.default_rng(3))
+        assert a.p_value == b.p_value
+
+    def test_str_readable(self):
+        target = np.array([1, 1, 0, 0], dtype=bool)
+        highlighted = np.array([1, 1, 0, 0], dtype=bool)
+        rep = support_permutation_test(highlighted, target, n_permutations=100)
+        assert "p =" in str(rep)
+
+
+class TestOnStudyData:
+    def test_fig5_reading_is_significant(self, full_dataset, arena):
+        """The east group's red concentration is not a sampling
+        artifact: permutation p << 0.05."""
+        from repro.core.brush import stroke_from_rect
+        from repro.core.canvas import BrushCanvas
+        from repro.core.engine import CoordinatedBrushingEngine
+        from repro.core.temporal import TimeWindow
+
+        canvas = BrushCanvas()
+        r = arena.radius
+        canvas.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+        res = CoordinatedBrushingEngine(full_dataset).query(
+            canvas, "red", window=TimeWindow.end(0.15)
+        )
+        target = np.array(
+            [t.meta.capture_zone == "east" for t in full_dataset], dtype=bool
+        )
+        rep = support_permutation_test(res.traj_mask, target)
+        assert rep.significant(0.001)
+
+    def test_on_trail_reading_is_null(self, full_dataset, arena):
+        from repro.core.brush import stroke_from_rect
+        from repro.core.canvas import BrushCanvas
+        from repro.core.engine import CoordinatedBrushingEngine
+        from repro.core.temporal import TimeWindow
+
+        canvas = BrushCanvas()
+        r = arena.radius
+        canvas.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+        res = CoordinatedBrushingEngine(full_dataset).query(
+            canvas, "red", window=TimeWindow.end(0.15)
+        )
+        target = np.array(
+            [t.meta.capture_zone == "on" for t in full_dataset], dtype=bool
+        )
+        rep = support_permutation_test(res.traj_mask, target)
+        # on-trail ants are at (or below) the base rate — never a
+        # significant positive effect
+        assert rep.p_value > 0.05

@@ -1,0 +1,52 @@
+"""Tests for group-level movement statistics."""
+
+import pytest
+
+from repro.analytics.stats import group_statistics, zone_straightness_table
+
+
+class TestGroupStatistics:
+    def test_grouping_by_zone(self, study_dataset):
+        stats = group_statistics(study_dataset, "capture_zone")
+        assert set(stats) == set(study_dataset.zones())
+        n_total = sum(m["straightness"]["n"] for m in stats.values())
+        assert n_total == len(study_dataset)
+
+    def test_metric_keys(self, study_dataset):
+        stats = group_statistics(study_dataset)
+        some = next(iter(stats.values()))
+        assert {
+            "path_length_m",
+            "net_displacement_m",
+            "straightness",
+            "sinuosity",
+            "mean_speed_mps",
+            "duration_s",
+        } == set(some)
+
+    def test_grouping_by_direction(self, study_dataset):
+        stats = group_statistics(study_dataset, "direction")
+        assert set(stats) == {"inbound", "outbound"}
+
+    def test_grouping_by_bool_field(self, study_dataset):
+        stats = group_statistics(study_dataset, "carrying_seed")
+        assert set(stats) == {"True", "False"}
+
+    def test_values_sane(self, study_dataset):
+        stats = group_statistics(study_dataset)
+        for metrics in stats.values():
+            assert 0.0 <= metrics["straightness"]["mean"] <= 1.0
+            assert metrics["duration_s"]["mean"] > 0
+            assert metrics["mean_speed_mps"]["mean"] > 0
+
+
+class TestStraightnessTable:
+    def test_windy_vs_direct_inference(self, full_dataset):
+        """§VI-A: on-trail 'more windy', off-trail 'more direct'."""
+        table = zone_straightness_table(full_dataset)
+        for zone in ("east", "west", "north", "south"):
+            assert table[zone] > table["on"], zone
+
+    def test_zone_order_stable(self, study_dataset):
+        table = zone_straightness_table(study_dataset)
+        assert list(table) == ["on", "east", "west", "north", "south"]

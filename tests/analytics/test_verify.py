@@ -1,0 +1,92 @@
+"""Tests for ground-truth verification of visual queries."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.verify import (
+    ground_truth_east_west,
+    ground_truth_seed_dwell,
+    verify_query_against_truth,
+)
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.temporal import TimeWindow
+
+
+@pytest.fixture(scope="module")
+def engine(full_dataset):
+    return CoordinatedBrushingEngine(full_dataset)
+
+
+class TestGroundTruthEastWest:
+    def test_support_matches_table(self, full_dataset, arena):
+        from repro.analytics.exits import exit_side_table
+
+        truth = ground_truth_east_west(full_dataset, arena)
+        table = exit_side_table(full_dataset, arena)["east"]
+        expected = table["west"] / sum(table.values())
+        assert truth.support == pytest.approx(expected)
+
+    def test_supported(self, full_dataset, arena):
+        assert ground_truth_east_west(full_dataset, arena).supported
+
+    def test_control_not_supported(self, full_dataset, arena):
+        truth = ground_truth_east_west(
+            full_dataset, arena, capture_zone="on", exit_side="west"
+        )
+        assert not truth.supported
+
+    def test_empty_target(self, tiny_dataset, arena):
+        truth = ground_truth_east_west(tiny_dataset, arena, capture_zone="north")
+        assert truth.support == 0.0
+
+
+class TestGroundTruthSeedDwell:
+    def test_supported(self, full_dataset):
+        truth = ground_truth_seed_dwell(full_dataset, radius=0.075)
+        assert truth.supported
+
+    def test_threshold_monotone(self, full_dataset):
+        lax = ground_truth_seed_dwell(full_dataset, radius=0.075, dwell_threshold_s=1.0)
+        strict = ground_truth_seed_dwell(full_dataset, radius=0.075, dwell_threshold_s=30.0)
+        assert lax.support >= strict.support
+
+
+class TestQueryFidelity:
+    def test_visual_agrees_with_exact(self, engine, full_dataset, arena):
+        """The paper's central fidelity claim: the visual query gives
+        the same verdict as exact analysis, with high per-item
+        agreement."""
+        r = arena.radius
+        canvas = BrushCanvas()
+        canvas.add(
+            stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red")
+        )
+        result = engine.query(canvas, "red", window=TimeWindow.end(0.15))
+        truth = ground_truth_east_west(full_dataset, arena)
+        fidelity = verify_query_against_truth(result, truth)
+        assert fidelity.verdict_match
+        assert fidelity.agreement > 0.8
+        assert abs(fidelity.visual_support - fidelity.exact_support) < 0.25
+
+    def test_empty_target_perfect_agreement(self, engine, full_dataset, arena):
+        truth = ground_truth_east_west(full_dataset, arena)
+        result = engine.query(BrushCanvas(), "red")
+        # restrict to an impossible population
+        empty_truth = type(truth)(
+            statement="x",
+            per_traj=truth.per_traj,
+            target=np.zeros(len(full_dataset), dtype=bool),
+        )
+        fid = verify_query_against_truth(result, empty_truth)
+        assert fid.agreement == 1.0
+        assert fid.verdict_match
+
+    def test_str_readable(self, engine, full_dataset, arena):
+        truth = ground_truth_east_west(full_dataset, arena)
+        r = arena.radius
+        canvas = BrushCanvas()
+        canvas.add(stroke_from_rect((-r, -0.5), (-0.7 * r, 0.5), 0.06, "red"))
+        fid = verify_query_against_truth(engine.query(canvas, "red"), truth)
+        assert "agreement" in str(fid)

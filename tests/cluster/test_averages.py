@@ -1,0 +1,66 @@
+"""Tests for cluster-average trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.averages import cluster_average_dataset, cluster_average_trajectory
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+
+def _traj(offset, zone="east", n=20, dur=10.0):
+    xs = np.linspace(0, 1, n) + offset
+    pos = np.stack([xs, np.full(n, offset)], axis=1)
+    return Trajectory(pos, np.linspace(0, dur, n), TrajectoryMeta(capture_zone=zone))
+
+
+class TestAverageTrajectory:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cluster_average_trajectory([])
+        with pytest.raises(ValueError):
+            cluster_average_trajectory([_traj(0.0)], n_points=1)
+
+    def test_mean_of_two(self):
+        avg = cluster_average_trajectory([_traj(0.0), _traj(1.0)], n_points=10)
+        assert avg.n_samples == 10
+        # y should be the mean offset 0.5 everywhere
+        np.testing.assert_allclose(avg.positions[:, 1], 0.5, atol=1e-9)
+
+    def test_single_member_identity_shape(self):
+        t = _traj(0.0, n=40)
+        avg = cluster_average_trajectory([t], n_points=40)
+        np.testing.assert_allclose(avg.positions, t.positions, atol=1e-9)
+
+    def test_majority_zone(self):
+        members = [_traj(0, "east"), _traj(0, "east"), _traj(0, "west")]
+        avg = cluster_average_trajectory(members)
+        assert avg.meta.capture_zone == "east"
+        assert avg.meta.extra["cluster_size"] == 3
+
+    def test_times_strictly_increasing(self):
+        members = [_traj(0.0, dur=5.0), _traj(0.0, dur=50.0)]
+        avg = cluster_average_trajectory(members, n_points=30)
+        assert np.all(np.diff(avg.times) > 0)
+
+    def test_cluster_id_stored(self):
+        avg = cluster_average_trajectory([_traj(0.0)], cluster_id=9)
+        assert avg.traj_id == 9
+
+
+class TestAverageDataset:
+    def test_skips_empty_clusters(self, study_dataset):
+        labels = np.zeros(len(study_dataset), dtype=np.int64)
+        labels[: len(study_dataset) // 2] = 3
+        out = cluster_average_dataset(study_dataset, labels, n_clusters=5)
+        assert len(out) == 2
+        assert sorted(t.traj_id for t in out) == [0, 3]
+
+    def test_label_length_checked(self, study_dataset):
+        with pytest.raises(ValueError):
+            cluster_average_dataset(study_dataset, np.zeros(3, dtype=int), 2)
+
+    def test_average_in_arena(self, study_dataset, arena):
+        labels = np.zeros(len(study_dataset), dtype=np.int64)
+        out = cluster_average_dataset(study_dataset, labels, 1)
+        # mean of in-arena paths stays in the arena
+        assert arena.contains(out[0].positions).all()

@@ -1,0 +1,56 @@
+"""Tests for the k-means baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import kmeans
+
+
+@pytest.fixture()
+def blobs():
+    rng = np.random.default_rng(1)
+    centers = np.array([[0, 0], [8, 0], [0, 8]], dtype=float)
+    return np.concatenate([c + rng.normal(0, 0.4, (40, 2)) for c in centers])
+
+
+class TestKMeans:
+    def test_validation(self, blobs):
+        with pytest.raises(ValueError):
+            kmeans(blobs, 0)
+        with pytest.raises(ValueError):
+            kmeans(blobs, len(blobs) + 1)
+        with pytest.raises(ValueError):
+            kmeans(blobs.ravel(), 2)
+
+    def test_recovers_blobs(self, blobs):
+        res = kmeans(blobs, 3, seed=0)
+        assert res.converged
+        # each blob gets a single label
+        for i in range(3):
+            lab = res.labels[i * 40 : (i + 1) * 40]
+            assert len(np.unique(lab)) == 1
+        # and labels differ between blobs
+        assert len({res.labels[0], res.labels[40], res.labels[80]}) == 3
+
+    def test_inertia_decreases_with_k(self, blobs):
+        inertias = [kmeans(blobs, k, seed=0).inertia for k in (1, 3, 9)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_deterministic(self, blobs):
+        a = kmeans(blobs, 3, seed=5)
+        b = kmeans(blobs, 3, seed=5)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_allclose(a.centers, b.centers)
+
+    def test_k_equals_n(self, blobs):
+        res = kmeans(blobs[:10], 10, seed=0)
+        assert res.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_one_center_is_mean(self, blobs):
+        res = kmeans(blobs, 1, seed=0)
+        np.testing.assert_allclose(res.centers[0], blobs.mean(axis=0), atol=1e-9)
+
+    def test_labels_match_nearest_center(self, blobs):
+        res = kmeans(blobs, 3, seed=2)
+        d = np.linalg.norm(blobs[:, None] - res.centers[None], axis=2)
+        np.testing.assert_array_equal(res.labels, d.argmin(axis=1))

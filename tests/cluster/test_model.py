@@ -1,0 +1,78 @@
+"""Tests for the fitted cluster model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.model import ClusterModel, fit_som_clusters
+from repro.trajectory.dataset import TrajectoryDataset
+
+
+@pytest.fixture(scope="module")
+def model(study_dataset):
+    return fit_som_clusters(study_dataset, rows=3, cols=4, epochs=6, seed=0)
+
+
+class TestFit:
+    def test_structure(self, model, study_dataset):
+        assert model.n_clusters == 12
+        assert len(model.labels) == len(study_dataset)
+        assert model.som is not None
+        assert model.train_log is not None and model.train_log.epochs == 6
+
+    def test_labels_in_range(self, model):
+        assert model.labels.min() >= 0
+        assert model.labels.max() < 12
+
+    def test_averages_ids_are_cluster_indices(self, model):
+        for avg in model.averages:
+            assert 0 <= avg.traj_id < model.n_clusters
+            assert len(model.members_of(avg.traj_id)) > 0
+
+    def test_validation(self, study_dataset):
+        with pytest.raises(ValueError):
+            ClusterModel(
+                source=study_dataset,
+                labels=np.zeros(3, dtype=int),
+                n_clusters=2,
+                averages=TrajectoryDataset(),
+            )
+        with pytest.raises(ValueError):
+            ClusterModel(
+                source=study_dataset,
+                labels=np.full(len(study_dataset), 5, dtype=int),
+                n_clusters=2,
+                averages=TrajectoryDataset(),
+            )
+
+
+class TestMembership:
+    def test_members_partition_dataset(self, model, study_dataset):
+        total = sum(len(model.members_of(c)) for c in range(model.n_clusters))
+        assert total == len(study_dataset)
+
+    def test_member_dataset(self, model, study_dataset):
+        sizes = model.cluster_sizes()
+        c = int(np.argmax(sizes))
+        members = model.member_dataset(c)
+        assert len(members) == sizes[c]
+        for t in members:
+            assert model.labels[t.traj_id] == c
+
+    def test_members_bounds(self, model):
+        with pytest.raises(IndexError):
+            model.members_of(99)
+
+    def test_cluster_sizes_sum(self, model, study_dataset):
+        assert model.cluster_sizes().sum() == len(study_dataset)
+
+    def test_compression_ratio(self, model, study_dataset):
+        ratio = model.compression_ratio()
+        assert ratio == pytest.approx(len(study_dataset) / model.n_nonempty)
+        assert ratio >= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_labels(self, study_dataset):
+        a = fit_som_clusters(study_dataset, 2, 3, epochs=3, seed=4)
+        b = fit_som_clusters(study_dataset, 2, 3, epochs=3, seed=4)
+        np.testing.assert_array_equal(a.labels, b.labels)

@@ -1,0 +1,118 @@
+"""Tests for the batch self-organizing map."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.som import SelfOrganizingMap
+
+
+@pytest.fixture()
+def blobs():
+    """Four well-separated Gaussian blobs in 2-D."""
+    rng = np.random.default_rng(0)
+    centers = np.array([[0, 0], [10, 0], [0, 10], [10, 10]], dtype=float)
+    data = np.concatenate(
+        [c + rng.normal(0, 0.5, size=(50, 2)) for c in centers], axis=0
+    )
+    return data
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(0, 3, 2)
+        with pytest.raises(ValueError):
+            SelfOrganizingMap(2, 2, 0)
+
+    def test_unit_positions(self):
+        som = SelfOrganizingMap(3, 4, 2)
+        assert som.n_units == 12
+        assert som.unit_position(0) == (0, 0)
+        assert som.unit_position(5) == (1, 1)
+        with pytest.raises(IndexError):
+            som.unit_position(12)
+
+
+class TestTraining:
+    def test_fit_reduces_quantization_error(self, blobs):
+        som = SelfOrganizingMap(4, 4, 2, seed=1)
+        qe_before = som.quantization_error(blobs)
+        log = som.fit(blobs, epochs=15)
+        assert log.quantization_error[-1] < qe_before
+        assert log.epochs == 15
+
+    def test_error_non_increasing_in_tail(self, blobs):
+        som = SelfOrganizingMap(4, 4, 2, seed=2)
+        log = som.fit(blobs, epochs=20)
+        tail = log.quantization_error[-5:]
+        assert all(b <= a + 1e-9 for a, b in zip(tail[:-1], tail[1:]))
+
+    def test_radius_anneals(self, blobs):
+        som = SelfOrganizingMap(4, 4, 2, seed=0)
+        log = som.fit(blobs, epochs=10, radius_end=0.5)
+        assert log.radius[0] > log.radius[-1]
+        assert log.radius[-1] >= 0.5
+
+    def test_fit_validation(self, blobs):
+        som = SelfOrganizingMap(2, 2, 2)
+        with pytest.raises(ValueError):
+            som.fit(blobs, epochs=0)
+        with pytest.raises(ValueError):
+            som.fit(blobs[:, :1])
+        with pytest.raises(ValueError):
+            som.fit(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            som.fit(blobs, radius_start=0.1, radius_end=0.5)
+
+    def test_separated_blobs_use_separate_units(self, blobs):
+        som = SelfOrganizingMap(4, 4, 2, seed=3)
+        som.fit(blobs, epochs=25)
+        labels = som.bmu(blobs)
+        # each blob of 50 samples maps to a dominant unit distinct from
+        # the other blobs' dominant units
+        dominants = []
+        for i in range(4):
+            lab = labels[i * 50 : (i + 1) * 50]
+            dominants.append(np.bincount(lab).argmax())
+        assert len(set(dominants)) == 4
+
+    def test_determinism(self, blobs):
+        a = SelfOrganizingMap(3, 3, 2, seed=7)
+        b = SelfOrganizingMap(3, 3, 2, seed=7)
+        a.fit(blobs, epochs=5)
+        b.fit(blobs, epochs=5)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+
+class TestAssignment:
+    def test_bmu_shape_and_range(self, blobs):
+        som = SelfOrganizingMap(3, 3, 2, seed=0)
+        labels = som.bmu(blobs)
+        assert labels.shape == (len(blobs),)
+        assert labels.min() >= 0 and labels.max() < 9
+
+    def test_bmu_chunking_invariant(self, blobs):
+        som = SelfOrganizingMap(3, 3, 2, seed=0)
+        som.fit(blobs, epochs=3)
+        np.testing.assert_array_equal(
+            som.bmu(blobs, chunk=7), som.bmu(blobs, chunk=10_000)
+        )
+
+    def test_bmu_dim_check(self, blobs):
+        som = SelfOrganizingMap(3, 3, 5)
+        with pytest.raises(ValueError):
+            som.bmu(blobs)
+
+
+class TestTopology:
+    def test_topographic_error_reasonable(self, blobs):
+        som = SelfOrganizingMap(4, 4, 2, seed=0)
+        som.fit(blobs, epochs=25)
+        te = som.topographic_error(blobs)
+        assert 0.0 <= te <= 1.0
+
+    def test_trained_som_preserves_topology_better_than_random(self, blobs):
+        trained = SelfOrganizingMap(4, 4, 2, seed=0)
+        trained.fit(blobs, epochs=25)
+        untrained = SelfOrganizingMap(4, 4, 2, seed=0)
+        assert trained.topographic_error(blobs) <= untrained.topographic_error(blobs)

@@ -1,0 +1,102 @@
+"""Tests for paintbrush strokes."""
+
+import numpy as np
+import pytest
+
+from repro.core.brush import BrushStroke, stroke_from_path, stroke_from_rect
+
+
+class TestBrushStroke:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrushStroke(np.empty((0, 2)), 0.1)
+        with pytest.raises(ValueError):
+            BrushStroke(np.zeros((1, 2)), 0.0)
+        with pytest.raises(ValueError):
+            BrushStroke(np.zeros((1, 2)), 0.1, color="")
+        with pytest.raises(ValueError):
+            BrushStroke(np.array([[np.nan, 0.0]]), 0.1)
+
+    def test_centers_read_only(self):
+        s = BrushStroke(np.zeros((2, 2)), 0.1)
+        with pytest.raises(ValueError):
+            s.centers[0, 0] = 1.0
+
+    def test_bounding_box(self):
+        s = BrushStroke(np.array([[0.0, 0.0], [1.0, 1.0]]), 0.25)
+        lo, hi = s.bounding_box()
+        np.testing.assert_allclose(lo, [-0.25, -0.25])
+        np.testing.assert_allclose(hi, [1.25, 1.25])
+
+    def test_covers_points(self):
+        s = BrushStroke(np.array([[0.0, 0.0]]), 0.5)
+        pts = np.array([[0.0, 0.0], [0.49, 0.0], [0.51, 0.0]])
+        np.testing.assert_array_equal(s.covers_points(pts), [True, True, False])
+
+    def test_area_estimate_single_disc(self):
+        s = BrushStroke(np.array([[0.0, 0.0]]), 1.0)
+        area = s.area_estimate(samples=20_000)
+        assert area == pytest.approx(np.pi, rel=0.05)
+
+    def test_area_union_not_double_counted(self):
+        # two coincident stamps = one disc
+        s = BrushStroke(np.zeros((2, 2)), 1.0)
+        assert s.area_estimate(samples=20_000) == pytest.approx(np.pi, rel=0.05)
+
+
+class TestStrokeFromPath:
+    def test_decimates_dense_path(self):
+        path = np.stack([np.linspace(0, 1, 1000), np.zeros(1000)], axis=1)
+        s = stroke_from_path(path, radius=0.1)
+        assert s.n_stamps < 30  # ~1/0.05 spacing
+        np.testing.assert_array_equal(s.centers[0], path[0])
+        np.testing.assert_array_equal(s.centers[-1], path[-1])
+
+    def test_sparse_path_kept(self):
+        path = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+        s = stroke_from_path(path, radius=0.1)
+        assert s.n_stamps == 3
+
+    def test_single_point(self):
+        s = stroke_from_path(np.array([[0.3, 0.3]]), radius=0.05)
+        assert s.n_stamps == 1
+
+    def test_union_region_preserved(self):
+        """Decimation never loses coverage by more than the spacing."""
+        rng = np.random.default_rng(0)
+        path = np.cumsum(rng.normal(0, 0.02, size=(200, 2)), axis=0)
+        dense = BrushStroke(path, 0.1)
+        decimated = stroke_from_path(path, 0.1)
+        probe = rng.uniform(-1, 1, size=(500, 2))
+        covered_dense = dense.covers_points(probe)
+        covered_dec = decimated.covers_points(probe)
+        # decimated coverage is a subset, missing only a thin rind
+        assert np.all(covered_dec <= covered_dense)
+        # interior points (well inside) are never lost
+        interior = BrushStroke(path, 0.05).covers_points(probe)
+        assert np.all(covered_dec[interior])
+
+
+class TestStrokeFromRect:
+    def test_covers_rectangle(self):
+        s = stroke_from_rect((-1.0, -0.5), (1.0, 0.5), radius=0.2)
+        rng = np.random.default_rng(1)
+        pts = rng.uniform([-1.0, -0.5], [1.0, 0.5], size=(300, 2))
+        assert np.all(s.covers_points(pts))
+
+    def test_bounded_inflation(self):
+        s = stroke_from_rect((0.0, 0.0), (1.0, 1.0), radius=0.1)
+        lo, hi = s.bounding_box()
+        np.testing.assert_allclose(lo, [-0.1, -0.1])
+        np.testing.assert_allclose(hi, [1.1, 1.1])
+
+    def test_degenerate_rect_is_point(self):
+        s = stroke_from_rect((0.5, 0.5), (0.5, 0.5), radius=0.1)
+        assert s.n_stamps == 1
+
+    def test_inverted_rect_rejected(self):
+        with pytest.raises(ValueError):
+            stroke_from_rect((1.0, 0.0), (0.0, 1.0), radius=0.1)
+
+    def test_color_carried(self):
+        assert stroke_from_rect((0, 0), (1, 1), 0.1, color="green").color == "green"

@@ -1,0 +1,91 @@
+"""Tests for multi-query combination."""
+
+import numpy as np
+import pytest
+
+from repro.core.brush import BrushStroke, stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.combine import combine_and, combine_and_not, combine_or
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.result import QueryResult
+
+
+@pytest.fixture(scope="module")
+def results(study_dataset, arena):
+    engine = CoordinatedBrushingEngine(study_dataset)
+    canvas = BrushCanvas()
+    r = arena.radius
+    canvas.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+    canvas.add(BrushStroke(np.array([[0.0, 0.0]]), 0.1, "green"))
+    return engine.query(canvas, "red"), engine.query(canvas, "green")
+
+
+class TestCombinators:
+    def test_and_semantics(self, results):
+        a, b = results
+        both = combine_and(a, b)
+        np.testing.assert_array_equal(both.traj_mask, a.traj_mask & b.traj_mask)
+        assert both.color == "(red & green)"
+
+    def test_or_semantics(self, results):
+        a, b = results
+        either = combine_or(a, b)
+        np.testing.assert_array_equal(either.traj_mask, a.traj_mask | b.traj_mask)
+
+    def test_and_not_semantics(self, results):
+        a, b = results
+        only_a = combine_and_not(a, b)
+        np.testing.assert_array_equal(only_a.traj_mask, a.traj_mask & ~b.traj_mask)
+
+    def test_lattice_relations(self, results):
+        a, b = results
+        n_and = combine_and(a, b).n_highlighted
+        n_or = combine_or(a, b).n_highlighted
+        assert n_and <= min(a.n_highlighted, b.n_highlighted)
+        assert n_or >= max(a.n_highlighted, b.n_highlighted)
+        # inclusion-exclusion
+        assert n_and + n_or == a.n_highlighted + b.n_highlighted
+
+    def test_and_not_partitions_a(self, results):
+        a, b = results
+        only_a = combine_and_not(a, b)
+        both = combine_and(a, b)
+        assert only_a.n_highlighted + both.n_highlighted == a.n_highlighted
+
+    def test_highlight_time_semantics(self, results):
+        a, b = results
+        both = combine_and(a, b)
+        either = combine_or(a, b)
+        hit = both.traj_mask
+        assert np.all(
+            both.traj_highlight_time[hit]
+            <= np.minimum(a.traj_highlight_time, b.traj_highlight_time)[hit] + 1e-12
+        )
+        assert np.all(
+            either.traj_highlight_time
+            >= np.maximum(a.traj_highlight_time, b.traj_highlight_time) - 1e-12
+        )
+
+    def test_incompatible_shapes_rejected(self, results):
+        a, _ = results
+        other = QueryResult(
+            color="x",
+            segment_mask=np.zeros(1, dtype=bool),
+            traj_mask=np.zeros(3, dtype=bool),
+            traj_highlight_time=np.zeros(3),
+            displayed=np.ones(3, dtype=bool),
+        )
+        with pytest.raises(ValueError):
+            combine_and(a, other)
+
+    def test_different_display_sets_rejected(self, results):
+        a, b = results
+        shuffled = QueryResult(
+            color=b.color,
+            segment_mask=b.segment_mask,
+            traj_mask=b.traj_mask,
+            traj_highlight_time=b.traj_highlight_time,
+            displayed=~b.displayed,
+        )
+        with pytest.raises(ValueError, match="layouts"):
+            combine_or(a, shuffled)

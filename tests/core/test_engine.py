@@ -1,0 +1,137 @@
+"""Tests for the coordinated-brushing engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.brush import BrushStroke, stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.temporal import TimeWindow
+from repro.layout.cells import assign_groups_to_cells
+from repro.layout.configs import preset
+from repro.layout.groups import TrajectoryGroups
+
+
+@pytest.fixture(scope="module")
+def engine(study_dataset):
+    return CoordinatedBrushingEngine(study_dataset)
+
+
+@pytest.fixture()
+def west_canvas(arena):
+    c = BrushCanvas()
+    r = arena.radius
+    c.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), radius=0.12 * r, color="red"))
+    return c
+
+
+class TestBasics:
+    def test_empty_dataset_rejected(self):
+        from repro.trajectory.dataset import TrajectoryDataset
+
+        with pytest.raises(ValueError):
+            CoordinatedBrushingEngine(TrajectoryDataset())
+
+    def test_empty_canvas_no_highlights(self, engine):
+        res = engine.query(BrushCanvas(), "red")
+        assert not res.segment_mask.any()
+        assert not res.traj_mask.any()
+        assert res.n_highlighted == 0
+
+    def test_masks_shapes(self, engine, west_canvas, study_dataset):
+        res = engine.query(west_canvas, "red")
+        assert res.segment_mask.shape == (study_dataset.packed().n_segments,)
+        assert res.traj_mask.shape == (len(study_dataset),)
+        assert res.traj_highlight_time.shape == (len(study_dataset),)
+
+    def test_wrong_color_finds_nothing(self, engine, west_canvas):
+        res = engine.query(west_canvas, "green")
+        assert not res.traj_mask.any()
+
+    def test_elapsed_recorded(self, engine, west_canvas):
+        res = engine.query(west_canvas, "red")
+        assert res.elapsed_s > 0
+
+
+class TestAggregation:
+    def test_traj_mask_consistent_with_segments(self, engine, west_canvas, study_dataset):
+        res = engine.query(west_canvas, "red")
+        packed = study_dataset.packed()
+        for i in range(len(study_dataset)):
+            rows = packed.rows_of(i)
+            assert res.traj_mask[i] == res.segment_mask[rows].any()
+
+    def test_highlight_time_matches_segment_sums(self, engine, west_canvas, study_dataset):
+        res = engine.query(west_canvas, "red")
+        packed = study_dataset.packed()
+        for i in (0, 3, 50):
+            rows = packed.rows_of(i)
+            dt = (packed.t1[rows] - packed.t0[rows])[res.segment_mask[rows]]
+            assert res.traj_highlight_time[i] == pytest.approx(dt.sum())
+
+    def test_highlight_time_zero_iff_unmasked(self, engine, west_canvas):
+        res = engine.query(west_canvas, "red")
+        np.testing.assert_array_equal(res.traj_mask, res.traj_highlight_time > 0)
+
+
+class TestIndexEquivalence:
+    def test_indexed_equals_unindexed(self, study_dataset, west_canvas):
+        fast = CoordinatedBrushingEngine(study_dataset, use_index=True)
+        slow = CoordinatedBrushingEngine(study_dataset, use_index=False)
+        w = TimeWindow.end(0.2)
+        r_fast = fast.query(west_canvas, "red", window=w)
+        r_slow = slow.query(west_canvas, "red", window=w)
+        np.testing.assert_array_equal(r_fast.segment_mask, r_slow.segment_mask)
+        np.testing.assert_array_equal(r_fast.traj_mask, r_slow.traj_mask)
+
+
+class TestTemporalComposition:
+    def test_windowed_is_subset(self, engine, west_canvas):
+        full = engine.query(west_canvas, "red")
+        windowed = engine.query(west_canvas, "red", window=TimeWindow.end(0.1))
+        assert np.all(windowed.segment_mask <= full.segment_mask)
+        assert np.all(windowed.traj_mask <= full.traj_mask)
+
+    def test_disjoint_windows_partition(self, engine, west_canvas):
+        first = engine.query(west_canvas, "red", window=TimeWindow.fraction(0.0, 0.5))
+        # note: a segment straddling t=0.5 appears in both halves
+        second = engine.query(west_canvas, "red", window=TimeWindow.fraction(0.5, 1.0))
+        full = engine.query(west_canvas, "red")
+        np.testing.assert_array_equal(
+            first.segment_mask | second.segment_mask, full.segment_mask
+        )
+
+
+class TestGroups:
+    def test_group_support_counts(self, study_dataset, viewport, west_canvas):
+        grid = preset("2").build(viewport)
+        groups = TrajectoryGroups.fig3_scheme(grid)
+        asg = assign_groups_to_cells(study_dataset, grid, groups)
+        engine = CoordinatedBrushingEngine(study_dataset)
+        res = engine.query(west_canvas, "red", window=TimeWindow.end(0.15), assignment=asg)
+        assert set(res.group_support) == {"on", "west", "east", "north", "south"}
+        total = sum(gs.n_displayed for gs in res.group_support.values())
+        assert total == asg.n_displayed
+        # the planted effect shows in the group supports
+        assert res.group_support["east"].support > res.group_support["west"].support
+
+    def test_displayed_restriction(self, study_dataset, viewport, west_canvas):
+        grid = preset("1").build(viewport)  # only 60 cells
+        groups = TrajectoryGroups.fig3_scheme(grid)
+        asg = assign_groups_to_cells(study_dataset, grid, groups)
+        engine = CoordinatedBrushingEngine(study_dataset)
+        res = engine.query(west_canvas, "red", assignment=asg)
+        assert res.n_displayed == asg.n_displayed <= 60
+        # segment masks still cover the whole dataset
+        assert res.segment_mask.shape[0] == study_dataset.packed().n_segments
+
+
+class TestMultiColor:
+    def test_query_all_colors(self, engine, arena):
+        c = BrushCanvas()
+        c.add(BrushStroke(np.array([[0.0, 0.0]]), 0.1, "green"))
+        c.add(BrushStroke(np.array([[-0.45, 0.0]]), 0.05, "red"))
+        results = engine.query_all_colors(c)
+        assert set(results) == {"green", "red"}
+        # central brush touches nearly everything (all ants start there)
+        assert results["green"].overall_support > 0.9

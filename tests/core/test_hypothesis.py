@@ -1,0 +1,156 @@
+"""Tests for declarative hypotheses as visual queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.brush import BrushStroke, stroke_from_rect
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.hypothesis import Hypothesis, VerdictKind
+from repro.core.temporal import TimeWindow
+from repro.layout.cells import assign_groups_to_cells
+from repro.layout.configs import preset
+from repro.layout.groups import TrajectoryGroups
+from repro.trajectory.filters import SeedFilter
+
+
+@pytest.fixture(scope="module")
+def engine(full_dataset):
+    return CoordinatedBrushingEngine(full_dataset)
+
+
+@pytest.fixture(scope="module")
+def assignment(full_dataset, viewport):
+    grid = preset("3").build(viewport)
+    groups = TrajectoryGroups.fig3_scheme(grid)
+    return assign_groups_to_cells(full_dataset, grid, groups)
+
+
+def _west_stroke(arena):
+    r = arena.radius
+    return stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), radius=0.12 * r, color="red")
+
+
+def _center_stroke(arena, color="green"):
+    r = 0.15 * arena.radius
+    return stroke_from_rect((-r / 2, -r / 2), (r / 2, r / 2), radius=r, color=color)
+
+
+class TestValidation:
+    def test_needs_statement_and_strokes(self, arena):
+        with pytest.raises(ValueError):
+            Hypothesis(statement="", strokes=(_west_stroke(arena),))
+        with pytest.raises(ValueError):
+            Hypothesis(statement="x", strokes=())
+
+    def test_single_color_rule(self, arena):
+        red = _west_stroke(arena)
+        green = _center_stroke(arena)
+        with pytest.raises(ValueError, match="one query color"):
+            Hypothesis(statement="x", strokes=(red, green))
+
+    def test_threshold_range(self, arena):
+        with pytest.raises(ValueError):
+            Hypothesis(statement="x", strokes=(_west_stroke(arena),), threshold=0.0)
+
+    def test_contrast_needs_target(self, arena):
+        with pytest.raises(ValueError, match="contrast"):
+            Hypothesis(statement="x", strokes=(_west_stroke(arena),), contrast=True)
+
+
+class TestFig5Hypothesis:
+    def test_east_west_supported(self, engine, assignment, arena):
+        """The paper's worked example: supported by a clear majority."""
+        hyp = Hypothesis(
+            statement="east-captured ants exit west",
+            strokes=(_west_stroke(arena),),
+            window=TimeWindow.end(0.15),
+            target_group="east",
+        )
+        verdict = hyp.evaluate(engine, assignment)
+        assert verdict.kind is VerdictKind.SUPPORTED
+        assert verdict.support > 0.5
+
+    def test_control_group_refuted(self, engine, assignment, arena):
+        """On-trail ants have no west preference: same query, different
+        target group, opposite verdict — the contrast the researcher
+        read off the wall."""
+        hyp = Hypothesis(
+            statement="on-trail ants exit west",
+            strokes=(_west_stroke(arena),),
+            window=TimeWindow.end(0.15),
+            target_group="on",
+        )
+        verdict = hyp.evaluate(engine, assignment)
+        assert verdict.kind is VerdictKind.REFUTED
+
+    def test_unknown_group_raises(self, engine, assignment, arena):
+        hyp = Hypothesis(
+            statement="x", strokes=(_west_stroke(arena),), target_group="nowhere"
+        )
+        with pytest.raises(KeyError):
+            hyp.evaluate(engine, assignment)
+
+    def test_group_without_assignment_raises(self, engine, arena):
+        hyp = Hypothesis(
+            statement="x", strokes=(_west_stroke(arena),), target_group="east"
+        )
+        with pytest.raises(KeyError):
+            hyp.evaluate(engine, None)
+
+
+class TestContrastHypothesis:
+    def test_seed_dwell_supported(self, engine, arena):
+        hyp = Hypothesis(
+            statement="seed-droppers linger centrally early",
+            strokes=(_center_stroke(arena),),
+            window=TimeWindow.beginning(0.2),
+            target_filter=SeedFilter(dropped=True),
+            min_highlight_s=8.0,
+            contrast=True,
+        )
+        verdict = hyp.evaluate(engine)
+        assert verdict.kind is VerdictKind.SUPPORTED
+        assert verdict.comparison_support is not None
+        assert verdict.support > verdict.comparison_support + 0.1
+        assert "complement" in str(verdict)
+
+    def test_min_highlight_reduces_support(self, engine, arena):
+        base = Hypothesis(
+            statement="x",
+            strokes=(_center_stroke(arena),),
+            window=TimeWindow.beginning(0.2),
+        )
+        strict = Hypothesis(
+            statement="x",
+            strokes=(_center_stroke(arena),),
+            window=TimeWindow.beginning(0.2),
+            min_highlight_s=10.0,
+        )
+        assert strict.evaluate(engine).support < base.evaluate(engine).support
+
+
+class TestInconclusive:
+    def test_tiny_population(self, engine, arena):
+        hyp = Hypothesis(
+            statement="x",
+            strokes=(_west_stroke(arena),),
+            target_filter=SeedFilter(dropped=True),
+            min_population=10_000,
+        )
+        verdict = hyp.evaluate(engine)
+        assert verdict.kind is VerdictKind.INCONCLUSIVE
+
+    def test_supported_property(self, engine, arena):
+        hyp = Hypothesis(statement="anything central", strokes=(_center_stroke(arena, "red"),))
+        v = hyp.evaluate(engine)
+        assert v.supported == (v.kind is VerdictKind.SUPPORTED)
+
+
+class TestCanvasConstruction:
+    def test_build_canvas_isolated(self, arena):
+        hyp = Hypothesis(statement="x", strokes=(_west_stroke(arena),))
+        c1 = hyp.build_canvas()
+        c2 = hyp.build_canvas()
+        assert c1 is not c2
+        assert c1.n_strokes == 1
+        assert hyp.color == "red"

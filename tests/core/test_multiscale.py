@@ -1,0 +1,90 @@
+"""Tests for multi-scale (cluster-level) visual queries."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.model import fit_som_clusters
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.multiscale import MultiscaleExplorer
+
+
+@pytest.fixture(scope="module")
+def model(study_dataset):
+    return fit_som_clusters(study_dataset, rows=4, cols=6, epochs=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def explorer(model):
+    return MultiscaleExplorer(model)
+
+
+@pytest.fixture()
+def west_canvas(arena):
+    c = BrushCanvas()
+    r = arena.radius
+    c.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), radius=0.12 * r, color="red"))
+    return c
+
+
+class TestOverview:
+    def test_query_overview_runs(self, explorer, west_canvas):
+        res = explorer.query_overview(west_canvas)
+        assert res.n_displayed == len(explorer.model.averages)
+
+    def test_interesting_clusters_are_valid(self, explorer, west_canvas, model):
+        clusters = explorer.interesting_clusters(west_canvas)
+        assert len(clusters) > 0
+        for c in clusters:
+            assert 0 <= c < model.n_clusters
+            assert len(model.members_of(int(c))) > 0
+
+
+class TestZoom:
+    def test_zoom_engine_cached(self, explorer, west_canvas):
+        clusters = explorer.interesting_clusters(west_canvas)
+        c = int(clusters[0])
+        e1 = explorer.zoom_engine(c)
+        e2 = explorer.zoom_engine(c)
+        assert e1 is e2
+
+    def test_query_cluster_members_only(self, explorer, west_canvas, model):
+        clusters = explorer.interesting_clusters(west_canvas)
+        c = int(clusters[0])
+        res = explorer.query_cluster(c, west_canvas)
+        assert res.traj_mask.shape == (len(model.members_of(c)),)
+
+    def test_empty_cluster_rejected(self, explorer, model):
+        sizes = model.cluster_sizes()
+        empty = np.flatnonzero(sizes == 0)
+        if len(empty) == 0:
+            pytest.skip("no empty cluster in this fit")
+        with pytest.raises(ValueError):
+            explorer.zoom_engine(int(empty[0]))
+
+
+class TestDrillDown:
+    def test_drill_down_caps_breadth(self, explorer, west_canvas):
+        results = explorer.drill_down(west_canvas, max_clusters=2)
+        assert len(results) <= 2
+
+    def test_drill_down_keys_are_interesting(self, explorer, west_canvas):
+        interesting = set(explorer.interesting_clusters(west_canvas).tolist())
+        results = explorer.drill_down(west_canvas)
+        assert set(results).issubset(interesting)
+
+
+class TestFidelity:
+    def test_support_estimate_reasonable(self, explorer, west_canvas, study_dataset):
+        exact_engine = CoordinatedBrushingEngine(study_dataset)
+        report = explorer.support_estimate_error(
+            west_canvas, exact_engine=exact_engine
+        )
+        assert 0.0 <= report["cluster_level_support"] <= 1.0
+        assert report["abs_error"] == pytest.approx(
+            abs(report["cluster_level_support"] - report["exact_support"])
+        )
+        # §VI-C: cluster granularity changes the analysis but should
+        # remain indicative — within 40 points of exact here
+        assert report["abs_error"] < 0.4

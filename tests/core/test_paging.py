@@ -1,0 +1,69 @@
+"""Tests for session paging (scrolling bins through their populations)."""
+
+import pytest
+
+from repro.core.session import ExplorationSession
+
+
+@pytest.fixture()
+def session(full_dataset, viewport):
+    s = ExplorationSession(full_dataset, viewport, layout_key="1")  # 60 cells
+    s.enable_fig3_groups()
+    return s
+
+
+class TestPaging:
+    def test_next_page_shows_new_trajectories(self, session):
+        first = set(session.assignment.displayed_indices().tolist())
+        session.next_page()
+        second = set(session.assignment.displayed_indices().tolist())
+        assert second
+        assert not (first & second)
+
+    def test_prev_page_returns(self, session):
+        first = set(session.assignment.displayed_indices().tolist())
+        session.next_page()
+        session.prev_page()
+        assert set(session.assignment.displayed_indices().tolist()) == first
+
+    def test_prev_clamps_at_zero(self, session):
+        assert session.prev_page() == 0
+        assert session.page == 0
+
+    def test_next_clamps_at_end(self, session):
+        # page far past the data; the session rolls back to a non-empty page
+        for _ in range(50):
+            session.next_page()
+        assert session.assignment.n_displayed > 0
+
+    def test_layout_switch_resets_page(self, session):
+        session.next_page()
+        assert session.page > 0
+        session.switch_layout("2")
+        assert session.page == 0
+
+    def test_grouping_resets_page(self, session):
+        session.next_page()
+        session.enable_fig3_groups()
+        assert session.page == 0
+
+    def test_page_events_logged(self, session):
+        session.next_page()
+        session.prev_page()
+        assert session.event_counts()["page"] == 2
+
+
+class TestAppPagingKeys:
+    def test_n_p_keys(self, full_dataset):
+        from repro.app import TrajectoryExplorer
+        from repro.interaction.events import KeyEvent
+
+        app = TrajectoryExplorer(full_dataset, layout_key="1")
+        app.group_by_capture_zone()
+        before = set(app.session.assignment.displayed_indices().tolist())
+        app.handle_event(KeyEvent(0.0, "n"))
+        assert app.session.page == 1
+        after = set(app.session.assignment.displayed_indices().tolist())
+        assert not (before & after)
+        app.handle_event(KeyEvent(1.0, "p"))
+        assert app.session.page == 0

@@ -1,0 +1,82 @@
+"""Tests for temporal query profiles."""
+
+import numpy as np
+import pytest
+
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.profile import temporal_profile
+from repro.layout.cells import assign_groups_to_cells
+from repro.layout.configs import preset
+from repro.layout.groups import TrajectoryGroups
+
+
+@pytest.fixture(scope="module")
+def engine(full_dataset):
+    return CoordinatedBrushingEngine(full_dataset)
+
+
+@pytest.fixture(scope="module")
+def west_canvas(arena):
+    c = BrushCanvas()
+    r = arena.radius
+    c.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+    return c
+
+
+@pytest.fixture(scope="module")
+def center_canvas(arena):
+    c = BrushCanvas()
+    r = 0.12 * arena.radius
+    c.add(stroke_from_rect((-r, -r), (r, r), r, "green"))
+    return c
+
+
+class TestTemporalProfile:
+    def test_shapes(self, engine, west_canvas):
+        prof = temporal_profile(engine, west_canvas, "red", n_bins=8)
+        assert prof.n_bins == 8
+        assert prof.centers.shape == prof.support.shape == (8,)
+        assert np.all((0 <= prof.support) & (prof.support <= 1))
+
+    def test_validation(self, engine, west_canvas):
+        with pytest.raises(ValueError):
+            temporal_profile(engine, west_canvas, n_bins=0)
+        with pytest.raises(ValueError):
+            temporal_profile(engine, west_canvas, window_width=0.0)
+
+    def test_west_occupancy_rises_toward_end(self, engine, west_canvas):
+        """Homing ants reach the west edge late: the profile climbs."""
+        prof = temporal_profile(engine, west_canvas, "red", n_bins=5)
+        assert prof.support[-1] > prof.support[0]
+        center, peak = prof.peak()
+        assert center > 0.5
+
+    def test_central_occupancy_falls(self, engine, center_canvas):
+        """Everyone starts at the center and leaves: the profile falls."""
+        prof = temporal_profile(engine, center_canvas, "green", n_bins=5)
+        assert prof.support[0] > prof.support[-1]
+        center, _ = prof.peak()
+        assert center < 0.5
+
+    def test_group_series(self, engine, full_dataset, viewport, west_canvas):
+        grid = preset("3").build(viewport)
+        groups = TrajectoryGroups.fig3_scheme(grid)
+        asg = assign_groups_to_cells(full_dataset, grid, groups)
+        prof = temporal_profile(
+            engine, west_canvas, "red", n_bins=4, assignment=asg
+        )
+        assert set(prof.group_support) == {"on", "west", "east", "north", "south"}
+        # east peaks higher than west everywhere late
+        assert prof.group_support["east"][-1] > prof.group_support["west"][-1]
+        c, s = prof.peak_of("east")
+        assert s >= prof.group_support["east"].max() - 1e-12
+
+    def test_wide_window_smooths(self, engine, west_canvas):
+        narrow = temporal_profile(engine, west_canvas, "red", n_bins=6)
+        wide = temporal_profile(
+            engine, west_canvas, "red", n_bins=6, window_width=0.5
+        )
+        # wider windows can only see more
+        assert np.all(wide.support >= narrow.support - 1e-12)

@@ -1,0 +1,74 @@
+"""Tests for query-result aggregation objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import GroupSupport, QueryResult
+
+
+class TestGroupSupport:
+    def test_support_fraction(self):
+        gs = GroupSupport("east", 20, 15)
+        assert gs.support == pytest.approx(0.75)
+        assert gs.majority
+
+    def test_empty_group(self):
+        gs = GroupSupport("north", 0, 0)
+        assert gs.support == 0.0
+        assert not gs.majority
+
+    def test_exact_half_not_majority(self):
+        assert not GroupSupport("x", 10, 5).majority
+        assert GroupSupport("x", 10, 6).majority
+
+    def test_str(self):
+        assert "15/20" in str(GroupSupport("east", 20, 15))
+
+
+def _result(traj_mask, displayed=None, groups=None):
+    n = len(traj_mask)
+    traj_mask = np.asarray(traj_mask, dtype=bool)
+    displayed = (
+        np.ones(n, dtype=bool) if displayed is None else np.asarray(displayed, dtype=bool)
+    )
+    return QueryResult(
+        color="red",
+        segment_mask=np.zeros(0, dtype=bool),
+        traj_mask=traj_mask,
+        traj_highlight_time=traj_mask.astype(float),
+        displayed=displayed,
+        group_support=groups or {},
+    )
+
+
+class TestQueryResult:
+    def test_counts(self):
+        r = _result([True, False, True, True])
+        assert r.n_highlighted == 3
+        assert r.n_displayed == 4
+        assert r.overall_support == pytest.approx(0.75)
+
+    def test_displayed_restriction(self):
+        r = _result([True, True, False, False], displayed=[True, False, True, False])
+        assert r.n_displayed == 2
+        assert r.n_highlighted == 1
+        assert r.overall_support == pytest.approx(0.5)
+
+    def test_highlighted_indices(self):
+        r = _result([True, True, False], displayed=[True, False, True])
+        np.testing.assert_array_equal(r.highlighted_indices(), [0])
+
+    def test_empty_displayed(self):
+        r = _result([True], displayed=[False])
+        assert r.overall_support == 0.0
+
+    def test_support_of(self):
+        r = _result([True], groups={"east": GroupSupport("east", 4, 3)})
+        assert r.support_of("east") == pytest.approx(0.75)
+        with pytest.raises(KeyError):
+            r.support_of("west")
+
+    def test_summary_mentions_groups(self):
+        r = _result([True, False], groups={"east": GroupSupport("east", 4, 3)})
+        s = r.summary()
+        assert "[red]" in s and "east" in s and "75%" in s

@@ -1,0 +1,83 @@
+"""Tests for the exploration session facade."""
+
+import pytest
+
+from repro.core.brush import stroke_from_rect
+from repro.core.session import ExplorationSession
+from repro.core.temporal import TimeWindow
+
+
+@pytest.fixture()
+def session(study_dataset, viewport):
+    return ExplorationSession(study_dataset, viewport, layout_key="2")
+
+
+class TestLayoutSwitching:
+    def test_initial_layout(self, session):
+        assert session.layout.n_cells == 144
+
+    def test_switch(self, session):
+        session.switch_layout("3")
+        assert session.layout.n_cells == 432
+        assert session.grid.n_cells == 432
+
+    def test_switch_preserves_groups(self, session):
+        session.enable_fig3_groups()
+        session.switch_layout("1")
+        assert session.groups is not None
+        assert session.groups.names() == ["on", "west", "east", "north", "south"]
+        # assignment rebuilt on the new grid
+        assert session.assignment.grid.n_cells == 60
+
+    def test_unknown_key(self, session):
+        with pytest.raises(KeyError):
+            session.switch_layout("7")
+
+
+class TestGrouping:
+    def test_fig3_groups(self, session, study_dataset):
+        session.enable_fig3_groups()
+        asg = session.assignment
+        shown = asg.displayed_indices()
+        assert len(shown) > 0
+        for i in shown:
+            zone = study_dataset[int(i)].meta.capture_zone
+            assert asg.group_name_of_traj(int(i)) == zone
+
+
+class TestBrushingAndQuery:
+    def test_brush_and_query(self, session, arena):
+        session.enable_fig3_groups()
+        r = arena.radius
+        session.brush(
+            stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red")
+        )
+        session.set_time_window(TimeWindow.end(0.15))
+        result = session.run_query("red")
+        assert result.group_support["east"].majority
+
+    def test_erase(self, session):
+        session.brush(stroke_from_rect((0, 0), (0.1, 0.1), 0.05, "red"))
+        session.erase("red")
+        assert session.canvas.is_empty()
+        assert not session.run_query("red").traj_mask.any()
+
+
+class TestEventLog:
+    def test_events_accumulate(self, session, arena):
+        session.enable_fig3_groups()
+        session.brush(stroke_from_rect((0, 0), (0.1, 0.1), 0.05, "red"))
+        session.set_time_window(TimeWindow.beginning(0.2))
+        session.run_query("red")
+        counts = session.event_counts()
+        assert counts["layout"] >= 1
+        assert counts["groups"] == 1
+        assert counts["brush"] == 1
+        assert counts["temporal"] == 1
+        assert counts["query"] == 1
+
+    def test_query_event_detail(self, session):
+        session.run_query("red")
+        last = session.events[-1]
+        assert last.kind == "query"
+        assert "elapsed_s" in last.detail

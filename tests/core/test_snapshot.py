@@ -1,0 +1,75 @@
+"""Tests for session snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core.brush import stroke_from_rect
+from repro.core.session import ExplorationSession
+from repro.core.snapshot import SessionSnapshot, restore_session, snapshot_session
+from repro.core.temporal import TimeWindow
+
+
+@pytest.fixture()
+def dirty_session(full_dataset, viewport):
+    s = ExplorationSession(full_dataset, viewport, layout_key="1")
+    s.enable_fig3_groups()
+    s.next_page()
+    s.brush(stroke_from_rect((-0.5, -0.3), (-0.35, 0.3), 0.06, "red"))
+    s.brush(stroke_from_rect((-0.05, -0.05), (0.05, 0.05), 0.07, "green"))
+    s.set_time_window(TimeWindow.end(0.2))
+    return s
+
+
+class TestSnapshotRoundtrip:
+    def test_dict_roundtrip(self, dirty_session):
+        snap = snapshot_session(dirty_session, note="mid-analysis")
+        back = SessionSnapshot.from_dict(snap.to_dict())
+        assert back.layout_key == snap.layout_key
+        assert back.page == snap.page
+        assert back.window == snap.window
+        assert back.extra["note"] == "mid-analysis"
+        assert len(back.strokes) == 2
+        np.testing.assert_allclose(back.strokes[0].centers, snap.strokes[0].centers)
+
+    def test_file_roundtrip(self, dirty_session, tmp_path):
+        snap = snapshot_session(dirty_session)
+        path = tmp_path / "session.json"
+        snap.save(path)
+        loaded = SessionSnapshot.load(path)
+        assert loaded.to_dict() == snap.to_dict()
+
+
+class TestRestore:
+    def test_restore_reproduces_query_results(self, dirty_session, full_dataset, viewport):
+        snap = snapshot_session(dirty_session)
+        original = dirty_session.run_query("red")
+
+        fresh = ExplorationSession(full_dataset, viewport, layout_key="3")
+        restore_session(fresh, snap)
+        assert fresh.layout.key == "1"
+        assert fresh.page == 1
+        assert fresh.groups is not None
+        assert fresh.window == dirty_session.window
+        restored = fresh.run_query("red")
+        np.testing.assert_array_equal(restored.traj_mask, original.traj_mask)
+        np.testing.assert_array_equal(restored.displayed, original.displayed)
+
+    def test_restore_onto_dirty_session(self, dirty_session, full_dataset, viewport):
+        snap = snapshot_session(dirty_session)
+        other = ExplorationSession(full_dataset, viewport, layout_key="2")
+        other.brush(stroke_from_rect((0, 0), (0.2, 0.2), 0.05, "blue"))
+        restore_session(other, snap)
+        assert sorted(other.canvas.colors()) == ["green", "red"]
+        assert other.canvas.n_strokes == 2
+
+    def test_ungrouped_snapshot(self, full_dataset, viewport):
+        plain = ExplorationSession(full_dataset, viewport, layout_key="2")
+        snap = snapshot_session(plain)
+        assert not snap.fig3_groups
+        fresh = ExplorationSession(full_dataset, viewport)
+        restore_session(fresh, snap)
+        assert fresh.groups is None
+
+    def test_dataset_name_recorded(self, dirty_session):
+        snap = snapshot_session(dirty_session)
+        assert snap.dataset_name == dirty_session.dataset.name

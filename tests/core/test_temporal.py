@@ -1,0 +1,97 @@
+"""Tests for the temporal filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.temporal import TimeWindow
+
+
+class TestConstruction:
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow.absolute(5.0, 1.0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            TimeWindow.fraction(-0.1, 0.5)
+        with pytest.raises(ValueError):
+            TimeWindow.fraction(0.0, 1.2)
+
+    def test_named_windows(self):
+        assert TimeWindow.beginning(0.2).lo == 0.0
+        assert TimeWindow.beginning(0.2).hi == pytest.approx(0.2)
+        assert TimeWindow.end(0.3).lo == pytest.approx(0.7)
+        mid = TimeWindow.middle(0.2)
+        assert mid.lo == pytest.approx(0.4)
+        assert mid.hi == pytest.approx(0.6)
+
+    def test_all_is_everything(self):
+        assert TimeWindow.all().is_everything
+        assert not TimeWindow.beginning().is_everything
+
+    def test_describe(self):
+        assert TimeWindow.all().describe() == "t=*"
+        assert "frac" in TimeWindow.end(0.2).describe()
+        assert "s" in TimeWindow.absolute(1, 2).describe()
+
+
+class TestSampleMask:
+    def test_absolute(self, simple_traj):
+        w = TimeWindow.absolute(3.0, 6.0)
+        mask = w.sample_mask(simple_traj)
+        np.testing.assert_array_equal(np.flatnonzero(mask), [3, 4, 5, 6])
+
+    def test_fractional(self, simple_traj):
+        w = TimeWindow.fraction(0.0, 0.5)
+        mask = w.sample_mask(simple_traj)
+        assert mask[:6].all() and not mask[6:].any()
+
+    def test_bounds_for(self, simple_traj):
+        lo, hi = TimeWindow.end(0.2).bounds_for(simple_traj)
+        assert lo == pytest.approx(8.0)
+        assert hi == pytest.approx(10.0)
+        lo_a, hi_a = TimeWindow.absolute(1.0, 2.0).bounds_for(simple_traj)
+        assert (lo_a, hi_a) == (1.0, 2.0)
+
+
+class TestSegmentMask:
+    def test_everything_all_true(self, tiny_dataset):
+        p = tiny_dataset.packed()
+        mask = TimeWindow.all().segment_mask(p, tiny_dataset)
+        assert mask.all()
+
+    def test_absolute_overlap_semantics(self, tiny_dataset):
+        p = tiny_dataset.packed()
+        # window [4.5, 4.6] lies inside segment [4, 5] of traj 0:
+        # overlap must be detected even with no sample inside
+        w = TimeWindow.absolute(4.5, 4.6)
+        mask = w.segment_mask(p, tiny_dataset)
+        rows = p.rows_of(0)
+        assert mask[rows].sum() == 1
+
+    def test_fractional_per_trajectory(self, tiny_dataset):
+        # traj 0 lasts 10 s, traj 1 lasts 20 s; first half differs
+        w = TimeWindow.fraction(0.0, 0.5)
+        p = tiny_dataset.packed()
+        mask = w.segment_mask(p, tiny_dataset)
+        t0_rows = p.rows_of(0)
+        t1_rows = p.rows_of(1)
+        # all selected segments end within each trajectory's half-time
+        assert p.t0[t0_rows][mask[t0_rows]].max() <= 5.0
+        assert p.t0[t1_rows][mask[t1_rows]].max() <= 10.0
+        assert mask[t1_rows].sum() > 0
+
+    def test_matches_per_trajectory_computation(self, study_dataset):
+        w = TimeWindow.end(0.15)
+        p = study_dataset.packed()
+        mask = w.segment_mask(p, study_dataset)
+        for i in (0, 7, 42):
+            traj = study_dataset[i]
+            lo, hi = w.bounds_for(traj)
+            expected = (traj.times[1:] >= lo) & (traj.times[:-1] <= hi)
+            np.testing.assert_array_equal(mask[p.rows_of(i)], expected)
+
+    def test_empty_window_intersects_nothing_before_start(self, tiny_dataset):
+        w = TimeWindow.absolute(100.0, 200.0)
+        mask = w.segment_mask(tiny_dataset.packed(), tiny_dataset)
+        assert not mask.any()

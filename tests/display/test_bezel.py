@@ -1,0 +1,40 @@
+"""Tests for bezel/mullion geometry."""
+
+import numpy as np
+import pytest
+
+from repro.display.bezel import BezelSpec
+
+
+class TestBezelSpec:
+    def test_defaults_thin(self):
+        b = BezelSpec()
+        assert b.horizontal_mullion == pytest.approx(0.008)
+        assert b.horizontal_mullion < 0.01  # paper: "less than 1 cm"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BezelSpec(left=-0.001)
+
+    def test_mullion_rects_x(self):
+        b = BezelSpec(left=0.005, right=0.005)
+        rects = b.mullion_rects_x(cols=3, panel_w=1.0)
+        assert rects.shape == (2, 2)
+        np.testing.assert_allclose(rects[0], [1.0, 1.01])
+        np.testing.assert_allclose(rects[1], [2.01, 2.02])
+
+    def test_mullion_rects_y(self):
+        b = BezelSpec(top=0.003, bottom=0.003)
+        rects = b.mullion_rects_y(rows=2, panel_h=0.5)
+        assert rects.shape == (1, 2)
+        np.testing.assert_allclose(rects[0], [0.5, 0.506])
+
+    def test_single_panel_no_mullions(self):
+        b = BezelSpec()
+        assert b.mullion_rects_x(1, 1.0).shape == (0, 2)
+        assert b.mullion_rects_y(1, 1.0).shape == (0, 2)
+
+    def test_asymmetric_bezels(self):
+        b = BezelSpec(left=0.002, right=0.006, top=0.001, bottom=0.009)
+        assert b.horizontal_mullion == pytest.approx(0.008)
+        assert b.vertical_mullion == pytest.approx(0.010)

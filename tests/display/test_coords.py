@@ -1,0 +1,77 @@
+"""Tests for arena <-> wall coordinate mapping."""
+
+import numpy as np
+import pytest
+
+from repro.display.coords import CoordinateMapper
+from repro.synth.arena import Arena
+
+
+@pytest.fixture()
+def mapper(arena):
+    return CoordinateMapper(arena, (1.0, 0.5, 1.4, 0.8))
+
+
+class TestMapper:
+    def test_degenerate_rect(self, arena):
+        with pytest.raises(ValueError):
+            CoordinateMapper(arena, (1.0, 0.5, 1.0, 0.8))
+
+    def test_margin_range(self, arena):
+        with pytest.raises(ValueError):
+            CoordinateMapper(arena, (0, 0, 1, 1), margin=0.6)
+
+    def test_center_maps_to_cell_center(self, mapper):
+        wall = mapper.arena_to_wall(np.zeros((1, 2)))[0]
+        np.testing.assert_allclose(wall, [1.2, 0.65])
+
+    def test_roundtrip(self, mapper):
+        pts = np.random.default_rng(0).uniform(-0.5, 0.5, size=(40, 2))
+        back = mapper.wall_to_arena(mapper.arena_to_wall(pts))
+        np.testing.assert_allclose(back, pts, atol=1e-12)
+
+    def test_y_axis_flips(self, mapper):
+        north = mapper.arena_to_wall(np.array([[0.0, 0.4]]))[0]
+        south = mapper.arena_to_wall(np.array([[0.0, -0.4]]))[0]
+        assert north[1] < south[1]  # wall +y is down
+
+    def test_aspect_preserved(self, mapper):
+        # unit arena square maps to a square (uniform scale)
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]])
+        w = mapper.arena_to_wall(pts)
+        dx = np.linalg.norm(w[1] - w[0])
+        dy = np.linalg.norm(w[2] - w[0])
+        assert dx == pytest.approx(dy)
+
+    def test_arena_fits_in_cell(self, mapper, arena):
+        # rim points stay inside the cell rect
+        theta = np.linspace(0, 2 * np.pi, 64)
+        rim = arena.radius * np.stack([np.cos(theta), np.sin(theta)], axis=1)
+        w = mapper.arena_to_wall(rim)
+        x0, y0, x1, y1 = mapper.cell_rect
+        assert np.all(w[:, 0] >= x0) and np.all(w[:, 0] <= x1)
+        assert np.all(w[:, 1] >= y0) and np.all(w[:, 1] <= y1)
+
+    def test_scale_shrinks_with_margin(self, arena):
+        tight = CoordinateMapper(arena, (0, 0, 1, 1), margin=0.0)
+        padded = CoordinateMapper(arena, (0, 0, 1, 1), margin=0.2)
+        assert padded.scale < tight.scale
+
+    def test_brush_radius_conversion(self, mapper):
+        r_wall = 0.01
+        r_arena = mapper.brush_radius_to_arena(r_wall)
+        assert r_arena == pytest.approx(r_wall / mapper.scale)
+        with pytest.raises(ValueError):
+            mapper.brush_radius_to_arena(-1.0)
+
+    def test_same_arena_point_same_relative_position_in_any_cell(self, arena):
+        """The property coordinated brushing relies on: a given arena
+        point lands at the same *relative* cell position everywhere."""
+        m1 = CoordinateMapper(arena, (0.0, 0.0, 0.2, 0.1))
+        m2 = CoordinateMapper(arena, (3.0, 1.0, 3.2, 1.1))
+        p = np.array([[0.2, -0.3]])
+        w1 = m1.arena_to_wall(p)[0]
+        w2 = m2.arena_to_wall(p)[0]
+        rel1 = (w1 - [0.0, 0.0]) / [0.2, 0.1]
+        rel2 = (w2 - [3.0, 1.0]) / [0.2, 0.1]
+        np.testing.assert_allclose(rel1, rel2, atol=1e-12)

@@ -1,0 +1,62 @@
+"""Tests for display presets against the paper's quoted numbers."""
+
+import pytest
+
+from repro.display.presets import (
+    CYBER_COMMONS,
+    DESKTOP_24INCH,
+    cyber_commons_wall,
+    desktop_display,
+    paper_viewport,
+)
+
+
+class TestCyberCommons:
+    def test_arrangement(self):
+        assert (CYBER_COMMONS.cols, CYBER_COMMONS.rows) == (6, 3)
+
+    def test_19_megapixels(self):
+        assert CYBER_COMMONS.megapixels == pytest.approx(18.88, abs=0.05)
+
+    def test_seven_meters_wide(self):
+        assert CYBER_COMMONS.width == pytest.approx(7.0, abs=0.05)
+
+    def test_thin_bezels(self):
+        assert CYBER_COMMONS.bezel.horizontal_mullion < 0.01
+
+    def test_stereo(self):
+        assert CYBER_COMMONS.stereo
+
+    def test_factory_returns_equal_walls(self):
+        assert cyber_commons_wall() == CYBER_COMMONS
+
+
+class TestDesktop:
+    def test_single_panel(self):
+        assert DESKTOP_24INCH.n_tiles == 1
+        assert not DESKTOP_24INCH.stereo
+
+    def test_much_smaller_than_wall(self):
+        assert DESKTOP_24INCH.total_pixels < CYBER_COMMONS.total_pixels / 5
+
+    def test_factory(self):
+        assert desktop_display() == DESKTOP_24INCH
+
+
+class TestPaperViewport:
+    def test_two_thirds(self):
+        vp = paper_viewport()
+        assert vp.surface_fraction() == pytest.approx(2 / 3)
+
+    def test_resolution_8192x1536(self):
+        vp = paper_viewport()
+        assert vp.px_height == 1536
+        assert abs(vp.px_width - 8192) < 10
+
+    def test_custom_wall(self):
+        from repro.display.wall import DisplayWall
+
+        wall = DisplayWall(cols=4, rows=3)
+        vp = paper_viewport(wall)
+        assert vp.rows == 2
+        assert vp.cols == 4

@@ -1,0 +1,46 @@
+"""Tests for single-tile coordinate mapping."""
+
+import numpy as np
+import pytest
+
+from repro.display.tile import Tile
+
+
+@pytest.fixture()
+def tile():
+    return Tile(col=1, row=0, x=1.2, y=0.0, width=1.0, height=0.5, px_width=1000, px_height=500)
+
+
+class TestTile:
+    def test_rect(self, tile):
+        assert tile.rect == (1.2, 0.0, 2.2, 0.5)
+
+    def test_pixels(self, tile):
+        assert tile.pixels == 500_000
+
+    def test_density(self, tile):
+        assert tile.pixels_per_meter == (1000.0, 1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tile(0, 0, 0, 0, -1.0, 1.0, 10, 10)
+        with pytest.raises(ValueError):
+            Tile(0, 0, 0, 0, 1.0, 1.0, 0, 10)
+
+    def test_contains(self, tile):
+        pts = np.array([[1.5, 0.2], [2.3, 0.2], [1.5, 0.6]])
+        np.testing.assert_array_equal(tile.contains(pts), [True, False, False])
+
+    def test_wall_pixel_roundtrip(self, tile):
+        pts_m = np.array([[1.3, 0.1], [2.1, 0.45]])
+        px = tile.wall_to_pixel(pts_m)
+        back = tile.pixel_to_wall(px)
+        np.testing.assert_allclose(back, pts_m, atol=1e-12)
+
+    def test_origin_maps_to_zero(self, tile):
+        px = tile.wall_to_pixel(np.array([[1.2, 0.0]]))
+        np.testing.assert_allclose(px, [[0.0, 0.0]])
+
+    def test_far_corner(self, tile):
+        px = tile.wall_to_pixel(np.array([[2.2, 0.5]]))
+        np.testing.assert_allclose(px, [[1000.0, 500.0]])

@@ -1,0 +1,64 @@
+"""Tests for viewport carving (the paper's 2/3-surface application area)."""
+
+import numpy as np
+import pytest
+
+from repro.display.viewport import Viewport
+
+
+class TestPaperViewport:
+    def test_matches_paper_numbers(self, viewport):
+        """§IV-C: 2/3 of the surface, ~8192 x 1536, ~12.5 Mpixels."""
+        assert viewport.surface_fraction() == pytest.approx(2 / 3)
+        assert viewport.px_height == 1536
+        assert abs(viewport.px_width - 8192) < 10      # 6*1366 = 8196
+        assert viewport.megapixels == pytest.approx(12.5, abs=0.15)
+
+    def test_physical_size(self, viewport, wall):
+        assert viewport.width_m == pytest.approx(wall.width)
+        assert viewport.height_m < wall.height
+
+    def test_tiles_covered(self, viewport):
+        assert len(viewport.tiles()) == 12
+
+
+class TestValidation:
+    def test_exceeds_wall(self, wall):
+        with pytest.raises(ValueError):
+            Viewport(wall, col0=3, cols=5)
+        with pytest.raises(ValueError):
+            Viewport(wall, row0=2, rows=2)
+
+    def test_defaults_fill_wall(self, wall):
+        vp = Viewport(wall)
+        assert vp.cols == wall.cols
+        assert vp.rows == wall.rows
+        assert vp.surface_fraction() == 1.0
+
+    def test_minimum_one_panel(self, wall):
+        with pytest.raises(ValueError):
+            Viewport(wall, cols=0)
+
+
+class TestMapping:
+    def test_norm_roundtrip(self, viewport):
+        pts = np.array([[0.0, 0.0], [0.5, 0.5], [1.0, 1.0]])
+        wall_pts = viewport.norm_to_wall(pts)
+        back = viewport.wall_to_norm(wall_pts)
+        np.testing.assert_allclose(back, pts, atol=1e-12)
+
+    def test_corners(self, viewport):
+        top_left = viewport.norm_to_wall(np.array([0.0, 0.0]))
+        np.testing.assert_allclose(top_left, [viewport.x0, viewport.y0])
+        bottom_right = viewport.norm_to_wall(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(
+            bottom_right,
+            [viewport.x0 + viewport.width_m, viewport.y0 + viewport.height_m],
+        )
+
+    def test_offset_viewport(self, wall):
+        vp = Viewport(wall, col0=2, row0=1, cols=2, rows=1)
+        assert vp.x0 == pytest.approx(2 * wall.pitch_x)
+        assert vp.y0 == pytest.approx(1 * wall.pitch_y)
+        tiles = vp.tiles()
+        assert [(t.col, t.row) for t in tiles] == [(2, 1), (3, 1)]

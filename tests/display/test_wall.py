@@ -1,0 +1,103 @@
+"""Tests for the tiled wall model."""
+
+import numpy as np
+import pytest
+
+from repro.display.bezel import BezelSpec
+from repro.display.wall import DisplayWall
+
+
+class TestGeometry:
+    def test_paper_wall_summary(self, wall):
+        s = wall.summary()
+        assert s["arrangement"] == "6x3"
+        assert s["megapixels"] == pytest.approx(18.88, abs=0.01)  # "~19 Mpixels"
+        assert 6.9 < s["width_m"] < 7.1                           # "~7 m"
+        assert s["stereo"]
+
+    def test_pitch_includes_mullion(self, wall):
+        assert wall.pitch_x == pytest.approx(wall.panel_width + 0.008)
+        assert wall.pitch_y == pytest.approx(wall.panel_height + 0.008)
+
+    def test_total_size(self, wall):
+        assert wall.width == pytest.approx(6 * wall.panel_width + 5 * 0.008)
+        assert wall.n_tiles == 18
+
+    def test_square_pixels(self, wall):
+        t = wall.tile(0, 0)
+        sx, sy = t.pixels_per_meter
+        assert sx == pytest.approx(sy, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DisplayWall(cols=0)
+        with pytest.raises(ValueError):
+            DisplayWall(panel_width=-1.0)
+
+
+class TestTiles:
+    def test_tile_positions(self, wall):
+        t = wall.tile(2, 1)
+        assert t.x == pytest.approx(2 * wall.pitch_x)
+        assert t.y == pytest.approx(1 * wall.pitch_y)
+
+    def test_tile_out_of_range(self, wall):
+        with pytest.raises(IndexError):
+            wall.tile(6, 0)
+
+    def test_tiles_row_major(self, wall):
+        tiles = wall.tiles()
+        assert len(tiles) == 18
+        assert (tiles[0].col, tiles[0].row) == (0, 0)
+        assert (tiles[7].col, tiles[7].row) == (1, 1)
+
+
+class TestBezelPredicates:
+    def test_mullion_counts(self, wall):
+        assert wall.mullions_x().shape == (5, 2)
+        assert wall.mullions_y().shape == (2, 2)
+
+    def test_point_on_bezel(self, wall):
+        on_gap = np.array([[wall.panel_width + 0.002, 0.5]])
+        on_panel = np.array([[0.5, 0.5]])
+        assert wall.point_on_bezel(on_gap)[0]
+        assert not wall.point_on_bezel(on_panel)[0]
+
+    def test_point_off_wall_not_bezel(self, wall):
+        assert not wall.point_on_bezel(np.array([[-1.0, 0.0]]))[0]
+
+    def test_rects_straddle(self, wall):
+        inside = [0.1, 0.1, 0.5, 0.5]
+        across_x = [wall.panel_width - 0.1, 0.1, wall.panel_width + 0.1, 0.5]
+        across_y = [0.1, wall.panel_height - 0.05, 0.5, wall.panel_height + 0.05]
+        mask = wall.rects_straddle_bezel(np.array([inside, across_x, across_y]))
+        np.testing.assert_array_equal(mask, [False, True, True])
+
+    def test_rect_touching_mullion_edge_ok(self, wall):
+        # a rect ending exactly at the panel edge does not straddle
+        rect = np.array([[0.0, 0.0, wall.panel_width, wall.panel_height]])
+        assert not wall.rects_straddle_bezel(rect)[0]
+
+    def test_rects_shape_validated(self, wall):
+        with pytest.raises(ValueError):
+            wall.rects_straddle_bezel(np.zeros((3, 3)))
+
+    def test_zero_bezel_wall_never_straddles(self):
+        wall = DisplayWall(bezel=BezelSpec(0, 0, 0, 0))
+        rects = np.array([[0.5, 0.2, 2.5, 0.9]])
+        assert not wall.rects_straddle_bezel(rects)[0]
+
+    def test_tile_of(self, wall):
+        pts = np.array(
+            [
+                [0.5, 0.5],                           # tile (0,0)
+                [wall.pitch_x + 0.5, 0.5],            # tile (1,0)
+                [wall.panel_width + 0.002, 0.5],      # on a mullion
+                [-0.5, 0.5],                          # off the wall
+            ]
+        )
+        tiles = wall.tile_of(pts)
+        np.testing.assert_array_equal(tiles[0], [0, 0])
+        np.testing.assert_array_equal(tiles[1], [1, 0])
+        np.testing.assert_array_equal(tiles[2], [-1, -1])
+        np.testing.assert_array_equal(tiles[3], [-1, -1])

@@ -1,0 +1,39 @@
+"""Tests for input events."""
+
+import pytest
+
+from repro.interaction.events import (
+    KeyEvent,
+    PointerEvent,
+    PointerPhase,
+    event_from_dict,
+)
+
+
+class TestPointerEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PointerEvent(-1.0, 0, 0, PointerPhase.DOWN)
+
+    def test_dict_roundtrip(self):
+        e = PointerEvent(1.5, 100.0, 50.0, PointerPhase.MOVE, button=1)
+        back = event_from_dict(e.to_dict())
+        assert back == e
+
+
+class TestKeyEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyEvent(0.0, "")
+        with pytest.raises(ValueError):
+            KeyEvent(-0.1, "a")
+
+    def test_dict_roundtrip(self):
+        e = KeyEvent(2.0, "3")
+        assert event_from_dict(e.to_dict()) == e
+
+
+class TestEventFromDict:
+    def test_unknown_type(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"type": "gesture"})

@@ -1,0 +1,58 @@
+"""Tests for keypad bindings."""
+
+import pytest
+
+from repro.interaction.keymap import KeyBinding, KeyMap, default_keymap
+
+
+class TestKeyMap:
+    def test_bind_lookup(self):
+        km = KeyMap()
+        km.bind("x", "erase")
+        b = km.lookup("x")
+        assert b == KeyBinding("erase")
+        assert "x" in km
+
+    def test_unbound_returns_none(self):
+        assert KeyMap().lookup("q") is None
+
+    def test_rebind_overwrites(self):
+        km = KeyMap()
+        km.bind("1", "layout", "1")
+        km.bind("1", "erase")
+        assert km.lookup("1").action == "erase"
+
+    def test_unbind(self):
+        km = KeyMap()
+        km.bind("z", "erase")
+        km.unbind("z")
+        assert "z" not in km
+        km.unbind("z")  # idempotent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyMap().bind("", "erase")
+        with pytest.raises(ValueError):
+            KeyBinding("")
+
+    def test_keys_for(self):
+        km = KeyMap()
+        km.bind("a", "erase")
+        km.bind("b", "erase")
+        km.bind("c", "layout", "1")
+        assert km.keys_for("erase") == ["a", "b"]
+
+
+class TestDefaultKeymap:
+    def test_digits_bound_to_layouts(self):
+        km = default_keymap()
+        for digit in ("1", "2", "3"):
+            b = km.lookup(digit)
+            assert b.action == "layout"
+            assert b.arg == digit
+
+    def test_tool_keys(self):
+        km = default_keymap()
+        assert km.lookup("b").action == "cycle_brush_color"
+        assert km.lookup("e").action == "erase"
+        assert km.lookup("g").action == "group_fig3"

@@ -1,0 +1,51 @@
+"""Tests for session recording and replay."""
+
+import pytest
+
+from repro.interaction.events import KeyEvent, PointerEvent, PointerPhase
+from repro.interaction.recorder import SessionRecorder
+
+
+def _events():
+    return [
+        KeyEvent(0.0, "3"),
+        PointerEvent(1.0, 10, 10, PointerPhase.DOWN),
+        PointerEvent(1.5, 20, 10, PointerPhase.MOVE),
+        PointerEvent(2.0, 30, 10, PointerPhase.UP),
+        KeyEvent(3.0, "e"),
+    ]
+
+
+class TestRecorder:
+    def test_record_all_and_len(self):
+        rec = SessionRecorder()
+        rec.record_all(_events())
+        assert len(rec) == 5
+        assert rec.duration_s == 3.0
+
+    def test_time_order_enforced(self):
+        rec = SessionRecorder()
+        rec.record(KeyEvent(5.0, "a"))
+        with pytest.raises(ValueError):
+            rec.record(KeyEvent(4.0, "b"))
+
+    def test_replay_order(self):
+        rec = SessionRecorder()
+        rec.record_all(_events())
+        seen = []
+        n = rec.replay(seen.append)
+        assert n == 5
+        assert seen == list(rec)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        rec = SessionRecorder()
+        rec.record_all(_events())
+        path = tmp_path / "session.json"
+        rec.save(path)
+        loaded = SessionRecorder.load(path)
+        assert list(loaded) == list(rec)
+
+    def test_empty_recorder(self):
+        rec = SessionRecorder()
+        assert rec.duration_s == 0.0
+        assert rec.replay(lambda e: None) == 0

@@ -1,0 +1,116 @@
+"""Tests for pointer routing and the paintbrush tool."""
+
+import numpy as np
+import pytest
+
+from repro.interaction.events import PointerEvent, PointerPhase
+from repro.interaction.tools import PaintbrushTool, PointerRouter
+from repro.layout.configs import preset
+from repro.synth.arena import Arena
+
+
+@pytest.fixture()
+def grid(viewport):
+    return preset("2").build(viewport)
+
+
+@pytest.fixture()
+def router(viewport, grid, arena):
+    return PointerRouter(viewport, grid, arena)
+
+
+class TestPointerRouter:
+    def test_pixel_to_wall_in_bounds(self, router):
+        wx, wy = router.pixel_to_wall(10.0, 10.0)
+        assert 0 <= wx and 0 <= wy
+
+    def test_out_of_viewport_rejected(self, router, viewport):
+        with pytest.raises(ValueError):
+            router.pixel_to_wall(viewport.px_width + 1, 0)
+
+    def test_panel_boundary_continuous_across_bezel(self, router, viewport):
+        wall = viewport.wall
+        left_of_gap = router.pixel_to_wall(wall.panel_px_width - 1, 10)
+        right_of_gap = router.pixel_to_wall(wall.panel_px_width, 10)
+        # physical positions differ by ~a pixel plus the mullion
+        dx = right_of_gap[0] - left_of_gap[0]
+        assert dx > wall.bezel.horizontal_mullion
+
+    def test_cell_at_center_of_cell(self, router, grid):
+        cell = grid.cell(0)
+        # find a pixel inside cell 0 by inverting its center
+        cx, cy = cell.center
+        wall = router.viewport.wall
+        pcol = int(cx // wall.pitch_x)
+        prow = int(cy // wall.pitch_y)
+        tile = wall.tile(pcol, prow)
+        px = tile.wall_to_pixel(np.array([[cx, cy]]))[0]
+        vx = px[0] + (pcol - router.viewport.col0) * wall.panel_px_width
+        vy = px[1] + (prow - router.viewport.row0) * wall.panel_px_height
+        found = router.cell_at(vx, vy)
+        assert found is not None and found.index == 0
+
+    def test_pixel_to_arena_roundtrip(self, router, grid, arena):
+        resolved = router.pixel_to_arena(50.0, 50.0)
+        assert resolved is not None
+        arena_pt, cell = resolved
+        mapper = router.mapper_for(cell)
+        wall_pt = mapper.arena_to_wall(arena_pt)
+        # re-resolving the wall point lands at the same arena point
+        back = mapper.wall_to_arena(wall_pt)
+        np.testing.assert_allclose(back, arena_pt, atol=1e-12)
+
+
+def _drag(tool, path, t0=0.0):
+    events = [PointerEvent(t0, path[0][0], path[0][1], PointerPhase.DOWN)]
+    for i, (x, y) in enumerate(path[1:-1], start=1):
+        events.append(PointerEvent(t0 + i, x, y, PointerPhase.MOVE))
+    events.append(PointerEvent(t0 + len(path), path[-1][0], path[-1][1], PointerPhase.UP))
+    strokes = [tool.handle(e) for e in events]
+    return [s for s in strokes if s is not None]
+
+
+class TestPaintbrushTool:
+    def test_drag_produces_one_stroke(self, router):
+        tool = PaintbrushTool(router, radius_px=10, color="red")
+        strokes = _drag(tool, [(40, 40), (60, 40), (80, 40)])
+        assert len(strokes) == 1
+        assert strokes[0].color == "red"
+        assert strokes[0].n_stamps >= 2
+
+    def test_stroke_in_arena_coordinates(self, router, arena):
+        tool = PaintbrushTool(router, radius_px=10)
+        strokes = _drag(tool, [(30, 30), (90, 60)])
+        centers = strokes[0].centers
+        # points resolved through a cell land inside (or near) the arena
+        assert np.all(np.abs(centers) < 2 * arena.radius)
+
+    def test_moves_without_down_ignored(self, router):
+        tool = PaintbrushTool(router)
+        assert tool.handle(PointerEvent(0.0, 50, 50, PointerPhase.MOVE)) is None
+        assert tool.handle(PointerEvent(1.0, 50, 50, PointerPhase.UP)) is None
+
+    def test_cancel_aborts(self, router):
+        tool = PaintbrushTool(router)
+        tool.handle(PointerEvent(0.0, 50, 50, PointerPhase.DOWN))
+        assert tool.dragging
+        tool.cancel()
+        assert not tool.dragging
+        assert tool.handle(PointerEvent(1.0, 60, 50, PointerPhase.UP)) is None
+
+    def test_color_change_mid_stroke_rejected(self, router):
+        tool = PaintbrushTool(router)
+        tool.handle(PointerEvent(0.0, 50, 50, PointerPhase.DOWN))
+        with pytest.raises(RuntimeError):
+            tool.set_color("green")
+
+    def test_radius_converted_to_arena_units(self, router, grid, arena):
+        tool = PaintbrushTool(router, radius_px=12)
+        strokes = _drag(tool, [(40, 40), (45, 40)])
+        r = strokes[0].radius
+        # 12 px out of ~340 px cell width, arena diameter 1 m => ~0.04 m
+        assert 0.005 < r < 0.2
+
+    def test_validation(self, router):
+        with pytest.raises(ValueError):
+            PaintbrushTool(router, radius_px=0)

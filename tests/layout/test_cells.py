@@ -1,0 +1,92 @@
+"""Tests for cell assignment (dataset -> grid cells)."""
+
+import numpy as np
+import pytest
+
+from repro.layout.cells import assign_groups_to_cells, assign_sequential
+from repro.layout.configs import preset
+from repro.layout.groups import TrajectoryGroups
+
+
+@pytest.fixture()
+def grid(viewport):
+    return preset("2").build(viewport)  # 24x6 = 144 cells
+
+
+@pytest.fixture()
+def groups(grid):
+    return TrajectoryGroups.fig3_scheme(grid)
+
+
+class TestGroupedAssignment:
+    def test_each_cell_matches_group_filter(self, study_dataset, grid, groups):
+        asg = assign_groups_to_cells(study_dataset, grid, groups)
+        specs = list(groups)
+        for cell_i, traj_i in enumerate(asg.cell_to_traj):
+            if traj_i < 0:
+                continue
+            gi = asg.group_of_cell[cell_i]
+            assert gi >= 0
+            assert specs[gi].filter(study_dataset[int(traj_i)])
+
+    def test_no_duplicate_display(self, study_dataset, grid, groups):
+        asg = assign_groups_to_cells(study_dataset, grid, groups)
+        shown = asg.cell_to_traj[asg.cell_to_traj >= 0]
+        assert len(shown) == len(np.unique(shown))
+
+    def test_traj_to_cell_consistent(self, study_dataset, grid, groups):
+        asg = assign_groups_to_cells(study_dataset, grid, groups)
+        for traj_i, cell_i in asg.traj_to_cell.items():
+            assert asg.cell_to_traj[cell_i] == traj_i
+            assert asg.cell_of(traj_i).index == cell_i
+
+    def test_coverage(self, study_dataset, grid, groups):
+        asg = assign_groups_to_cells(study_dataset, grid, groups)
+        assert asg.coverage(len(study_dataset)) == pytest.approx(
+            asg.n_displayed / len(study_dataset)
+        )
+
+    def test_group_name_of_traj(self, study_dataset, grid, groups):
+        asg = assign_groups_to_cells(study_dataset, grid, groups)
+        shown = asg.displayed_indices()
+        name = asg.group_name_of_traj(int(shown[0]))
+        assert name in groups.names()
+        assert study_dataset[int(shown[0])].meta.capture_zone == name
+
+    def test_paging(self, full_dataset, grid, groups):
+        asg0 = assign_groups_to_cells(full_dataset, grid, groups, page=0)
+        asg1 = assign_groups_to_cells(full_dataset, grid, groups, page=1)
+        s0 = set(asg0.displayed_indices().tolist())
+        s1 = set(asg1.displayed_indices().tolist())
+        assert s0 and s1
+        assert not (s0 & s1)
+
+    def test_page_past_end_empty(self, study_dataset, grid, groups):
+        asg = assign_groups_to_cells(study_dataset, grid, groups, page=50)
+        assert asg.n_displayed == 0
+
+    def test_negative_page(self, study_dataset, grid, groups):
+        with pytest.raises(ValueError):
+            assign_groups_to_cells(study_dataset, grid, groups, page=-1)
+
+
+class TestSequentialAssignment:
+    def test_fills_in_order(self, study_dataset, grid):
+        asg = assign_sequential(study_dataset, grid)
+        n = min(len(study_dataset), grid.n_cells)
+        np.testing.assert_array_equal(asg.cell_to_traj[:n], np.arange(n))
+
+    def test_surplus_cells_empty(self, grid, tiny_dataset):
+        asg = assign_sequential(tiny_dataset, grid)
+        assert asg.n_displayed == 2
+        assert (asg.cell_to_traj == -1).sum() == grid.n_cells - 2
+
+    def test_paging(self, study_dataset, grid):
+        asg1 = assign_sequential(study_dataset, grid, page=1)
+        assert asg1.cell_to_traj[0] == grid.n_cells
+
+    def test_no_groups(self, study_dataset, grid):
+        asg = assign_sequential(study_dataset, grid)
+        assert asg.groups is None
+        assert np.all(asg.group_of_cell == -1)
+        assert asg.group_name_of_traj(0) is None

@@ -1,0 +1,38 @@
+"""Tests for the keypad layout presets."""
+
+import pytest
+
+from repro.layout.configs import LAYOUT_PRESETS, LayoutConfig, preset
+
+
+class TestPresets:
+    def test_paper_grids(self):
+        """§IV-C.2 names 15x4, 24x6 and 36x12."""
+        dims = {(c.n_cols, c.n_rows) for c in LAYOUT_PRESETS.values()}
+        assert dims == {(15, 4), (24, 6), (36, 12)}
+
+    def test_cell_counts(self):
+        assert preset("1").n_cells == 60
+        assert preset("2").n_cells == 144
+        assert preset("3").n_cells == 432  # "432 trajectories" (§VI-B)
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="available"):
+            preset("9")
+
+    def test_coverage_85_percent(self):
+        """§VI-B: 432 cells cover ~85 % of the ~500-trace dataset."""
+        assert preset("3").coverage(500) == pytest.approx(0.864, abs=0.01)
+
+    def test_coverage_clamps(self):
+        assert preset("3").coverage(100) == 1.0
+        assert preset("1").coverage(0) == 0.0
+
+    def test_build(self, viewport):
+        grid = preset("2").build(viewport)
+        assert grid.n_cells == 144
+        assert grid.straddle_count() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayoutConfig("x", 0, 5)

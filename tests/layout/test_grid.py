@@ -1,0 +1,128 @@
+"""Tests for bezel-aware and naive small-multiple grids."""
+
+import numpy as np
+import pytest
+
+from repro.layout.grid import BezelAwareGrid, NaiveGrid, _distribute
+
+
+class TestDistribute:
+    def test_even(self):
+        np.testing.assert_array_equal(_distribute(12, 6), [2, 2, 2, 2, 2, 2])
+
+    def test_uneven(self):
+        np.testing.assert_array_equal(_distribute(15, 6), [3, 3, 3, 2, 2, 2])
+
+    def test_fewer_items_than_bins(self):
+        np.testing.assert_array_equal(_distribute(2, 4), [1, 1, 0, 0])
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            _distribute(3, 0)
+
+
+class TestBezelAwareGrid:
+    @pytest.mark.parametrize("cols,rows", [(15, 4), (24, 6), (36, 12)])
+    def test_paper_presets_never_straddle(self, viewport, cols, rows):
+        grid = BezelAwareGrid(viewport, cols, rows)
+        assert grid.n_cells == cols * rows
+        assert grid.straddle_count() == 0
+
+    def test_validation(self, viewport):
+        with pytest.raises(ValueError):
+            BezelAwareGrid(viewport, 0, 4)
+
+    def test_cells_disjoint(self, viewport):
+        grid = BezelAwareGrid(viewport, 15, 4)
+        rects = grid.rects()
+        # pairwise non-overlap (allow shared edges)
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                a, b = rects[i], rects[j]
+                sep = (
+                    a[2] <= b[0] + 1e-12
+                    or b[2] <= a[0] + 1e-12
+                    or a[3] <= b[1] + 1e-12
+                    or b[3] <= a[1] + 1e-12
+                )
+                assert sep, (i, j)
+
+    def test_cells_inside_viewport(self, viewport):
+        grid = BezelAwareGrid(viewport, 24, 6)
+        rects = grid.rects()
+        x0, y0, x1, y1 = viewport.rect_m
+        assert np.all(rects[:, 0] >= x0 - 1e-9)
+        assert np.all(rects[:, 2] <= x1 + 1e-9)
+        assert np.all(rects[:, 1] >= y0 - 1e-9)
+        assert np.all(rects[:, 3] <= y1 + 1e-9)
+
+    def test_row_major_indexing(self, viewport):
+        grid = BezelAwareGrid(viewport, 15, 4)
+        c = grid.cell_at(3, 2)
+        assert c.index == 2 * 15 + 3
+        assert (c.gcol, c.grow) == (3, 2)
+
+    def test_cell_at_bounds(self, viewport):
+        grid = BezelAwareGrid(viewport, 15, 4)
+        with pytest.raises(IndexError):
+            grid.cell_at(15, 0)
+
+    def test_uneven_split_cell_widths_differ_across_panels(self, viewport):
+        # 15 columns over 6 panels: panels get 3 or 2 columns, so two
+        # distinct cell widths exist
+        grid = BezelAwareGrid(viewport, 15, 4)
+        widths = {round(c.width, 6) for c in grid.cells()}
+        assert len(widths) == 2
+
+    def test_even_split_uniform_cells(self, viewport):
+        grid = BezelAwareGrid(viewport, 24, 6)
+        widths = {round(c.width, 6) for c in grid.cells()}
+        assert len(widths) == 1
+
+    def test_mean_cell_pixels_positive(self, viewport):
+        grid = BezelAwareGrid(viewport, 36, 12)
+        px = grid.mean_cell_pixels()
+        # 8196*1536 budget over 432 cells, minus margins
+        assert 10_000 < px < 40_000
+
+    def test_cell_helpers(self, viewport):
+        c = BezelAwareGrid(viewport, 15, 4).cell(0)
+        assert c.width > 0 and c.height > 0
+        cx, cy = c.center
+        assert c.rect[0] < cx < c.rect[2]
+        assert c.rect[1] < cy < c.rect[3]
+
+
+class TestNaiveGrid:
+    def test_straddles_bezels(self, viewport):
+        """The A1 ablation premise: a naive uniform grid puts cells on
+        mullions whenever the grid doesn't align with panel edges."""
+        grid = NaiveGrid(viewport, 15, 4)
+        assert grid.straddle_count() > 0
+
+    def test_even_panel_aligned_grid_still_straddles(self, viewport):
+        # even a 6x2 naive grid straddles: uniform division spreads the
+        # mullion widths across cells, misaligning every interior edge
+        grid = NaiveGrid(viewport, 6, 2)
+        assert grid.straddle_count() > 0
+
+    def test_zero_bezel_naive_grid_never_straddles(self):
+        from repro.display.bezel import BezelSpec
+        from repro.display.viewport import Viewport
+        from repro.display.wall import DisplayWall
+
+        wall = DisplayWall(bezel=BezelSpec(0, 0, 0, 0))
+        grid = NaiveGrid(Viewport(wall), 15, 4)
+        assert grid.straddle_count() == 0
+
+    def test_cell_count(self, viewport):
+        assert NaiveGrid(viewport, 10, 3).n_cells == 30
+
+    def test_covers_viewport_exactly(self, viewport):
+        grid = NaiveGrid(viewport, 9, 3)
+        rects = grid.rects()
+        x0, y0, x1, y1 = viewport.rect_m
+        assert rects[:, 0].min() == pytest.approx(x0)
+        assert rects[:, 2].max() == pytest.approx(x1)
+        assert rects[:, 1].min() == pytest.approx(y0)
+        assert rects[:, 3].max() == pytest.approx(y1)

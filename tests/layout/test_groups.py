@@ -1,0 +1,105 @@
+"""Tests for trajectory grouping (rectangular bins with filters)."""
+
+import pytest
+
+from repro.layout.configs import preset
+from repro.layout.groups import FIG3_GROUP_COLORS, GroupSpec, TrajectoryGroups
+from repro.trajectory.filters import CaptureZoneFilter
+
+
+@pytest.fixture()
+def grid(viewport):
+    return preset("2").build(viewport)  # 24x6
+
+
+class TestGroupSpec:
+    def test_capacity(self):
+        g = GroupSpec("a", 0, 0, 4, 6)
+        assert g.capacity == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GroupSpec("a", 0, 0, 0, 6)
+        with pytest.raises(ValueError):
+            GroupSpec("a", -1, 0, 2, 2)
+        with pytest.raises(ValueError):
+            GroupSpec("a", 0, 0, 2, 2, color=(1.5, 0, 0))
+
+    def test_cell_indices(self, grid):
+        g = GroupSpec("a", 2, 1, 3, 2)
+        idx = g.cell_indices(grid)
+        assert len(idx) == 6
+        assert (1 * 24 + 2) in idx
+        assert (2 * 24 + 4) in idx
+
+    def test_cell_indices_overflow(self, grid):
+        g = GroupSpec("a", 22, 0, 5, 2)
+        with pytest.raises(ValueError, match="exceeds"):
+            g.cell_indices(grid)
+
+    def test_overlap_detection(self):
+        a = GroupSpec("a", 0, 0, 4, 4)
+        b = GroupSpec("b", 3, 3, 4, 4)
+        c = GroupSpec("c", 4, 0, 4, 4)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+
+class TestTrajectoryGroups:
+    def test_add_rejects_overlap(self, grid):
+        groups = TrajectoryGroups(grid)
+        groups.add(GroupSpec("a", 0, 0, 4, 6))
+        with pytest.raises(ValueError, match="overlaps"):
+            groups.add(GroupSpec("b", 3, 0, 4, 6))
+
+    def test_add_rejects_overflow(self, grid):
+        groups = TrajectoryGroups(grid)
+        with pytest.raises(ValueError, match="exceeds"):
+            groups.add(GroupSpec("a", 20, 0, 10, 2))
+
+    def test_lookup_by_name(self, grid):
+        groups = TrajectoryGroups(grid, [GroupSpec("west", 0, 0, 2, 2)])
+        assert groups["west"].name == "west"
+        with pytest.raises(KeyError):
+            groups["east"]
+
+    def test_total_capacity(self, grid):
+        groups = TrajectoryGroups(
+            grid, [GroupSpec("a", 0, 0, 4, 6), GroupSpec("b", 4, 0, 4, 6)]
+        )
+        assert groups.total_capacity == 48
+
+
+class TestFig3Scheme:
+    def test_five_zones(self, grid):
+        groups = TrajectoryGroups.fig3_scheme(grid)
+        assert groups.names() == ["on", "west", "east", "north", "south"]
+
+    def test_covers_all_columns(self, grid):
+        groups = TrajectoryGroups.fig3_scheme(grid)
+        assert groups.total_capacity == grid.n_cells
+
+    def test_colors_match_paper(self, grid):
+        groups = TrajectoryGroups.fig3_scheme(grid)
+        for g in groups:
+            assert g.color == FIG3_GROUP_COLORS[g.name]
+        # blue-ish on, red-ish west, yellow-ish east (Fig. 3 caption)
+        on = FIG3_GROUP_COLORS["on"]
+        west = FIG3_GROUP_COLORS["west"]
+        east = FIG3_GROUP_COLORS["east"]
+        assert on[2] > on[0]               # blue dominant
+        assert west[0] > west[2]           # red dominant
+        assert east[0] > 0.5 and east[1] > 0.5 and east[2] < 0.5  # yellow
+
+    def test_filters_are_zone_filters(self, grid):
+        groups = TrajectoryGroups.fig3_scheme(grid)
+        for g in groups:
+            assert isinstance(g.filter, CaptureZoneFilter)
+            assert g.filter.zone == g.name
+
+    def test_too_narrow_grid_rejected(self, viewport):
+        from repro.layout.grid import BezelAwareGrid
+
+        grid = BezelAwareGrid(viewport, 4, 2)
+        with pytest.raises(ValueError, match="columns"):
+            TrajectoryGroups.fig3_scheme(grid)

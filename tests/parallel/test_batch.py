@@ -1,0 +1,56 @@
+"""Tests for sharded/parallel batch queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.temporal import TimeWindow
+from repro.parallel.batch import parallel_query_support
+
+
+@pytest.fixture()
+def strokes(arena):
+    r = arena.radius
+    return [stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red")]
+
+
+class TestShardedQuery:
+    def _reference(self, dataset, strokes, window=None):
+        canvas = BrushCanvas()
+        for s in strokes:
+            canvas.add(s)
+        engine = CoordinatedBrushingEngine(dataset)
+        return engine.query(canvas, "red", window=window)
+
+    def test_sharding_exact(self, study_dataset, strokes):
+        ref = self._reference(study_dataset, strokes)
+        for n_chunks in (1, 3, 10):
+            rep = parallel_query_support(
+                study_dataset, strokes, n_chunks=n_chunks, max_workers=0
+            )
+            np.testing.assert_array_equal(rep.traj_mask, ref.traj_mask)
+            assert rep.support == pytest.approx(ref.overall_support)
+
+    def test_with_window(self, study_dataset, strokes):
+        w = TimeWindow.end(0.15)
+        ref = self._reference(study_dataset, strokes, window=w)
+        rep = parallel_query_support(
+            study_dataset, strokes, window=w, n_chunks=4, max_workers=0
+        )
+        np.testing.assert_array_equal(rep.traj_mask, ref.traj_mask)
+
+    def test_parallel_matches_serial(self, study_dataset, strokes):
+        serial = parallel_query_support(
+            study_dataset, strokes, n_chunks=4, max_workers=0
+        )
+        parallel = parallel_query_support(
+            study_dataset, strokes, n_chunks=4, max_workers=2
+        )
+        np.testing.assert_array_equal(serial.traj_mask, parallel.traj_mask)
+        assert parallel.workers == 2
+
+    def test_default_chunking(self, study_dataset, strokes):
+        rep = parallel_query_support(study_dataset, strokes, max_workers=0)
+        assert rep.n_chunks >= 1

@@ -1,0 +1,67 @@
+"""Tests for work partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.partition import chunk_indices, partition_jobs_by_cost
+
+
+class TestChunkIndices:
+    def test_partition_complete(self):
+        chunks = chunk_indices(10, 3)
+        joined = np.concatenate(chunks)
+        np.testing.assert_array_equal(joined, np.arange(10))
+
+    def test_balanced(self):
+        chunks = chunk_indices(10, 3)
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        chunks = chunk_indices(2, 5)
+        assert len(chunks) == 2
+        assert all(len(c) == 1 for c in chunks)
+
+    def test_zero_items(self):
+        chunks = chunk_indices(0, 3)
+        assert len(chunks) == 1 and len(chunks[0]) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_indices(-1, 2)
+        with pytest.raises(ValueError):
+            chunk_indices(5, 0)
+
+
+class TestLpt:
+    def test_all_jobs_assigned_once(self):
+        costs = np.array([5, 3, 8, 1, 9, 2], dtype=float)
+        buckets = partition_jobs_by_cost(costs, 3)
+        assigned = sorted(j for b in buckets for j in b)
+        assert assigned == list(range(6))
+
+    def test_balance_quality(self):
+        rng = np.random.default_rng(0)
+        costs = rng.uniform(1, 10, size=40)
+        buckets = partition_jobs_by_cost(costs, 4)
+        loads = [costs[b].sum() for b in buckets]
+        # LPT guarantee: max load <= (4/3 - 1/3m) * optimal; sanity-check
+        # against the trivial lower bound total/m
+        assert max(loads) <= (costs.sum() / 4) * 4 / 3 + costs.max()
+
+    def test_heaviest_job_alone_when_dominant(self):
+        costs = np.array([100.0, 1.0, 1.0, 1.0])
+        buckets = partition_jobs_by_cost(costs, 2)
+        heavy_bucket = next(b for b in buckets if 0 in b)
+        assert heavy_bucket == [0]
+
+    def test_more_workers_than_jobs(self):
+        buckets = partition_jobs_by_cost(np.array([1.0, 2.0]), 5)
+        non_empty = [b for b in buckets if b]
+        assert len(non_empty) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_jobs_by_cost(np.array([-1.0]), 2)
+        with pytest.raises(ValueError):
+            partition_jobs_by_cost(np.array([1.0]), 0)

@@ -1,0 +1,56 @@
+"""Tests for the worker pool wrapper."""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import WorkerPool, default_workers, pool_map
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_of(_):
+    return os.getpid()
+
+
+class TestWorkerPool:
+    def test_serial_mode(self):
+        with WorkerPool(0) as pool:
+            assert pool.serial
+            assert pool.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_single_worker_serial(self):
+        with WorkerPool(1) as pool:
+            assert pool.serial
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(-1)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+    def test_parallel_matches_serial(self):
+        items = list(range(20))
+        with WorkerPool(2) as pool:
+            parallel = pool.map(_square, items)
+        with WorkerPool(0) as pool:
+            serial = pool.map(_square, items)
+        assert parallel == serial
+
+    def test_parallel_uses_other_processes(self):
+        with WorkerPool(2) as pool:
+            pids = set(pool.map(_pid_of, range(8)))
+        assert os.getpid() not in pids
+
+    def test_order_preserved(self):
+        with WorkerPool(2) as pool:
+            out = pool.map(_square, [3, 1, 2])
+        assert out == [9, 1, 4]
+
+
+class TestPoolMap:
+    def test_one_shot(self):
+        assert pool_map(_square, [2, 4], max_workers=0) == [4, 16]

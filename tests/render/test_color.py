@@ -1,0 +1,65 @@
+"""Tests for colors and the time gradient."""
+
+import numpy as np
+import pytest
+
+from repro.render.color import (
+    HIGHLIGHT_COLORS,
+    NAMED_COLORS,
+    named_color,
+    time_gradient,
+    to_uint8,
+)
+
+
+class TestNamedColors:
+    def test_lookup(self):
+        assert named_color("red") == NAMED_COLORS["red"]
+
+    def test_unknown_lists_valid(self):
+        with pytest.raises(KeyError, match="valid"):
+            named_color("chartreuse")
+
+    def test_all_channels_in_range(self):
+        for rgb in NAMED_COLORS.values():
+            assert all(0.0 <= c <= 1.0 for c in rgb)
+
+    def test_highlight_palette_subset(self):
+        for name in HIGHLIGHT_COLORS:
+            assert name in NAMED_COLORS
+
+
+class TestTimeGradient:
+    def test_shape(self):
+        out = time_gradient(np.linspace(0, 1, 7))
+        assert out.shape == (7, 3)
+
+    def test_range(self):
+        out = time_gradient(np.linspace(0, 1, 100))
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_early_blue_late_warm(self):
+        early = time_gradient(np.array(0.0))
+        late = time_gradient(np.array(1.0))
+        assert early[2] > early[0]  # blue-dominant start
+        assert late[0] > late[2]    # warm end
+
+    def test_clips_out_of_range(self):
+        np.testing.assert_allclose(time_gradient(np.array(-5.0)), time_gradient(np.array(0.0)))
+        np.testing.assert_allclose(time_gradient(np.array(9.0)), time_gradient(np.array(1.0)))
+
+    def test_monotone_red_channel(self):
+        out = time_gradient(np.linspace(0, 1, 50))
+        assert np.all(np.diff(out[:, 0]) > 0)
+
+
+class TestToUint8:
+    def test_rounding(self):
+        img = np.array([[[0.0, 0.5, 1.0]]])
+        out = to_uint8(img)
+        np.testing.assert_array_equal(out, [[[0, 128, 255]]])
+
+    def test_clipping(self):
+        img = np.array([[[-1.0, 2.0, 0.3]]])
+        out = to_uint8(img)
+        assert out[0, 0, 0] == 0 and out[0, 0, 1] == 255

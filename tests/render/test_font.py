@@ -1,0 +1,79 @@
+"""Tests for the built-in bitmap font."""
+
+import numpy as np
+import pytest
+
+from repro.render.font import GLYPH_H, GLYPH_W, draw_text, text_mask
+from repro.render.framebuffer import Framebuffer
+
+
+class TestTextMask:
+    def test_dimensions(self):
+        mask = text_mask("EAST")
+        assert mask.shape == (GLYPH_H, 4 * GLYPH_W + 3)
+
+    def test_empty_text(self):
+        mask = text_mask("")
+        assert mask.shape == (GLYPH_H, 0)
+
+    def test_uppercasing(self):
+        np.testing.assert_array_equal(text_mask("east"), text_mask("EAST"))
+
+    def test_unknown_char_renders_question_mark(self):
+        np.testing.assert_array_equal(text_mask("@"), text_mask("?"))
+
+    def test_scale(self):
+        small = text_mask("A")
+        big = text_mask("A", scale=3)
+        assert big.shape == (small.shape[0] * 3, small.shape[1] * 3)
+        np.testing.assert_array_equal(big[::3, ::3], small)
+
+    def test_spacing(self):
+        tight = text_mask("AB", spacing=0)
+        loose = text_mask("AB", spacing=3)
+        assert loose.shape[1] == tight.shape[1] + 3
+
+    def test_all_glyphs_nonempty_except_space(self):
+        for ch in "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.:%/()#!?=+',":
+            mask = text_mask(ch)
+            assert mask.any(), ch
+        assert not text_mask(" ").any()
+
+    def test_glyphs_distinct(self):
+        seen = {}
+        for ch in "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789":
+            key = text_mask(ch).tobytes()
+            assert key not in seen, (ch, seen.get(key))
+            seen[key] = ch
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            text_mask("A", scale=0)
+        with pytest.raises(ValueError):
+            text_mask("A", spacing=-1)
+
+
+class TestDrawText:
+    def test_pixels_colored(self):
+        fb = Framebuffer(40, 12, background=(0, 0, 0))
+        draw_text(fb, 1, 2, "HI", color=(1.0, 0.0, 0.0))
+        assert (fb.data[..., 0] > 0.9).sum() > 5
+        assert fb.data[..., 1].max() == 0.0
+
+    def test_clipping_at_edges(self):
+        fb = Framebuffer(10, 10, background=(0, 0, 0))
+        draw_text(fb, -3, -3, "WWW", color=(1, 1, 1))   # partially off-screen
+        draw_text(fb, 50, 50, "X", color=(1, 1, 1))     # fully off-screen
+        # no exception; some pixels from the clipped text landed
+        assert fb.data.max() > 0
+
+    def test_alpha_blend(self):
+        fb = Framebuffer(20, 10, background=(0, 0, 0))
+        draw_text(fb, 0, 0, "I", color=(1, 1, 1), alpha=0.5)
+        lit = fb.data[fb.data > 0]
+        assert np.allclose(lit, 0.5)
+
+    def test_alpha_validation(self):
+        fb = Framebuffer(20, 10)
+        with pytest.raises(ValueError):
+            draw_text(fb, 0, 0, "A", alpha=1.5)

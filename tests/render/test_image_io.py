@@ -1,0 +1,54 @@
+"""Tests for PPM/NPZ image I/O."""
+
+import numpy as np
+import pytest
+
+from repro.render.image_io import read_npz, read_ppm, write_npz, write_ppm
+
+
+class TestPpm:
+    def test_uint8_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 256, size=(7, 5, 3), dtype=np.uint8)
+        path = tmp_path / "img.ppm"
+        write_ppm(img, path)
+        back = read_ppm(path)
+        np.testing.assert_array_equal(back, img)
+
+    def test_float_conversion(self, tmp_path):
+        img = np.zeros((2, 2, 3))
+        img[0, 0] = [1.0, 0.5, 0.0]
+        path = tmp_path / "f.ppm"
+        write_ppm(img, path)
+        back = read_ppm(path)
+        np.testing.assert_array_equal(back[0, 0], [255, 128, 0])
+
+    def test_header(self, tmp_path):
+        path = tmp_path / "h.ppm"
+        write_ppm(np.zeros((3, 4, 3), dtype=np.uint8), path)
+        header = path.read_bytes()[:20]
+        assert header.startswith(b"P6\n4 3\n255\n")
+
+    def test_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(np.zeros((3, 4)), tmp_path / "bad.ppm")
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        p = tmp_path / "x.ppm"
+        p.write_bytes(b"PNG garbage")
+        with pytest.raises(ValueError):
+            read_ppm(p)
+
+    def test_read_rejects_truncated(self, tmp_path):
+        p = tmp_path / "t.ppm"
+        p.write_bytes(b"P6\n10 10\n255\n\x00\x00")
+        with pytest.raises(ValueError, match="truncated"):
+            read_ppm(p)
+
+
+class TestNpz:
+    def test_exact_roundtrip(self, tmp_path):
+        img = np.random.default_rng(1).uniform(size=(4, 4, 3)).astype(np.float32)
+        path = tmp_path / "img.npz"
+        write_npz(img, path)
+        np.testing.assert_array_equal(read_npz(path), img)

@@ -1,0 +1,110 @@
+"""Tests for the wall render pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.display.bezel import BezelSpec
+from repro.display.viewport import Viewport
+from repro.display.wall import DisplayWall
+from repro.layout.cells import assign_groups_to_cells, assign_sequential
+from repro.layout.grid import BezelAwareGrid
+from repro.layout.groups import TrajectoryGroups
+from repro.render.pipeline import WallRenderer
+from repro.stereo.camera import Eye
+from repro.synth.arena import Arena
+
+
+@pytest.fixture(scope="module")
+def small_viewport():
+    """A tiny 2x1-panel wall so render tests stay fast."""
+    wall = DisplayWall(
+        cols=2, rows=1, panel_width=0.3, panel_height=0.16875,
+        panel_px_width=160, panel_px_height=90, bezel=BezelSpec(),
+    )
+    return Viewport(wall)
+
+
+@pytest.fixture(scope="module")
+def small_grid(small_viewport):
+    return BezelAwareGrid(small_viewport, 6, 2)
+
+
+@pytest.fixture(scope="module")
+def renderer(study_dataset, small_viewport):
+    return WallRenderer(study_dataset, Arena(), small_viewport)
+
+
+class TestJobs:
+    def test_one_job_per_tile_eye(self, renderer, study_dataset, small_grid):
+        asg = assign_sequential(study_dataset, small_grid)
+        jobs = renderer.make_jobs(asg)
+        assert len(jobs) == 2 * 2  # 2 tiles x 2 eyes
+
+    def test_cells_partition_across_tiles(self, renderer, study_dataset, small_grid):
+        asg = assign_sequential(study_dataset, small_grid)
+        jobs = renderer.make_jobs(asg, (Eye.LEFT,))
+        total_cells = sum(len(j.cell_rects) for j in jobs)
+        assert total_cells == small_grid.n_cells
+
+    def test_group_colors_attached(self, study_dataset, small_viewport, small_grid, renderer):
+        groups = TrajectoryGroups.fig3_scheme(small_grid)
+        asg = assign_groups_to_cells(study_dataset, small_grid, groups)
+        jobs = renderer.make_jobs(asg, (Eye.LEFT,))
+        all_colors = np.concatenate([j.cell_colors for j in jobs])
+        # at least two distinct group colors present
+        assert len(np.unique(all_colors.round(3), axis=0)) >= 2
+
+
+class TestRenderJob:
+    def test_framebuffer_size(self, renderer, study_dataset, small_grid, small_viewport):
+        asg = assign_sequential(study_dataset, small_grid)
+        job = renderer.make_jobs(asg, (Eye.LEFT,))[0]
+        fb = renderer.render_job(job)
+        assert (fb.width, fb.height) == (160, 90)
+
+    def test_trajectories_visible(self, renderer, study_dataset, small_grid):
+        asg = assign_sequential(study_dataset, small_grid)
+        job = renderer.make_jobs(asg, (Eye.LEFT,))[0]
+        fb = renderer.render_job(job)
+        # some pixels clearly brighter than the background
+        assert (fb.data.max(axis=2) > 0.4).sum() > 30
+
+    def test_highlights_add_brush_color(self, renderer, study_dataset, small_grid, arena):
+        asg = assign_sequential(study_dataset, small_grid)
+        canvas = BrushCanvas()
+        canvas.add(stroke_from_rect((-0.5, -0.3), (-0.3, 0.3), 0.06, "red"))
+        engine = CoordinatedBrushingEngine(study_dataset)
+        results = {"red": engine.query(canvas, "red")}
+        job = renderer.make_jobs(asg, (Eye.LEFT,))[0]
+        plain = renderer.render_job(job)
+        brushed = renderer.render_job(job, canvas=canvas, results=results)
+        # the brushed frame has more red-dominant pixels
+        def red_dominant(fb):
+            return int(
+                ((fb.data[..., 0] > 0.5) & (fb.data[..., 0] > 2 * fb.data[..., 2])).sum()
+            )
+        assert red_dominant(brushed) > red_dominant(plain)
+
+
+class TestRenderViewport:
+    def test_full_structure(self, renderer, study_dataset, small_grid):
+        asg = assign_sequential(study_dataset, small_grid)
+        frames = renderer.render_viewport(asg)
+        assert set(frames) == {Eye.LEFT, Eye.RIGHT}
+        assert set(frames[Eye.LEFT]) == {(0, 0), (1, 0)}
+
+    def test_single_eye(self, renderer, study_dataset, small_grid):
+        asg = assign_sequential(study_dataset, small_grid)
+        frames = renderer.render_viewport(asg, eyes=(Eye.LEFT,))
+        assert set(frames) == {Eye.LEFT}
+
+    def test_deterministic(self, renderer, study_dataset, small_grid):
+        asg = assign_sequential(study_dataset, small_grid)
+        f1 = renderer.render_viewport(asg, eyes=(Eye.LEFT,))
+        f2 = renderer.render_viewport(asg, eyes=(Eye.LEFT,))
+        np.testing.assert_array_equal(
+            f1[Eye.LEFT][(0, 0)].data, f2[Eye.LEFT][(0, 0)].data
+        )

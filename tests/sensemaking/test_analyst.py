@@ -1,0 +1,104 @@
+"""Tests for the scripted analyst / pilot-study replay."""
+
+import pytest
+
+from repro.core.hypothesis import VerdictKind
+from repro.core.session import ExplorationSession
+from repro.sensemaking.analyst import (
+    AnalystSimulator,
+    ScriptAction,
+    default_study_script,
+)
+
+
+@pytest.fixture(scope="module")
+def replay(full_dataset, viewport):
+    session = ExplorationSession(full_dataset, viewport)
+    return AnalystSimulator(session).run()
+
+
+class TestScript:
+    def test_default_script_shape(self):
+        script = default_study_script()
+        kinds = [a.kind for a in script.actions]
+        assert kinds[0] == "layout"
+        assert kinds[1] == "group"
+        assert kinds.count("test") == 5  # 4 homing + 1 seed-dwell
+
+    def test_action_validation(self):
+        with pytest.raises(ValueError):
+            ScriptAction("dance")
+        with pytest.raises(ValueError):
+            ScriptAction("test")
+
+
+class TestReplayOutcomes:
+    def test_five_hypotheses_tested(self, replay):
+        assert replay.hypotheses_tested() == 5
+
+    def test_all_supported(self, replay):
+        """The planted effects make every study hypothesis come out as
+        the paper reported."""
+        assert replay.supported_count() == 5
+        for v in replay.verdicts:
+            assert v.kind is VerdictKind.SUPPORTED
+
+    def test_homing_supports_majority(self, replay):
+        for v in replay.verdicts[:4]:
+            assert v.support > 0.5
+
+    def test_seed_dwell_contrast(self, replay):
+        v = replay.verdicts[4]
+        assert v.comparison_support is not None
+        assert v.support > v.comparison_support
+
+
+class TestReplayArtifacts:
+    def test_coding_counts(self, replay):
+        counts = replay.coding.counts()
+        assert counts["hypothesis"] == 5
+        # every hypothesis gets a result observation + 2 scripted ones
+        assert counts["observation"] == 7
+        assert counts["tool_use"] >= 5 + 2  # brushes + layout + grouping
+
+    def test_rapid_hypothesis_testing(self, replay):
+        """§VI-B: 'several hypotheses could be formulated and tested
+        within a span of few minutes'."""
+        assert replay.coding.hypotheses_per_minute() > 0.5
+        assert replay.coding.duration_s < 10 * 60
+
+    def test_hypothesis_latencies_short(self, replay):
+        lat = replay.coding.hypothesis_latencies()
+        assert len(lat) == 5
+        assert lat.max() < 30.0
+
+    def test_schemas_attached(self, replay):
+        assert len(replay.schemas) == 5
+        for s in replay.schemas:
+            assert s.case_strength() == 1.0
+            assert len(s.evidence) == 1
+
+    def test_evidence_file_populated(self, replay):
+        assert len(replay.evidence) >= 7  # 2 observations + 5 query records
+        assert replay.evidence.with_tag("visual-query")
+
+    def test_stage_coverage_spans_both_loops(self, replay):
+        from repro.sensemaking.model import SensemakingModel, Stage
+
+        trace = replay.coding.stage_trace()
+        loops = {s.loop for s in trace}
+        assert loops == {"foraging", "sensemaking"}
+        assert replay.coding.stage_coverage(SensemakingModel()) >= 4 / 7
+        assert Stage.SCHEMA in trace
+
+    def test_session_canvas_cleared_between_hypotheses(self, replay):
+        assert replay.session.canvas.is_empty()
+
+
+class TestDataGroundedObservations:
+    def test_windiness_confirmed(self, full_dataset, viewport):
+        session = ExplorationSession(full_dataset, viewport)
+        sim = AnalystSimulator(session)
+        obs = sim.data_grounded_observations()
+        assert len(obs) == 1
+        assert "windier" in obs[0]

@@ -1,0 +1,89 @@
+"""Tests for the study's video coding scheme."""
+
+import numpy as np
+import pytest
+
+from repro.sensemaking.coding import (
+    CodedEvent,
+    CodingScheme,
+    EventKind,
+    SessionCoding,
+)
+from repro.sensemaking.model import Stage
+
+
+@pytest.fixture()
+def coder():
+    return CodingScheme()
+
+
+@pytest.fixture()
+def sample_session(coder):
+    s = SessionCoding()
+    s.add(coder.tool_use(5.0, "layout_switch", "layout 3"))
+    s.add(coder.tool_use(20.0, "grouping", "five zones"))
+    s.add(coder.observation(40.0, "east ants look direct"))
+    s.add(coder.hypothesis(60.0, "east ants exit west", 0))
+    s.add(coder.tool_use(66.0, "coordinated_brush", "brush west", 0))
+    s.add(coder.tool_use(70.0, "temporal_filter", "end window", 0))
+    s.add(coder.observation(74.0, "red concentration in east group", 0))
+    s.add(coder.hypothesis(100.0, "west ants exit east", 1))
+    s.add(coder.tool_use(108.0, "coordinated_brush", "brush east", 1))
+    s.add(coder.observation(112.0, "supported", 1))
+    return s
+
+
+class TestCodedEvent:
+    def test_tool_required_for_tool_use(self):
+        with pytest.raises(ValueError):
+            CodedEvent(1.0, EventKind.TOOL_USE, "x", tool="telepathy")
+
+    def test_tool_forbidden_elsewhere(self):
+        with pytest.raises(ValueError):
+            CodedEvent(1.0, EventKind.OBSERVATION, "x", tool="grouping")
+
+    def test_negative_time(self):
+        with pytest.raises(ValueError):
+            CodedEvent(-1.0, EventKind.OBSERVATION, "x")
+
+
+class TestSessionCoding:
+    def test_time_order_enforced(self, coder):
+        s = SessionCoding()
+        s.add(coder.observation(10.0, "a"))
+        with pytest.raises(ValueError):
+            s.add(coder.observation(5.0, "b"))
+
+    def test_counts(self, sample_session):
+        counts = sample_session.counts()
+        assert counts == {"observation": 3, "hypothesis": 2, "tool_use": 5}
+
+    def test_tool_usage(self, sample_session):
+        usage = sample_session.tool_usage()
+        assert usage["coordinated_brush"] == 2
+        assert usage["temporal_filter"] == 1
+
+    def test_hypotheses_per_minute(self, sample_session):
+        rate = sample_session.hypotheses_per_minute()
+        assert rate == pytest.approx(2 / (112.0 / 60.0))
+
+    def test_queries_per_hypothesis(self, sample_session):
+        qph = sample_session.queries_per_hypothesis()
+        assert qph == {0: 1, 1: 1}
+
+    def test_hypothesis_latencies(self, sample_session):
+        lat = sample_session.hypothesis_latencies()
+        np.testing.assert_allclose(np.sort(lat), [6.0, 8.0])
+
+    def test_stage_trace_and_coverage(self, sample_session):
+        trace = sample_session.stage_trace()
+        assert trace[0] == Stage.VISUAL_REPRESENTATION   # layout switch
+        assert Stage.SCHEMA in trace                     # brushing
+        assert Stage.HYPOTHESES in trace
+        cov = sample_session.stage_coverage()
+        assert 0.0 < cov <= 1.0
+
+    def test_empty_session(self):
+        s = SessionCoding()
+        assert s.duration_s == 0.0
+        assert s.hypotheses_per_minute() == 0.0

@@ -1,0 +1,60 @@
+"""Tests for the evidence file."""
+
+import numpy as np
+import pytest
+
+from repro.sensemaking.evidence import Evidence, EvidenceFile
+
+
+class TestEvidence:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Evidence(text="")
+        with pytest.raises(ValueError):
+            Evidence(text="x", source_stage=9)
+
+    def test_defaults(self):
+        e = Evidence(text="on-trail ants are windy")
+        assert e.source_stage == 4
+        assert e.traj_indices == ()
+
+
+class TestEvidenceFile:
+    def test_record_and_lookup(self):
+        f = EvidenceFile()
+        i = f.record("windy on-trail", traj_indices=[1, 2], tags=["windiness"])
+        assert len(f) == 1
+        assert f[i].text == "windy on-trail"
+
+    def test_with_tag(self):
+        f = EvidenceFile()
+        f.record("a", tags=["x"])
+        f.record("b", tags=["y"])
+        f.record("c", tags=["x", "y"])
+        assert [e.text for e in f.with_tag("x")] == ["a", "c"]
+
+    def test_supporting(self):
+        f = EvidenceFile()
+        f.record("a", traj_indices=[3, 5])
+        f.record("b", traj_indices=[5, 7])
+        assert len(f.supporting(5)) == 2
+        assert len(f.supporting(3)) == 1
+        assert f.supporting(99) == []
+
+    def test_tag_histogram(self):
+        f = EvidenceFile()
+        f.record("a", tags=["x"])
+        f.record("b", tags=["x", "y"])
+        assert f.tag_histogram() == {"x": 2, "y": 1}
+
+    def test_cited_trajectories_sorted_unique(self):
+        f = EvidenceFile()
+        f.record("a", traj_indices=[9, 2])
+        f.record("b", traj_indices=[2, 4])
+        np.testing.assert_array_equal(f.cited_trajectories(), [2, 4, 9])
+
+    def test_iteration(self):
+        f = EvidenceFile()
+        f.record("a")
+        f.record("b")
+        assert [e.text for e in f] == ["a", "b"]

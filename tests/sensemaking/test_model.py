@@ -1,0 +1,63 @@
+"""Tests for the Pirolli-Card sensemaking stage graph."""
+
+import pytest
+
+from repro.sensemaking.model import SensemakingModel, Stage
+
+
+@pytest.fixture()
+def model():
+    return SensemakingModel()
+
+
+class TestStages:
+    def test_seven_stages(self, model):
+        assert len(model.stages()) == 7
+
+    def test_loop_membership(self):
+        assert Stage.RAW_DATA.loop == "foraging"
+        assert Stage.EVIDENCE_FILE.loop == "foraging"
+        assert Stage.SCHEMA.loop == "sensemaking"
+        assert Stage.PRESENTATION.loop == "sensemaking"
+
+
+class TestTransitions:
+    def test_forward_chain_valid(self, model):
+        stages = model.stages()
+        for a, b in zip(stages[:-1], stages[1:]):
+            assert model.is_valid_transition(a, b)
+            assert model.is_forward(a, b)
+
+    def test_back_edges_valid_but_not_forward(self, model):
+        assert model.is_valid_transition(Stage.SCHEMA, Stage.EVIDENCE_FILE)
+        assert not model.is_forward(Stage.SCHEMA, Stage.EVIDENCE_FILE)
+
+    def test_skipping_stages_invalid(self, model):
+        assert not model.is_valid_transition(Stage.RAW_DATA, Stage.SCHEMA)
+
+
+class TestSessionAnalyses:
+    def test_path_coverage(self, model):
+        visited = [Stage.RAW_DATA, Stage.FILTERED_DATA, Stage.RAW_DATA]
+        assert model.path_coverage(visited) == pytest.approx(2 / 7)
+
+    def test_transition_mix(self, model):
+        trace = [
+            Stage.VISUAL_REPRESENTATION,
+            Stage.EVIDENCE_FILE,     # forward, adjacent
+            Stage.SCHEMA,            # forward, adjacent
+            Stage.EVIDENCE_FILE,     # back, adjacent
+            Stage.EVIDENCE_FILE,     # stay
+            Stage.PRESENTATION,      # forward, multi-stage jump
+        ]
+        mix = model.transition_mix(trace)
+        assert mix == {"forward": 3, "back": 1, "stay": 1, "adjacent": 3}
+
+    def test_empty_trace(self, model):
+        assert model.transition_mix([]) == {
+            "forward": 0,
+            "back": 0,
+            "stay": 0,
+            "adjacent": 0,
+        }
+        assert model.path_coverage([]) == 0.0

@@ -1,0 +1,69 @@
+"""Tests for the insight-provenance log."""
+
+import pytest
+
+from repro.sensemaking.provenance import InsightRecord, ProvenanceLog
+
+
+def _rec(insight="i", parents=()):
+    return InsightRecord(
+        insight=insight,
+        hypothesis="h",
+        query_spec={"color": "red"},
+        verdict={"kind": "supported", "support": 0.7},
+        evidence_ids=(0,),
+        parents=tuple(parents),
+    )
+
+
+class TestInsightRecord:
+    def test_needs_text(self):
+        with pytest.raises(ValueError):
+            InsightRecord(insight="")
+
+    def test_dict_roundtrip(self):
+        r = _rec(parents=(0, 1))
+        assert InsightRecord.from_dict(r.to_dict()) == r
+
+
+class TestProvenanceLog:
+    def test_append_and_index(self):
+        log = ProvenanceLog()
+        i = log.add(_rec("a"))
+        j = log.add(_rec("b", parents=(i,)))
+        assert len(log) == 2
+        assert log[j].parents == (i,)
+
+    def test_parent_must_exist(self):
+        log = ProvenanceLog()
+        with pytest.raises(ValueError):
+            log.add(_rec("x", parents=(0,)))
+
+    def test_lineage(self):
+        log = ProvenanceLog()
+        a = log.add(_rec("a"))
+        b = log.add(_rec("b", parents=(a,)))
+        c = log.add(_rec("c", parents=(b,)))
+        d = log.add(_rec("d", parents=(c, a)))
+        lineage = log.lineage(d)
+        assert set(lineage) == {a, b, c}
+        with pytest.raises(IndexError):
+            log.lineage(99)
+
+    def test_roots(self):
+        log = ProvenanceLog()
+        a = log.add(_rec("a"))
+        log.add(_rec("b", parents=(a,)))
+        c = log.add(_rec("c"))
+        assert log.roots() == [a, c]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        log = ProvenanceLog()
+        a = log.add(_rec("a"))
+        log.add(_rec("b", parents=(a,)))
+        path = tmp_path / "prov.json"
+        log.save(path)
+        loaded = ProvenanceLog.load(path)
+        assert len(loaded) == 2
+        assert loaded[1].parents == (0,)
+        assert loaded[0].insight == "a"

@@ -1,0 +1,59 @@
+"""Tests for schemas (marshaled theories)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hypothesis import Verdict, VerdictKind
+from repro.core.result import QueryResult
+from repro.sensemaking.evidence import Evidence
+from repro.sensemaking.schema import Schema
+
+
+def _verdict(kind):
+    result = QueryResult(
+        color="red",
+        segment_mask=np.zeros(0, dtype=bool),
+        traj_mask=np.zeros(1, dtype=bool),
+        traj_highlight_time=np.zeros(1),
+        displayed=np.ones(1, dtype=bool),
+    )
+    return Verdict(kind=kind, support=0.7, threshold=0.5, result=result)
+
+
+class TestSchema:
+    def test_needs_theory(self):
+        with pytest.raises(ValueError):
+            Schema(theory="")
+
+    def test_marshal_and_counts(self):
+        s = Schema(theory="off-trail ants home")
+        s.marshal(Evidence(text="east group exits west"))
+        s.attach_verdict(_verdict(VerdictKind.SUPPORTED))
+        s.attach_verdict(_verdict(VerdictKind.REFUTED))
+        s.attach_verdict(_verdict(VerdictKind.INCONCLUSIVE))
+        assert s.n_supporting == 1
+        assert s.n_refuting == 1
+        assert len(s.evidence) == 1
+
+    def test_case_strength(self):
+        s = Schema(theory="t")
+        assert s.case_strength() == 0.0
+        s.attach_verdict(_verdict(VerdictKind.SUPPORTED))
+        assert s.case_strength() == 1.0
+        s.attach_verdict(_verdict(VerdictKind.REFUTED))
+        assert s.case_strength() == 0.0
+        s.attach_verdict(_verdict(VerdictKind.REFUTED))
+        assert s.case_strength() == pytest.approx(-1 / 3)
+
+    def test_inconclusive_does_not_move_strength(self):
+        s = Schema(theory="t")
+        s.attach_verdict(_verdict(VerdictKind.SUPPORTED))
+        before = s.case_strength()
+        s.attach_verdict(_verdict(VerdictKind.INCONCLUSIVE))
+        assert s.case_strength() == before
+
+    def test_summary(self):
+        s = Schema(theory="homing")
+        s.attach_verdict(_verdict(VerdictKind.SUPPORTED))
+        text = s.summary()
+        assert "homing" in text and "1 supporting" in text

@@ -1,0 +1,83 @@
+"""Tests for the stereo camera and sheared-orthographic projection."""
+
+import numpy as np
+import pytest
+
+from repro.stereo.camera import Eye, StereoCamera
+
+
+class TestStereoCamera:
+    def test_defaults_match_study(self):
+        cam = StereoCamera()
+        assert cam.eye_separation == pytest.approx(0.065)
+        assert cam.viewer_distance == pytest.approx(3.0)  # desk ~3 m away
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StereoCamera(eye_separation=0.0)
+        with pytest.raises(ValueError):
+            StereoCamera(viewer_distance=-1.0)
+
+    def test_shear(self):
+        cam = StereoCamera(eye_separation=0.06, viewer_distance=3.0)
+        assert cam.shear == pytest.approx(0.01)
+
+    def test_eye_offsets_antisymmetric(self):
+        cam = StereoCamera()
+        assert cam.eye_offset(Eye.LEFT) == -cam.eye_offset(Eye.RIGHT)
+
+
+class TestProjection:
+    def test_zero_depth_identity(self):
+        cam = StereoCamera()
+        pts = np.array([[1.0, 2.0, 0.0]])
+        for eye in Eye:
+            out = cam.project_points(pts, eye)
+            np.testing.assert_allclose(out, [[1.0, 2.0]])
+
+    def test_y_never_changes(self):
+        cam = StereoCamera()
+        pts = np.random.default_rng(0).normal(size=(20, 3))
+        for eye in Eye:
+            out = cam.project_points(pts, eye)
+            np.testing.assert_array_equal(out[:, 1], pts[:, 1])
+
+    def test_crossed_disparity_for_front_content(self):
+        """Content in front of the screen: left-eye image shifts right,
+        right-eye image shifts left (crossed)."""
+        cam = StereoCamera()
+        pts = np.array([[0.0, 0.0, 0.1]])  # 10 cm in front
+        left = cam.project_points(pts, Eye.LEFT)[0, 0]
+        right = cam.project_points(pts, Eye.RIGHT)[0, 0]
+        assert left > 0 > right
+
+    def test_parallax_antisymmetric_between_eyes(self):
+        cam = StereoCamera()
+        pts = np.array([[0.0, 0.0, 0.07]])
+        left = cam.project_points(pts, Eye.LEFT)[0, 0]
+        right = cam.project_points(pts, Eye.RIGHT)[0, 0]
+        assert left == pytest.approx(-right)
+
+    def test_rendered_parallax_formula(self):
+        cam = StereoCamera(eye_separation=0.065, viewer_distance=3.0)
+        z = 0.12
+        expected = 0.065 * z / 3.0
+        assert float(cam.rendered_parallax(z)) == pytest.approx(expected)
+        # and matches the actual projected eye difference
+        pts = np.array([[0.0, 0.0, z]])
+        diff = (
+            cam.project_points(pts, Eye.LEFT)[0, 0]
+            - cam.project_points(pts, Eye.RIGHT)[0, 0]
+        )
+        assert diff == pytest.approx(expected)
+
+    def test_behind_screen_uncrossed(self):
+        cam = StereoCamera()
+        pts = np.array([[0.0, 0.0, -0.1]])
+        left = cam.project_points(pts, Eye.LEFT)[0, 0]
+        right = cam.project_points(pts, Eye.RIGHT)[0, 0]
+        assert left < 0 < right
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            StereoCamera().project_points(np.zeros((3, 2)), Eye.LEFT)

@@ -1,0 +1,80 @@
+"""Tests for the stereoscopic comfort model."""
+
+import numpy as np
+import pytest
+
+from repro.stereo.comfort import ComfortModel
+
+
+class TestComfortModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComfortModel(limit_deg=0.0)
+        with pytest.raises(ValueError):
+            ComfortModel(viewer_distance=-1.0)
+
+    def test_screen_plane_is_comfortable(self):
+        m = ComfortModel()
+        assert m.depth_in_comfort(0.0)
+
+    def test_ac_conflict_zero_at_screen(self):
+        m = ComfortModel()
+        assert float(m.ac_conflict(0.0)) == pytest.approx(0.0)
+
+    def test_ac_conflict_grows_with_depth(self):
+        m = ComfortModel()
+        z = np.linspace(0.0, 1.0, 10)
+        ac = m.ac_conflict(z)
+        assert np.all(np.diff(ac) > 0)
+
+    def test_far_depth_uncomfortable(self):
+        m = ComfortModel()
+        assert not m.depth_in_comfort(2.5)
+
+
+class TestBudget:
+    def test_budget_brackets_zero(self):
+        behind, front = ComfortModel().comfort_depth_budget()
+        assert behind < 0 < front
+
+    def test_budget_bounds_are_tight(self):
+        m = ComfortModel()
+        behind, front = m.comfort_depth_budget()
+        assert m.depth_in_comfort(front * 0.999)
+        assert not m.depth_in_comfort(front * 1.01)
+        assert m.depth_in_comfort(behind * 0.999)
+        assert not m.depth_in_comfort(behind * 1.01)
+
+    def test_tighter_limits_smaller_budget(self):
+        loose = ComfortModel(limit_deg=1.0).comfort_depth_budget()
+        tight = ComfortModel(limit_deg=0.5).comfort_depth_budget()
+        assert tight[1] < loose[1]
+        assert tight[0] > loose[0]
+
+    def test_ac_constraint_can_bind(self):
+        # very tight AC limit should bind before the disparity limit
+        m = ComfortModel(ac_limit_diopters=0.01)
+        _, front = m.comfort_depth_budget()
+        d, L = m.viewer_distance, 0.01
+        ac_bound = d - 1.0 / (1.0 / d + L)
+        assert front == pytest.approx(ac_bound)
+
+
+class TestAssess:
+    def test_comfortable_interval(self):
+        m = ComfortModel()
+        rep = m.assess(0.0, 0.05)
+        assert rep.comfortable
+        assert rep.fraction_comfortable == 1.0
+        assert rep.max_disparity_deg < m.limit_deg
+
+    def test_partially_comfortable(self):
+        m = ComfortModel()
+        _, front = m.comfort_depth_budget()
+        rep = m.assess(0.0, 2 * front)
+        assert not rep.comfortable
+        assert 0.0 < rep.fraction_comfortable < 1.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ComfortModel().assess(0.1, 0.0)

@@ -1,0 +1,67 @@
+"""Tests for the ergonomic slider controls."""
+
+import pytest
+
+from repro.stereo.comfort import ComfortModel
+from repro.stereo.controls import ErgonomicControls
+
+
+class TestSliders:
+    def test_set_depth(self):
+        c = ErgonomicControls()
+        c.set_depth(-0.05)
+        assert c.depth_offset == -0.05
+
+    def test_set_exaggeration_validates(self):
+        c = ErgonomicControls()
+        with pytest.raises(ValueError):
+            c.set_exaggeration(-0.1)
+
+    def test_projection_snapshot(self):
+        c = ErgonomicControls(time_scale=0.002, depth_offset=0.01)
+        p = c.projection()
+        assert p.time_scale == 0.002
+        assert p.depth_offset == 0.01
+        assert p.camera.viewer_distance == c.comfort.viewer_distance
+
+    def test_depth_range_for(self):
+        c = ErgonomicControls(time_scale=0.001, depth_offset=0.02)
+        z0, z1 = c.depth_range_for(180.0)
+        assert z0 == pytest.approx(0.02)
+        assert z1 == pytest.approx(0.2)
+
+
+class TestFitToComfort:
+    def test_front_fit_is_comfortable(self):
+        c = ErgonomicControls()
+        c.fit_to_comfort(180.0, center=False)
+        assert c.depth_offset == 0.0
+        assert c.is_comfortable(180.0)
+
+    def test_centered_fit_is_comfortable_and_larger(self):
+        front = ErgonomicControls()
+        front.fit_to_comfort(180.0, center=False)
+        centered = ErgonomicControls()
+        centered.fit_to_comfort(180.0, center=True)
+        assert centered.is_comfortable(180.0)
+        # splitting the budget front/behind buys more exaggeration
+        assert centered.time_scale > front.time_scale
+        assert centered.depth_offset < 0
+
+    def test_fit_maximal(self):
+        """The fitted exaggeration is maximal: 5 % more is uncomfortable."""
+        c = ErgonomicControls()
+        c.fit_to_comfort(120.0, center=False)
+        c.set_exaggeration(c.time_scale * 1.05)
+        assert not c.is_comfortable(120.0)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            ErgonomicControls().fit_to_comfort(0.0)
+
+    def test_tighter_comfort_model_fits_smaller(self):
+        loose = ErgonomicControls(comfort=ComfortModel(limit_deg=1.0))
+        tight = ErgonomicControls(comfort=ComfortModel(limit_deg=0.3))
+        loose.fit_to_comfort(60.0, center=False)
+        tight.fit_to_comfort(60.0, center=False)
+        assert tight.time_scale < loose.time_scale

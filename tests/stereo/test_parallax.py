@@ -1,0 +1,75 @@
+"""Tests for exact parallax formulas and their inversion."""
+
+import numpy as np
+import pytest
+
+from repro.stereo.camera import StereoCamera
+from repro.stereo.parallax import (
+    depth_for_parallax,
+    parallax_visual_angle_deg,
+    screen_parallax,
+)
+
+
+class TestScreenParallax:
+    def test_zero_at_screen_plane(self):
+        assert float(screen_parallax(0.0)) == 0.0
+
+    def test_sign_convention(self):
+        assert float(screen_parallax(0.1)) > 0   # in front: crossed
+        assert float(screen_parallax(-0.1)) < 0  # behind: uncrossed
+
+    def test_exact_formula(self):
+        p = float(screen_parallax(0.5, eye_separation=0.06, viewer_distance=3.0))
+        assert p == pytest.approx(0.06 * 0.5 / 2.5)
+
+    def test_depth_beyond_viewer_rejected(self):
+        with pytest.raises(ValueError):
+            screen_parallax(3.5, viewer_distance=3.0)
+
+    def test_sheared_render_is_first_order_accurate(self):
+        """Rendered parallax e*z/d matches physical e*z/(d-z) to
+        O((z/d)^2) — under 7 % relative error at the study's depth."""
+        cam = StereoCamera()
+        z = np.linspace(0.01, 0.2, 20)
+        exact = screen_parallax(z, cam.eye_separation, cam.viewer_distance)
+        rendered = cam.rendered_parallax(z)
+        rel_err = np.abs(rendered - exact) / exact
+        assert np.all(rel_err < 0.07)
+
+
+class TestVisualAngle:
+    def test_zero_at_screen(self):
+        assert float(parallax_visual_angle_deg(0.0)) == pytest.approx(0.0)
+
+    def test_monotone_in_depth(self):
+        z = np.linspace(-0.5, 0.5, 11)
+        eta = parallax_visual_angle_deg(z)
+        assert np.all(np.diff(eta) > 0)
+
+    def test_antisymmetric_near_screen(self):
+        # for small z the angle is odd in z
+        a = float(parallax_visual_angle_deg(0.05))
+        b = float(parallax_visual_angle_deg(-0.05))
+        assert a == pytest.approx(-b, rel=0.05)
+
+    def test_one_degree_depth_scale(self):
+        """At e=6.5 cm, d=3 m, one degree of disparity needs tens of
+        centimeters of depth — the comfort budget is generous."""
+        z = depth_for_parallax(1.0)
+        assert 0.5 < z < 2.5
+
+
+class TestDepthForParallax:
+    def test_inverts_visual_angle(self):
+        for angle in (-0.8, -0.2, 0.2, 0.5, 1.0):
+            z = depth_for_parallax(angle)
+            back = float(parallax_visual_angle_deg(z))
+            assert back == pytest.approx(angle, abs=1e-9)
+
+    def test_zero_angle_zero_depth(self):
+        assert depth_for_parallax(0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_unreachable_angle(self):
+        with pytest.raises(ValueError):
+            depth_for_parallax(-179.0)

@@ -1,0 +1,111 @@
+"""Tests for the space-time-cube projection."""
+
+import numpy as np
+import pytest
+
+from repro.display.coords import CoordinateMapper
+from repro.stereo.camera import Eye
+from repro.stereo.projection import SpaceTimeProjection
+from repro.synth.arena import Arena
+from repro.trajectory.model import Trajectory
+
+
+@pytest.fixture()
+def mapper(arena):
+    return CoordinateMapper(arena, (0.0, 0.0, 0.2, 0.15))
+
+
+@pytest.fixture()
+def proj():
+    return SpaceTimeProjection(time_scale=0.001, depth_offset=0.0)
+
+
+class TestDepthMapping:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpaceTimeProjection(time_scale=-1.0)
+
+    def test_depth_of(self, proj):
+        t = np.array([0.0, 10.0, 20.0])
+        np.testing.assert_allclose(proj.depth_of(t), [0.0, 0.01, 0.02])
+
+    def test_depth_offset(self):
+        proj = SpaceTimeProjection(time_scale=0.001, depth_offset=0.05)
+        t = np.array([0.0, 10.0])
+        np.testing.assert_allclose(proj.depth_of(t), [0.05, 0.06])
+
+    def test_trajectory_starts_at_display_surface(self, proj, mapper, simple_traj):
+        """Fig. 4: trajectories start at the display surface (z=0) and
+        float forward as time advances."""
+        pts = proj.to_display_3d(simple_traj, mapper)
+        assert pts[0, 2] == pytest.approx(0.0)
+        assert np.all(np.diff(pts[:, 2]) > 0)
+
+    def test_depth_range(self, proj, simple_traj):
+        lo, hi = proj.depth_range(simple_traj)
+        assert lo == pytest.approx(0.0)
+        assert hi == pytest.approx(0.01)
+
+
+class TestStereoPair:
+    def test_eyes_differ_only_in_x(self, proj, mapper, simple_traj):
+        left, right = proj.stereo_pair(simple_traj, mapper)
+        np.testing.assert_array_equal(left[:, 1], right[:, 1])
+        # first sample at z=0: identical; later samples diverge
+        np.testing.assert_allclose(left[0], right[0])
+        assert abs(left[-1, 0] - right[-1, 0]) > 0
+
+    def test_disparity_grows_with_time(self, proj, mapper, simple_traj):
+        left, right = proj.stereo_pair(simple_traj, mapper)
+        disparity = left[:, 0] - right[:, 0]
+        assert np.all(np.diff(disparity) > 0)
+
+    def test_zero_time_scale_mono(self, mapper, simple_traj):
+        proj = SpaceTimeProjection(time_scale=0.0)
+        left, right = proj.stereo_pair(simple_traj, mapper)
+        np.testing.assert_allclose(left, right)
+
+
+class TestStationaryAntSignature:
+    def test_perpendicular_segments_flagged(self, proj, arena):
+        """A stationary period shows as near-infinite depth/XY ratio —
+        the visual cue the §V-B query reads."""
+        pos = np.array([[0.0, 0.0], [0.001, 0.0], [0.0011, 0.0], [0.3, 0.0]])
+        t = np.array([0.0, 10.0, 40.0, 50.0])
+        traj = Trajectory(pos, t)
+        ratio = proj.apparent_motion_ratio(traj)
+        assert ratio[1] > ratio[0]       # dwell segment is steepest
+        assert ratio[1] > ratio[2] * 10  # and dramatically so
+
+    def test_zero_xy_step_infinite(self, proj):
+        pos = np.array([[0.0, 0.0], [0.0, 0.0 + 1e-300], [1.0, 0.0]])
+        t = np.array([0.0, 1.0, 2.0])
+        # exactly repeated position is not constructible (times strictly
+        # increase but positions can repeat) — use identical XY
+        pos[1] = pos[0]
+        traj = Trajectory(pos, t)
+        ratio = proj.apparent_motion_ratio(traj)
+        assert np.isinf(ratio[0])
+
+
+class TestWithControls:
+    def test_updates_fields(self, proj):
+        p2 = proj.with_controls(time_scale=0.002)
+        assert p2.time_scale == 0.002
+        assert p2.depth_offset == proj.depth_offset
+        p3 = proj.with_controls(depth_offset=-0.05)
+        assert p3.depth_offset == -0.05
+        assert p3.time_scale == proj.time_scale
+
+    def test_projection_uses_camera(self, mapper, simple_traj):
+        from repro.stereo.camera import StereoCamera
+
+        wide = SpaceTimeProjection(
+            camera=StereoCamera(eye_separation=0.13), time_scale=0.001
+        )
+        narrow = SpaceTimeProjection(
+            camera=StereoCamera(eye_separation=0.065), time_scale=0.001
+        )
+        lw, rw = wide.stereo_pair(simple_traj, mapper)
+        ln, rn = narrow.stereo_pair(simple_traj, mapper)
+        assert abs(lw[-1, 0] - rw[-1, 0]) > abs(ln[-1, 0] - rn[-1, 0])

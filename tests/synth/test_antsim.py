@@ -1,0 +1,94 @@
+"""Tests for study-scale dataset generation and its planted effects."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.synth import AntStudyConfig, generate_scaled_dataset, generate_study_dataset
+from repro.synth.antsim import single_condition_dataset
+from repro.synth.arena import Arena
+from repro.synth.conditions import CaptureCondition
+
+
+class TestGenerateStudyDataset:
+    def test_cardinality(self, study_dataset):
+        assert len(study_dataset) == 150
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AntStudyConfig(n_trajectories=0)
+
+    def test_deterministic(self):
+        a = generate_study_dataset(AntStudyConfig(n_trajectories=20, seed=11))
+        b = generate_study_dataset(AntStudyConfig(n_trajectories=20, seed=11))
+        for ta, tb in zip(a, b):
+            np.testing.assert_array_equal(ta.positions, tb.positions)
+
+    def test_seed_changes_data(self):
+        a = generate_study_dataset(AntStudyConfig(n_trajectories=5, seed=1))
+        b = generate_study_dataset(AntStudyConfig(n_trajectories=5, seed=2))
+        assert not np.array_equal(a[0].positions, b[0].positions)
+
+    def test_prefix_stability(self):
+        """Generating more trajectories never changes earlier ones
+        (per-ant RNG streams)."""
+        small = generate_study_dataset(AntStudyConfig(n_trajectories=10, seed=3))
+        large = generate_study_dataset(AntStudyConfig(n_trajectories=20, seed=3))
+        for i in range(10):
+            np.testing.assert_array_equal(small[i].positions, large[i].positions)
+
+    def test_duration_matches_study_range(self, full_dataset):
+        lo, hi = full_dataset.duration_range()
+        assert lo >= 10.0 - 1e-6   # paper: 10 seconds minimum
+        assert hi <= 180.0 + 1e-6  # paper: 3 minutes maximum
+
+    def test_all_zones_represented(self, full_dataset):
+        assert set(full_dataset.zones()) == {"on", "east", "west", "north", "south"}
+
+
+class TestPlantedEffects:
+    def test_east_majority_exits_west(self, full_dataset, arena):
+        east = full_dataset.by_zone("east")
+        sides = Counter(arena.exit_side(t.end) for t in east)
+        assert sides["west"] / len(east) > 0.5
+
+    def test_all_homing_directions(self, full_dataset, arena):
+        expectations = {"east": "west", "west": "east", "north": "south", "south": "north"}
+        for zone, opposite in expectations.items():
+            group = full_dataset.by_zone(zone)
+            sides = Counter(arena.exit_side(t.end) for t in group)
+            assert sides[opposite] / len(group) > 0.5, (zone, sides)
+
+    def test_on_trail_has_no_dominant_side(self, full_dataset, arena):
+        on = full_dataset.by_zone("on")
+        sides = Counter(arena.exit_side(t.end) for t in on)
+        assert max(sides.values()) / len(on) < 0.5
+
+    def test_on_trail_windier(self, full_dataset):
+        from repro.analytics.stats import zone_straightness_table
+
+        table = zone_straightness_table(full_dataset)
+        off_mean = np.mean([v for z, v in table.items() if z != "on"])
+        assert table["on"] < off_mean
+
+
+class TestScaledDataset:
+    def test_size_and_cap(self):
+        ds = generate_scaled_dataset(200, seed=5, max_duration_s=30.0)
+        assert len(ds) == 200
+        assert ds.duration_range()[1] <= 30.0 + 1e-6
+
+    def test_effect_survives_scaling(self, arena):
+        ds = generate_scaled_dataset(300, seed=6, max_duration_s=60.0)
+        east = ds.by_zone("east")
+        sides = Counter(arena.exit_side(t.end) for t in east)
+        assert sides["west"] / len(east) > 0.5
+
+
+class TestSingleCondition:
+    def test_uniform_condition(self):
+        cond = CaptureCondition("north", "outbound", False)
+        ds = single_condition_dataset(cond, 8, seed=1)
+        assert len(ds) == 8
+        assert all(t.meta.capture_zone == "north" for t in ds)

@@ -1,0 +1,73 @@
+"""Tests for the arena model."""
+
+import numpy as np
+import pytest
+
+from repro.synth.arena import Arena, EXIT_SIDES, bearing_to_side
+
+
+class TestBearingToSide:
+    @pytest.mark.parametrize(
+        "angle,side",
+        [
+            (0.0, "east"),
+            (np.pi / 2, "north"),
+            (np.pi, "west"),
+            (-np.pi / 2, "south"),
+            (np.pi / 4 - 0.01, "east"),
+            (np.pi / 4 + 0.01, "north"),
+            (-np.pi + 0.01, "west"),
+        ],
+    )
+    def test_quadrants(self, angle, side):
+        assert str(bearing_to_side(angle)) == side
+
+    def test_vectorized(self):
+        sides = bearing_to_side(np.array([0.0, np.pi / 2, np.pi]))
+        assert list(sides) == ["east", "north", "west"]
+
+
+class TestArena:
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            Arena(radius=0.0)
+
+    def test_contains(self, arena):
+        pts = np.array([[0, 0], [0.49, 0], [0.51, 0]])
+        np.testing.assert_array_equal(arena.contains(pts), [True, True, False])
+
+    def test_contains_point_scalar(self, arena):
+        assert arena.contains_point((0.1, 0.1))
+        assert not arena.contains_point((1.0, 1.0))
+
+    def test_exit_side(self, arena):
+        assert arena.exit_side((-0.5, 0.0)) == "west"
+        assert arena.exit_side((0.0, 0.5)) == "north"
+
+    def test_clamp_inside(self, arena):
+        pts = np.array([[1.0, 0.0], [0.1, 0.1]])
+        clamped = arena.clamp_inside(pts)
+        assert np.linalg.norm(clamped[0]) == pytest.approx(arena.radius)
+        np.testing.assert_array_equal(clamped[1], [0.1, 0.1])
+
+    def test_clamp_with_margin(self, arena):
+        pts = np.array([[1.0, 0.0]])
+        clamped = arena.clamp_inside(pts, margin=0.1)
+        assert np.linalg.norm(clamped[0]) == pytest.approx(arena.radius - 0.1)
+
+    def test_random_boundary_point_on_rim(self, arena):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = arena.random_boundary_point(rng)
+            assert np.linalg.norm(p) == pytest.approx(arena.radius)
+
+    def test_random_boundary_point_side(self, arena):
+        rng = np.random.default_rng(1)
+        for side in EXIT_SIDES:
+            for _ in range(10):
+                p = arena.random_boundary_point(rng, side)
+                assert arena.exit_side(p) == side
+
+    def test_random_boundary_bad_side(self, arena):
+        with pytest.raises(ValueError):
+            arena.random_boundary_point(np.random.default_rng(0), "up")

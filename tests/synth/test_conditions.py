@@ -1,0 +1,84 @@
+"""Tests for the capture-condition taxonomy and study mix."""
+
+import numpy as np
+import pytest
+
+from repro.synth.conditions import (
+    CaptureCondition,
+    STUDY_CONDITION_MIX,
+    condition_mix,
+    sample_conditions,
+)
+
+
+class TestCaptureCondition:
+    def test_valid(self):
+        c = CaptureCondition("east", "inbound", True, True)
+        assert c.label == "east/inbound/seed-dropped"
+
+    def test_invalid_zone(self):
+        with pytest.raises(ValueError):
+            CaptureCondition("middle", "inbound", False)
+
+    def test_drop_requires_seed(self):
+        with pytest.raises(ValueError):
+            CaptureCondition("on", "inbound", False, True)
+
+    def test_to_meta(self):
+        c = CaptureCondition("west", "outbound", True)
+        m = c.to_meta(batch=3)
+        assert m.capture_zone == "west"
+        assert m.carrying_seed
+        assert m.extra["batch"] == 3
+
+
+class TestStudyMix:
+    def test_probabilities_sum_to_one(self):
+        assert sum(STUDY_CONDITION_MIX.values()) == pytest.approx(1.0)
+
+    def test_all_zones_present(self):
+        zones = {c.capture_zone for c in STUDY_CONDITION_MIX}
+        assert zones == {"on", "east", "west", "north", "south"}
+
+    def test_copy_is_independent(self):
+        mix = condition_mix()
+        key = next(iter(mix))
+        mix[key] = 0.0
+        assert STUDY_CONDITION_MIX[key] > 0.0
+
+    def test_inbound_carries_seed_more_often(self):
+        def seed_mass(direction):
+            return sum(
+                w
+                for c, w in STUDY_CONDITION_MIX.items()
+                if c.direction == direction and c.carrying_seed
+            )
+
+        assert seed_mass("inbound") > seed_mass("outbound")
+
+
+class TestSampleConditions:
+    def test_count_and_determinism(self):
+        a = sample_conditions(50, np.random.default_rng(3))
+        b = sample_conditions(50, np.random.default_rng(3))
+        assert len(a) == 50
+        assert a == b
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            sample_conditions(-1, np.random.default_rng(0))
+
+    def test_respects_reweighted_mix(self):
+        mix = {c: (1.0 if c.capture_zone == "east" else 0.0) for c in condition_mix()}
+        conds = sample_conditions(30, np.random.default_rng(0), mix)
+        assert all(c.capture_zone == "east" for c in conds)
+
+    def test_zero_mass_mix_rejected(self):
+        mix = {c: 0.0 for c in condition_mix()}
+        with pytest.raises(ValueError):
+            sample_conditions(5, np.random.default_rng(0), mix)
+
+    def test_empirical_zone_shares(self):
+        conds = sample_conditions(5000, np.random.default_rng(9))
+        on_share = sum(1 for c in conds if c.capture_zone == "on") / len(conds)
+        assert 0.25 < on_share < 0.35  # nominal 0.30

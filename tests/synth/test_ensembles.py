@@ -1,0 +1,146 @@
+"""Tests for simulation-ensemble workloads (§VII generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.synth.ensembles import (
+    EnsembleConfig,
+    damped_oscillator_run,
+    generate_oscillator_ensemble,
+    generate_vdp_ensemble,
+    van_der_pol_run,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        EnsembleConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_runs": 0},
+            {"duration_s": 0.0},
+            {"dt": 0.0},
+            {"duration_s": 0.01, "dt": 0.05},
+            {"scale": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            EnsembleConfig(**kwargs)
+
+
+class TestDampedOscillator:
+    def test_run_shape(self):
+        cfg = EnsembleConfig(duration_s=5.0, dt=0.05)
+        traj = damped_oscillator_run(0.2, 1.0, (1.0, 0.0), cfg, run_id=3)
+        assert traj.n_samples == 101
+        assert traj.traj_id == 3
+        assert traj.meta.extra["regime"] == "under"
+
+    def test_parameter_validation(self):
+        cfg = EnsembleConfig()
+        with pytest.raises(ValueError):
+            damped_oscillator_run(0.2, 0.0, (1, 0), cfg)
+        with pytest.raises(ValueError):
+            damped_oscillator_run(-0.1, 1.0, (1, 0), cfg)
+
+    def test_normalized_into_arena_square(self):
+        cfg = EnsembleConfig(duration_s=10.0, scale=0.5)
+        traj = damped_oscillator_run(0.1, 1.5, (1.0, 0.5), cfg)
+        r = np.linalg.norm(traj.positions, axis=1)
+        assert r.max() <= 0.5 + 1e-9
+
+    def test_underdamped_decays_and_oscillates(self):
+        cfg = EnsembleConfig(duration_s=30.0)
+        traj = damped_oscillator_run(0.1, 1.0, (1.0, 0.0), cfg)
+        r = np.linalg.norm(traj.positions, axis=1)
+        assert r[-1] < 0.3 * r[0]             # decays
+        x = traj.positions[:, 0]
+        sign_changes = int(np.sum(np.diff(np.sign(x)) != 0))
+        assert sign_changes >= 4              # oscillates
+
+    def test_overdamped_no_ringing(self):
+        cfg = EnsembleConfig(duration_s=30.0)
+        traj = damped_oscillator_run(2.5, 1.0, (1.0, 0.0), cfg)
+        assert traj.meta.extra["regime"] == "over"
+        x = traj.positions[:, 0]
+        sign_changes = int(np.sum(np.diff(np.sign(x[np.abs(x) > 1e-6])) != 0))
+        assert sign_changes <= 1
+
+    def test_energy_never_increases(self):
+        cfg = EnsembleConfig(duration_s=20.0)
+        traj = damped_oscillator_run(0.3, 1.0, (1.0, 0.0), cfg)
+        # normalized phase radius ~ sqrt(energy); must be non-increasing
+        r = np.linalg.norm(traj.positions, axis=1)
+        assert np.all(np.diff(r) <= 1e-6)
+
+
+class TestVanDerPol:
+    def test_run_shape(self):
+        cfg = EnsembleConfig(duration_s=5.0)
+        traj = van_der_pol_run(1.0, (0.1, 0.0), cfg)
+        assert traj.meta.extra["system"] == "van_der_pol"
+
+    def test_converges_to_limit_cycle(self):
+        cfg = EnsembleConfig(duration_s=60.0, scale=0.5)
+        inner = van_der_pol_run(1.0, (0.05, 0.0), cfg)
+        r_late = np.linalg.norm(inner.positions[-100:], axis=1)
+        r_early = np.linalg.norm(inner.positions[:20], axis=1)
+        # grows out of the small start toward the cycle
+        assert r_late.mean() > 3 * r_early.mean()
+
+    def test_mu_validation(self):
+        with pytest.raises(ValueError):
+            van_der_pol_run(-1.0, (1, 0), EnsembleConfig())
+
+
+class TestEnsembles:
+    @pytest.fixture(scope="class")
+    def osc(self):
+        return generate_oscillator_ensemble(
+            EnsembleConfig(n_runs=40, duration_s=15.0, seed=3)
+        )
+
+    def test_cardinality_and_meta(self, osc):
+        assert len(osc) == 40
+        zetas = [t.meta.extra["zeta"] for t in osc]
+        assert min(zetas) < 0.3 and max(zetas) > 1.0  # sweep covers regimes
+
+    def test_deterministic(self):
+        cfg = EnsembleConfig(n_runs=5, duration_s=5.0, seed=9)
+        a = generate_oscillator_ensemble(cfg)
+        b = generate_oscillator_ensemble(cfg)
+        np.testing.assert_array_equal(a[2].positions, b[2].positions)
+
+    def test_vdp_ensemble(self):
+        ds = generate_vdp_ensemble(EnsembleConfig(n_runs=10, duration_s=10.0))
+        assert len(ds) == 10
+        mus = [t.meta.extra["mu"] for t in ds]
+        assert all(0.1 <= m <= 4.0 for m in mus)
+
+    def test_query_machinery_applies(self, osc):
+        """The whole point of §VII: the same visual-query stack works."""
+        from repro.core.brush import BrushStroke
+        from repro.core.canvas import BrushCanvas
+        from repro.core.engine import CoordinatedBrushingEngine
+        from repro.core.temporal import TimeWindow
+
+        engine = CoordinatedBrushingEngine(osc)
+        canvas = BrushCanvas()
+        # outer annulus, late window: who is still ringing at the end?
+        theta = np.linspace(0, 2 * np.pi, 24, endpoint=False)
+        ring = 0.4 * np.stack([np.cos(theta), np.sin(theta)], axis=1)
+        canvas.add(BrushStroke(ring, 0.06, "red"))
+        res = engine.query(canvas, "red", window=TimeWindow.end(0.3))
+        hit_zeta = [osc[i].meta.extra["zeta"] for i in res.highlighted_indices()]
+        miss_zeta = [
+            osc[i].meta.extra["zeta"]
+            for i in range(len(osc))
+            if not res.traj_mask[i]
+        ]
+        if hit_zeta and miss_zeta:
+            # lightly damped runs stay out at the rim late; heavily
+            # damped ones have collapsed to the center
+            assert np.median(hit_zeta) < np.median(miss_zeta)

@@ -1,0 +1,88 @@
+"""Tests for the correlated random walk kernel."""
+
+import numpy as np
+import pytest
+
+from repro.synth.walker import CorrelatedRandomWalk, WalkParams
+
+
+class TestWalkParams:
+    def test_defaults_valid(self):
+        WalkParams()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"speed_mean": 0.0},
+            {"speed_std": -1.0},
+            {"turn_std": -0.1},
+            {"bias_strength": 1.5},
+            {"dt": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            WalkParams(**kwargs)
+
+
+class TestWalk:
+    def _walker(self, seed=0, **kwargs):
+        return CorrelatedRandomWalk(WalkParams(**kwargs), np.random.default_rng(seed))
+
+    def test_shapes_and_times(self):
+        pos, t = self._walker().walk(np.zeros(2), 100, 0.0)
+        assert pos.shape == (101, 2)
+        assert t.shape == (101,)
+        np.testing.assert_allclose(np.diff(t), WalkParams().dt)
+
+    def test_starts_at_start(self):
+        start = np.array([0.1, -0.2])
+        pos, _ = self._walker().walk(start, 10, 0.0)
+        np.testing.assert_array_equal(pos[0], start)
+
+    def test_deterministic_given_seed(self):
+        p1, _ = self._walker(5).walk(np.zeros(2), 64, 1.0)
+        p2, _ = self._walker(5).walk(np.zeros(2), 64, 1.0)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_step_lengths_near_speed(self):
+        pos, _ = self._walker(1, speed_std=0.0).walk(np.zeros(2), 200, 0.0)
+        steps = np.linalg.norm(np.diff(pos, axis=0), axis=1)
+        np.testing.assert_allclose(steps, 0.02 * 0.15, rtol=1e-6)
+
+    def test_zero_turn_std_walks_straight(self):
+        pos, _ = self._walker(2, turn_std=0.0, speed_std=0.0).walk(np.zeros(2), 50, 0.0)
+        # heading 0: pure +x movement
+        np.testing.assert_allclose(pos[:, 1], 0.0, atol=1e-12)
+        assert pos[-1, 0] > 0
+
+    def test_bias_pulls_toward_goal(self):
+        goal = np.array([10.0, 0.0])
+        biased, _ = self._walker(3, bias_strength=0.5).walk(
+            np.zeros(2), 400, np.pi, goal=goal
+        )
+        free, _ = self._walker(3, bias_strength=0.0).walk(np.zeros(2), 400, np.pi)
+        assert biased[-1, 0] > free[-1, 0]
+
+    def test_stop_predicate_halts(self):
+        def past_x(chunk):
+            return chunk[:, 0] > 0.05
+
+        pos, _ = self._walker(4, turn_std=0.0, speed_std=0.0).walk(
+            np.zeros(2), 10_000, 0.0, stop_predicate=past_x
+        )
+        assert pos[-1, 0] > 0.05
+        # exactly one sample past the boundary
+        assert np.sum(pos[:, 0] > 0.05) == 1
+
+    def test_n_steps_validated(self):
+        with pytest.raises(ValueError):
+            self._walker().walk(np.zeros(2), 0, 0.0)
+
+    def test_turning_correlation(self):
+        # small turn_std yields positively correlated headings
+        pos, _ = self._walker(6, turn_std=0.05).walk(np.zeros(2), 500, 0.0)
+        d = np.diff(pos, axis=0)
+        headings = np.arctan2(d[:, 1], d[:, 0])
+        corr = np.corrcoef(headings[:-1], headings[1:])[0, 1]
+        assert corr > 0.8

@@ -1,0 +1,78 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dance"])
+
+
+class TestInfo:
+    def test_prints_wall_facts(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "6x3" in out
+        assert "432 cells" in out
+        assert "straddles=0" in out
+
+
+class TestDataset:
+    def test_npz_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "ds.npz"
+        assert main(["dataset", str(out), "--n", "12", "--seed", "5"]) == 0
+        from repro.trajectory import io
+
+        ds = io.load_npz(out)
+        assert len(ds) == 12
+
+    def test_csv_format(self, tmp_path):
+        out = tmp_path / "ds.csv"
+        assert main(["dataset", str(out), "--n", "5", "--format", "csv"]) == 0
+        assert out.exists()
+
+
+class TestQuery:
+    def test_supported_exit_code(self, capsys):
+        rc = main(["query", "--n", "150", "--zone", "east", "--layout", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "supported" in out
+
+    def test_refuted_exit_code(self, capsys):
+        # on-trail ants have no directional preference -> refuted -> rc 1
+        rc = main(["query", "--n", "150", "--zone", "on", "--side", "west",
+                   "--layout", "1"])
+        assert rc == 1
+
+
+class TestStudy:
+    def test_study_with_provenance(self, tmp_path, capsys):
+        prov = tmp_path / "prov.json"
+        rc = main(["study", "--n", "150", "--provenance", str(prov)])
+        assert rc == 0
+        records = json.loads(prov.read_text())
+        assert len(records) == 5
+        out = capsys.readouterr().out
+        assert out.count("[supported") >= 4
+
+
+class TestRender:
+    def test_render_writes_ppm(self, tmp_path, capsys):
+        out = tmp_path / "frame.ppm"
+        rc = main(["render", str(out), "--n", "60", "--layout", "1",
+                   "--scale", "0.2"])
+        assert rc == 0
+        from repro.render.image_io import read_ppm
+
+        img = read_ppm(out)
+        assert img.size > 0

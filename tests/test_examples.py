@@ -1,0 +1,70 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are deliverables; these tests execute each one as a subprocess
+with reduced problem sizes so the suite stays minutes-scale, and check
+for a clean exit plus the expected headline output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 420) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "SUPPORTED" in proc.stdout
+
+    def test_ant_navigation_study(self):
+        proc = _run("ant_navigation_study.py", "--n", "150")
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.count("supported") >= 4
+        assert "coding-scheme analysis" in proc.stdout
+
+    def test_scalability_som(self):
+        proc = _run("scalability_som.py", "--n", "600")
+        assert proc.returncode == 0, proc.stderr
+        assert "cluster-level query" in proc.stdout
+        assert "zoom cluster" in proc.stdout
+
+    def test_interactive_replay(self):
+        proc = _run("interactive_replay.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "bit-identical" in proc.stdout
+
+    def test_ensemble_exploration(self):
+        proc = _run("ensemble_exploration.py", "--n", "60")
+        assert proc.returncode == 0, proc.stderr
+        assert "provenance/insight records: 1" in proc.stdout
+
+    def test_wall_rendering(self, tmp_path):
+        proc = _run(
+            "wall_rendering.py",
+            "--outdir", str(tmp_path),
+            "--layout", "1",
+            "--workers", "1",
+            "--scale", "0.1",
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert (tmp_path / "wall_left.ppm").exists()
+        assert (tmp_path / "wall_anaglyph.ppm").exists()
+
+    def test_figure4_encoding(self, tmp_path):
+        proc = _run("figure4_encoding.py", "--outdir", str(tmp_path))
+        assert proc.returncode == 0, proc.stderr
+        assert (tmp_path / "fig4_anaglyph.ppm").exists()
+        assert (tmp_path / "fig4_exaggeration_sweep.ppm").exists()

@@ -1,0 +1,146 @@
+"""Cross-module integration tests: the application end to end.
+
+These tests tie the whole pipeline together the way the study did:
+synthesize the dataset, lay it out on the paper's wall, brush, filter,
+query, and check the outcome against exact analytics and the paper's
+reported behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AntStudyConfig,
+    Arena,
+    CoordinatedBrushingEngine,
+    Hypothesis,
+    TimeWindow,
+    TrajectoryExplorer,
+    generate_study_dataset,
+    paper_viewport,
+)
+from repro.analytics.verify import ground_truth_east_west, verify_query_against_truth
+from repro.core.brush import stroke_from_rect
+from repro.core.session import ExplorationSession
+from repro.sensemaking import AnalystSimulator
+
+
+@pytest.fixture(scope="module")
+def app(full_dataset):
+    return TrajectoryExplorer(full_dataset, layout_key="3")
+
+
+class TestPaperHeadlineNumbers:
+    def test_432_cells_85_percent_coverage(self, app, full_dataset):
+        """§VI-B: 'it was possible to simultaneously visualize 432
+        trajectories ... apply her queries and instantly see the
+        results on 85% of the data'."""
+        assert app.session.grid.n_cells == 432
+        # sequential assignment fills every cell
+        assert app.session.assignment.n_displayed == 432
+        coverage = app.session.assignment.coverage(len(full_dataset))
+        assert coverage == pytest.approx(0.864, abs=0.01)
+
+    def test_wall_is_the_papers(self, app):
+        wall = app.viewport.wall
+        assert (wall.cols, wall.rows) == (6, 3)
+        assert wall.megapixels == pytest.approx(18.9, abs=0.1)
+        assert app.viewport.megapixels == pytest.approx(12.5, abs=0.2)
+
+    def test_query_latency_interactive(self, app, arena):
+        """§V-B: 'the entire dataset could be visually queried in a
+        matter of few seconds' — the compute part is sub-second."""
+        r = arena.radius
+        app.erase()
+        app.brush(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+        result = app.query("red")
+        assert result.elapsed_s < 2.0
+
+
+class TestVisualQueryVsExactAnalytics:
+    def test_fig5_verdict_matches_ground_truth(self, full_dataset, arena):
+        engine = CoordinatedBrushingEngine(full_dataset)
+        r = arena.radius
+        hyp = Hypothesis(
+            statement="east ants exit west",
+            strokes=(
+                stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"),
+            ),
+            window=TimeWindow.end(0.15),
+        )
+        result = engine.query(hyp.build_canvas(), "red", window=hyp.window)
+        truth = ground_truth_east_west(full_dataset, arena)
+        fidelity = verify_query_against_truth(result, truth)
+        assert fidelity.verdict_match
+        assert fidelity.agreement > 0.8
+
+
+class TestFullStudyReplay:
+    def test_replay_on_paper_setup(self, full_dataset):
+        session = ExplorationSession(full_dataset, paper_viewport())
+        replay = AnalystSimulator(session).run()
+        assert replay.hypotheses_tested() == 5
+        assert replay.supported_count() == 5
+        # the replay exercised layout, grouping, brushing and filtering
+        usage = replay.coding.tool_usage()
+        assert usage["coordinated_brush"] == 5
+        assert usage["temporal_filter"] == 5
+        assert usage["grouping"] == 1
+
+
+class TestScaleInvariance:
+    def test_smaller_study_same_conclusions(self):
+        """The planted effects (and thus the paper's verdicts) are not
+        an artifact of one dataset size or seed."""
+        for seed in (1, 2):
+            ds = generate_study_dataset(AntStudyConfig(n_trajectories=250, seed=seed))
+            session = ExplorationSession(ds, paper_viewport())
+            replay = AnalystSimulator(session).run()
+            # at least the four homing hypotheses hold
+            assert replay.supported_count() >= 4
+
+
+class TestRenderQueryConsistency:
+    def test_highlight_pixels_only_where_query_hit(self, full_dataset, arena):
+        """Rendered highlights appear exactly for trajectories the
+        query flagged: a cell shows red iff its trajectory is in the
+        query's highlight set."""
+        from repro.display.bezel import BezelSpec
+        from repro.display.viewport import Viewport
+        from repro.display.wall import DisplayWall
+        from repro.layout.cells import assign_sequential
+        from repro.layout.grid import BezelAwareGrid
+        from repro.render.pipeline import WallRenderer
+        from repro.stereo.camera import Eye
+        from repro.core.canvas import BrushCanvas
+
+        wall = DisplayWall(
+            cols=1, rows=1, panel_width=0.6, panel_height=0.3375,
+            panel_px_width=240, panel_px_height=135, bezel=BezelSpec(0, 0, 0, 0),
+        )
+        viewport = Viewport(wall)
+        grid = BezelAwareGrid(viewport, 4, 2)
+        sub = full_dataset[:8]
+        asg = assign_sequential(sub, grid)
+        canvas = BrushCanvas()
+        r = arena.radius
+        canvas.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+        engine = CoordinatedBrushingEngine(sub)
+        res = engine.query(canvas, "red")
+        renderer = WallRenderer(sub, arena, viewport)
+        job = renderer.make_jobs(asg, (Eye.LEFT,))[0]
+        fb = renderer.render_job(job, results={"red": res})
+
+        # strong-red pixel mask per cell (brush footprint not drawn here)
+        strong_red = (fb.data[..., 0] > 0.7) & (fb.data[..., 1] < 0.4) & (fb.data[..., 2] < 0.4)
+        for cell in grid.cells():
+            traj_i = asg.cell_to_traj[cell.index]
+            if traj_i < 0:
+                continue
+            x0, y0, x1, y1 = cell.rect
+            tile = wall.tile(0, 0)
+            px0 = tile.wall_to_pixel(np.array([[x0, y0]]))[0].astype(int)
+            px1 = tile.wall_to_pixel(np.array([[x1, y1]]))[0].astype(int)
+            region = strong_red[px0[1] : px1[1], px0[0] : px1[0]]
+            has_red = bool(region.sum() > 2)
+            assert has_red == bool(res.traj_mask[traj_i]), cell.index

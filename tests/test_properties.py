@@ -1,0 +1,289 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property encodes an invariant DESIGN.md calls out: brushing is
+monotone in brush area; windowed query masks are subsets; resampling
+preserves endpoints and monotone time; parallax is antisymmetric
+between eyes; layout cells never straddle bezels or overlap; SOM
+quantization error is non-increasing at small radius; Douglas-Peucker
+error stays within tolerance; coordinate mappings round-trip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.brush import BrushStroke
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.temporal import TimeWindow
+from repro.display.coords import CoordinateMapper
+from repro.stereo.camera import Eye, StereoCamera
+from repro.synth.arena import Arena
+from repro.trajectory.model import Trajectory
+from repro.trajectory.resample import resample_by_count, resample_uniform_dt
+from repro.trajectory.simplify import douglas_peucker, simplification_error
+
+# ---------------------------------------------------------------------------
+# strategies
+
+
+@st.composite
+def trajectories(draw, max_samples=60):
+    n = draw(st.integers(min_value=2, max_value=max_samples))
+    xs = draw(
+        arrays(
+            np.float64,
+            (n, 2),
+            elements=st.floats(-0.5, 0.5, allow_nan=False, allow_infinity=False),
+        )
+    )
+    dts = draw(
+        arrays(
+            np.float64,
+            (n - 1,),
+            elements=st.floats(0.01, 2.0, allow_nan=False, allow_infinity=False),
+        )
+    )
+    times = np.concatenate([[0.0], np.cumsum(dts)])
+    return Trajectory(xs, times)
+
+
+@st.composite
+def strokes(draw):
+    k = draw(st.integers(min_value=1, max_value=6))
+    centers = draw(
+        arrays(
+            np.float64,
+            (k, 2),
+            elements=st.floats(-0.5, 0.5, allow_nan=False, allow_infinity=False),
+        )
+    )
+    radius = draw(st.floats(0.01, 0.3, allow_nan=False))
+    return BrushStroke(centers, radius, "red")
+
+
+@st.composite
+def cell_rects(draw):
+    x0 = draw(st.floats(-5.0, 5.0, allow_nan=False))
+    y0 = draw(st.floats(-5.0, 5.0, allow_nan=False))
+    w = draw(st.floats(0.05, 2.0, allow_nan=False))
+    h = draw(st.floats(0.05, 2.0, allow_nan=False))
+    return (x0, y0, x0 + w, y0 + h)
+
+
+# ---------------------------------------------------------------------------
+# trajectory invariants
+
+
+class TestResamplingProperties:
+    @given(traj=trajectories(), n=st.integers(2, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_by_count_endpoints_and_monotone_time(self, traj, n):
+        rs = resample_by_count(traj, n)
+        assert rs.n_samples == n
+        np.testing.assert_allclose(rs.positions[0], traj.positions[0], atol=1e-9)
+        np.testing.assert_allclose(rs.positions[-1], traj.positions[-1], atol=1e-9)
+        assert np.all(np.diff(rs.times) > 0)
+
+    @given(traj=trajectories(), dt=st.floats(0.05, 3.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_dt_endpoints(self, traj, dt):
+        rs = resample_uniform_dt(traj, dt)
+        np.testing.assert_allclose(rs.positions[-1], traj.positions[-1], atol=1e-9)
+        assert rs.times[-1] == pytest.approx(traj.times[-1])
+
+    @given(traj=trajectories())
+    @settings(max_examples=60, deadline=None)
+    def test_resampled_points_in_convex_hull_box(self, traj):
+        rs = resample_by_count(traj, 16)
+        lo, hi = traj.bounding_box()
+        assert np.all(rs.positions >= lo - 1e-9)
+        assert np.all(rs.positions <= hi + 1e-9)
+
+
+class TestSimplifyProperties:
+    @given(traj=trajectories(), eps=st.floats(1e-4, 0.2, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_dp_error_within_tolerance(self, traj, eps):
+        s = douglas_peucker(traj, eps)
+        assert s.n_samples <= traj.n_samples
+        assert simplification_error(traj, s) <= eps + 1e-9
+
+    @given(traj=trajectories())
+    @settings(max_examples=50, deadline=None)
+    def test_dp_monotone_in_eps(self, traj):
+        n_small = douglas_peucker(traj, 0.01).n_samples
+        n_large = douglas_peucker(traj, 0.1).n_samples
+        assert n_large <= n_small
+
+
+# ---------------------------------------------------------------------------
+# stereo invariants
+
+
+class TestStereoProperties:
+    @given(
+        z=st.floats(-1.0, 1.0, allow_nan=False),
+        sep=st.floats(0.01, 0.2, allow_nan=False),
+        dist=st.floats(1.5, 10.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_parallax_antisymmetric_between_eyes(self, z, sep, dist):
+        cam = StereoCamera(eye_separation=sep, viewer_distance=dist)
+        p = np.array([[0.3, -0.2, z]])
+        left = cam.project_points(p, Eye.LEFT)[0, 0]
+        right = cam.project_points(p, Eye.RIGHT)[0, 0]
+        assert left - 0.3 == pytest.approx(-(right - 0.3), abs=1e-12)
+
+    @given(z=st.floats(0.0, 0.5, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_rendered_parallax_sign_matches_depth(self, z):
+        cam = StereoCamera()
+        assert float(cam.rendered_parallax(z)) >= 0.0
+        assert float(cam.rendered_parallax(-z)) <= 0.0
+
+
+# ---------------------------------------------------------------------------
+# coordinate mapping invariants
+
+
+class TestMapperProperties:
+    @given(
+        rect=cell_rects(),
+        pts=arrays(
+            np.float64,
+            (8, 2),
+            elements=st.floats(-0.5, 0.5, allow_nan=False),
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip(self, rect, pts):
+        mapper = CoordinateMapper(Arena(), rect)
+        back = mapper.wall_to_arena(mapper.arena_to_wall(pts))
+        np.testing.assert_allclose(back, pts, atol=1e-9)
+
+    @given(rect=cell_rects())
+    @settings(max_examples=40, deadline=None)
+    def test_arena_stays_inside_cell(self, rect):
+        mapper = CoordinateMapper(Arena(), rect)
+        theta = np.linspace(0, 2 * np.pi, 32)
+        rim = 0.5 * np.stack([np.cos(theta), np.sin(theta)], axis=1)
+        w = mapper.arena_to_wall(rim)
+        x0, y0, x1, y1 = rect
+        assert np.all(w[:, 0] >= x0 - 1e-9) and np.all(w[:, 0] <= x1 + 1e-9)
+        assert np.all(w[:, 1] >= y0 - 1e-9) and np.all(w[:, 1] <= y1 + 1e-9)
+
+
+# ---------------------------------------------------------------------------
+# query invariants (on a fixed shared dataset for speed)
+
+
+@pytest.fixture(scope="module")
+def small_engine(study_dataset):
+    sub = study_dataset[:40]
+    return CoordinatedBrushingEngine(sub)
+
+
+class TestQueryProperties:
+    @given(stroke=strokes(), grow=st.floats(1.05, 3.0, allow_nan=False))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_brushing_monotone_in_area(self, small_engine, stroke, grow):
+        """A strictly larger brush never highlights fewer segments."""
+        small = BrushCanvas()
+        small.add(stroke)
+        big = BrushCanvas()
+        big.add(BrushStroke(stroke.centers, stroke.radius * grow, stroke.color))
+        r_small = small_engine.query(small, "red")
+        r_big = small_engine.query(big, "red")
+        assert np.all(r_small.segment_mask <= r_big.segment_mask)
+        assert np.all(r_small.traj_mask <= r_big.traj_mask)
+
+    @given(
+        stroke=strokes(),
+        f0=st.floats(0.0, 0.5, allow_nan=False),
+        span=st.floats(0.05, 0.5, allow_nan=False),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_windowed_mask_subset_of_full(self, small_engine, stroke, f0, span):
+        canvas = BrushCanvas()
+        canvas.add(stroke)
+        window = TimeWindow.fraction(f0, min(1.0, f0 + span))
+        full = small_engine.query(canvas, "red")
+        windowed = small_engine.query(canvas, "red", window=window)
+        assert np.all(windowed.segment_mask <= full.segment_mask)
+
+    @given(stroke=strokes())
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_highlight_time_bounded_by_duration(self, small_engine, stroke):
+        canvas = BrushCanvas()
+        canvas.add(stroke)
+        res = small_engine.query(canvas, "red")
+        for i, traj in enumerate(small_engine.dataset):
+            assert res.traj_highlight_time[i] <= traj.duration + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# layout invariants
+
+
+class TestLayoutProperties:
+    @given(cols=st.integers(1, 40), rows=st.integers(1, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_bezel_aware_never_straddles(self, viewport, cols, rows):
+        from repro.layout.grid import BezelAwareGrid
+
+        grid = BezelAwareGrid(viewport, cols, rows)
+        assert grid.straddle_count() == 0
+        assert grid.n_cells == cols * rows
+
+    @given(cols=st.integers(2, 30), rows=st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_cells_disjoint_interiors(self, viewport, cols, rows):
+        from repro.layout.grid import BezelAwareGrid
+
+        grid = BezelAwareGrid(viewport, cols, rows)
+        rects = grid.rects()
+        # sample interior points; each must be inside exactly one cell
+        mids = np.stack(
+            [(rects[:, 0] + rects[:, 2]) / 2, (rects[:, 1] + rects[:, 3]) / 2], axis=1
+        )
+        for i, (mx, my) in enumerate(mids):
+            inside = (
+                (rects[:, 0] < mx)
+                & (mx < rects[:, 2])
+                & (rects[:, 1] < my)
+                & (my < rects[:, 3])
+            )
+            assert inside.sum() == 1 and inside[i]
+
+
+# ---------------------------------------------------------------------------
+# SOM invariant
+
+
+class TestSomProperty:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_quantization_error_tail_non_increasing(self, seed):
+        from repro.cluster.som import SelfOrganizingMap
+
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(120, 3))
+        som = SelfOrganizingMap(3, 3, 3, seed=seed)
+        log = som.fit(data, epochs=12)
+        tail = log.quantization_error[-4:]
+        assert all(b <= a + 1e-9 for a, b in zip(tail[:-1], tail[1:]))

@@ -1,0 +1,86 @@
+"""Tests for insight-provenance integration (the §VII future work)."""
+
+import pytest
+
+from repro.app import TrajectoryExplorer
+from repro.core.brush import stroke_from_rect
+from repro.core.hypothesis import Hypothesis
+from repro.core.temporal import TimeWindow
+
+
+@pytest.fixture()
+def app(study_dataset):
+    from repro.display.bezel import BezelSpec
+    from repro.display.viewport import Viewport
+    from repro.display.wall import DisplayWall
+
+    wall = DisplayWall(
+        cols=2, rows=1, panel_width=0.3, panel_height=0.16875,
+        panel_px_width=120, panel_px_height=68, bezel=BezelSpec(),
+    )
+    a = TrajectoryExplorer(study_dataset, viewport=Viewport(wall), layout_key="1")
+    a.group_by_capture_zone()
+    return a
+
+
+def _east_hyp(arena_r=0.5):
+    return Hypothesis(
+        statement="east ants exit west",
+        strokes=(
+            stroke_from_rect((-arena_r, -0.3), (-0.7 * arena_r, 0.3), 0.06, "red"),
+        ),
+        window=TimeWindow.end(0.15),
+        target_group="east",
+    )
+
+
+class TestAppProvenance:
+    def test_record_created_per_hypothesis(self, app):
+        assert len(app.provenance) == 0
+        app.test_hypothesis(_east_hyp())
+        assert len(app.provenance) == 1
+        rec = app.provenance[0]
+        assert rec.hypothesis == "east ants exit west"
+        assert rec.verdict["kind"] in ("supported", "refuted", "inconclusive")
+        assert rec.query_spec["color"] == "red"
+        assert rec.query_spec["target_group"] == "east"
+
+    def test_custom_insight_and_parents(self, app):
+        app.test_hypothesis(_east_hyp())
+        app.test_hypothesis(
+            _east_hyp(), insight="homing confirmed twice", parents=(0,)
+        )
+        assert app.provenance[1].insight == "homing confirmed twice"
+        assert app.provenance.lineage(1) == [0]
+
+    def test_provenance_serializable(self, app, tmp_path):
+        from repro.sensemaking.provenance import ProvenanceLog
+
+        app.test_hypothesis(_east_hyp())
+        path = tmp_path / "prov.json"
+        app.provenance.save(path)
+        loaded = ProvenanceLog.load(path)
+        assert loaded[0].hypothesis == app.provenance[0].hypothesis
+
+
+class TestReplayProvenance:
+    def test_replay_populates_chain(self, study_dataset, viewport):
+        from repro.core.session import ExplorationSession
+        from repro.sensemaking import AnalystSimulator
+
+        session = ExplorationSession(study_dataset, viewport)
+        replay = AnalystSimulator(session).run()
+        assert len(replay.provenance) == replay.hypotheses_tested() == 5
+        for rec in replay.provenance:
+            assert rec.verdict["kind"]
+            assert rec.evidence_ids  # linked back to the evidence file
+
+
+class TestTemporalSlider:
+    def test_slider_drives_window(self, app):
+        app.temporal_slider.set(0.8, 1.0)
+        assert app.session.window.describe() == "t=[0.8,1]frac"
+        app.temporal_slider.set_low(0.0)
+        lo, hi = app.session.window.lo, app.session.window.hi
+        assert (lo, hi) == (0.0, 1.0)
+        assert app.session.window.is_everything

@@ -1,0 +1,112 @@
+"""Tests for TrajectoryDataset and its packed segment view."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.dataset import PackedSegments, TrajectoryDataset
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+
+class TestContainer:
+    def test_append_assigns_ids(self, tiny_dataset):
+        assert [t.traj_id for t in tiny_dataset] == [0, 1]
+
+    def test_explicit_id_preserved(self):
+        ds = TrajectoryDataset()
+        t = Trajectory(np.zeros((2, 2)) + [[0, 0], [1, 1]], np.array([0.0, 1.0]), traj_id=42)
+        ds.append(t)
+        assert ds[0].traj_id == 42
+
+    def test_type_check(self):
+        ds = TrajectoryDataset()
+        with pytest.raises(TypeError):
+            ds.append("not a trajectory")
+
+    def test_slice_returns_dataset(self, study_dataset):
+        sub = study_dataset[10:20]
+        assert isinstance(sub, TrajectoryDataset)
+        assert len(sub) == 10
+        assert sub[0].traj_id == study_dataset[10].traj_id
+
+    def test_iteration(self, tiny_dataset):
+        assert sum(1 for _ in tiny_dataset) == 2
+
+
+class TestSelection:
+    def test_select_preserves_ids(self, study_dataset):
+        east = study_dataset.select(lambda t: t.meta.capture_zone == "east")
+        for t in east:
+            assert t.meta.capture_zone == "east"
+            assert study_dataset[t.traj_id].traj_id == t.traj_id
+
+    def test_by_zone_matches_select(self, study_dataset):
+        assert len(study_dataset.by_zone("west")) == len(
+            study_dataset.select(lambda t: t.meta.capture_zone == "west")
+        )
+
+    def test_indices_where(self, study_dataset):
+        idx = study_dataset.indices_where(lambda t: t.meta.carrying_seed)
+        for i in idx:
+            assert study_dataset[int(i)].meta.carrying_seed
+
+    def test_zones_histogram_sums(self, study_dataset):
+        assert sum(study_dataset.zones().values()) == len(study_dataset)
+
+
+class TestAggregates:
+    def test_totals(self, tiny_dataset):
+        assert tiny_dataset.total_samples == 11 + 21
+        assert tiny_dataset.total_segments == 10 + 20
+
+    def test_duration_range(self, tiny_dataset):
+        lo, hi = tiny_dataset.duration_range()
+        assert lo == pytest.approx(10.0)
+        assert hi == pytest.approx(20.0)
+
+    def test_empty_dataset_ranges(self):
+        ds = TrajectoryDataset()
+        assert ds.duration_range() == (0.0, 0.0)
+        assert ds.time_extent() == (0.0, 0.0)
+
+
+class TestPackedSegments:
+    def test_shapes(self, tiny_dataset):
+        p = tiny_dataset.packed()
+        assert p.n_segments == 30
+        assert p.a.shape == (30, 2)
+        assert p.owner.shape == (30,)
+        assert p.offsets.tolist() == [0, 10, 30]
+
+    def test_rows_of(self, tiny_dataset):
+        p = tiny_dataset.packed()
+        rows = p.rows_of(1)
+        assert rows == slice(10, 30)
+        np.testing.assert_array_equal(p.owner[rows], 1)
+
+    def test_packed_matches_trajectories(self, tiny_dataset):
+        p = tiny_dataset.packed()
+        for i, traj in enumerate(tiny_dataset):
+            rows = p.rows_of(i)
+            a, b = traj.segments()
+            np.testing.assert_array_equal(p.a[rows], a)
+            np.testing.assert_array_equal(p.b[rows], b)
+            t0, t1 = traj.segment_times()
+            np.testing.assert_array_equal(p.t0[rows], t0)
+            np.testing.assert_array_equal(p.t1[rows], t1)
+
+    def test_cache_invalidated_on_append(self, simple_traj):
+        ds = TrajectoryDataset()
+        ds.append(Trajectory(simple_traj.positions, simple_traj.times, simple_traj.meta, -1))
+        p1 = ds.packed()
+        ds.append(Trajectory(simple_traj.positions, simple_traj.times, simple_traj.meta, -1))
+        p2 = ds.packed()
+        assert p2 is not p1
+        assert p2.n_segments == 2 * p1.n_segments
+
+    def test_cache_reused_without_mutation(self, tiny_dataset):
+        assert tiny_dataset.packed() is tiny_dataset.packed()
+
+    def test_packed_read_only(self, tiny_dataset):
+        p = tiny_dataset.packed()
+        with pytest.raises(ValueError):
+            p.a[0, 0] = 1.0

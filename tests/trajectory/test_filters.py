@@ -1,0 +1,129 @@
+"""Tests for the metadata filter algebra and its parser."""
+
+import pytest
+
+from repro.trajectory.filters import (
+    AndFilter,
+    CaptureZoneFilter,
+    DirectionFilter,
+    DurationFilter,
+    NotFilter,
+    OrFilter,
+    PredicateFilter,
+    SeedFilter,
+    TrueFilter,
+    parse_filter,
+)
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+import numpy as np
+
+
+def _traj(**meta_kwargs):
+    n = max(2, int(meta_kwargs.pop("n", 2)))
+    dur = meta_kwargs.pop("duration", 10.0)
+    return Trajectory(
+        np.zeros((n, 2)) + np.arange(n)[:, None],
+        np.linspace(0.0, dur, n),
+        TrajectoryMeta(**meta_kwargs),
+    )
+
+
+class TestPrimitives:
+    def test_true_filter(self):
+        assert TrueFilter()(_traj())
+
+    def test_zone(self):
+        f = CaptureZoneFilter("east")
+        assert f(_traj(capture_zone="east"))
+        assert not f(_traj(capture_zone="west"))
+
+    def test_zone_validation(self):
+        with pytest.raises(ValueError):
+            CaptureZoneFilter("up")
+
+    def test_direction(self):
+        f = DirectionFilter("inbound")
+        assert f(_traj(direction="inbound"))
+        assert not f(_traj(direction="outbound"))
+
+    def test_seed(self):
+        assert SeedFilter()(_traj(carrying_seed=True))
+        assert not SeedFilter()(_traj())
+        assert SeedFilter(dropped=True)(_traj(carrying_seed=True, seed_dropped=True))
+        assert not SeedFilter(dropped=True)(_traj(carrying_seed=True))
+
+    def test_duration(self):
+        f = DurationFilter(5.0, 15.0)
+        assert f(_traj(duration=10.0))
+        assert not f(_traj(duration=20.0))
+
+    def test_predicate(self):
+        f = PredicateFilter(lambda t: t.duration > 5, "long")
+        assert f(_traj(duration=10))
+        assert f.describe() == "long"
+
+
+class TestComposition:
+    def test_and(self):
+        f = CaptureZoneFilter("east") & SeedFilter()
+        assert f(_traj(capture_zone="east", carrying_seed=True))
+        assert not f(_traj(capture_zone="east"))
+
+    def test_or(self):
+        f = CaptureZoneFilter("east") | CaptureZoneFilter("west")
+        assert f(_traj(capture_zone="west"))
+        assert not f(_traj(capture_zone="on"))
+
+    def test_not(self):
+        f = ~SeedFilter()
+        assert f(_traj())
+        assert not f(_traj(carrying_seed=True))
+
+    def test_describe_nested(self):
+        f = (CaptureZoneFilter("east") & ~SeedFilter()) | DirectionFilter("inbound")
+        assert "zone=east" in f.describe()
+        assert "!seed" in f.describe()
+
+
+class TestParser:
+    def test_atoms(self):
+        assert isinstance(parse_filter("*"), TrueFilter)
+        assert isinstance(parse_filter("seed"), SeedFilter)
+        assert isinstance(parse_filter("zone=north"), CaptureZoneFilter)
+        assert isinstance(parse_filter("direction=inbound"), DirectionFilter)
+
+    def test_negation(self):
+        f = parse_filter("!seed")
+        assert isinstance(f, NotFilter)
+        assert f(_traj())
+
+    def test_double_negation(self):
+        f = parse_filter("!!seed")
+        assert f(_traj(carrying_seed=True))
+
+    def test_and_or_precedence(self):
+        f = parse_filter("zone=east & seed | zone=west")
+        # west matches regardless of seed (| binds looser than &)
+        assert f(_traj(capture_zone="west"))
+        assert not f(_traj(capture_zone="east"))
+        assert f(_traj(capture_zone="east", carrying_seed=True))
+
+    def test_duration_syntax(self):
+        f = parse_filter("duration[5,15]")
+        assert isinstance(f, DurationFilter)
+        assert f(_traj(duration=10.0))
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            parse_filter("duration(5,15)")
+
+    def test_unknown_atom(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            parse_filter("color=red")
+
+    def test_semantics_match_manual(self, study_dataset):
+        parsed = parse_filter("zone=east & direction=inbound")
+        manual = AndFilter(CaptureZoneFilter("east"), DirectionFilter("inbound"))
+        for t in study_dataset:
+            assert parsed(t) == manual(t)

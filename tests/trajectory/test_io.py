@@ -1,0 +1,84 @@
+"""Tests for dataset I/O round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory import io
+from repro.trajectory.dataset import TrajectoryDataset
+
+
+def _assert_datasets_equal(a: TrajectoryDataset, b: TrajectoryDataset, atol=0.0):
+    assert len(a) == len(b)
+    for ta, tb in zip(a, b):
+        assert ta.traj_id == tb.traj_id
+        np.testing.assert_allclose(ta.positions, tb.positions, atol=atol)
+        np.testing.assert_allclose(ta.times, tb.times, atol=atol)
+        assert ta.meta.capture_zone == tb.meta.capture_zone
+        assert ta.meta.direction == tb.meta.direction
+        assert ta.meta.carrying_seed == tb.meta.carrying_seed
+        assert ta.meta.seed_dropped == tb.meta.seed_dropped
+
+
+@pytest.fixture()
+def small_ds(study_dataset):
+    return study_dataset[:8]
+
+
+class TestNpz:
+    def test_roundtrip_exact(self, small_ds, tmp_path):
+        path = tmp_path / "ds.npz"
+        io.save_npz(small_ds, path)
+        loaded = io.load_npz(path)
+        _assert_datasets_equal(small_ds, loaded)
+        assert loaded.name == small_ds.name
+
+    def test_empty_dataset(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        io.save_npz(TrajectoryDataset(name="none"), path)
+        loaded = io.load_npz(path)
+        assert len(loaded) == 0
+
+
+class TestCsv:
+    def test_roundtrip(self, small_ds, tmp_path):
+        path = tmp_path / "ds.csv"
+        io.save_csv(small_ds, path)
+        loaded = io.load_csv(path)
+        _assert_datasets_equal(small_ds, loaded, atol=1e-7)
+
+    def test_sidecar_written(self, small_ds, tmp_path):
+        path = tmp_path / "ds.csv"
+        io.save_csv(small_ds, path)
+        assert (tmp_path / "ds.csv.meta.json").exists()
+
+    def test_load_without_sidecar_defaults_meta(self, small_ds, tmp_path):
+        path = tmp_path / "ds.csv"
+        io.save_csv(small_ds, path)
+        (tmp_path / "ds.csv.meta.json").unlink()
+        loaded = io.load_csv(path)
+        assert len(loaded) == len(small_ds)
+        assert loaded[0].meta.capture_zone == "on"  # default
+
+    def test_header_present(self, small_ds, tmp_path):
+        path = tmp_path / "ds.csv"
+        io.save_csv(small_ds, path)
+        assert path.read_text().splitlines()[0] == "traj_id,x,y,t"
+
+
+class TestJson:
+    def test_roundtrip(self, small_ds, tmp_path):
+        path = tmp_path / "ds.json"
+        io.save_json(small_ds, path)
+        loaded = io.load_json(path)
+        _assert_datasets_equal(small_ds, loaded, atol=1e-12)
+
+
+class TestCrossFormat:
+    def test_npz_equals_json(self, small_ds, tmp_path):
+        io.save_npz(small_ds, tmp_path / "a.npz")
+        io.save_json(small_ds, tmp_path / "a.json")
+        _assert_datasets_equal(
+            io.load_npz(tmp_path / "a.npz"),
+            io.load_json(tmp_path / "a.json"),
+            atol=1e-12,
+        )

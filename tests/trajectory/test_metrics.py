@@ -1,0 +1,95 @@
+"""Tests for movement metrics."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.metrics import (
+    dwell_time_in_disc,
+    heading_angles,
+    mean_speed,
+    net_displacement,
+    sinuosity,
+    straightness_index,
+    time_inside_mask,
+    total_path_length,
+    turning_angles,
+)
+from repro.trajectory.model import Trajectory
+
+
+class TestBasicMetrics:
+    def test_straight_walk(self, simple_traj):
+        assert total_path_length(simple_traj) == pytest.approx(1.0)
+        assert net_displacement(simple_traj) == pytest.approx(1.0)
+        assert straightness_index(simple_traj) == pytest.approx(1.0)
+        assert mean_speed(simple_traj) == pytest.approx(0.1)
+
+    def test_l_shape(self, l_shaped_traj):
+        assert total_path_length(l_shaped_traj) == pytest.approx(2.0)
+        assert net_displacement(l_shaped_traj) == pytest.approx(np.sqrt(2))
+        assert straightness_index(l_shaped_traj) == pytest.approx(np.sqrt(2) / 2)
+
+    def test_headings(self, l_shaped_traj):
+        h = heading_angles(l_shaped_traj)
+        assert h[0] == pytest.approx(0.0)          # east
+        assert h[-1] == pytest.approx(np.pi / 2)   # north
+
+    def test_turning_angles_straight_is_zero(self, simple_traj):
+        np.testing.assert_allclose(turning_angles(simple_traj), 0.0, atol=1e-12)
+
+    def test_turning_angle_wraps(self):
+        # heading 170deg then -170deg: turn is +20deg, not -340
+        pos = np.array([[0.0, 0.0], [-0.9848, 0.1736], [-1.9696, 0.0]])
+        t = np.array([0.0, 1.0, 2.0])
+        traj = Trajectory(pos, t)
+        turns = turning_angles(traj)
+        assert abs(turns[0]) < np.deg2rad(25)
+
+
+class TestSinuosity:
+    def test_straight_near_zero_turns(self, simple_traj):
+        # straight path: mean cos(turn)=1 -> sinuosity ~ 0
+        assert sinuosity(simple_traj) == pytest.approx(0.0, abs=1e-3)
+
+    def test_windy_exceeds_straight(self, study_dataset):
+        from repro.trajectory.metrics import sinuosity as s
+
+        on = [s(t) for t in study_dataset.by_zone("on")]
+        # on-trail ants are windy by construction
+        assert np.mean(on) > 1.0
+
+    def test_too_short_path(self):
+        traj = Trajectory(np.array([[0.0, 0.0], [1.0, 0.0]]), np.array([0.0, 1.0]))
+        assert sinuosity(traj) == 0.0
+
+
+class TestDwell:
+    def test_inside_mask_full(self, simple_traj):
+        inside = np.ones(11, dtype=bool)
+        assert time_inside_mask(simple_traj, inside) == pytest.approx(10.0)
+
+    def test_inside_mask_boundary_half_weight(self, simple_traj):
+        inside = np.zeros(11, dtype=bool)
+        inside[:6] = True  # 5 full segments + 1 boundary segment
+        assert time_inside_mask(simple_traj, inside) == pytest.approx(5.0 + 0.5)
+
+    def test_mask_shape_checked(self, simple_traj):
+        with pytest.raises(ValueError):
+            time_inside_mask(simple_traj, np.ones(5, dtype=bool))
+
+    def test_dwell_in_disc(self, simple_traj):
+        # walk passes through disc of radius 0.25 centered at 0.5:
+        # samples at 0.3..0.7 inside (5 samples)
+        dwell = dwell_time_in_disc(simple_traj, (0.5, 0.0), 0.25)
+        assert 3.0 < dwell < 6.0
+
+    def test_dwell_outside_is_zero(self, simple_traj):
+        assert dwell_time_in_disc(simple_traj, (0.0, 5.0), 0.1) == 0.0
+
+
+class TestDegenerateDurations:
+    def test_zero_length_path_straightness(self):
+        pos = np.zeros((3, 2))
+        traj = Trajectory(pos, np.array([0.0, 1.0, 2.0]))
+        assert straightness_index(traj) == 0.0
+        assert mean_speed(traj) == 0.0

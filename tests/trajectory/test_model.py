@@ -1,0 +1,124 @@
+"""Tests for the Trajectory data model."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+
+class TestTrajectoryMeta:
+    def test_defaults(self):
+        m = TrajectoryMeta()
+        assert m.capture_zone == "on"
+        assert not m.carrying_seed
+
+    def test_invalid_zone(self):
+        with pytest.raises(ValueError, match="capture_zone"):
+            TrajectoryMeta(capture_zone="northeast")
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            TrajectoryMeta(direction="sideways")
+
+    def test_seed_dropped_requires_carrying(self):
+        with pytest.raises(ValueError, match="seed_dropped"):
+            TrajectoryMeta(carrying_seed=False, seed_dropped=True)
+
+    def test_dict_roundtrip(self):
+        m = TrajectoryMeta(
+            capture_zone="east",
+            direction="inbound",
+            carrying_seed=True,
+            seed_dropped=True,
+            extra={"note": "x"},
+        )
+        assert TrajectoryMeta.from_dict(m.to_dict()) == m
+
+
+class TestTrajectoryConstruction:
+    def test_basic(self, simple_traj):
+        assert simple_traj.n_samples == 11
+        assert simple_traj.duration == pytest.approx(10.0)
+        np.testing.assert_array_equal(simple_traj.start, [0, 0])
+        np.testing.assert_array_equal(simple_traj.end, [1, 0])
+
+    def test_arrays_read_only(self, simple_traj):
+        with pytest.raises(ValueError):
+            simple_traj.positions[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            simple_traj.times[0] = -1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Trajectory(np.zeros((3, 2)), np.arange(4.0))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            Trajectory(np.zeros((1, 2)), np.zeros(1))
+
+    def test_non_monotone_times(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Trajectory(np.zeros((3, 2)), np.array([0.0, 2.0, 1.0]))
+
+    def test_nan_positions_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Trajectory(np.full((3, 2), np.nan), np.arange(3.0))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(np.zeros((3, 3)), np.arange(3.0))
+
+    def test_len(self, simple_traj):
+        assert len(simple_traj) == 11
+
+    def test_repr_mentions_zone(self, simple_traj):
+        assert "east" in repr(simple_traj)
+
+
+class TestTrajectoryViews:
+    def test_segments_are_views(self, simple_traj):
+        a, b = simple_traj.segments()
+        assert a.base is simple_traj.positions or a.base is not None
+        assert len(a) == len(b) == 10
+        np.testing.assert_array_equal(b[0], simple_traj.positions[1])
+
+    def test_segment_times(self, simple_traj):
+        t0, t1 = simple_traj.segment_times()
+        assert np.all(t1 > t0)
+
+    def test_spacetime_shape_and_content(self, simple_traj):
+        st = simple_traj.spacetime()
+        assert st.shape == (11, 3)
+        np.testing.assert_array_equal(st[:, 2], simple_traj.times)
+
+    def test_bounding_box(self, l_shaped_traj):
+        lo, hi = l_shaped_traj.bounding_box()
+        np.testing.assert_allclose(lo, [0, 0])
+        np.testing.assert_allclose(hi, [1, 1])
+
+
+class TestTimeSlice:
+    def test_window(self, simple_traj):
+        sub = simple_traj.time_slice(2.0, 5.0)
+        assert sub is not None
+        assert sub.times[0] >= 2.0 and sub.times[-1] <= 5.0
+        assert sub.traj_id == simple_traj.traj_id
+
+    def test_too_narrow_returns_none(self, simple_traj):
+        assert simple_traj.time_slice(2.1, 2.2) is None
+
+    def test_full_window_identity(self, simple_traj):
+        sub = simple_traj.time_slice(-1.0, 100.0)
+        assert sub.n_samples == simple_traj.n_samples
+
+
+class TestWithMeta:
+    def test_updates_field(self, simple_traj):
+        t2 = simple_traj.with_meta(capture_zone="west")
+        assert t2.meta.capture_zone == "west"
+        assert simple_traj.meta.capture_zone == "east"  # original untouched
+
+    def test_iter_points(self, simple_traj):
+        pts = list(simple_traj.iter_points())
+        assert len(pts) == 11
+        assert pts[0] == (0.0, 0.0, 0.0)

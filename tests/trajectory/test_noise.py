@@ -1,0 +1,103 @@
+"""Tests for tracking-noise injection and query robustness."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.noise import add_jitter, degrade_dataset, drop_samples, inject_gaps
+from repro.util.rng import derive_rng
+
+
+class TestJitter:
+    def test_zero_sigma_identity(self, simple_traj):
+        assert add_jitter(simple_traj, 0.0, derive_rng(0)) is simple_traj
+
+    def test_negative_rejected(self, simple_traj):
+        with pytest.raises(ValueError):
+            add_jitter(simple_traj, -0.1, derive_rng(0))
+
+    def test_noise_scale(self, study_dataset):
+        traj = study_dataset[0]
+        noisy = add_jitter(traj, 0.003, derive_rng(1))
+        diff = noisy.positions - traj.positions
+        assert 0.001 < diff.std() < 0.006
+        np.testing.assert_array_equal(noisy.times, traj.times)
+
+    def test_metadata_preserved(self, simple_traj):
+        noisy = add_jitter(simple_traj, 0.01, derive_rng(2))
+        assert noisy.meta == simple_traj.meta
+        assert noisy.traj_id == simple_traj.traj_id
+
+
+class TestDropSamples:
+    def test_endpoints_kept(self, study_dataset):
+        traj = study_dataset[0]
+        dropped = drop_samples(traj, 0.5, derive_rng(3))
+        np.testing.assert_array_equal(dropped.positions[0], traj.positions[0])
+        np.testing.assert_array_equal(dropped.positions[-1], traj.positions[-1])
+
+    def test_fraction_roughly_respected(self, study_dataset):
+        traj = study_dataset[1]
+        dropped = drop_samples(traj, 0.3, derive_rng(4))
+        ratio = dropped.n_samples / traj.n_samples
+        assert 0.6 < ratio < 0.8
+
+    def test_zero_identity(self, simple_traj):
+        assert drop_samples(simple_traj, 0.0, derive_rng(0)) is simple_traj
+
+    def test_validation(self, simple_traj):
+        with pytest.raises(ValueError):
+            drop_samples(simple_traj, 1.0, derive_rng(0))
+
+    def test_times_still_monotone(self, study_dataset):
+        dropped = drop_samples(study_dataset[2], 0.4, derive_rng(5))
+        assert np.all(np.diff(dropped.times) > 0)
+
+
+class TestGaps:
+    def test_gap_removes_contiguous_run(self, study_dataset):
+        traj = study_dataset[3]
+        gapped = inject_gaps(traj, 1, 0.2, derive_rng(6))
+        assert gapped.n_samples < traj.n_samples
+        # a large dt appears where the gap was cut
+        assert np.diff(gapped.times).max() > np.diff(traj.times).max() * 5
+
+    def test_zero_gaps_identity(self, simple_traj):
+        assert inject_gaps(simple_traj, 0, 0.1, derive_rng(0)) is simple_traj
+
+    def test_validation(self, simple_traj):
+        with pytest.raises(ValueError):
+            inject_gaps(simple_traj, -1, 0.1, derive_rng(0))
+        with pytest.raises(ValueError):
+            inject_gaps(simple_traj, 1, 0.7, derive_rng(0))
+
+
+class TestQueryRobustness:
+    def test_fig5_verdict_survives_degradation(self, full_dataset, arena):
+        """The study's conclusion is robust to realistic tracking noise:
+        the degraded dataset yields the same Fig. 5 verdict with nearly
+        the same support."""
+        from repro.core.brush import stroke_from_rect
+        from repro.core.canvas import BrushCanvas
+        from repro.core.engine import CoordinatedBrushingEngine
+        from repro.core.temporal import TimeWindow
+
+        degraded = degrade_dataset(full_dataset, derive_rng(7))
+        canvas = BrushCanvas()
+        r = arena.radius
+        canvas.add(stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red"))
+        window = TimeWindow.end(0.15)
+
+        def east_support(ds):
+            res = CoordinatedBrushingEngine(ds).query(canvas, "red", window=window)
+            east = [i for i, t in enumerate(ds) if t.meta.capture_zone == "east"]
+            return float(res.traj_mask[east].mean())
+
+        clean = east_support(full_dataset)
+        noisy = east_support(degraded)
+        assert clean > 0.5 and noisy > 0.5           # same verdict
+        assert abs(clean - noisy) < 0.15              # similar support
+
+    def test_degrade_preserves_cardinality(self, study_dataset):
+        degraded = degrade_dataset(study_dataset, derive_rng(8))
+        assert len(degraded) == len(study_dataset)
+        assert degraded.total_samples < study_dataset.total_samples

@@ -1,0 +1,66 @@
+"""Tests for trajectory resampling."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.resample import resample_by_count, resample_uniform_dt
+
+
+class TestUniformDt:
+    def test_endpoints_exact(self, l_shaped_traj):
+        rs = resample_uniform_dt(l_shaped_traj, 0.3)
+        np.testing.assert_allclose(rs.positions[0], l_shaped_traj.positions[0])
+        np.testing.assert_allclose(rs.positions[-1], l_shaped_traj.positions[-1])
+        assert rs.times[-1] == pytest.approx(l_shaped_traj.times[-1])
+
+    def test_uniform_steps(self, simple_traj):
+        rs = resample_uniform_dt(simple_traj, 0.5)
+        dt = np.diff(rs.times)
+        np.testing.assert_allclose(dt[:-1], 0.5)
+
+    def test_exact_multiple_duration(self, simple_traj):
+        rs = resample_uniform_dt(simple_traj, 2.0)
+        assert rs.n_samples == 6
+        np.testing.assert_allclose(np.diff(rs.times), 2.0)
+
+    def test_dt_larger_than_duration(self, simple_traj):
+        rs = resample_uniform_dt(simple_traj, 100.0)
+        assert rs.n_samples == 2
+        assert rs.times[-1] == pytest.approx(10.0)
+
+    def test_invalid_dt(self, simple_traj):
+        with pytest.raises(ValueError):
+            resample_uniform_dt(simple_traj, 0.0)
+
+    def test_meta_preserved(self, simple_traj):
+        rs = resample_uniform_dt(simple_traj, 1.0)
+        assert rs.meta == simple_traj.meta
+        assert rs.traj_id == simple_traj.traj_id
+
+    def test_positions_interpolated_linearly(self, simple_traj):
+        rs = resample_uniform_dt(simple_traj, 0.25)
+        # straight walk: x should equal t/10 everywhere
+        np.testing.assert_allclose(rs.positions[:, 0], rs.times / 10.0, atol=1e-12)
+
+
+class TestByCount:
+    def test_count(self, l_shaped_traj):
+        rs = resample_by_count(l_shaped_traj, 7)
+        assert rs.n_samples == 7
+
+    def test_endpoints(self, l_shaped_traj):
+        rs = resample_by_count(l_shaped_traj, 5)
+        np.testing.assert_allclose(rs.positions[0], l_shaped_traj.positions[0])
+        np.testing.assert_allclose(rs.positions[-1], l_shaped_traj.positions[-1])
+
+    def test_minimum_count(self, simple_traj):
+        with pytest.raises(ValueError):
+            resample_by_count(simple_traj, 1)
+
+    def test_arc_length_not_inflated(self, study_dataset):
+        from repro.trajectory.metrics import total_path_length
+
+        traj = study_dataset[0]
+        rs = resample_by_count(traj, 64)
+        # linear interpolation can only shorten a path
+        assert total_path_length(rs) <= total_path_length(traj) + 1e-9

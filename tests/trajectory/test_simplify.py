@@ -1,0 +1,103 @@
+"""Tests for Douglas-Peucker simplification and low-pass smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.trajectory.dataset import TrajectoryDataset
+from repro.trajectory.model import Trajectory
+from repro.trajectory.simplify import (
+    douglas_peucker,
+    lowpass_smooth,
+    simplification_error,
+    simplify_dataset,
+)
+
+
+def _zigzag(n=101, amp=0.05):
+    x = np.linspace(0.0, 1.0, n)
+    y = amp * np.sin(20 * np.pi * x)
+    return Trajectory(np.stack([x, y], axis=1), np.linspace(0, 10, n))
+
+
+class TestDouglasPeucker:
+    def test_endpoints_kept(self):
+        traj = _zigzag()
+        s = douglas_peucker(traj, 0.01)
+        np.testing.assert_array_equal(s.positions[0], traj.positions[0])
+        np.testing.assert_array_equal(s.positions[-1], traj.positions[-1])
+
+    def test_error_bounded_by_eps(self):
+        traj = _zigzag()
+        for eps in (0.005, 0.02, 0.08):
+            s = douglas_peucker(traj, eps)
+            assert simplification_error(traj, s) <= eps + 1e-9
+
+    def test_larger_eps_fewer_points(self):
+        traj = _zigzag()
+        n = [douglas_peucker(traj, e).n_samples for e in (0.001, 0.01, 0.1)]
+        assert n[0] >= n[1] >= n[2]
+
+    def test_straight_line_collapses(self, simple_traj):
+        s = douglas_peucker(simple_traj, 1e-6)
+        assert s.n_samples == 2
+
+    def test_eps_zero_identity(self, simple_traj):
+        assert douglas_peucker(simple_traj, 0.0) is simple_traj
+
+    def test_negative_eps_rejected(self, simple_traj):
+        with pytest.raises(ValueError):
+            douglas_peucker(simple_traj, -0.1)
+
+    def test_times_follow_kept_points(self):
+        traj = _zigzag()
+        s = douglas_peucker(traj, 0.02)
+        # every kept (position, time) pair exists in the original
+        for p, t in zip(s.positions, s.times):
+            idx = np.flatnonzero(np.isclose(traj.times, t))
+            assert len(idx) == 1
+            np.testing.assert_array_equal(traj.positions[idx[0]], p)
+
+
+class TestLowpass:
+    def test_endpoints_pinned(self):
+        traj = _zigzag()
+        s = lowpass_smooth(traj, 5)
+        np.testing.assert_array_equal(s.positions[0], traj.positions[0])
+        np.testing.assert_array_equal(s.positions[-1], traj.positions[-1])
+
+    def test_reduces_wiggle(self):
+        traj = _zigzag()
+        s = lowpass_smooth(traj, 9)
+        assert np.abs(s.positions[:, 1]).max() < np.abs(traj.positions[:, 1]).max()
+
+    def test_window_one_identity(self, simple_traj):
+        assert lowpass_smooth(simple_traj, 1) is simple_traj
+
+    def test_even_window_rejected(self, simple_traj):
+        with pytest.raises(ValueError, match="odd"):
+            lowpass_smooth(simple_traj, 4)
+
+    def test_sample_count_preserved(self):
+        traj = _zigzag()
+        assert lowpass_smooth(traj, 7).n_samples == traj.n_samples
+
+    def test_matches_naive_moving_average(self):
+        traj = _zigzag(31)
+        s = lowpass_smooth(traj, 5)
+        # check one interior sample against a hand-computed window mean
+        i = 10
+        expected = traj.positions[i - 2 : i + 3].mean(axis=0)
+        np.testing.assert_allclose(s.positions[i], expected, atol=1e-12)
+
+
+class TestSimplifyDataset:
+    def test_applies_to_all(self, study_dataset):
+        sub = TrajectoryDataset(list(study_dataset)[:5], name="sub")
+        out = simplify_dataset(sub, 0.01)
+        assert len(out) == 5
+        assert out.total_samples < sub.total_samples
+
+    def test_with_smoothing(self, study_dataset):
+        sub = TrajectoryDataset(list(study_dataset)[:3], name="sub")
+        out = simplify_dataset(sub, 0.005, smooth_window=5)
+        assert len(out) == 3

@@ -1,0 +1,168 @@
+"""Tests for the vectorized geometry kernels."""
+
+import numpy as np
+import pytest
+
+from repro.util.geometry import (
+    circle_segment_intersections,
+    clip_segments_to_circle,
+    pairwise_distances,
+    point_segment_distance,
+    points_in_circle,
+    points_in_rect,
+    polyline_length,
+    rotate2d,
+    segment_circle_overlap_mask,
+    unit_vector,
+)
+
+
+class TestUnitVector:
+    def test_normalizes(self):
+        v = unit_vector(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(v, [0.6, 0.8])
+
+    def test_zero_stays_zero(self):
+        np.testing.assert_array_equal(unit_vector(np.zeros(2)), np.zeros(2))
+
+    def test_batch(self):
+        v = unit_vector(np.array([[2.0, 0.0], [0.0, 5.0]]))
+        np.testing.assert_allclose(v, [[1, 0], [0, 1]])
+
+
+class TestRotate2d:
+    def test_quarter_turn(self):
+        p = rotate2d(np.array([[1.0, 0.0]]), np.pi / 2)
+        np.testing.assert_allclose(p, [[0.0, 1.0]], atol=1e-12)
+
+    def test_identity(self):
+        pts = np.random.default_rng(0).normal(size=(5, 2))
+        np.testing.assert_allclose(rotate2d(pts, 0.0), pts)
+
+    def test_norm_preserved(self):
+        pts = np.random.default_rng(1).normal(size=(10, 2))
+        out = rotate2d(pts, 1.234)
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=1), np.linalg.norm(pts, axis=1)
+        )
+
+
+class TestPolylineLength:
+    def test_straight(self):
+        pts = np.array([[0, 0], [3, 4]], dtype=float)
+        assert polyline_length(pts) == pytest.approx(5.0)
+
+    def test_single_point(self):
+        assert polyline_length(np.array([[1.0, 1.0]])) == 0.0
+
+    def test_3d(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [1, 1, 0]], dtype=float)
+        assert polyline_length(pts) == pytest.approx(2.0)
+
+
+class TestPairwiseDistances:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(7, 3))
+        b = rng.normal(size=(5, 3))
+        d = pairwise_distances(a, b)
+        brute = np.linalg.norm(a[:, None] - b[None, :], axis=2)
+        np.testing.assert_allclose(d, brute, atol=1e-9)
+
+    def test_self_diagonal_zero(self):
+        a = np.random.default_rng(3).normal(size=(6, 2))
+        d = pairwise_distances(a, a)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-6)
+
+    def test_no_negative_from_cancellation(self):
+        a = np.full((4, 2), 1e8)
+        d = pairwise_distances(a, a)
+        assert np.all(d >= 0)
+
+
+class TestPointsInRegion:
+    def test_circle(self):
+        pts = np.array([[0, 0], [1, 0], [0.5, 0.5], [2, 2]], dtype=float)
+        mask = points_in_circle(pts, (0, 0), 1.0)
+        np.testing.assert_array_equal(mask, [True, True, True, False])
+
+    def test_rect(self):
+        pts = np.array([[0, 0], [1, 1], [1.5, 0.5], [-0.1, 0]], dtype=float)
+        mask = points_in_rect(pts, (0, 0), (1, 1))
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+
+
+class TestPointSegmentDistance:
+    def test_perpendicular_foot(self):
+        d = point_segment_distance(
+            np.array([0.5, 1.0]), np.array([0.0, 0.0]), np.array([1.0, 0.0])
+        )
+        assert float(d) == pytest.approx(1.0)
+
+    def test_clamps_to_endpoint(self):
+        d = point_segment_distance(
+            np.array([2.0, 0.0]), np.array([0.0, 0.0]), np.array([1.0, 0.0])
+        )
+        assert float(d) == pytest.approx(1.0)
+
+    def test_degenerate_segment(self):
+        d = point_segment_distance(
+            np.array([1.0, 1.0]), np.array([0.0, 0.0]), np.array([0.0, 0.0])
+        )
+        assert float(d) == pytest.approx(np.sqrt(2))
+
+    def test_broadcast_shapes(self):
+        p = np.zeros((4, 1, 2))
+        a = np.zeros((1, 3, 2))
+        b = np.ones((1, 3, 2))
+        assert point_segment_distance(p, a, b).shape == (4, 3)
+
+
+class TestSegmentCircle:
+    def test_overlap_mask(self):
+        a = np.array([[-2.0, 0.0], [-2.0, 5.0]])
+        b = np.array([[2.0, 0.0], [2.0, 5.0]])
+        mask = segment_circle_overlap_mask(a, b, (0, 0), 1.0)
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_intersections_pass_through(self):
+        a = np.array([[-2.0, 0.0]])
+        b = np.array([[2.0, 0.0]])
+        t = circle_segment_intersections(a, b, (0, 0), 1.0)
+        np.testing.assert_allclose(t, [[0.25, 0.75]])
+
+    def test_intersections_miss(self):
+        a = np.array([[-2.0, 3.0]])
+        b = np.array([[2.0, 3.0]])
+        t = circle_segment_intersections(a, b, (0, 0), 1.0)
+        assert t[0, 0] > t[0, 1]
+
+    def test_intersections_inside(self):
+        a = np.array([[-0.1, 0.0]])
+        b = np.array([[0.1, 0.0]])
+        t = circle_segment_intersections(a, b, (0, 0), 1.0)
+        np.testing.assert_allclose(t, [[0.0, 1.0]])
+
+    def test_degenerate_inside_and_outside(self):
+        a = np.array([[0.0, 0.0], [5.0, 5.0]])
+        t = circle_segment_intersections(a, a, (0, 0), 1.0)
+        assert t[0, 0] < t[0, 1]   # point inside counts
+        assert t[1, 0] > t[1, 1]   # point outside misses
+
+    def test_clip_drops_misses_and_clamps(self):
+        a = np.array([[-2.0, 0.0], [-2.0, 3.0]])
+        b = np.array([[2.0, 0.0], [2.0, 3.0]])
+        ca, cb, idx = clip_segments_to_circle(a, b, (0, 0), 1.0)
+        assert list(idx) == [0]
+        np.testing.assert_allclose(ca, [[-1.0, 0.0]], atol=1e-12)
+        np.testing.assert_allclose(cb, [[1.0, 0.0]], atol=1e-12)
+
+    def test_clipped_points_on_or_in_circle(self):
+        rng = np.random.default_rng(4)
+        a = rng.uniform(-2, 2, size=(50, 2))
+        b = rng.uniform(-2, 2, size=(50, 2))
+        ca, cb, _ = clip_segments_to_circle(a, b, (0.1, -0.2), 0.8)
+        center = np.array([0.1, -0.2])
+        for pts in (ca, cb):
+            r = np.linalg.norm(pts - center, axis=1)
+            assert np.all(r <= 0.8 + 1e-9)

@@ -1,0 +1,78 @@
+"""Tests for repro.util.rng: determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStream, derive_rng, spawn_streams
+
+
+class TestDeriveRng:
+    def test_same_keys_same_stream(self):
+        a = derive_rng(42, "antsim", 3).uniform(size=8)
+        b = derive_rng(42, "antsim", 3).uniform(size=8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_root_seed_differs(self):
+        a = derive_rng(1, "x").uniform(size=8)
+        b = derive_rng(2, "x").uniform(size=8)
+        assert not np.array_equal(a, b)
+
+    def test_different_string_key_differs(self):
+        a = derive_rng(7, "alpha").uniform(size=8)
+        b = derive_rng(7, "beta").uniform(size=8)
+        assert not np.array_equal(a, b)
+
+    def test_different_int_key_differs(self):
+        a = derive_rng(7, 0).uniform(size=8)
+        b = derive_rng(7, 1).uniform(size=8)
+        assert not np.array_equal(a, b)
+
+    def test_mixed_keys(self):
+        # strings and ints coexist and order matters
+        a = derive_rng(7, "a", 1).uniform(size=4)
+        b = derive_rng(7, 1, "a").uniform(size=4)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnStreams:
+    def test_count(self):
+        assert len(spawn_streams(0, 5, "walk")) == 5
+
+    def test_streams_are_independent_of_order(self):
+        streams1 = spawn_streams(9, 3, "w")
+        draws_ordered = [s.uniform(size=4) for s in streams1]
+        streams2 = spawn_streams(9, 3, "w")
+        draws_reversed = [s.uniform(size=4) for s in reversed(streams2)]
+        np.testing.assert_array_equal(draws_ordered[0], draws_reversed[2])
+        np.testing.assert_array_equal(draws_ordered[2], draws_reversed[0])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_streams(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_streams(0, 0) == []
+
+
+class TestRngStream:
+    def test_reset_restores_sequence(self):
+        s = RngStream(5, ("sim",))
+        first = s.uniform(size=6)
+        s.reset()
+        np.testing.assert_array_equal(first, s.uniform(size=6))
+
+    def test_child_is_deterministic(self):
+        a = RngStream(5).child("x", 2).uniform(size=3)
+        b = RngStream(5).child("x", 2).uniform(size=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_differs_from_parent(self):
+        parent = RngStream(5)
+        child = parent.child("x")
+        assert not np.array_equal(parent.uniform(size=4), child.uniform(size=4))
+
+    def test_convenience_draws(self):
+        s = RngStream(1)
+        assert s.integers(0, 10) in range(10)
+        assert -10 < s.normal() < 10
+        assert s.choice([3]) == 3

@@ -1,0 +1,46 @@
+"""Tests for unit conversions and the visual-angle helper."""
+
+import math
+
+import pytest
+
+from repro.util.units import (
+    deg_to_rad,
+    m_to_mm,
+    mm_to_m,
+    rad_to_deg,
+    visual_angle_deg,
+)
+
+
+class TestConversions:
+    def test_mm_roundtrip(self):
+        assert m_to_mm(mm_to_m(123.0)) == pytest.approx(123.0)
+
+    def test_angle_roundtrip(self):
+        assert rad_to_deg(deg_to_rad(57.3)) == pytest.approx(57.3)
+
+    def test_known_values(self):
+        assert deg_to_rad(180.0) == pytest.approx(math.pi)
+        assert mm_to_m(3.0) == pytest.approx(0.003)
+
+
+class TestVisualAngle:
+    def test_one_meter_at_one_meter(self):
+        # extent 1 m at 1 m: 2*atan(0.5) ~ 53.13 degrees
+        assert visual_angle_deg(1.0, 1.0) == pytest.approx(53.13, abs=0.01)
+
+    def test_small_angle_approximation(self):
+        # at small angles, theta ~ extent/distance in radians
+        theta = visual_angle_deg(0.01, 3.0)
+        assert theta == pytest.approx(math.degrees(0.01 / 3.0), rel=1e-3)
+
+    def test_distance_must_be_positive(self):
+        with pytest.raises(ValueError):
+            visual_angle_deg(1.0, 0.0)
+
+    def test_monotone_in_extent(self):
+        assert visual_angle_deg(0.2, 3.0) > visual_angle_deg(0.1, 3.0)
+
+    def test_monotone_decreasing_in_distance(self):
+        assert visual_angle_deg(0.1, 2.0) > visual_angle_deg(0.1, 4.0)

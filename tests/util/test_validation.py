@@ -1,0 +1,59 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import check_finite, check_in_range, check_positive, check_shape
+
+
+class TestCheckFinite:
+    def test_passes_and_coerces(self):
+        out = check_finite("x", [1, 2, 3])
+        assert out.dtype == np.float64
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="x must be finite"):
+            check_finite("x", [1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_finite("x", [np.inf])
+
+
+class TestCheckPositive:
+    def test_strict(self):
+        assert check_positive("v", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_positive("v", 0.0)
+
+    def test_non_strict_allows_zero(self):
+        assert check_positive("v", 0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive("v", -1.0, strict=False)
+
+
+class TestCheckInRange:
+    def test_inclusive(self):
+        assert check_in_range("v", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_rejects_bound(self):
+        with pytest.raises(ValueError):
+            check_in_range("v", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="must be in"):
+            check_in_range("v", 2.0, 0.0, 1.0)
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        arr = check_shape("pts", np.zeros((7, 2)), (None, 2))
+        assert arr.shape == (7, 2)
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("pts", np.zeros(7), (None, 2))
+
+    def test_wrong_extent(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("pts", np.zeros((7, 3)), (None, 2))

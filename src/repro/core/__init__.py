@@ -37,7 +37,7 @@ from repro.core.spatial_index import UniformGridIndex
 from repro.core.engine import CoordinatedBrushingEngine
 from repro.core.result import GroupSupport, QueryResult
 from repro.core.hypothesis import Hypothesis, Verdict
-from repro.core.session import ExplorationSession
+from repro.core.session import ExplorationSession, SessionJournal, replay_session
 from repro.core.multiscale import MultiscaleExplorer
 from repro.core.combine import combine_and, combine_and_not, combine_or
 from repro.core.profile import TemporalProfile, temporal_profile
@@ -65,4 +65,6 @@ __all__ = [
     "Hypothesis",
     "Verdict",
     "ExplorationSession",
+    "SessionJournal",
+    "replay_session",
 ]

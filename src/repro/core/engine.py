@@ -31,6 +31,7 @@ from repro.core.result import GroupSupport, QueryResult
 from repro.core.spatial_index import UniformGridIndex
 from repro.core.temporal import TimeWindow
 from repro.layout.cells import CellAssignment
+from repro.resilience.health import DegradationReport
 from repro.trajectory.dataset import TrajectoryDataset
 
 __all__ = ["CoordinatedBrushingEngine"]
@@ -61,9 +62,17 @@ class CoordinatedBrushingEngine:
             raise ValueError("cannot build an engine over an empty dataset")
         self.dataset = dataset
         self.packed = dataset.packed()
-        self.index: UniformGridIndex | None = (
-            UniformGridIndex(self.packed, index_res) if use_index else None
-        )
+        # Index construction is an acceleration, not a correctness
+        # requirement: a failed build degrades the engine to the
+        # brute-force path (recorded per query) instead of taking the
+        # session down.
+        self.index: UniformGridIndex | None = None
+        self._index_error: str | None = None
+        if use_index:
+            try:
+                self.index = UniformGridIndex(self.packed, index_res)
+            except Exception as exc:
+                self._index_error = repr(exc)
         # Per-trajectory segment-range bounds for reduceat aggregation.
         self._starts = self.packed.offsets[:-1]
         self._has_segments = self.packed.offsets[1:] > self.packed.offsets[:-1]
@@ -114,20 +123,40 @@ class CoordinatedBrushingEngine:
         t_start = time.perf_counter()
         window = window or TimeWindow.all()
         n_traj = len(self.dataset)
+        degradation = DegradationReport()
 
         # 1. temporal mask
         tmask = window.segment_mask(self.packed, self.dataset)
 
-        # 2+3. spatial hit mask (candidates via index when present)
+        # 2+3. spatial hit mask (candidates via index when present).
+        # The index is one rung of the degradation ladder: if it
+        # misbehaves mid-query the engine falls back to the exact
+        # brute-force scan, records the event, and never raises.
         centers, radii = canvas.stamps_of(color)
         if len(centers) == 0:
             smask = np.zeros(self.packed.n_segments, dtype=bool)
         elif self.index is not None:
-            cand = self.index.candidates_for_discs(centers, radii)
-            # only candidates that also pass the time filter need testing
-            cand = cand[tmask[cand]]
-            smask = canvas.packed_hit_mask(color, self.packed, candidates=cand)
+            try:
+                cand = self.index.candidates_for_discs(centers, radii)
+                # only candidates that also pass the time filter need testing
+                cand = cand[tmask[cand]]
+                smask = canvas.packed_hit_mask(color, self.packed, candidates=cand)
+            except Exception as exc:
+                degradation.record(
+                    "index-failure",
+                    scope="index",
+                    action="degraded-brute-force",
+                    detail=repr(exc),
+                )
+                smask = canvas.packed_hit_mask(color, self.packed)
         else:
+            if self._index_error is not None:
+                degradation.record(
+                    "index-build-failure",
+                    scope="index",
+                    action="degraded-brute-force",
+                    detail=self._index_error,
+                )
             smask = canvas.packed_hit_mask(color, self.packed)
 
         segment_mask = smask & tmask
@@ -163,6 +192,8 @@ class CoordinatedBrushingEngine:
             displayed=displayed,
             group_support=group_support,
             elapsed_s=elapsed,
+            degraded=degradation.degraded,
+            degradation=degradation if degradation.degraded else None,
         )
 
     def query_all_colors(

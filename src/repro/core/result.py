@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.resilience.health import DegradationReport
+
 __all__ = ["GroupSupport", "QueryResult"]
 
 
@@ -74,6 +76,14 @@ class QueryResult:
         Per-group aggregation, when a group scheme was supplied.
     elapsed_s:
         Wall-clock query latency (for E5/A2).
+    degraded:
+        True when the query completed on a slower rung of the
+        degradation ladder (e.g. the spatial index failed and the
+        engine fell back to the brute-force scan).  The masks are
+        identical to the healthy path either way.
+    degradation:
+        The ledger of what failed and what the engine did about it
+        (None on a fully healthy query).
     """
 
     color: str
@@ -83,6 +93,8 @@ class QueryResult:
     displayed: np.ndarray
     group_support: dict[str, GroupSupport] = field(default_factory=dict)
     elapsed_s: float = 0.0
+    degraded: bool = False
+    degradation: DegradationReport | None = None
 
     @property
     def n_highlighted(self) -> int:

@@ -6,12 +6,23 @@ layout (switchable by keypad digit), a group scheme, a shared brush
 canvas, a temporal window, and a query engine — with a history log of
 every action taken (the raw material for the sensemaking analysis of
 §V/§VI).  :class:`repro.app.TrajectoryExplorer` builds on this.
+
+Crash safety: pass ``journal_path`` and every action is additionally
+appended — one fsync'd JSON line at a time — to an on-disk event
+journal.  If the process dies mid-session, :func:`replay_session`
+rebuilds the session from the journal, tolerating a torn final line
+(the one action that was mid-write when the crash hit).
 """
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
+
+import numpy as np
 
 from repro.core.brush import BrushStroke
 from repro.core.canvas import BrushCanvas
@@ -26,7 +37,7 @@ from repro.layout.grid import BezelAwareGrid
 from repro.layout.groups import TrajectoryGroups
 from repro.trajectory.dataset import TrajectoryDataset
 
-__all__ = ["ExplorationSession", "SessionEvent"]
+__all__ = ["ExplorationSession", "SessionEvent", "SessionJournal", "replay_session"]
 
 
 @dataclass(frozen=True)
@@ -35,6 +46,71 @@ class SessionEvent:
 
     kind: str
     detail: dict[str, Any] = field(default_factory=dict)
+
+
+def _json_default(value: Any) -> Any:
+    """JSON fallback for numpy scalars/arrays in event details."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    return str(value)
+
+
+class SessionJournal:
+    """Crash-safe append-only event journal (JSON lines).
+
+    Each record is one line, flushed and fsync'd before :meth:`append`
+    returns — an interrupted session loses at most the action that was
+    mid-write, and :meth:`read` tolerates exactly that torn final line.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    def append(self, kind: str, detail: dict[str, Any]) -> None:
+        """Durably append one event record."""
+        if self._fh is None:
+            raise RuntimeError("journal is closed")
+        line = json.dumps({"kind": kind, "detail": detail}, default=_json_default)
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file; further appends raise."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SessionJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def read(path: str | Path) -> list[dict[str, Any]]:
+        """Read journal records, dropping a torn trailing line.
+
+        A malformed line *before* the final one means real corruption
+        and raises; only the last line may be partial (the crash case).
+        """
+        records: list[dict[str, Any]] = []
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    break  # torn final record: the crash ate it
+                raise ValueError(
+                    f"{path}:{i + 1}: corrupt journal line (not the final record)"
+                )
+        return records
 
 
 class ExplorationSession:
@@ -50,6 +126,10 @@ class ExplorationSession:
         Initial keypad layout preset ('1' | '2' | '3').
     use_index:
         Whether the query engine builds its spatial index.
+    journal_path:
+        Optional path of a crash-safe append-only event journal; every
+        action is durably recorded so :func:`replay_session` can
+        rebuild an interrupted session.
     """
 
     def __init__(
@@ -59,6 +139,7 @@ class ExplorationSession:
         *,
         layout_key: str = "3",
         use_index: bool = True,
+        journal_path: str | Path | None = None,
     ) -> None:
         self.dataset = dataset
         self.viewport = viewport
@@ -71,7 +152,17 @@ class ExplorationSession:
         self._grid: BezelAwareGrid | None = None
         self._assignment: CellAssignment | None = None
         self._config: LayoutConfig | None = None
+        self.journal: SessionJournal | None = (
+            SessionJournal(journal_path) if journal_path is not None else None
+        )
         self.switch_layout(layout_key)
+
+    def close(self) -> None:
+        """Close the journal (if any); the session stays usable but
+        stops recording to disk."""
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
 
     # Layout -------------------------------------------------------------
     def switch_layout(self, key: str) -> LayoutConfig:
@@ -154,7 +245,13 @@ class ExplorationSession:
     def brush(self, stroke: BrushStroke) -> None:
         """Paint a stroke onto the shared canvas."""
         self.canvas.add(stroke)
-        self._log("brush", color=stroke.color, stamps=stroke.n_stamps, radius=stroke.radius)
+        self._log(
+            "brush",
+            _journal_extra={"centers": stroke.centers.tolist()},
+            color=stroke.color,
+            stamps=stroke.n_stamps,
+            radius=stroke.radius,
+        )
 
     def erase(self, color: str | None = None) -> None:
         """Clear the canvas (one color or all)."""
@@ -164,7 +261,13 @@ class ExplorationSession:
     def set_time_window(self, window: TimeWindow) -> None:
         """Move the temporal range slider."""
         self.window = window
-        self._log("temporal", window=window.describe())
+        self._log(
+            "temporal",
+            _journal_extra={
+                "lo": window.lo, "hi": window.hi, "fractional": window.fractional
+            },
+            window=window.describe(),
+        )
 
     # Queries ---------------------------------------------------------------
     def run_query(self, color: str = "red") -> QueryResult:
@@ -193,8 +296,15 @@ class ExplorationSession:
         return verdict
 
     # Bookkeeping ------------------------------------------------------------
-    def _log(self, kind: str, **detail: Any) -> None:
+    def _log(
+        self, kind: str, _journal_extra: dict[str, Any] | None = None, **detail: Any
+    ) -> None:
         self.events.append(SessionEvent(kind, detail))
+        if self.journal is not None:
+            record = dict(detail)
+            if _journal_extra:
+                record.update(_journal_extra)
+            self.journal.append(kind, record)
 
     def event_counts(self) -> dict[str, int]:
         """Histogram of logged action kinds."""
@@ -202,3 +312,76 @@ class ExplorationSession:
         for e in self.events:
             out[e.kind] = out.get(e.kind, 0) + 1
         return out
+
+
+def replay_session(
+    journal_path: str | Path,
+    dataset: TrajectoryDataset,
+    viewport: Viewport,
+    *,
+    use_index: bool = True,
+    journal_path_out: str | Path | None = None,
+) -> ExplorationSession:
+    """Rebuild a session from its event journal.
+
+    Re-executes every journaled action against a fresh session over the
+    same dataset/viewport: layout switches, paging, the standard
+    grouping scheme, brush strokes (full geometry is journaled),
+    erases, temporal-window moves and queries.  Custom group schemes
+    and hypotheses are code, not data — those records are skipped, as
+    with :func:`repro.core.snapshot.restore_session`.
+
+    A torn final record (process died mid-append) is dropped silently —
+    that is the crash the journal exists for.
+    """
+    records = SessionJournal.read(journal_path)
+    layout_key = "3"
+    start = 0
+    if records and records[0]["kind"] == "layout":
+        layout_key = records[0]["detail"]["key"]
+        start = 1
+    session = ExplorationSession(
+        dataset,
+        viewport,
+        layout_key=layout_key,
+        use_index=use_index,
+        journal_path=journal_path_out,
+    )
+    for record in records[start:]:
+        kind, detail = record["kind"], record["detail"]
+        if kind == "layout":
+            session.switch_layout(detail["key"])
+        elif kind == "page":
+            target = int(detail["page"])
+            while session.page < target:
+                before = session.page
+                session.next_page()
+                if session.page == before:
+                    break  # clamped: dataset no longer reaches that page
+            while session.page > target:
+                session.prev_page()
+        elif kind == "groups":
+            if detail.get("scheme") == "fig3":
+                session.enable_fig3_groups()
+            # custom schemes are code; the caller re-applies them
+        elif kind == "brush":
+            session.brush(
+                BrushStroke(
+                    np.asarray(detail["centers"], dtype=np.float64),
+                    float(detail["radius"]),
+                    detail["color"],
+                )
+            )
+        elif kind == "erase":
+            color = detail.get("color", "*")
+            session.erase(None if color == "*" else color)
+        elif kind == "temporal":
+            session.set_time_window(
+                TimeWindow(
+                    float(detail["lo"]), float(detail["hi"]), bool(detail["fractional"])
+                )
+            )
+        elif kind == "query":
+            session.run_query(detail.get("color", "red"))
+        # hypothesis records carry code references; skipped on replay
+    return session

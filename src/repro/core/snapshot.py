@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.brush import BrushStroke
 from repro.core.session import ExplorationSession
 from repro.core.temporal import TimeWindow
+from repro.util.fileio import atomic_write_text
 
 __all__ = ["SessionSnapshot", "snapshot_session", "restore_session"]
 
@@ -102,8 +103,13 @@ class SessionSnapshot:
         )
 
     def save(self, path: str | Path) -> None:
-        """Write the snapshot to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict(), indent=1))
+        """Write the snapshot to a JSON file.
+
+        Atomic: the document lands via a same-directory temp file and
+        :func:`os.replace`, so a crash mid-save can never tear an
+        existing snapshot (the analyst's session survives).
+        """
+        atomic_write_text(Path(path), json.dumps(self.to_dict(), indent=1))
 
     @classmethod
     def load(cls, path: str | Path) -> "SessionSnapshot":

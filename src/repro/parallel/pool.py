@@ -59,9 +59,20 @@ class WorkerPool:
             self._executor = None
 
     def map(self, fn: Callable[[T], R], items: Sequence[T], *, chunksize: int = 1) -> list[R]:
-        """Ordered map over items (serial or pooled)."""
-        if self.serial or self._executor is None:
+        """Ordered map over items (serial or pooled).
+
+        A pooled ``WorkerPool`` must be entered (``with`` block) before
+        mapping; calling outside the context manager raises rather than
+        silently degrading to serial execution and losing parallelism.
+        """
+        if self.serial:
             return [fn(item) for item in items]
+        if self._executor is None:
+            raise RuntimeError(
+                f"WorkerPool(max_workers={self.max_workers}).map called outside "
+                "the context manager; enter `with WorkerPool(...) as pool:` so "
+                "the process pool exists (refusing to silently run serial)"
+            )
         return list(self._executor.map(fn, items, chunksize=chunksize))
 
 

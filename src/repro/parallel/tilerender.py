@@ -9,13 +9,22 @@ megabytes; a job description is kilobytes).
 
 ``max_workers<=1`` runs serially in-process and is bit-identical to
 :meth:`WallRenderer.render_viewport`.
+
+The pooled path runs under a :class:`repro.resilience.SupervisedPool`:
+a crashed, hung or misbehaving worker never costs the frame.  Failed
+tiles are retried on respawned workers and, as a last resort,
+re-rendered serially in the parent — rendering is deterministic, so the
+recovered tiles are bit-identical to a healthy run and the frame always
+completes (no blank tiles on the wall).  What failed and what it took
+to recover is attached as ``ParallelRenderReport.degradation``.  Fault
+injection for tests/benchmarks comes in through ``fault_plan`` or the
+``REPRO_FAULTS`` environment hook.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -24,6 +33,10 @@ from repro.core.result import QueryResult
 from repro.layout.cells import CellAssignment
 from repro.render.framebuffer import Framebuffer
 from repro.render.pipeline import RenderJob, WallRenderer
+from repro.resilience.faults import FaultPlan
+from repro.resilience.health import DegradationReport
+from repro.resilience.retry import RetryPolicy
+from repro.resilience.supervisor import SupervisedPool
 from repro.stereo.camera import Eye
 
 __all__ = ["render_viewport_parallel", "ParallelRenderReport"]
@@ -49,12 +62,18 @@ def _render_one(job: RenderJob) -> tuple[int, int, int, np.ndarray]:
 
 @dataclass(frozen=True)
 class ParallelRenderReport:
-    """Frames plus timing of a parallel render pass."""
+    """Frames plus timing and health of a parallel render pass."""
 
     frames: dict[Eye, dict[tuple[int, int], Framebuffer]]
     elapsed_s: float
     n_jobs: int
     workers: int
+    degradation: DegradationReport = field(default_factory=DegradationReport)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any job needed a retry or fallback."""
+        return self.degradation.degraded
 
 
 def render_viewport_parallel(
@@ -65,13 +84,29 @@ def render_viewport_parallel(
     canvas: BrushCanvas | None = None,
     results: dict[str, QueryResult] | None = None,
     max_workers: int = 0,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> ParallelRenderReport:
-    """Render all viewport tiles, optionally over a process pool.
+    """Render all viewport tiles, optionally over a supervised pool.
 
     Returns the same ``{eye: {(col, row): Framebuffer}}`` structure as
-    the serial path, wrapped with timing for benchmark E11.
+    the serial path, wrapped with timing for benchmark E11 and a
+    :class:`DegradationReport` accounting for any worker failures the
+    render absorbed.
+
+    Parameters
+    ----------
+    fault_plan:
+        Deterministic fault injection for the pool workers (tests,
+        benchmark R1).  Defaults to the ``REPRO_FAULTS`` environment
+        hook; pass an empty plan to override the environment.
+    retry_policy:
+        Per-job retry/backoff/timeout policy for the supervisor.
     """
     jobs = renderer.make_jobs(assignment, eyes)
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
+    degradation = DegradationReport()
     t0 = time.perf_counter()
     frames: dict[Eye, dict[tuple[int, int], Framebuffer]] = {eye: {} for eye in eyes}
     if max_workers <= 1:
@@ -80,17 +115,29 @@ def render_viewport_parallel(
             frames[job.eye][(job.tile.col, job.tile.row)] = fb
         workers = 1
     else:
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
+        def _render_local(job: RenderJob) -> tuple[int, int, int, np.ndarray]:
+            fb = renderer.render_job(job, canvas=canvas, results=results)
+            return (job.tile.col, job.tile.row, int(job.eye), fb.data)
+
+        with SupervisedPool(
+            max_workers,
+            policy=retry_policy,
+            fault_plan=fault_plan,
             initializer=_init_worker,
             initargs=(renderer, canvas, results),
-        ) as executor:
-            for col, row, eye_val, data in executor.map(_render_one, jobs):
-                fb = Framebuffer(data.shape[1], data.shape[0])
-                fb.data[...] = data
-                frames[Eye(eye_val)][(col, row)] = fb
+            report=degradation,
+        ) as pool:
+            outputs = pool.map(_render_one, jobs, serial_fn=_render_local)
+        for col, row, eye_val, data in outputs:
+            fb = Framebuffer(data.shape[1], data.shape[0])
+            fb.data[...] = data
+            frames[Eye(eye_val)][(col, row)] = fb
         workers = max_workers
     elapsed = time.perf_counter() - t0
     return ParallelRenderReport(
-        frames=frames, elapsed_s=elapsed, n_jobs=len(jobs), workers=workers
+        frames=frames,
+        elapsed_s=elapsed,
+        n_jobs=len(jobs),
+        workers=workers,
+        degradation=degradation,
     )

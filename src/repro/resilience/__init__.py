@@ -1,0 +1,63 @@
+"""Resilience layer: fault injection, retry, supervision, degradation.
+
+The paper's wall is a distributed system — a cluster of render nodes
+drives 18 tiles — and production-scale visual analytics treats partial
+failure as the normal case.  This subpackage is the robustness
+substrate the reproduction's scaling work builds on:
+
+* :mod:`faults` — a deterministic, seedable fault-injection harness
+  (:class:`FaultPlan`) usable from tests and benchmarks, plus the
+  ``REPRO_FAULTS`` environment hook;
+* :mod:`retry` — :func:`retry_call` / :func:`retryable` with
+  exponential backoff, deterministic jitter and per-attempt timeouts,
+  governed by a :class:`RetryPolicy`;
+* :mod:`supervisor` — :class:`SupervisedPool`, a process pool that
+  detects worker crashes, hangs and corrupt payloads, respawns and
+  retries, and falls back to in-process serial execution (bit-identical
+  results) when retries are exhausted;
+* :mod:`health` — :class:`DegradationReport`, the "no silent drops"
+  ledger attached to render and query results.
+
+The degradation ladder, top to bottom: **indexed** (spatial-index
+accelerated query) → **brute-force** (unindexed full scan) →
+**serial** (in-process execution of pool work).  Every step down is
+recorded, never silent, and preserves exact results.
+"""
+
+from repro.resilience.faults import (
+    FAULTS_ENV_VAR,
+    CorruptResult,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    run_with_faults,
+)
+from repro.resilience.health import DegradationReport, FaultEvent
+from repro.resilience.retry import (
+    DEFAULT_POLICY,
+    AttemptTimeout,
+    RetryError,
+    RetryPolicy,
+    retry_call,
+    retryable,
+)
+from repro.resilience.supervisor import SupervisedPool, supervised_map
+
+__all__ = [
+    "FAULTS_ENV_VAR",
+    "CorruptResult",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "run_with_faults",
+    "DegradationReport",
+    "FaultEvent",
+    "DEFAULT_POLICY",
+    "AttemptTimeout",
+    "RetryError",
+    "RetryPolicy",
+    "retry_call",
+    "retryable",
+    "SupervisedPool",
+    "supervised_map",
+]

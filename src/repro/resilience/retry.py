@@ -1,0 +1,220 @@
+"""Generic retry with exponential backoff and deterministic jitter.
+
+:func:`retry_call` (and the :func:`retryable` decorator) wrap any
+callable in a :class:`RetryPolicy`: up to ``max_attempts`` tries,
+delays growing geometrically from ``base_delay_s`` and capped at
+``max_delay_s``, each delay perturbed by a *deterministic* jitter
+(seeded hash of the attempt number — reproducible runs, yet staggered
+enough that a wall's render nodes don't thunder in lockstep).  Clock
+and sleep are injectable so tests assert exact backoff schedules
+without waiting real time.
+
+Per-attempt timeouts: when ``attempt_timeout_s`` is set,
+:func:`retry_call` runs each attempt on a helper thread and abandons it
+on timeout (the thread is left to finish in the background — fine for
+pure computations; process-level jobs get true kill-and-respawn
+timeouts from :class:`repro.resilience.supervisor.SupervisedPool`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, replace
+from typing import Any, Callable, TypeVar
+
+__all__ = [
+    "RetryPolicy",
+    "RetryError",
+    "AttemptTimeout",
+    "retry_call",
+    "retryable",
+    "DEFAULT_POLICY",
+]
+
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries including the first (>= 1).
+    base_delay_s:
+        Delay before the first retry.
+    multiplier:
+        Geometric backoff factor per further retry.
+    max_delay_s:
+        Delay ceiling.
+    jitter:
+        Fractional jitter amplitude: each delay is scaled by a
+        deterministic factor in ``[1 - jitter, 1 + jitter]``.
+    attempt_timeout_s:
+        Per-attempt wall-clock budget (None = unbounded).
+    seed:
+        Seeds the jitter sequence.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.1
+    attempt_timeout_s: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must lie in [0, 1)")
+        if self.attempt_timeout_s is not None and self.attempt_timeout_s <= 0:
+            raise ValueError("attempt_timeout_s must be positive")
+
+    def delay_for(self, retry_index: int) -> float:
+        """Backoff delay before retry ``retry_index`` (0 = first retry).
+
+        Deterministic: ``min(base * multiplier**i, max) * jitter_factor``
+        where the jitter factor depends only on (seed, retry_index).
+        """
+        if retry_index < 0:
+            raise ValueError("retry_index must be >= 0")
+        raw = min(self.base_delay_s * self.multiplier**retry_index, self.max_delay_s)
+        if self.jitter == 0.0:
+            return raw
+        digest = hashlib.blake2b(
+            f"{self.seed}:{retry_index}".encode("ascii"), digest_size=8
+        ).digest()
+        h = int.from_bytes(digest, "big") / 2**64
+        return raw * (1.0 + self.jitter * (2.0 * h - 1.0))
+
+    def with_seed(self, seed: int) -> "RetryPolicy":
+        """Copy with a different jitter seed."""
+        return replace(self, seed=seed)
+
+
+#: Library-wide defaults: 3 attempts, 50 ms base delay doubling to a
+#: 2 s cap, 10% deterministic jitter, no per-attempt timeout.
+DEFAULT_POLICY = RetryPolicy()
+
+
+class RetryError(RuntimeError):
+    """All attempts exhausted; carries the final failure."""
+
+    def __init__(self, attempts: int, last_exception: BaseException) -> None:
+        super().__init__(
+            f"gave up after {attempts} attempt(s): {last_exception!r}"
+        )
+        self.attempts = attempts
+        self.last_exception = last_exception
+
+
+class AttemptTimeout(RuntimeError):
+    """One attempt exceeded ``attempt_timeout_s``."""
+
+    def __init__(self, timeout_s: float, attempt: int) -> None:
+        super().__init__(f"attempt {attempt} exceeded {timeout_s:.3f}s budget")
+        self.timeout_s = timeout_s
+        self.attempt = attempt
+
+
+def retry_call(
+    fn: Callable[..., R],
+    *args: Any,
+    policy: RetryPolicy | None = None,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+    **kwargs: Any,
+) -> R:
+    """Call ``fn(*args, **kwargs)``, retrying under ``policy``.
+
+    Parameters
+    ----------
+    policy:
+        Retry policy (defaults to :data:`DEFAULT_POLICY`).
+    retry_on:
+        Exception types that trigger a retry; anything else propagates
+        immediately.
+    sleep:
+        Injectable sleep (tests pass a recorder).
+    on_retry:
+        Optional callback ``(attempt, exception, upcoming_delay_s)``
+        invoked before each backoff sleep.
+
+    Raises
+    ------
+    RetryError
+        When every attempt failed; ``last_exception`` holds the final
+        cause (also chained via ``raise ... from``).
+    """
+    policy = policy or DEFAULT_POLICY
+    executor: ThreadPoolExecutor | None = None
+    try:
+        last: BaseException | None = None
+        for attempt in range(policy.max_attempts):
+            try:
+                if policy.attempt_timeout_s is None:
+                    return fn(*args, **kwargs)
+                if executor is None:
+                    executor = ThreadPoolExecutor(max_workers=1)
+                future = executor.submit(fn, *args, **kwargs)
+                try:
+                    return future.result(timeout=policy.attempt_timeout_s)
+                except FutureTimeoutError:
+                    # abandon the attempt; the helper thread may linger,
+                    # so refresh the executor for the next try
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = None
+                    raise AttemptTimeout(policy.attempt_timeout_s, attempt) from None
+            except retry_on as exc:
+                last = exc
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                delay = policy.delay_for(attempt)
+                if on_retry is not None:
+                    on_retry(attempt, exc, delay)
+                sleep(delay)
+        assert last is not None
+        raise RetryError(policy.max_attempts, last) from last
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+def retryable(
+    policy: RetryPolicy | None = None,
+    *,
+    retry_on: tuple[type[BaseException], ...] = (Exception,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> Callable[[Callable[..., R]], Callable[..., R]]:
+    """Decorator form of :func:`retry_call`.
+
+    >>> @retryable(RetryPolicy(max_attempts=2, base_delay_s=0.0))
+    ... def flaky():
+    ...     return 42
+    >>> flaky()
+    42
+    """
+
+    def decorate(fn: Callable[..., R]) -> Callable[..., R]:
+        def wrapper(*args: Any, **kwargs: Any) -> R:
+            return retry_call(
+                fn, *args, policy=policy, retry_on=retry_on, sleep=sleep, **kwargs
+            )
+
+        wrapper.__name__ = getattr(fn, "__name__", "retryable")
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate

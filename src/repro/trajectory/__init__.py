@@ -35,8 +35,11 @@ from repro.trajectory.noise import add_jitter, degrade_dataset, drop_samples, in
 from repro.trajectory.resample import resample_by_count, resample_uniform_dt
 from repro.trajectory.simplify import douglas_peucker, lowpass_smooth, simplify_dataset
 from repro.trajectory import io
+from repro.trajectory.io import DatasetFormatError, LoadReport
 
 __all__ = [
+    "DatasetFormatError",
+    "LoadReport",
     "Trajectory",
     "TrajectoryMeta",
     "TrajectoryDataset",

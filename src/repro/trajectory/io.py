@@ -8,19 +8,36 @@ Three formats:
   ``*.meta.json``; interoperable with the ecologists' spreadsheet
   tooling.
 * **JSON** — fully self-describing, human-inspectable, slowest.
+
+Robustness contract (the resilience layer's I/O rung):
+
+* every save path writes through :func:`repro.util.fileio.atomic_write`
+  — a crash mid-save can never tear an existing file;
+* every load path raises a single informative
+  :class:`DatasetFormatError` (file, row, field, reason) on malformed
+  input instead of a bare numpy/``KeyError`` from deep inside parsing;
+* loaders accept ``on_error="skip"``, which quarantines bad
+  trajectories into a :class:`LoadReport` (attached to the returned
+  dataset as ``dataset.load_report``) and loads the rest.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import zipfile
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.trajectory.dataset import TrajectoryDataset
 from repro.trajectory.model import Trajectory, TrajectoryMeta
+from repro.util.fileio import atomic_write, atomic_write_text
 
 __all__ = [
+    "DatasetFormatError",
+    "LoadReport",
     "save_npz",
     "load_npz",
     "save_csv",
@@ -30,8 +47,87 @@ __all__ = [
 ]
 
 
+class DatasetFormatError(ValueError):
+    """A dataset file failed to parse or validate.
+
+    Attributes
+    ----------
+    path:
+        The offending file.
+    row:
+        1-based row/record number (None when not row-specific; for CSV
+        the count includes the header line).
+    field:
+        The field at fault (``"t"``, ``"x"``, ``"traj_id"``, ...).
+    reason:
+        Human-readable description of what was wrong.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        reason: str,
+        *,
+        row: int | None = None,
+        field: str | None = None,
+    ) -> None:
+        where = str(path)
+        if row is not None:
+            where += f":{row}"
+        if field is not None:
+            where += f" (field {field!r})"
+        super().__init__(f"{where}: {reason}")
+        self.path = Path(path)
+        self.row = row
+        self.field = field
+        self.reason = reason
+
+
+@dataclass
+class LoadReport:
+    """What a skip-mode load quarantined.
+
+    Attributes
+    ----------
+    skipped_rows:
+        (row_number, reason) for rows that could not even be attributed
+        to a trajectory.
+    quarantined:
+        trajectory id -> reason, for whole trajectories dropped because
+        any of their rows or their structure was bad.
+    """
+
+    skipped_rows: list[tuple[int, str]] = field(default_factory=list)
+    quarantined: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.skipped_rows and not self.quarantined
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined)
+
+    def summary(self) -> str:
+        """One-line human-readable account of what was quarantined."""
+        if self.clean:
+            return "load clean: nothing skipped"
+        return (
+            f"{len(self.skipped_rows)} row(s) skipped, "
+            f"{len(self.quarantined)} trajectory(ies) quarantined: "
+            + "; ".join(f"#{tid}: {why}" for tid, why in sorted(self.quarantined.items()))
+        )
+
+
+def _check_on_error(on_error: str) -> None:
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f'on_error must be "raise" or "skip", got {on_error!r}')
+
+
+# NPZ -----------------------------------------------------------------------
+
 def save_npz(dataset: TrajectoryDataset, path: str | Path) -> None:
-    """Save a dataset to a compressed ``.npz`` archive."""
+    """Save a dataset to a compressed ``.npz`` archive (atomically)."""
     path = Path(path)
     counts = np.array([t.n_samples for t in dataset], dtype=np.int64)
     offsets = np.zeros(len(dataset) + 1, dtype=np.int64)
@@ -47,79 +143,220 @@ def save_npz(dataset: TrajectoryDataset, path: str | Path) -> None:
         times[lo:hi] = traj.times
         ids[i] = traj.traj_id
         metas.append(traj.meta.to_dict())
-    np.savez_compressed(
+    meta_json = np.frombuffer(
+        json.dumps({"name": dataset.name, "metas": metas}).encode("utf-8"),
+        dtype=np.uint8,
+    )
+    atomic_write(
         path,
-        positions=positions,
-        times=times,
-        offsets=offsets,
-        ids=ids,
-        meta_json=np.frombuffer(
-            json.dumps({"name": dataset.name, "metas": metas}).encode("utf-8"),
-            dtype=np.uint8,
+        lambda fh: np.savez_compressed(
+            fh,
+            positions=positions,
+            times=times,
+            offsets=offsets,
+            ids=ids,
+            meta_json=meta_json,
         ),
     )
 
 
-def load_npz(path: str | Path) -> TrajectoryDataset:
+def load_npz(path: str | Path, *, on_error: str = "raise") -> TrajectoryDataset:
     """Load a dataset saved by :func:`save_npz`."""
-    with np.load(path) as archive:
-        positions = archive["positions"]
-        times = archive["times"]
-        offsets = archive["offsets"]
-        ids = archive["ids"]
-        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+    _check_on_error(on_error)
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            try:
+                positions = archive["positions"]
+                times = archive["times"]
+                offsets = archive["offsets"]
+                ids = archive["ids"]
+                meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+            except KeyError as exc:
+                raise DatasetFormatError(
+                    path, f"archive missing array {exc.args[0]!r}", field=str(exc.args[0])
+                ) from exc
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        if isinstance(exc, DatasetFormatError):
+            raise
+        raise DatasetFormatError(path, f"unreadable npz archive: {exc}") from exc
+    report = LoadReport()
     dataset = TrajectoryDataset(name=meta.get("name", "dataset"))
     for i in range(len(offsets) - 1):
         lo, hi = int(offsets[i]), int(offsets[i + 1])
-        dataset.append(
-            Trajectory(
-                positions[lo:hi],
-                times[lo:hi],
-                TrajectoryMeta.from_dict(meta["metas"][i]),
-                int(ids[i]),
+        traj_id = int(ids[i])
+        try:
+            dataset.append(
+                Trajectory(
+                    positions[lo:hi],
+                    times[lo:hi],
+                    TrajectoryMeta.from_dict(meta["metas"][i]),
+                    traj_id,
+                )
             )
-        )
+        except (ValueError, KeyError, IndexError, TypeError) as exc:
+            if on_error == "raise":
+                raise DatasetFormatError(
+                    path, f"trajectory #{traj_id} invalid: {exc}", row=i + 1
+                ) from exc
+            report.quarantined[traj_id] = str(exc)
+    dataset.load_report = report
     return dataset
 
 
+# CSV -----------------------------------------------------------------------
+
 def save_csv(dataset: TrajectoryDataset, path: str | Path) -> None:
-    """Save as ``traj_id,x,y,t`` rows plus a ``.meta.json`` sidecar."""
+    """Save as ``traj_id,x,y,t`` rows plus a ``.meta.json`` sidecar
+    (both written atomically)."""
     path = Path(path)
-    with path.open("w") as fh:
-        fh.write("traj_id,x,y,t\n")
+
+    def write_rows(fh) -> None:
+        fh.write(b"traj_id,x,y,t\n")
         for traj in dataset:
             for x, y, t in traj.iter_points():
-                fh.write(f"{traj.traj_id},{x:.9g},{y:.9g},{t:.9g}\n")
+                fh.write(f"{traj.traj_id},{x:.9g},{y:.9g},{t:.9g}\n".encode("ascii"))
+
+    atomic_write(path, write_rows)
     sidecar = {
         "name": dataset.name,
         "metas": {str(t.traj_id): t.meta.to_dict() for t in dataset},
     }
-    path.with_suffix(path.suffix + ".meta.json").write_text(json.dumps(sidecar, indent=1))
-
-
-def load_csv(path: str | Path) -> TrajectoryDataset:
-    """Load a dataset saved by :func:`save_csv`."""
-    path = Path(path)
-    raw = np.genfromtxt(path, delimiter=",", skip_header=1, dtype=np.float64)
-    raw = np.atleast_2d(raw)
-    sidecar_path = path.with_suffix(path.suffix + ".meta.json")
-    sidecar = (
-        json.loads(sidecar_path.read_text()) if sidecar_path.exists() else {"metas": {}}
+    atomic_write_text(
+        path.with_suffix(path.suffix + ".meta.json"), json.dumps(sidecar, indent=1)
     )
-    dataset = TrajectoryDataset(name=sidecar.get("name", path.stem))
-    ids = raw[:, 0].astype(np.int64)
-    for traj_id in np.unique(ids):
-        rows = ids == traj_id
-        meta_dict = sidecar["metas"].get(str(int(traj_id)))
-        meta = TrajectoryMeta.from_dict(meta_dict) if meta_dict else TrajectoryMeta()
-        dataset.append(
-            Trajectory(raw[rows, 1:3], raw[rows, 3], meta, int(traj_id))
+
+
+def _parse_csv_rows(
+    path: Path, on_error: str, report: LoadReport
+) -> dict[int, list[tuple[int, float, float, float]]]:
+    """Parse data rows into {traj_id: [(row_no, x, y, t), ...]}.
+
+    Raises :class:`DatasetFormatError` (or records into ``report`` in
+    skip mode) on malformed rows; a bad row whose ``traj_id`` parses
+    poisons that whole trajectory (quarantined), one whose id is
+    unreadable is recorded as a skipped row.
+    """
+    by_id: dict[int, list[tuple[int, float, float, float]]] = {}
+    fields = ("traj_id", "x", "y", "t")
+    with path.open("r") as fh:
+        for row_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if row_no == 1 or not line:
+                continue  # header / blank
+            parts = line.split(",")
+            if len(parts) != 4:
+                reason = f"expected 4 comma-separated fields, got {len(parts)}"
+                if on_error == "raise":
+                    raise DatasetFormatError(path, reason, row=row_no)
+                report.skipped_rows.append((row_no, reason))
+                continue
+            # traj_id first: it decides where any later error attributes
+            try:
+                traj_id = int(float(parts[0]))
+            except ValueError:
+                reason = f"unparseable traj_id {parts[0]!r}"
+                if on_error == "raise":
+                    raise DatasetFormatError(path, reason, row=row_no, field="traj_id")
+                report.skipped_rows.append((row_no, reason))
+                continue
+            values = []
+            bad: tuple[str, str] | None = None
+            for name, text in zip(fields[1:], parts[1:]):
+                try:
+                    v = float(text)
+                except ValueError:
+                    bad = (name, f"unparseable {name} value {text!r}")
+                    break
+                if not math.isfinite(v):
+                    bad = (name, f"non-finite {name} value {text!r}")
+                    break
+                values.append(v)
+            if bad is not None:
+                name, reason = bad
+                if on_error == "raise":
+                    raise DatasetFormatError(path, reason, row=row_no, field=name)
+                report.quarantined.setdefault(traj_id, f"row {row_no}: {reason}")
+                by_id.setdefault(traj_id, [])  # keep ordering slot; dropped later
+                continue
+            x, y, t = values
+            by_id.setdefault(traj_id, []).append((row_no, x, y, t))
+    return by_id
+
+
+def load_csv(path: str | Path, *, on_error: str = "raise") -> TrajectoryDataset:
+    """Load a dataset saved by :func:`save_csv`.
+
+    Parameters
+    ----------
+    on_error:
+        ``"raise"`` (default) fails fast with a
+        :class:`DatasetFormatError` naming the row, field and reason;
+        ``"skip"`` quarantines bad trajectories into
+        ``dataset.load_report`` and loads the rest.
+    """
+    _check_on_error(on_error)
+    path = Path(path)
+    report = LoadReport()
+    if not path.exists():
+        raise DatasetFormatError(path, "file does not exist")
+    by_id = _parse_csv_rows(path, on_error, report)
+
+    sidecar_path = path.with_suffix(path.suffix + ".meta.json")
+    try:
+        sidecar = (
+            json.loads(sidecar_path.read_text())
+            if sidecar_path.exists()
+            else {"metas": {}}
         )
+    except json.JSONDecodeError as exc:
+        raise DatasetFormatError(sidecar_path, f"malformed metadata sidecar: {exc}") from exc
+
+    dataset = TrajectoryDataset(name=sidecar.get("name", path.stem))
+    for traj_id in sorted(by_id):
+        if traj_id in report.quarantined:
+            continue
+        rows = by_id[traj_id]
+        if len(rows) < 2:
+            reason = f"only {len(rows)} sample(s); a trajectory needs at least 2"
+            if on_error == "raise":
+                raise DatasetFormatError(
+                    path, f"trajectory #{traj_id}: {reason}",
+                    row=rows[0][0] if rows else None,
+                )
+            report.quarantined[traj_id] = reason
+            continue
+        times = np.array([r[3] for r in rows], dtype=np.float64)
+        steps = np.diff(times)
+        if np.any(steps <= 0):
+            bad_i = int(np.flatnonzero(steps <= 0)[0]) + 1
+            reason = (
+                f"non-monotonic time: t={times[bad_i]:.9g} at row {rows[bad_i][0]} "
+                f"does not increase over t={times[bad_i - 1]:.9g}"
+            )
+            if on_error == "raise":
+                raise DatasetFormatError(path, reason, row=rows[bad_i][0], field="t")
+            report.quarantined[traj_id] = reason
+            continue
+        positions = np.array([(r[1], r[2]) for r in rows], dtype=np.float64)
+        meta_dict = sidecar.get("metas", {}).get(str(traj_id))
+        try:
+            meta = TrajectoryMeta.from_dict(meta_dict) if meta_dict else TrajectoryMeta()
+            dataset.append(Trajectory(positions, times, meta, traj_id))
+        except (ValueError, TypeError) as exc:
+            if on_error == "raise":
+                raise DatasetFormatError(
+                    path, f"trajectory #{traj_id} invalid: {exc}", row=rows[0][0]
+                ) from exc
+            report.quarantined[traj_id] = str(exc)
+    dataset.load_report = report
     return dataset
 
 
+# JSON ----------------------------------------------------------------------
+
 def save_json(dataset: TrajectoryDataset, path: str | Path) -> None:
-    """Save the dataset as one self-describing JSON document."""
+    """Save the dataset as one self-describing JSON document (atomically)."""
     doc = {
         "name": dataset.name,
         "trajectories": [
@@ -132,20 +369,52 @@ def save_json(dataset: TrajectoryDataset, path: str | Path) -> None:
             for t in dataset
         ],
     }
-    Path(path).write_text(json.dumps(doc))
+    atomic_write_text(Path(path), json.dumps(doc))
 
 
-def load_json(path: str | Path) -> TrajectoryDataset:
-    """Load a dataset saved by :func:`save_json`."""
-    doc = json.loads(Path(path).read_text())
+def load_json(path: str | Path, *, on_error: str = "raise") -> TrajectoryDataset:
+    """Load a dataset saved by :func:`save_json` (``on_error`` as in
+    :func:`load_csv`; record numbers are 1-based positions in the
+    ``trajectories`` array)."""
+    _check_on_error(on_error)
+    path = Path(path)
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (json.JSONDecodeError, OSError) as exc:
+        raise DatasetFormatError(path, f"unreadable JSON document: {exc}") from exc
+    if not isinstance(doc, dict) or "trajectories" not in doc:
+        raise DatasetFormatError(path, 'document must be an object with a "trajectories" array')
+    report = LoadReport()
     dataset = TrajectoryDataset(name=doc.get("name", "dataset"))
-    for rec in doc["trajectories"]:
-        dataset.append(
-            Trajectory(
-                np.asarray(rec["positions"], dtype=np.float64),
-                np.asarray(rec["times"], dtype=np.float64),
-                TrajectoryMeta.from_dict(rec["meta"]),
-                int(rec["id"]),
+    for rec_no, rec in enumerate(doc["trajectories"], start=1):
+        traj_id = rec.get("id", rec_no - 1) if isinstance(rec, dict) else rec_no - 1
+        try:
+            if not isinstance(rec, dict):
+                raise TypeError(f"record is {type(rec).__name__}, not an object")
+            positions = np.asarray(rec["positions"], dtype=np.float64)
+            times = np.asarray(rec["times"], dtype=np.float64)
+            dataset.append(
+                Trajectory(
+                    positions,
+                    times,
+                    TrajectoryMeta.from_dict(rec.get("meta", {})),
+                    int(rec["id"]),
+                )
             )
-        )
+        except (KeyError, ValueError, TypeError) as exc:
+            field_name = exc.args[0] if isinstance(exc, KeyError) else None
+            reason = (
+                f"missing field {field_name!r}"
+                if isinstance(exc, KeyError)
+                else str(exc)
+            )
+            if on_error == "raise":
+                raise DatasetFormatError(
+                    path,
+                    f"trajectory record #{rec_no}: {reason}",
+                    row=rec_no,
+                    field=field_name if isinstance(field_name, str) else None,
+                ) from exc
+            report.quarantined[int(traj_id) if isinstance(traj_id, (int, float)) else rec_no - 1] = reason
+    dataset.load_report = report
     return dataset

@@ -6,6 +6,7 @@ heavily-tested building block used by the trajectory, display, stereo,
 layout, render and query subsystems.
 """
 
+from repro.util.fileio import atomic_write, atomic_write_bytes, atomic_write_text
 from repro.util.rng import RngStream, derive_rng, spawn_streams
 from repro.util.units import (
     CM_PER_INCH,
@@ -37,6 +38,9 @@ from repro.util.geometry import (
 )
 
 __all__ = [
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "RngStream",
     "derive_rng",
     "spawn_streams",

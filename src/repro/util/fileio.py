@@ -1,0 +1,67 @@
+"""Crash-safe file writing.
+
+A process dying mid-``write`` leaves a torn file — a corrupt ``.npz``
+archive or half a JSON document — which is how an analyst loses a
+session.  Every save path in the repository therefore funnels through
+:func:`atomic_write`: the payload is written to a temporary file *in
+the same directory* (same filesystem, so the final rename cannot cross
+devices), flushed and fsynced, then :func:`os.replace`-d over the
+destination.  Readers observe either the complete old file or the
+complete new one, never a partial write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Callable
+
+__all__ = ["atomic_write", "atomic_write_text", "atomic_write_bytes"]
+
+
+def atomic_write(
+    path: str | Path,
+    write_fn: Callable[[IO[bytes]], None],
+    *,
+    mode: str = "wb",
+) -> Path:
+    """Write a file atomically via a same-directory temp file.
+
+    ``write_fn`` receives the open temp-file handle and writes the
+    payload; on success the temp file replaces ``path`` in one atomic
+    rename.  On any error the temp file is removed and ``path`` is left
+    exactly as it was.
+    """
+    path = Path(path)
+    try:
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent or Path("."), prefix=path.name + ".", suffix=".tmp"
+        )
+    except FileNotFoundError as exc:
+        raise FileNotFoundError(
+            f"cannot write {path}: directory {path.parent or Path('.')} does not exist"
+        ) from exc
+    try:
+        with os.fdopen(fd, mode) as fh:
+            write_fn(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
+    """Atomically write a text file."""
+    return atomic_write(path, lambda fh: fh.write(text.encode(encoding)))
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically write a binary file."""
+    return atomic_write(path, lambda fh: fh.write(data))

@@ -54,3 +54,20 @@ class TestWorkerPool:
 class TestPoolMap:
     def test_one_shot(self):
         assert pool_map(_square, [2, 4], max_workers=0) == [4, 16]
+
+
+class TestLifecycleGuards:
+    def test_map_outside_context_raises(self):
+        pool = WorkerPool(2)
+        with pytest.raises(RuntimeError, match="silently run serial"):
+            pool.map(_square, [1, 2, 3])
+
+    def test_map_after_exit_raises(self):
+        with WorkerPool(2) as pool:
+            pass
+        with pytest.raises(RuntimeError):
+            pool.map(_square, [1])
+
+    def test_serial_pool_needs_no_context(self):
+        # serial mode has no executor to forget: plain calls stay fine
+        assert WorkerPool(0).map(_square, [2]) == [4]

@@ -82,3 +82,135 @@ class TestCrossFormat:
             io.load_json(tmp_path / "a.json"),
             atol=1e-12,
         )
+
+
+def _write_csv(tmp_path, body):
+    path = tmp_path / "bad.csv"
+    path.write_text("traj_id,x,y,t\n" + body)
+    return path
+
+
+class TestCsvHardening:
+    """Malformed input raises an informative DatasetFormatError (or, in
+    skip mode, quarantines) instead of a bare numpy/ValueError."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(io.DatasetFormatError, match="does not exist"):
+            io.load_csv(tmp_path / "nope.csv")
+
+    def test_wrong_field_count_names_row(self, tmp_path):
+        path = _write_csv(tmp_path, "0,1.0,2.0,0.0\n0,1.0,2.0\n")
+        with pytest.raises(io.DatasetFormatError) as ei:
+            io.load_csv(path)
+        assert ei.value.row == 3
+        assert "expected 4" in ei.value.reason
+        assert str(path) in str(ei.value)
+
+    def test_unparseable_value_names_row_and_field(self, tmp_path):
+        path = _write_csv(tmp_path, "0,1.0,oops,0.0\n0,1.0,2.0,1.0\n")
+        with pytest.raises(io.DatasetFormatError) as ei:
+            io.load_csv(path)
+        assert (ei.value.row, ei.value.field) == (2, "y")
+
+    def test_nan_rejected(self, tmp_path):
+        path = _write_csv(tmp_path, "0,1.0,nan,0.0\n0,1.0,2.0,1.0\n")
+        with pytest.raises(io.DatasetFormatError, match="non-finite"):
+            io.load_csv(path)
+
+    def test_non_monotonic_time(self, tmp_path):
+        path = _write_csv(tmp_path, "0,0.0,0.0,0.0\n0,1.0,0.0,2.0\n0,2.0,0.0,1.0\n")
+        with pytest.raises(io.DatasetFormatError) as ei:
+            io.load_csv(path)
+        assert ei.value.field == "t"
+        assert "non-monotonic" in ei.value.reason
+
+    def test_skip_mode_quarantines_bad_trajectory(self, tmp_path):
+        body = (
+            "0,0.0,0.0,0.0\n0,1.0,0.0,1.0\n"       # good trajectory 0
+            "1,0.0,bad,0.0\n1,1.0,0.0,1.0\n"        # bad y poisons trajectory 1
+            "2,0.0,0.0,0.0\n2,1.0,0.0,1.0\n"        # good trajectory 2
+        )
+        loaded = io.load_csv(_write_csv(tmp_path, body), on_error="skip")
+        assert [t.traj_id for t in loaded] == [0, 2]
+        report = loaded.load_report
+        assert not report.clean
+        assert report.n_quarantined == 1
+        assert 1 in report.quarantined
+        assert "quarantined" in report.summary()
+
+    def test_skip_mode_unattributable_row(self, tmp_path):
+        body = "0,0.0,0.0,0.0\n0,1.0,0.0,1.0\nnope,1.0,1.0,1.0\n"
+        loaded = io.load_csv(_write_csv(tmp_path, body), on_error="skip")
+        assert len(loaded) == 1
+        [(row_no, reason)] = loaded.load_report.skipped_rows
+        assert row_no == 4
+        assert "traj_id" in reason
+
+    def test_too_few_samples(self, tmp_path):
+        path = _write_csv(tmp_path, "0,0.0,0.0,0.0\n")
+        with pytest.raises(io.DatasetFormatError, match="at least 2"):
+            io.load_csv(path)
+        loaded = io.load_csv(path, on_error="skip")
+        assert len(loaded) == 0 and loaded.load_report.n_quarantined == 1
+
+    def test_clean_load_report(self, small_ds, tmp_path):
+        path = tmp_path / "ds.csv"
+        io.save_csv(small_ds, path)
+        loaded = io.load_csv(path, on_error="skip")
+        assert loaded.load_report.clean
+        assert "clean" in loaded.load_report.summary()
+
+    def test_invalid_on_error(self, tmp_path):
+        with pytest.raises(ValueError, match="on_error"):
+            io.load_csv(tmp_path / "x.csv", on_error="ignore")
+
+
+class TestJsonHardening:
+    def test_unreadable_document(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(io.DatasetFormatError, match="unreadable"):
+            io.load_json(path)
+
+    def test_missing_trajectories_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(io.DatasetFormatError, match="trajectories"):
+            io.load_json(path)
+
+    def test_record_missing_field(self, small_ds, tmp_path):
+        import json as _json
+
+        path = tmp_path / "ds.json"
+        io.save_json(small_ds, path)
+        doc = _json.loads(path.read_text())
+        del doc["trajectories"][1]["times"]
+        path.write_text(_json.dumps(doc))
+        with pytest.raises(io.DatasetFormatError) as ei:
+            io.load_json(path)
+        assert ei.value.row == 2
+        assert ei.value.field == "times"
+        loaded = io.load_json(path, on_error="skip")
+        assert len(loaded) == len(small_ds) - 1
+        assert loaded.load_report.n_quarantined == 1
+
+
+class TestNpzHardening:
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip file")
+        with pytest.raises(io.DatasetFormatError, match="unreadable npz"):
+            io.load_npz(path)
+
+    def test_missing_array(self, small_ds, tmp_path):
+        path = tmp_path / "ds.npz"
+        io.save_npz(small_ds, path)
+        import zipfile
+
+        trimmed = tmp_path / "trimmed.npz"
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(trimmed, "w") as dst:
+            for name in src.namelist():
+                if name != "times.npy":
+                    dst.writestr(name, src.read(name))
+        with pytest.raises(io.DatasetFormatError, match="missing array"):
+            io.load_npz(trimmed)

@@ -1,0 +1,60 @@
+"""Atomic-write guarantees: readers never observe a torn file."""
+
+import pytest
+
+from repro.util.fileio import atomic_write, atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        returned = atomic_write_text(path, "hello")
+        assert returned == path
+        assert path.read_text() == "hello"
+
+    def test_bytes(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write_bytes(path, b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_failed_write_leaves_original_intact(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("precious")
+
+        def explode(fh):
+            fh.write(b"partial payload")
+            raise RuntimeError("disk fell over")
+
+        with pytest.raises(RuntimeError, match="disk fell over"):
+            atomic_write(path, explode)
+        assert path.read_text() == "precious"
+
+    def test_no_stray_temp_files(self, tmp_path):
+        path = tmp_path / "out.txt"
+        atomic_write_text(path, "ok")
+
+        def explode(fh):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            atomic_write(path, explode)
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_temp_file_in_same_directory(self, tmp_path):
+        # the temp file must share the destination's directory so the
+        # final os.replace cannot cross filesystems
+        seen = {}
+
+        def snoop(fh):
+            seen["entries"] = [p.name for p in tmp_path.iterdir()]
+            fh.write(b"x")
+
+        atomic_write(tmp_path / "out.txt", snoop)
+        [tmp_name] = seen["entries"]
+        assert tmp_name.startswith("out.txt.") and tmp_name.endswith(".tmp")

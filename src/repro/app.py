@@ -25,7 +25,7 @@ from repro.display.viewport import Viewport
 from repro.interaction.events import InputEvent, KeyEvent, PointerEvent
 from repro.interaction.keymap import default_keymap
 from repro.interaction.recorder import SessionRecorder
-from repro.interaction.sliders import RangeSlider
+from repro.interaction.sliders import IncrementalRequery, RangeSlider
 from repro.interaction.tools import PaintbrushTool, PointerRouter
 from repro.render.color import HIGHLIGHT_COLORS
 from repro.render.compose import anaglyph, compose_wall, stereo_pair_side_by_side
@@ -78,18 +78,22 @@ class TrajectoryExplorer:
         self.recorder = SessionRecorder()
         self.provenance = ProvenanceLog()
         # the §IV-C.2 temporal range slider, in per-trajectory fractions;
-        # dragging a thumb immediately updates the session's window
-        self.temporal_slider = RangeSlider(
-            0.0, 1.0, min_gap=0.01,
-            on_change=lambda lo, hi: self.session.set_time_window(
-                TimeWindow.fraction(lo, hi)
-            ),
-        )
+        # dragging a thumb immediately updates the session's window AND
+        # incrementally re-queries every painted color — only the
+        # temporal/combine/aggregate stages re-execute (the brush
+        # hit-test is served from the engine's stage cache), which is
+        # what keeps slider scrubbing at interactive rates
+        self.temporal_slider = RangeSlider(0.0, 1.0, min_gap=0.01)
         self._brush_color_idx = 0
         self._router: PointerRouter | None = None
         self._paintbrush: PaintbrushTool | None = None
         self._rebuild_tools()
         self._last_results: dict[str, QueryResult] = {}
+        self.temporal_requery = IncrementalRequery(
+            self.temporal_slider,
+            self.session,
+            on_results=self._last_results.update,
+        )
 
     # Internal wiring -----------------------------------------------------
     def _rebuild_tools(self) -> None:
@@ -271,4 +275,11 @@ class TrajectoryExplorer:
             "window": self.session.window.describe(),
             "time_scale": self.controls.time_scale,
             "depth_offset": self.controls.depth_offset,
+            "query_cache": self.session.engine.cache_stats(),
         }
+
+    def last_trace(self, color: str | None = None):
+        """Per-stage trace of the most recent query for ``color``
+        (default: the active brush color); ``None`` if never queried."""
+        result = self._last_results.get(color or self.brush_color)
+        return None if result is None else result.trace

@@ -22,6 +22,8 @@ This subpackage implements the query machinery headlessly and exactly:
   hit-testing sublinear in the segment count (ablation A2);
 * :mod:`engine` — the vectorized coordinated-brushing engine over a
   whole dataset;
+* :mod:`plan` — the staged query-plan pipeline behind the engine:
+  planner, executor, keyed stage cache, and per-stage traces;
 * :mod:`result` — per-segment/per-trajectory highlight masks, group
   support fractions, and verdicts;
 * :mod:`hypothesis` — declarative hypotheses evaluated as visual
@@ -31,6 +33,15 @@ This subpackage implements the query machinery headlessly and exactly:
 """
 
 from repro.core.brush import BrushStroke, stroke_from_path, stroke_from_rect
+from repro.core.plan import (
+    QueryExecutor,
+    QueryPlan,
+    QueryPlanner,
+    QuerySpec,
+    QueryTrace,
+    StageCache,
+    StageRecord,
+)
 from repro.core.canvas import BrushCanvas
 from repro.core.temporal import TimeWindow
 from repro.core.spatial_index import UniformGridIndex
@@ -44,6 +55,13 @@ from repro.core.profile import TemporalProfile, temporal_profile
 from repro.core.snapshot import SessionSnapshot, restore_session, snapshot_session
 
 __all__ = [
+    "QuerySpec",
+    "QueryTrace",
+    "StageRecord",
+    "StageCache",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryExecutor",
     "MultiscaleExplorer",
     "combine_and",
     "combine_and_not",

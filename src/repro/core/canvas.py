@@ -9,6 +9,8 @@ query region), supports erasing, and computes per-segment hit masks.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.core.brush import BrushStroke
@@ -17,6 +19,10 @@ from repro.util.geometry import point_segment_distance
 
 __all__ = ["BrushCanvas"]
 
+# Process-wide canvas ids: stage-cache keys must distinguish two canvas
+# instances even when their edit epochs coincide.
+_CANVAS_UIDS = itertools.count(1)
+
 
 class BrushCanvas:
     """Accumulated brush strokes in shared arena space."""
@@ -24,27 +30,53 @@ class BrushCanvas:
     def __init__(self) -> None:
         self._strokes: list[BrushStroke] = []
         self._version = 0
+        self._uid = next(_CANVAS_UIDS)
+        self._color_epochs: dict[str, int] = {}
 
     # Editing -----------------------------------------------------------
     def add(self, stroke: BrushStroke) -> None:
-        """Lay down a stroke."""
+        """Lay down a stroke (bumps the stroke epoch of its color)."""
         if not isinstance(stroke, BrushStroke):
             raise TypeError(f"expected BrushStroke, got {type(stroke).__name__}")
         self._strokes.append(stroke)
         self._version += 1
+        self._color_epochs[stroke.color] = self._version
 
     def clear(self, color: str | None = None) -> None:
         """Erase all strokes, or only those of one color."""
         if color is None:
+            touched = {s.color for s in self._strokes}
             self._strokes.clear()
         else:
+            touched = {color}
             self._strokes = [s for s in self._strokes if s.color != color]
         self._version += 1
+        for c in touched:
+            self._color_epochs[c] = self._version
 
     @property
     def version(self) -> int:
         """Monotone edit counter (query caches key on it)."""
         return self._version
+
+    @property
+    def stroke_epoch(self) -> int:
+        """The global stroke epoch: bumped by every add/clear.  Stage
+        caches key on the per-color epochs; this is the whole-canvas
+        invalidation epoch."""
+        return self._version
+
+    @property
+    def uid(self) -> int:
+        """Process-unique canvas id (part of every stage cache key)."""
+        return self._uid
+
+    def color_epoch(self, color: str) -> int:
+        """Stroke epoch of one color: last edit that touched it (0 =
+        never touched).  Strokes of *other* colors leave it unchanged,
+        which is what lets a query for ``color`` keep its cached
+        spatial stages while someone paints in a different color."""
+        return self._color_epochs.get(color, 0)
 
     @property
     def n_strokes(self) -> int:

@@ -2,22 +2,34 @@
 
 One engine instance binds a dataset (through its packed segment view)
 and optionally a spatial index; :meth:`query` evaluates a brush canvas
-color under a time window across *every* trajectory at once:
+color under a time window across *every* trajectory at once.
 
-1. temporal mask — which segments fall in the window (vectorized over
-   the packed arrays, fractional windows resolved per owner);
-2. spatial candidates — the index narrows the segment set to those near
-   the brushed region (or all segments without an index);
-3. brush mask — exact capsule hit-testing of candidates against the
-   stamps;
-4. aggregation — per-trajectory any-highlight flags and highlighted
+Since the staged-pipeline refactor the engine is a thin façade over
+the :mod:`repro.core.plan` machinery: a :class:`QueryPlanner` builds a
+DAG of named stages
+
+1. ``temporal_mask`` — which segments fall in the window (vectorized
+   over the packed arrays, fractional windows resolved per owner);
+2. ``spatial_candidates`` — the index narrows the segment set to those
+   near the brushed region (skipped without an index);
+3. ``brush_hit`` — exact capsule hit-testing against the stamps;
+4. ``combine`` — spatial ∧ temporal segment mask;
+5. ``aggregate`` — per-trajectory any-highlight flags and highlighted
    time via ``np.bitwise_or.reduceat`` / ``np.add.reduceat`` over the
    packed ownership ranges (no Python loop over trajectories);
-5. group support — counts per group for the displayed subset.
+6. ``group_support`` — counts per group for the displayed subset;
 
-This is the "scalable" in scalable visual queries: cost is a few
-vectorized passes over flat arrays, independent of how many
-small-multiple views display the result.
+and a :class:`QueryExecutor` runs them through a keyed
+:class:`StageCache`.  A slider-only change re-executes just
+``temporal_mask → combine → aggregate``; a color-only change reuses
+the temporal mask outright; :meth:`query_all_colors` computes the
+temporal mask once for N colors.  Every query carries a
+:class:`QueryTrace` (per-stage wall time, cardinality, cache
+hit/miss) on its result.
+
+This is the "scalable" in scalable visual queries: the cold path is a
+few vectorized passes over flat arrays, and the warm path touches only
+the stages whose inputs actually changed.
 """
 
 from __future__ import annotations
@@ -27,7 +39,12 @@ import time
 import numpy as np
 
 from repro.core.canvas import BrushCanvas
-from repro.core.result import GroupSupport, QueryResult
+from repro.core.plan.cache import StageCache
+from repro.core.plan.executor import QueryExecutor
+from repro.core.plan.planner import QueryPlan, QueryPlanner
+from repro.core.plan.spec import QuerySpec
+from repro.core.plan.trace import QueryTrace
+from repro.core.result import QueryResult
 from repro.core.spatial_index import UniformGridIndex
 from repro.core.temporal import TimeWindow
 from repro.layout.cells import CellAssignment
@@ -49,6 +66,8 @@ class CoordinatedBrushingEngine:
         On by default; ablation A2 turns it off.
     index_res:
         Grid resolution of the index.
+    cache_capacity:
+        Stage-cache size (number of retained stage outputs).
     """
 
     def __init__(
@@ -57,6 +76,7 @@ class CoordinatedBrushingEngine:
         *,
         use_index: bool = True,
         index_res: int = 64,
+        cache_capacity: int = 128,
     ) -> None:
         if len(dataset) == 0:
             raise ValueError("cannot build an engine over an empty dataset")
@@ -68,31 +88,51 @@ class CoordinatedBrushingEngine:
         # session down.
         self.index: UniformGridIndex | None = None
         self._index_error: str | None = None
+        self._use_index = use_index
         if use_index:
             try:
                 self.index = UniformGridIndex(self.packed, index_res)
             except Exception as exc:
                 self._index_error = repr(exc)
-        # Per-trajectory segment-range bounds for reduceat aggregation.
-        self._starts = self.packed.offsets[:-1]
-        self._has_segments = self.packed.offsets[1:] > self.packed.offsets[:-1]
+        self.cache = StageCache(cache_capacity)
+        self.planner = QueryPlanner()
+        self.executor = QueryExecutor(
+            dataset, self.packed, self.index, self.cache,
+            index_error=self._index_error,
+        )
 
-    # Aggregation helpers --------------------------------------------------
+    # Aggregation helpers (kept as public-ish API; executor owns the
+    # kernels) -----------------------------------------------------------
     def _per_traj_any(self, segment_mask: np.ndarray) -> np.ndarray:
         """(T,) any-highlight flag via logical reduceat over owner ranges."""
-        out = np.zeros(len(self.dataset), dtype=bool)
-        if segment_mask.any():
-            red = np.bitwise_or.reduceat(segment_mask, self._starts)
-            # reduceat on an empty range returns the element at the start
-            # index of the *next* range; mask those out
-            out = red & self._has_segments
-        return out
+        return self.executor._per_traj_any(segment_mask)
 
     def _per_traj_time(self, segment_mask: np.ndarray) -> np.ndarray:
         """(T,) highlighted seconds via add.reduceat of segment dts."""
-        dt = (self.packed.t1 - self.packed.t0) * segment_mask
-        red = np.add.reduceat(dt, self._starts)
-        return np.where(self._has_segments, red, 0.0)
+        return self.executor._per_traj_time(segment_mask)
+
+    # Planning -----------------------------------------------------------
+    def _index_token(self) -> tuple | None:
+        if self.index is None:
+            return None
+        return getattr(self.index, "cache_token", ("anon-index", id(self.index)))
+
+    def plan(
+        self,
+        canvas: BrushCanvas,
+        color: str = "red",
+        *,
+        window: TimeWindow | None = None,
+        assignment: CellAssignment | None = None,
+    ) -> QueryPlan:
+        """Build (without executing) the stage plan for a query —
+        introspection for tests, tools, and benchmarks."""
+        window = window or TimeWindow.all()
+        spec = QuerySpec.capture(
+            self.dataset, canvas, color, window, assignment,
+            use_index=self._use_index,
+        )
+        return self.planner.plan(spec, index_token=self._index_token())
 
     # Query ------------------------------------------------------------------
     def query(
@@ -120,52 +160,29 @@ class CoordinatedBrushingEngine:
             data); support counts use only displayed trajectories, as
             on the real wall.
         """
-        t_start = time.perf_counter()
+        t_plan = time.perf_counter()
         window = window or TimeWindow.all()
-        n_traj = len(self.dataset)
+        spec = QuerySpec.capture(
+            self.dataset, canvas, color, window, assignment,
+            use_index=self._use_index,
+        )
+        plan = self.planner.plan(spec, index_token=self._index_token())
+        trace = QueryTrace(strategy=plan.strategy)
+        trace.plan_s = time.perf_counter() - t_plan
+
+        # tests (and the degradation ladder itself) may swap the index
+        # out underneath a live engine — sync the executor per query
+        self.executor.index = self.index
+        self.executor.index_error = self._index_error
+
+        t_exec = time.perf_counter()
         degradation = DegradationReport()
+        outputs = self.executor.run(
+            plan, canvas, window, assignment, trace, degradation
+        )
+        traj_mask, traj_time = outputs["aggregate"]
 
-        # 1. temporal mask
-        tmask = window.segment_mask(self.packed, self.dataset)
-
-        # 2+3. spatial hit mask (candidates via index when present).
-        # The index is one rung of the degradation ladder: if it
-        # misbehaves mid-query the engine falls back to the exact
-        # brute-force scan, records the event, and never raises.
-        centers, radii = canvas.stamps_of(color)
-        if len(centers) == 0:
-            smask = np.zeros(self.packed.n_segments, dtype=bool)
-        elif self.index is not None:
-            try:
-                cand = self.index.candidates_for_discs(centers, radii)
-                # only candidates that also pass the time filter need testing
-                cand = cand[tmask[cand]]
-                smask = canvas.packed_hit_mask(color, self.packed, candidates=cand)
-            except Exception as exc:
-                degradation.record(
-                    "index-failure",
-                    scope="index",
-                    action="degraded-brute-force",
-                    detail=repr(exc),
-                )
-                smask = canvas.packed_hit_mask(color, self.packed)
-        else:
-            if self._index_error is not None:
-                degradation.record(
-                    "index-build-failure",
-                    scope="index",
-                    action="degraded-brute-force",
-                    detail=self._index_error,
-                )
-            smask = canvas.packed_hit_mask(color, self.packed)
-
-        segment_mask = smask & tmask
-
-        # 4. per-trajectory aggregation
-        traj_mask = self._per_traj_any(segment_mask)
-        traj_time = self._per_traj_time(segment_mask)
-
-        # 5. displayed subset + group support
+        n_traj = len(self.dataset)
         if assignment is None:
             displayed = np.ones(n_traj, dtype=bool)
         else:
@@ -173,28 +190,22 @@ class CoordinatedBrushingEngine:
             shown = assignment.displayed_indices()
             displayed[shown[shown < n_traj]] = True
 
-        group_support: dict[str, GroupSupport] = {}
-        if assignment is not None and assignment.groups is not None:
-            for gi, spec in enumerate(assignment.groups):
-                cells = np.flatnonzero(assignment.group_of_cell == gi)
-                trajs = assignment.cell_to_traj[cells]
-                trajs = trajs[trajs >= 0]
-                n_disp = len(trajs)
-                n_hi = int(traj_mask[trajs].sum())
-                group_support[spec.name] = GroupSupport(spec.name, n_disp, n_hi)
-
-        elapsed = time.perf_counter() - t_start
-        return QueryResult(
+        # execute_s also covers result assembly so elapsed_s == total_s
+        # keeps "plan + execute" an exhaustive account of the query
+        trace.execute_s = time.perf_counter() - t_exec
+        result = QueryResult(
             color=color,
-            segment_mask=segment_mask,
+            segment_mask=outputs["combine"],
             traj_mask=traj_mask,
             traj_highlight_time=traj_time,
             displayed=displayed,
-            group_support=group_support,
-            elapsed_s=elapsed,
+            group_support=outputs.get("group_support") or {},
+            elapsed_s=trace.total_s,
             degraded=degradation.degraded,
             degradation=degradation if degradation.degraded else None,
+            trace=trace,
         )
+        return result
 
     def query_all_colors(
         self,
@@ -203,8 +214,32 @@ class CoordinatedBrushingEngine:
         window: TimeWindow | None = None,
         assignment: CellAssignment | None = None,
     ) -> dict[str, QueryResult]:
-        """Evaluate every color on the canvas (multi-query sessions)."""
+        """Evaluate every color on the canvas (multi-query sessions).
+
+        The temporal mask is computed once and shared across all N
+        colors through the stage cache (it depends on the window and
+        dataset only) — per-trace, at most one ``temporal_mask``
+        execution appears as a cache miss.
+        """
         return {
             color: self.query(canvas, color, window=window, assignment=assignment)
             for color in canvas.colors()
         }
+
+    # Cache management ---------------------------------------------------
+    def cache_stats(self) -> dict[str, float]:
+        """Stage-cache counters: hits, misses, evictions, hit_rate."""
+        s = self.cache.stats
+        return {
+            "entries": len(self.cache),
+            "hits": s.hits,
+            "misses": s.misses,
+            "evictions": s.evictions,
+            "invalidations": s.invalidations,
+            "hit_rate": s.hit_rate,
+        }
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached stage output (epoch keys make this a
+        hygiene operation, never a correctness requirement)."""
+        self.cache.clear()

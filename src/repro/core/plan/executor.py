@@ -1,0 +1,260 @@
+"""The query executor.
+
+Runs a :class:`~repro.core.plan.planner.QueryPlan` stage by stage
+through the :class:`~repro.core.plan.cache.StageCache`, recording one
+:class:`~repro.core.plan.trace.StageRecord` per stage.  The executor
+owns the stage *implementations* (the vectorized kernels the old
+monolithic engine ran inline); the planner owns the routing and the
+cache keys.
+
+Degradation ladder: a spatial-index failure mid-stage falls back to
+the exact brute-force scan, records the event, and **taints** the
+stage — tainted outputs (and everything computed from them) are never
+inserted into the cache, so a degraded query can never poison the warm
+path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.core.canvas import BrushCanvas
+from repro.core.plan.cache import StageCache
+from repro.core.plan.planner import QueryPlan
+from repro.core.plan.trace import QueryTrace, StageRecord
+from repro.core.result import GroupSupport
+from repro.core.spatial_index import UniformGridIndex
+from repro.core.temporal import TimeWindow
+from repro.layout.cells import CellAssignment
+from repro.resilience.health import DegradationReport
+from repro.trajectory.dataset import PackedSegments, TrajectoryDataset
+
+__all__ = ["QueryExecutor"]
+
+
+def _freeze(value: Any) -> Any:
+    """Mark array outputs read-only before they enter the shared cache."""
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    elif isinstance(value, tuple):
+        for item in value:
+            if isinstance(item, np.ndarray):
+                item.setflags(write=False)
+    return value
+
+
+class QueryExecutor:
+    """Executes planned stages over one dataset's packed segments.
+
+    Parameters
+    ----------
+    dataset, packed:
+        The bound trajectory collection and its columnar segment view.
+    index:
+        The spatial index, or ``None`` (brute-force plans).
+    cache:
+        The shared :class:`StageCache` stage outputs flow through.
+    index_error:
+        The recorded index *build* failure, if construction degraded
+        the engine to brute force (surfaces in every query's report).
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        packed: PackedSegments,
+        index: UniformGridIndex | None,
+        cache: StageCache,
+        *,
+        index_error: str | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.packed = packed
+        self.index = index
+        self.cache = cache
+        self.index_error = index_error
+        # per-trajectory segment-range bounds for reduceat aggregation
+        self._starts = packed.offsets[:-1]
+        self._has_segments = packed.offsets[1:] > packed.offsets[:-1]
+
+    # Aggregation kernels ------------------------------------------------
+    def _per_traj_any(self, segment_mask: np.ndarray) -> np.ndarray:
+        """(T,) any-highlight flag via logical reduceat over owner ranges."""
+        out = np.zeros(len(self.dataset), dtype=bool)
+        if segment_mask.any():
+            red = np.bitwise_or.reduceat(segment_mask, self._starts)
+            # reduceat on an empty range returns the element at the start
+            # index of the *next* range; mask those out
+            out = red & self._has_segments
+        return out
+
+    def _per_traj_time(self, segment_mask: np.ndarray) -> np.ndarray:
+        """(T,) highlighted seconds via add.reduceat of segment dts."""
+        dt = (self.packed.t1 - self.packed.t0) * segment_mask
+        red = np.add.reduceat(dt, self._starts)
+        return np.where(self._has_segments, red, 0.0)
+
+    # Execution ----------------------------------------------------------
+    def run(
+        self,
+        plan: QueryPlan,
+        canvas: BrushCanvas,
+        window: TimeWindow,
+        assignment: CellAssignment | None,
+        trace: QueryTrace,
+        degradation: DegradationReport,
+    ) -> dict[str, Any]:
+        """Execute every planned stage; returns the stage-output map.
+
+        Cache policy: a stage is served from the cache when its key is
+        present; a freshly computed output is inserted only when the
+        stage is untainted (neither it nor any dependency degraded).
+        """
+        t_run = time.perf_counter()
+        outputs: dict[str, Any] = {}
+        tainted: set[str] = set()
+        for stage in plan.stages:
+            dep_tainted = any(d in tainted for d in stage.deps)
+            if stage.key is not None:
+                cached, found = self.cache.lookup(stage.key)
+                if found:
+                    outputs[stage.name] = cached
+                    trace.record(
+                        StageRecord(
+                            stage=stage.name,
+                            elapsed_s=0.0,
+                            n_in=self._n_in(stage.name, outputs),
+                            n_out=_cardinality(cached),
+                            cache_hit=True,
+                        )
+                    )
+                    continue
+            t0 = time.perf_counter()
+            value, degraded, detail = self._execute_stage(
+                stage.name, plan, canvas, window, assignment, outputs, degradation
+            )
+            elapsed = time.perf_counter() - t0
+            outputs[stage.name] = value
+            if degraded or dep_tainted:
+                tainted.add(stage.name)
+            elif stage.key is not None:
+                self.cache.put(stage.key, _freeze(value))
+            trace.record(
+                StageRecord(
+                    stage=stage.name,
+                    elapsed_s=elapsed,
+                    n_in=self._n_in(stage.name, outputs),
+                    n_out=_cardinality(value),
+                    cache_hit=False,
+                    degraded=degraded or dep_tainted,
+                    detail=detail,
+                )
+            )
+        trace.execute_s += time.perf_counter() - t_run
+        return outputs
+
+    def _n_in(self, name: str, outputs: dict[str, Any]) -> int:
+        """Input cardinality feeding one stage."""
+        if name in ("temporal_mask", "spatial_candidates", "combine"):
+            return self.packed.n_segments
+        if name == "brush_hit":
+            cand = outputs.get("spatial_candidates")
+            return len(cand) if cand is not None else self.packed.n_segments
+        if name == "aggregate":
+            mask = outputs.get("combine")
+            return int(mask.sum()) if mask is not None else 0
+        if name == "group_support":
+            agg = outputs.get("aggregate")
+            return int(agg[0].sum()) if agg is not None else 0
+        return 0
+
+    def _execute_stage(
+        self,
+        name: str,
+        plan: QueryPlan,
+        canvas: BrushCanvas,
+        window: TimeWindow,
+        assignment: CellAssignment | None,
+        outputs: dict[str, Any],
+        degradation: DegradationReport,
+    ) -> tuple[Any, bool, str]:
+        """Dispatch one stage; returns (output, degraded, detail)."""
+        color = plan.spec.color
+        if name == "temporal_mask":
+            return window.segment_mask(self.packed, self.dataset), False, ""
+
+        if name == "spatial_candidates":
+            centers, radii = canvas.stamps_of(color)
+            try:
+                assert self.index is not None
+                return self.index.candidates_for_discs(centers, radii), False, ""
+            except Exception as exc:
+                # one rung down the ladder: brush_hit scans everything
+                degradation.record(
+                    "index-failure",
+                    scope="index",
+                    action="degraded-brute-force",
+                    detail=repr(exc),
+                )
+                return None, True, "index failed; brute-force fallback"
+
+        if name == "brush_hit":
+            if plan.strategy == "empty-brush":
+                return np.zeros(self.packed.n_segments, dtype=bool), False, "no stamps"
+            if plan.strategy == "brute-force" and self.index_error is not None:
+                # the engine-level build failure surfaces on every query
+                # that would have used the index (as the monolith did)
+                degradation.record(
+                    "index-build-failure",
+                    scope="index",
+                    action="degraded-brute-force",
+                    detail=self.index_error,
+                )
+                mask = canvas.packed_hit_mask(color, self.packed)
+                return mask, True, "index build failed; brute-force"
+            candidates = outputs.get("spatial_candidates")
+            mask = canvas.packed_hit_mask(color, self.packed, candidates=candidates)
+            return mask, False, plan.strategy
+
+        if name == "combine":
+            return outputs["brush_hit"] & outputs["temporal_mask"], False, ""
+
+        if name == "aggregate":
+            segment_mask = outputs["combine"]
+            return (
+                self._per_traj_any(segment_mask),
+                self._per_traj_time(segment_mask),
+            ), False, ""
+
+        if name == "group_support":
+            traj_mask = outputs["aggregate"][0]
+            support: dict[str, GroupSupport] = {}
+            if assignment is not None and assignment.groups is not None:
+                for gi, spec in enumerate(assignment.groups):
+                    cells = np.flatnonzero(assignment.group_of_cell == gi)
+                    trajs = assignment.cell_to_traj[cells]
+                    trajs = trajs[trajs >= 0]
+                    n_disp = len(trajs)
+                    n_hi = int(traj_mask[trajs].sum())
+                    support[spec.name] = GroupSupport(spec.name, n_disp, n_hi)
+            return support, False, ""
+
+        raise ValueError(f"unknown stage {name!r}")
+
+
+def _cardinality(value: Any) -> int:
+    """Output cardinality of a stage value for the trace."""
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        if value.dtype == bool:
+            return int(value.sum())
+        return len(value)
+    if isinstance(value, tuple):  # aggregate: (traj_mask, traj_time)
+        return int(value[0].sum())
+    if isinstance(value, dict):  # group_support
+        return sum(gs.n_highlighted for gs in value.values())
+    return 0

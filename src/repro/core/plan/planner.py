@@ -1,0 +1,184 @@
+"""The query planner.
+
+Turns a :class:`~repro.core.plan.spec.QuerySpec` into a
+:class:`QueryPlan`: a topologically ordered DAG of named stages
+
+    temporal_mask → spatial_candidates → brush_hit → combine
+                                  → aggregate → group_support
+
+with one cache key per cacheable stage.  The planner makes the routing
+decision the old monolith made inline — index vs brute-force per the
+degradation ladder, trivial plan for an empty brush — so the executor
+stays a mechanical "run stages through the cache" loop.
+
+Cache-key construction is the heart of the incremental behaviour.
+Keys embed exactly the epochs a stage's output depends on, as tagged
+pairs (``("ds", dataset_epoch)``, ``("cv", color_epoch)``,
+``("win", window_key)``):
+
+* ``temporal_mask`` depends on the dataset and window only — a
+  color-only change reuses it outright;
+* ``spatial_candidates`` / ``brush_hit`` depend on the dataset and the
+  *color's own* stroke epoch, never the window — a slider-only change
+  reuses the (expensive) capsule hit-test and re-runs just
+  ``temporal_mask → combine → aggregate``;
+* ``combine`` / ``aggregate`` / ``group_support`` depend on both.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.plan.spec import QuerySpec
+
+__all__ = ["PlannedStage", "QueryPlan", "QueryPlanner", "STAGE_ORDER"]
+
+STAGE_ORDER = (
+    "temporal_mask",
+    "spatial_candidates",
+    "brush_hit",
+    "combine",
+    "aggregate",
+    "group_support",
+)
+
+
+@dataclass(frozen=True)
+class PlannedStage:
+    """One node of the plan DAG.
+
+    Attributes
+    ----------
+    name:
+        Stage name (one of :data:`STAGE_ORDER`).
+    key:
+        Stage cache key (``None`` = never cached, e.g. group support
+        for an anonymous assignment).
+    deps:
+        Names of stages whose outputs this stage consumes; always
+        earlier in the plan (validated at construction).
+    """
+
+    name: str
+    key: tuple | None
+    deps: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An ordered, validated stage DAG for one spec."""
+
+    spec: QuerySpec
+    stages: tuple[PlannedStage, ...]
+    strategy: str
+    plan_s: float
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for stage in self.stages:
+            if stage.name not in STAGE_ORDER:
+                raise ValueError(f"unknown stage {stage.name!r}")
+            missing = [d for d in stage.deps if d not in seen]
+            if missing:
+                raise ValueError(
+                    f"stage {stage.name!r} depends on {missing} before they run"
+                )
+            seen.add(stage.name)
+
+    def stage_names(self) -> tuple[str, ...]:
+        """Planned stage names in execution order."""
+        return tuple(s.name for s in self.stages)
+
+    def __contains__(self, name: str) -> bool:
+        return any(s.name == name for s in self.stages)
+
+
+class QueryPlanner:
+    """Builds :class:`QueryPlan` objects from specs.
+
+    Parameters
+    ----------
+    index_token:
+        Identity of the engine's spatial index build (``None`` when no
+        index is available); embedded in spatial keys so a rebuilt
+        index invalidates cached candidate sets.
+    """
+
+    def __init__(self, index_token: tuple | None = None) -> None:
+        self.index_token = index_token
+
+    def plan(self, spec: QuerySpec, *, index_token: tuple | None = None) -> QueryPlan:
+        """Build the stage plan for one spec.
+
+        ``index_token`` overrides the constructor's (the engine passes
+        the *current* index identity so index swaps re-plan correctly).
+        """
+        t0 = time.perf_counter()
+        token = index_token if index_token is not None else self.index_token
+        ds = ("ds", spec.dataset_epoch)
+        cv = ("cv", (spec.canvas_uid, spec.color_epoch))
+        win = ("win", spec.window_key)
+
+        if spec.n_stamps == 0:
+            strategy = "empty-brush"
+        elif spec.use_index and token is not None:
+            strategy = "indexed"
+        else:
+            strategy = "brute-force"
+
+        stages: list[PlannedStage] = [
+            PlannedStage("temporal_mask", ("temporal_mask", ds, win))
+        ]
+        hit_deps: tuple[str, ...] = ()
+        if strategy == "indexed":
+            stages.append(
+                PlannedStage(
+                    "spatial_candidates",
+                    ("spatial_candidates", ds, cv, spec.color, token),
+                )
+            )
+            hit_deps = ("spatial_candidates",)
+        stages.append(
+            PlannedStage(
+                "brush_hit",
+                ("brush_hit", ds, cv, spec.color, strategy),
+                deps=hit_deps,
+            )
+        )
+        stages.append(
+            PlannedStage(
+                "combine",
+                ("combine", ds, cv, win, spec.color, strategy),
+                deps=("temporal_mask", "brush_hit"),
+            )
+        )
+        stages.append(
+            PlannedStage(
+                "aggregate",
+                ("aggregate", ds, cv, win, spec.color, strategy),
+                deps=("combine",),
+            )
+        )
+        if spec.assignment_id is not None:
+            stages.append(
+                PlannedStage(
+                    "group_support",
+                    (
+                        "group_support",
+                        ds,
+                        cv,
+                        win,
+                        spec.color,
+                        strategy,
+                        spec.assignment_id,
+                    ),
+                    deps=("aggregate",),
+                )
+            )
+        return QueryPlan(
+            spec=spec,
+            stages=tuple(stages),
+            strategy=strategy,
+            plan_s=time.perf_counter() - t0,
+        )

@@ -11,10 +11,14 @@ support fractions, the quantity the researcher reads pre-attentively
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.resilience.health import DegradationReport
+
+if TYPE_CHECKING:  # imported lazily to avoid a core ↔ plan cycle
+    from repro.core.plan.trace import QueryTrace
 
 __all__ = ["GroupSupport", "QueryResult"]
 
@@ -75,7 +79,14 @@ class QueryResult:
     group_support:
         Per-group aggregation, when a group scheme was supplied.
     elapsed_s:
-        Wall-clock query latency (for E5/A2).
+        Wall-clock query latency (for E5/A2).  Covers plan **and**
+        execute consistently: when a trace is attached this equals
+        ``trace.total_s`` (= ``plan_s + execute_s``), which in turn
+        bounds the per-stage sum ``trace.stage_total_s`` from above.
+    trace:
+        Per-stage observability record of the planned pipeline (wall
+        time, cardinalities, cache hit/miss per stage); ``None`` for
+        results assembled outside the engine (e.g. combinators).
     degraded:
         True when the query completed on a slower rung of the
         degradation ladder (e.g. the spatial index failed and the
@@ -95,6 +106,28 @@ class QueryResult:
     elapsed_s: float = 0.0
     degraded: bool = False
     degradation: DegradationReport | None = None
+    trace: "QueryTrace | None" = None
+
+    def __repr__(self) -> str:
+        """Journal-readable one-liner: hits, latency, degradation, cache."""
+        parts = [
+            f"QueryResult[{self.color}]",
+            f"{self.n_highlighted}/{self.n_displayed} hi ({self.overall_support:.0%})",
+            f"{self.elapsed_s * 1e3:.2f}ms",
+        ]
+        if self.trace is not None:
+            parts.append(
+                f"stages={len(self.trace.stages)}"
+                f"({self.trace.cache_hits} hit/{self.trace.cache_misses} miss)"
+            )
+        if self.degraded:
+            kinds = (
+                ",".join(sorted({e.kind for e in self.degradation.events}))
+                if self.degradation is not None
+                else "?"
+            )
+            parts.append(f"degraded[{kinds}]")
+        return f"<{' '.join(parts)}>"
 
     @property
     def n_highlighted(self) -> int:

@@ -271,17 +271,27 @@ class ExplorationSession:
 
     # Queries ---------------------------------------------------------------
     def run_query(self, color: str = "red") -> QueryResult:
-        """Evaluate the canvas under the current window and layout."""
+        """Evaluate the canvas under the current window and layout.
+
+        The per-stage :class:`~repro.core.plan.trace.QueryTrace` is
+        journaled alongside the usual counts, so a replayed or audited
+        session shows *why* each query took the time it did (which
+        stages ran, which were served from the stage cache).
+        """
         result = self.engine.query(
             self.canvas, color, window=self.window, assignment=self._assignment
         )
-        self._log(
-            "query",
+        detail: dict[str, Any] = dict(
             color=color,
             highlighted=result.n_highlighted,
             displayed=result.n_displayed,
             elapsed_s=result.elapsed_s,
         )
+        if result.trace is not None:
+            detail["trace"] = result.trace.describe()
+            detail["stages_executed"] = result.trace.executed_stages()
+            detail["cache_hits"] = result.trace.cache_hits
+        self._log("query", **detail)
         return result
 
     def test_hypothesis(self, hypothesis: Hypothesis) -> Verdict:

@@ -98,6 +98,13 @@ class UniformGridIndex:
         return len(self._entries)
 
     @property
+    def cache_token(self) -> tuple:
+        """Identity of this index build for query-plan cache keys: a
+        rebuilt (or differently parameterized) index must invalidate
+        cached candidate sets."""
+        return (id(self), self.res, self.packed.n_segments, self.n_entries)
+
+    @property
     def duplication_factor(self) -> float:
         """Mean cells per segment; near 1 at sane resolutions."""
         return self.n_entries / self.packed.n_segments

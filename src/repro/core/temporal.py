@@ -80,6 +80,17 @@ class TimeWindow:
     def is_everything(self) -> bool:
         return self.fractional and self.lo <= 0.0 and self.hi >= 1.0
 
+    def cache_key(self) -> tuple:
+        """Stable, hashable identity for stage-cache keys.
+
+        Every no-op window canonicalizes to the same key, so
+        ``TimeWindow.all()``, ``fraction(0, 1)`` and a passed-in
+        equivalent all share cached temporal masks.
+        """
+        if self.is_everything:
+            return ("*",)
+        return ("frac" if self.fractional else "abs", self.lo, self.hi)
+
     # Mask computation ----------------------------------------------------
     def segment_mask(
         self, packed: PackedSegments, dataset: TrajectoryDataset

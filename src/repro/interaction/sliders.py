@@ -5,13 +5,28 @@ temporal range slider, the depth-position slider, and the time-scale
 (de)exaggeration slider.  :class:`Slider` is a clamped scalar control
 with change callbacks; :class:`RangeSlider` a two-thumb interval
 control that cannot invert.
+
+:class:`IncrementalRequery` closes the loop the paper describes
+("adjust the time slider, watch the highlight answer in seconds"): it
+binds a :class:`RangeSlider` to an exploration session so every thumb
+move updates the temporal window *and* re-runs the active queries.
+Because a window move changes only the ``temporal_mask`` stage key,
+the engine's stage cache turns each drag step into the cheap
+``temporal_mask → combine → aggregate`` re-execution, reusing the
+expensive brush hit-test outright.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-__all__ = ["Slider", "RangeSlider"]
+from repro.core.temporal import TimeWindow
+
+if TYPE_CHECKING:
+    from repro.core.result import QueryResult
+    from repro.core.session import ExplorationSession
+
+__all__ = ["Slider", "RangeSlider", "IncrementalRequery"]
 
 
 class Slider:
@@ -144,3 +159,69 @@ class RangeSlider:
     def span_fraction(self) -> float:
         """Selected width as a fraction of the full range."""
         return (self._high - self._low) / (self.hi - self.lo)
+
+
+class IncrementalRequery:
+    """Drives incremental re-query from a temporal range slider.
+
+    Takes over the slider's ``on_change``: every effective thumb move
+    sets the session's fractional time window and — when the canvas
+    has strokes — re-runs the query for each active color through the
+    engine's stage cache.  Slider-only moves therefore re-execute just
+    the temporal/combine/aggregate stages (see the traces collected in
+    :attr:`last_traces`).
+
+    Parameters
+    ----------
+    slider:
+        The two-thumb temporal control (values in [0, 1] fractions).
+    session:
+        The exploration session whose window/engine the slider drives.
+    colors:
+        Colors to re-evaluate per move; default: every color painted
+        on the canvas at move time.
+    on_results:
+        Optional callback receiving ``{color: QueryResult}`` after
+        each re-query (the application uses it to refresh its render
+        cache).
+    """
+
+    def __init__(
+        self,
+        slider: RangeSlider,
+        session: "ExplorationSession",
+        *,
+        colors: list[str] | None = None,
+        on_results: Callable[[dict[str, "QueryResult"]], None] | None = None,
+    ) -> None:
+        self.slider = slider
+        self.session = session
+        self.colors = colors
+        self.on_results = on_results
+        self.last_results: dict[str, QueryResult] = {}
+        self.n_requeries = 0
+        slider.on_change = self._moved
+
+    @property
+    def last_traces(self) -> dict[str, object]:
+        """Per-color traces of the most recent re-query."""
+        return {
+            color: res.trace
+            for color, res in self.last_results.items()
+            if res.trace is not None
+        }
+
+    def _moved(self, lo: float, hi: float) -> None:
+        self.session.set_time_window(TimeWindow.fraction(lo, hi))
+        self.requery()
+
+    def requery(self) -> dict[str, "QueryResult"]:
+        """Re-evaluate the active colors under the current window."""
+        colors = self.colors or self.session.canvas.colors()
+        results = {color: self.session.run_query(color) for color in colors}
+        if results:
+            self.last_results = results
+            self.n_requeries += 1
+            if self.on_results is not None:
+                self.on_results(results)
+        return results

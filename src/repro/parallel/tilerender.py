@@ -29,7 +29,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
 from repro.core.result import QueryResult
+from repro.core.temporal import TimeWindow
 from repro.layout.cells import CellAssignment
 from repro.render.framebuffer import Framebuffer
 from repro.render.pipeline import RenderJob, WallRenderer
@@ -83,6 +85,8 @@ def render_viewport_parallel(
     eyes: tuple[Eye, ...] = (Eye.LEFT, Eye.RIGHT),
     canvas: BrushCanvas | None = None,
     results: dict[str, QueryResult] | None = None,
+    engine: CoordinatedBrushingEngine | None = None,
+    window: TimeWindow | None = None,
     max_workers: int = 0,
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
@@ -96,6 +100,15 @@ def render_viewport_parallel(
 
     Parameters
     ----------
+    engine:
+        Optional query engine.  When given (and ``results`` is not),
+        the highlight masks for every canvas color are evaluated
+        *once* in the parent — through the engine's stage cache, so an
+        unchanged brush/window costs only cache lookups — and the
+        finished :class:`QueryResult` objects are shipped to the
+        workers, instead of every tile job re-deriving highlights.
+    window:
+        Temporal filter for the ``engine`` evaluation.
     fault_plan:
         Deterministic fault injection for the pool workers (tests,
         benchmark R1).  Defaults to the ``REPRO_FAULTS`` environment
@@ -103,6 +116,11 @@ def render_viewport_parallel(
     retry_policy:
         Per-job retry/backoff/timeout policy for the supervisor.
     """
+    if results is None and engine is not None and canvas is not None:
+        if not canvas.is_empty():
+            results = engine.query_all_colors(
+                canvas, window=window, assignment=assignment
+            )
     jobs = renderer.make_jobs(assignment, eyes)
     if fault_plan is None:
         fault_plan = FaultPlan.from_env()

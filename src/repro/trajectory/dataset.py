@@ -82,6 +82,7 @@ class TrajectoryDataset:
         self.name = name
         self._trajs: list[Trajectory] = []
         self._packed: PackedSegments | None = None
+        self._epoch = 0
         for t in trajectories:
             self.append(t)
 
@@ -109,6 +110,14 @@ class TrajectoryDataset:
             traj.traj_id = len(self._trajs)
         self._trajs.append(traj)
         self._packed = None
+        self._epoch += 1
+
+    @property
+    def epoch(self) -> int:
+        """Monotone mutation epoch: bumped by every append (including
+        loader quarantine paths), so query-stage caches keyed on it can
+        never serve masks computed over an older segment set."""
+        return self._epoch
 
     def extend(self, trajs: Iterable[Trajectory]) -> None:
         """Append many trajectories."""

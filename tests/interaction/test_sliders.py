@@ -75,3 +75,60 @@ class TestRangeSlider:
         rs = RangeSlider(0.0, 1.0)
         rs.set(-5.0, 5.0)
         assert rs.interval == (0.0, 1.0)
+
+
+class TestIncrementalRequery:
+    @pytest.fixture()
+    def session(self, study_dataset, viewport, arena):
+        from repro.core.brush import stroke_from_rect
+        from repro.core.session import ExplorationSession
+
+        session = ExplorationSession(study_dataset, viewport)
+        r = arena.radius
+        session.brush(
+            stroke_from_rect((-r, -0.6 * r), (-0.7 * r, 0.6 * r), 0.12 * r, "red")
+        )
+        return session
+
+    def test_thumb_move_updates_window_and_requeries(self, session):
+        from repro.interaction.sliders import IncrementalRequery
+
+        slider = RangeSlider(0.0, 1.0, min_gap=0.01)
+        driver = IncrementalRequery(slider, session)
+        slider.set(0.6, 1.0)
+        assert session.window.cache_key() == ("frac", 0.6, 1.0)
+        assert driver.n_requeries == 1
+        assert "red" in driver.last_results
+
+    def test_slider_scrub_is_incremental(self, session):
+        from repro.interaction.sliders import IncrementalRequery
+
+        slider = RangeSlider(0.0, 1.0, min_gap=0.01)
+        driver = IncrementalRequery(slider, session)
+        slider.set(0.5, 1.0)  # cold: all stages run
+        slider.set_low(0.6)   # scrub: only temporal stages re-run
+        trace = driver.last_traces["red"]
+        assert trace.executed_stages() == [
+            "temporal_mask", "combine", "aggregate", "group_support",
+        ]
+        assert trace["brush_hit"].cache_hit
+
+    def test_on_results_callback(self, session):
+        from repro.interaction.sliders import IncrementalRequery
+
+        seen = {}
+        slider = RangeSlider(0.0, 1.0, min_gap=0.01)
+        IncrementalRequery(slider, session, on_results=seen.update)
+        slider.set(0.2, 0.9)
+        assert set(seen) == {"red"}
+
+    def test_empty_canvas_sets_window_without_querying(self, study_dataset, viewport):
+        from repro.core.session import ExplorationSession
+        from repro.interaction.sliders import IncrementalRequery
+
+        session = ExplorationSession(study_dataset, viewport)
+        slider = RangeSlider(0.0, 1.0, min_gap=0.01)
+        driver = IncrementalRequery(slider, session)
+        slider.set(0.3, 0.7)
+        assert session.window.cache_key() == ("frac", 0.3, 0.7)
+        assert driver.n_requeries == 0

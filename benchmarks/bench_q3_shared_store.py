@@ -1,0 +1,254 @@
+"""Q3 — zero-copy shared-memory data plane: ship handles, not datasets.
+
+The tentpole claim of the store refactor: a worker (render node, batch
+query shard) should receive an O(handle-bytes) address of the resident
+arrays instead of an O(dataset-bytes) pickle.  This bench quantifies it
+on the paper-scale 500-trajectory dataset:
+
+* **init payload** — ``pickle.dumps`` size of the pool initializer
+  arguments, pickle-ship vs store-handle ship;
+* **pool warm-up** — wall time to spin up a *spawn*-context pool (the
+  honest transport: fork inherits pages for free) at 1/4/8 workers
+  under each transport, until every worker is initialized and drained
+  (``mp.Pool`` spawns eagerly, so all N workers really boot — a lazy
+  executor would let the first worker up absorb the probe tasks and
+  quietly skip the other N-1 initializer payloads);
+* **frame latency** — ``render_viewport_parallel`` serial vs pooled
+  over the store, with the bit-identity acceptance check;
+* **sessions** — the same brushing script run by 1 vs 8 concurrent
+  :class:`SessionView` threads over one :class:`DatasetService`
+  (one resident copy of the packed arrays, one stage cache).
+
+Emits human-readable ``out/Q3.txt`` and machine-readable
+``out/BENCH_Q3.json`` (CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import pickle
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.temporal import TimeWindow
+from repro.parallel.batch import _init_batch_worker, _init_batch_worker_shm
+from repro.store import DatasetService, SharedArenaStore
+from repro.synth import AntStudyConfig, generate_study_dataset
+
+OUT_DIR = Path(__file__).parent / "out"
+
+WORKER_COUNTS = (1, 4, 8)
+N_SHIP_TRAJ = 3000  # ~45 MB pickled: payload must dominate worker boot
+N_SESSIONS = 8
+N_QUERIES_PER_SESSION = 6
+
+
+@pytest.fixture(scope="module")
+def ship_dataset():
+    """The dataset whose transport cost the warm-up comparison measures
+    (larger than the paper-scale set so shipping, not interpreter boot,
+    is what differs between the two transports)."""
+    return generate_study_dataset(AntStudyConfig(n_trajectories=N_SHIP_TRAJ, seed=13))
+
+
+def _pid_probe(_: int) -> int:
+    """Trivial pool task (module-level so spawn children can import it)."""
+    return os.getpid()
+
+
+def _stroke(arena, i: int = 0):
+    r = arena.radius
+    x0 = -r + 0.12 * r * i
+    return stroke_from_rect((x0, -0.6 * r), (x0 + 0.3 * r, 0.5 * r), 0.1 * r, "red")
+
+
+def _pool_warmup_s(n_workers: int, initializer, initargs) -> float:
+    """Seconds to bring up a spawn pool, run every initializer, drain a
+    trivial task per worker, and shut back down.
+
+    Uses ``mp.Pool`` deliberately: it starts all ``n_workers`` processes
+    in the constructor, and ``close()``/``join()`` cannot finish until
+    each worker has run its initializer and reached the task loop — so
+    the measurement always covers N full initializer payloads.
+    ``ProcessPoolExecutor`` spawns lazily and would reuse the first
+    booted worker for every probe while the others are still shipping.
+    """
+    ctx = mp.get_context("spawn")
+    t0 = time.perf_counter()
+    pool = ctx.Pool(n_workers, initializer, initargs)
+    try:
+        pool.map(_pid_probe, range(n_workers))
+    finally:
+        pool.close()
+        pool.join()
+    return time.perf_counter() - t0
+
+
+def _drive_session(session, arena, i: int) -> list[float]:
+    """One user's brushing script; returns per-query latencies."""
+    session.brush(_stroke(arena, i))
+    latencies = []
+    for q in range(N_QUERIES_PER_SESSION):
+        session.set_time_window(TimeWindow.end(0.12 + 0.1 * ((i + q) % 7)))
+        t0 = time.perf_counter()
+        session.run_query("red")
+        latencies.append(time.perf_counter() - t0)
+    return latencies
+
+
+def test_q3_shared_store(full_dataset, ship_dataset, viewport, arena, report_sink):
+    strokes = [_stroke(arena)]
+    window = TimeWindow.all()
+
+    with SharedArenaStore.publish(ship_dataset) as ship_store:
+        # --- init payload: what each worker ship costs on the wire ------
+        pickle_args = (ship_dataset, strokes, "red", window)
+        shm_args = (ship_store.handle, strokes, "red", window)
+        pickle_bytes = len(pickle.dumps(pickle_args))
+        shm_bytes = len(pickle.dumps(shm_args))
+
+        # --- spawn-pool warm-up at 1/4/8 workers ------------------------
+        warmup = {}
+        for n in WORKER_COUNTS:
+            t_pickle = _pool_warmup_s(n, _init_batch_worker, pickle_args)
+            t_shm = _pool_warmup_s(n, _init_batch_worker_shm, shm_args)
+            warmup[str(n)] = {
+                "pickle_ship_s": round(t_pickle, 4),
+                "shm_attach_s": round(t_shm, 4),
+                "speedup": round(t_pickle / t_shm, 2) if t_shm > 0 else float("inf"),
+            }
+
+    with SharedArenaStore.publish(full_dataset) as store:
+        # --- parallel frame render over the store -----------------------
+        from repro.display.bezel import BezelSpec
+        from repro.display.viewport import Viewport
+        from repro.display.wall import DisplayWall
+        from repro.layout.cells import assign_sequential
+        from repro.layout.grid import BezelAwareGrid
+        from repro.parallel.tilerender import render_viewport_parallel
+        from repro.render.pipeline import WallRenderer
+        from repro.stereo.camera import Eye
+        from repro.synth.arena import Arena
+
+        wall = DisplayWall(
+            cols=2, rows=1, panel_width=0.3, panel_height=0.16875,
+            panel_px_width=160, panel_px_height=90, bezel=BezelSpec(),
+        )
+        small_viewport = Viewport(wall)
+        grid = BezelAwareGrid(small_viewport, 4, 2)
+        renderer = WallRenderer(full_dataset, Arena(), small_viewport)
+        assignment = assign_sequential(full_dataset, grid)
+
+        serial = render_viewport_parallel(renderer, assignment, max_workers=0)
+        pooled = render_viewport_parallel(
+            renderer, assignment, max_workers=4, store=store
+        )
+        assert not pooled.degraded, pooled.degradation.summary()
+        for eye in (Eye.LEFT, Eye.RIGHT):  # acceptance: bit-identical
+            for key in serial.frames[eye]:
+                np.testing.assert_array_equal(
+                    serial.frames[eye][key].data, pooled.frames[eye][key].data
+                )
+        frame = {
+            "serial_s": round(serial.elapsed_s, 4),
+            "pooled_shm_s": round(pooled.elapsed_s, 4),
+            "workers": pooled.workers,
+            "bit_identical": True,
+        }
+
+    # --- 1 vs 8 concurrent sessions over one DatasetService -------------
+    with DatasetService(full_dataset) as service:
+        solo = service.session(viewport)
+        t0 = time.perf_counter()
+        solo_lat = _drive_session(solo, arena, 0)
+        solo_wall = time.perf_counter() - t0
+
+        views = [service.session(viewport) for _ in range(N_SESSIONS)]
+        all_lat: list[list[float]] = [[] for _ in range(N_SESSIONS)]
+        barrier = threading.Barrier(N_SESSIONS)
+
+        def run(i: int) -> None:
+            barrier.wait(timeout=60)
+            all_lat[i] = _drive_session(views[i], arena, i)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(N_SESSIONS)]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        multi_wall = time.perf_counter() - t0
+        flat = [x for lat in all_lat for x in lat]
+        sessions = {
+            "queries_per_session": N_QUERIES_PER_SESSION,
+            "solo": {
+                "median_query_s": round(statistics.median(solo_lat), 5),
+                "wall_s": round(solo_wall, 4),
+            },
+            "concurrent_8": {
+                "median_query_s": round(statistics.median(flat), 5),
+                "wall_s": round(multi_wall, 4),
+            },
+            "resident_packed_copies": 1,
+            "cache": service.engine.cache_stats(),
+        }
+
+    payload = {
+        "bench": "Q3",
+        "title": "zero-copy shared-memory data plane",
+        "dataset": {
+            "n_trajectories": len(full_dataset),
+            "n_segments": int(full_dataset.packed().n_segments),
+        },
+        "ship_dataset": {"n_trajectories": len(ship_dataset)},
+        "init_payload": {
+            "pickle_ship_bytes": pickle_bytes,
+            "shm_handle_bytes": shm_bytes,
+            "reduction": round(pickle_bytes / shm_bytes, 1),
+        },
+        "pool_warmup_spawn": warmup,
+        "frame_render": frame,
+        "sessions": sessions,
+    }
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_Q3.json").write_text(json.dumps(payload, indent=2))
+
+    lines = [
+        f"ship dataset: {len(ship_dataset)} trajectories "
+        f"(sessions/frames: {len(full_dataset)})",
+        f"init payload: pickle-ship {pickle_bytes / 1e6:.1f} MB vs "
+        f"handle {shm_bytes} B  ({pickle_bytes / shm_bytes:.0f}x smaller)",
+        "spawn-pool warm-up (all workers initialized + drained):",
+    ]
+    for n in WORKER_COUNTS:
+        w = warmup[str(n)]
+        lines.append(
+            f"  {n} workers: pickle {w['pickle_ship_s'] * 1e3:8.1f} ms | "
+            f"shm {w['shm_attach_s'] * 1e3:8.1f} ms | {w['speedup']:.1f}x"
+        )
+    lines += [
+        f"parallel frame render (store transport, {frame['workers']} workers): "
+        f"serial {frame['serial_s'] * 1e3:.1f} ms vs pooled "
+        f"{frame['pooled_shm_s'] * 1e3:.1f} ms, bit-identical",
+        f"sessions: solo median query "
+        f"{sessions['solo']['median_query_s'] * 1e3:.2f} ms vs 8 concurrent "
+        f"{sessions['concurrent_8']['median_query_s'] * 1e3:.2f} ms "
+        f"(one resident copy, shared stage cache)",
+        "machine-readable: out/BENCH_Q3.json",
+    ]
+    report_sink("Q3", "zero-copy shared-memory data plane", lines)
+
+    # acceptance: per-worker init payload is O(handle), not O(dataset)
+    assert shm_bytes < 16_384, f"handle ship unexpectedly large: {shm_bytes}B"
+    assert pickle_bytes > 100 * shm_bytes
+    # acceptance: >= 2x faster pool warm-up at 8 workers
+    assert warmup["8"]["speedup"] >= 2.0, warmup["8"]

@@ -7,6 +7,14 @@ brushing query engine, the temporal filter, the stereo projection with
 its ergonomic controls, the paintbrush/pointer interaction layer, and
 the renderer into one object with the operations the researcher
 performed.  Examples and the analyst simulator build on it.
+
+Since the shared-data-plane refactor the explorer no longer owns the
+heavy state itself: it sits on a :class:`repro.store.DatasetService`
+(one resident dataset + spatial index + stage cache) and holds a
+per-user :class:`repro.store.SessionView`.  Constructing an explorer
+from a dataset transparently creates a private service; passing
+``service=`` lets any number of explorers — one per user at the wall —
+share a single resident copy of the packed arrays.
 """
 
 from __future__ import annotations
@@ -18,7 +26,6 @@ import numpy as np
 from repro.core.brush import BrushStroke
 from repro.core.hypothesis import Hypothesis, Verdict
 from repro.core.result import QueryResult
-from repro.core.session import ExplorationSession
 from repro.core.temporal import TimeWindow
 from repro.display.presets import CYBER_COMMONS, paper_viewport
 from repro.display.viewport import Viewport
@@ -34,6 +41,7 @@ from repro.render.pipeline import WallRenderer
 from repro.sensemaking.provenance import InsightRecord, ProvenanceLog
 from repro.stereo.camera import Eye
 from repro.stereo.controls import ErgonomicControls
+from repro.store.service import DatasetService
 from repro.synth.arena import Arena
 from repro.trajectory.dataset import TrajectoryDataset
 
@@ -46,7 +54,13 @@ class TrajectoryExplorer:
     Parameters
     ----------
     dataset:
-        The trajectory collection to explore.
+        The trajectory collection to explore (omit when ``service`` is
+        given).
+    service:
+        An existing :class:`~repro.store.DatasetService` to share —
+        this explorer becomes one more session over its resident
+        dataset, index, and stage cache.  When omitted, a private
+        service is created around ``dataset``.
     arena:
         The shared experimental arena (defaults to the study's).
     viewport:
@@ -58,21 +72,27 @@ class TrajectoryExplorer:
 
     def __init__(
         self,
-        dataset: TrajectoryDataset,
+        dataset: TrajectoryDataset | None = None,
         *,
+        service: DatasetService | None = None,
         arena: Arena | None = None,
         viewport: Viewport | None = None,
         layout_key: str = "3",
         use_index: bool = True,
     ) -> None:
+        if service is None:
+            if dataset is None:
+                raise ValueError("provide a dataset or a DatasetService")
+            service = DatasetService(dataset, use_index=use_index)
+        elif dataset is not None and dataset is not service.dataset:
+            raise ValueError("dataset conflicts with the service's dataset")
+        self.service = service
         self.arena = arena or Arena()
         self.viewport = viewport or paper_viewport(CYBER_COMMONS)
-        self.session = ExplorationSession(
-            dataset, self.viewport, layout_key=layout_key, use_index=use_index
-        )
+        self.session = service.session(self.viewport, layout_key=layout_key)
         self.controls = ErgonomicControls()
         # fit the stereo depth budget to the longest displayed trajectory
-        max_dur = max((t.duration for t in dataset), default=60.0)
+        max_dur = max((t.duration for t in service.dataset), default=60.0)
         self.controls.fit_to_comfort(max_dur, center=False)
         self.keymap = default_keymap()
         self.recorder = SessionRecorder()
@@ -276,6 +296,8 @@ class TrajectoryExplorer:
             "time_scale": self.controls.time_scale,
             "depth_offset": self.controls.depth_offset,
             "query_cache": self.session.engine.cache_stats(),
+            "session_id": self.session.session_id,
+            "service_sessions": self.service.n_sessions,
         }
 
     def last_trace(self, color: str | None = None):

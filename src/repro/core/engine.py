@@ -68,6 +68,11 @@ class CoordinatedBrushingEngine:
         Grid resolution of the index.
     cache_capacity:
         Stage-cache size (number of retained stage outputs).
+    index:
+        A prebuilt :class:`UniformGridIndex` over this dataset's packed
+        view to adopt instead of building one — the shared-memory
+        attach path (:mod:`repro.store`) passes the index rebuilt from
+        shared cell tables here, skipping the counting sort entirely.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class CoordinatedBrushingEngine:
         use_index: bool = True,
         index_res: int = 64,
         cache_capacity: int = 128,
+        index: UniformGridIndex | None = None,
     ) -> None:
         if len(dataset) == 0:
             raise ValueError("cannot build an engine over an empty dataset")
@@ -89,7 +95,14 @@ class CoordinatedBrushingEngine:
         self.index: UniformGridIndex | None = None
         self._index_error: str | None = None
         self._use_index = use_index
-        if use_index:
+        if index is not None:
+            if index.packed is not self.packed:
+                raise ValueError(
+                    "prebuilt index was not built over this dataset's packed view"
+                )
+            self.index = index
+            self._use_index = True
+        elif use_index:
             try:
                 self.index = UniformGridIndex(self.packed, index_res)
             except Exception as exc:

@@ -116,7 +116,13 @@ class QueryPlanner:
         """
         t0 = time.perf_counter()
         token = index_token if index_token is not None else self.index_token
-        ds = ("ds", spec.dataset_epoch)
+        # store-attached datasets carry the store's identity inside the
+        # dataset tag: epochs of two datasets attached from different
+        # shared stores may coincide, the (uid, epoch) store token never
+        # does — the tag stays a 2-tuple so epoch-based invalidation
+        # keeps decoding it
+        ds = ("ds", spec.dataset_epoch if spec.store_token is None
+              else (spec.dataset_epoch, spec.store_token))
         cv = ("cv", (spec.canvas_uid, spec.color_epoch))
         win = ("win", spec.window_key)
 

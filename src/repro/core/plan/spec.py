@@ -72,6 +72,12 @@ class QuerySpec:
     n_stamps:
         Stamp count of ``color`` on the canvas (0 = empty brush, which
         plans to a trivial all-false hit mask).
+    store_token:
+        Identity of the shared-memory store the dataset is attached to
+        (``None`` for plain in-process datasets).  Embedded in every
+        stage key so two datasets attached from *different* stores —
+        whose private epoch counters may coincide — can never collide
+        in a shared stage cache.
     """
 
     color: str
@@ -83,6 +89,7 @@ class QuerySpec:
     assignment_id: int | None
     use_index: bool
     n_stamps: int
+    store_token: tuple | None = None
 
     @classmethod
     def capture(
@@ -107,4 +114,5 @@ class QuerySpec:
             assignment_id=assignment_token(assignment),
             use_index=use_index,
             n_stamps=len(centers),
+            store_token=getattr(dataset, "store_token", None),
         )

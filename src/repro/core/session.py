@@ -125,11 +125,20 @@ class ExplorationSession:
     layout_key:
         Initial keypad layout preset ('1' | '2' | '3').
     use_index:
-        Whether the query engine builds its spatial index.
+        Whether the query engine builds its spatial index (ignored when
+        ``engine`` is supplied).
     journal_path:
         Optional path of a crash-safe append-only event journal; every
         action is durably recorded so :func:`replay_session` can
         rebuild an interrupted session.
+    engine:
+        A pre-existing engine over the *same* dataset to share instead
+        of building a private one.  This is how
+        :class:`repro.store.DatasetService` hands N concurrent sessions
+        one resident copy of the packed arrays and one stage cache;
+        pass an engine that serializes its queries (e.g.
+        :class:`repro.store.SharedQueryEngine`) when sessions run on
+        multiple threads.
     """
 
     def __init__(
@@ -140,10 +149,17 @@ class ExplorationSession:
         layout_key: str = "3",
         use_index: bool = True,
         journal_path: str | Path | None = None,
+        engine: CoordinatedBrushingEngine | None = None,
     ) -> None:
+        if engine is not None and engine.dataset is not dataset:
+            raise ValueError("shared engine is bound to a different dataset")
         self.dataset = dataset
         self.viewport = viewport
-        self.engine = CoordinatedBrushingEngine(dataset, use_index=use_index)
+        self.engine = (
+            engine
+            if engine is not None
+            else CoordinatedBrushingEngine(dataset, use_index=use_index)
+        )
         self.canvas = BrushCanvas()
         self.window: TimeWindow = TimeWindow.all()
         self.events: list[SessionEvent] = []

@@ -85,6 +85,44 @@ class UniformGridIndex:
         self._offsets = np.zeros(res * res + 1, dtype=np.int64)
         np.cumsum(counts, out=self._offsets[1:])
 
+    @classmethod
+    def from_tables(
+        cls,
+        packed: PackedSegments,
+        *,
+        res: int,
+        lo: np.ndarray,
+        cell_size: np.ndarray,
+        entries: np.ndarray,
+        offsets: np.ndarray,
+    ) -> "UniformGridIndex":
+        """Adopt pre-built CSR cell tables without re-binning.
+
+        The zero-copy rebuild path for shared-memory attachment
+        (:mod:`repro.store`): ``entries``/``offsets`` are taken as-is
+        (typically views into a shared block) together with the grid
+        geometry captured at build time, so attaching a store costs
+        O(1) instead of a counting sort over every segment.
+        """
+        if res < 1:
+            raise ValueError("res must be >= 1")
+        if len(offsets) != res * res + 1:
+            raise ValueError(
+                f"offsets has {len(offsets)} entries, expected {res * res + 1}"
+            )
+        if len(entries) != int(offsets[-1]):
+            raise ValueError(
+                f"entries has {len(entries)} rows, offsets end at {offsets[-1]}"
+            )
+        index = cls.__new__(cls)
+        index.res = int(res)
+        index.packed = packed
+        index.lo = np.asarray(lo, dtype=np.float64)
+        index.cell_size = np.asarray(cell_size, dtype=np.float64)
+        index._entries = entries
+        index._offsets = offsets
+        return index
+
     # Internals -----------------------------------------------------------
     def _cell_of(self, points: np.ndarray) -> np.ndarray:
         """Integer grid cell of (N, 2) points, clipped into the grid."""

@@ -61,12 +61,39 @@ class WorkerPool:
     def map(self, fn: Callable[[T], R], items: Sequence[T], *, chunksize: int = 1) -> list[R]:
         """Ordered map over items (serial or pooled).
 
+        Both paths give identical guarantees so code exercised serially
+        behaves the same pooled:
+
+        * **Ordering** — ``results[i] == fn(items[i])`` always.
+          ``chunksize`` only batches how many items travel per pickle
+          round-trip; chunks are formed from consecutive items and
+          results are reassembled in submission order, never reordered.
+        * **Validation** — ``chunksize`` must be >= 1 on the serial
+          path too (the pooled executor rejects it; a serial test run
+          must not mask that).
+        * **Failure timing** — the first exception from ``fn``
+          propagates and later items are not evaluated.  Serially,
+          items are consumed chunk-by-chunk in the same grouping the
+          pooled path would ship, so side-effect ordering matches.
+
+        Pickling contract (pooled path): ``fn`` must be a module-level
+        callable, and every item and result must pickle — resolve jobs
+        to plain arrays/dataclasses before mapping (or ship a
+        :class:`repro.store.StoreHandle` and attach in the worker
+        instead of pickling datasets).  The serial path never pickles;
+        that difference is unobservable for conforming payloads.
+
         A pooled ``WorkerPool`` must be entered (``with`` block) before
         mapping; calling outside the context manager raises rather than
         silently degrading to serial execution and losing parallelism.
         """
+        if chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         if self.serial:
-            return [fn(item) for item in items]
+            results: list[R] = []
+            for start in range(0, len(items), chunksize):
+                results.extend(fn(item) for item in items[start : start + chunksize])
+            return results
         if self._executor is None:
             raise RuntimeError(
                 f"WorkerPool(max_workers={self.max_workers}).map called outside "

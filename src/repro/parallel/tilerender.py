@@ -7,6 +7,16 @@ worker* through the pool initializer rather than once per job, which is
 what makes the speedup survive Python's pickling costs (the dataset is
 megabytes; a job description is kilobytes).
 
+With a published :class:`repro.store.SharedArenaStore` (pass ``store=``)
+the per-worker payload drops from O(dataset bytes) to O(handle bytes):
+workers receive only the picklable :class:`~repro.store.StoreHandle`
+plus the small renderer parts (arena/viewport/projection/style) and
+attach zero-copy views onto the one resident copy of the packed
+arrays.  If the handle cannot be attached (stale epoch, evicted block),
+the render *degrades* to the classic pickle-ship initializer and the
+event is recorded on the :class:`DegradationReport` — never a failed
+frame.
+
 ``max_workers<=1`` runs serially in-process and is bit-identical to
 :meth:`WallRenderer.render_viewport`.
 
@@ -40,6 +50,8 @@ from repro.resilience.health import DegradationReport
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.supervisor import SupervisedPool
 from repro.stereo.camera import Eye
+from repro.store.arena import SharedArenaStore, StoreHandle, attach
+from repro.store.shm import StoreAttachError
 
 __all__ = ["render_viewport_parallel", "ParallelRenderReport"]
 
@@ -50,6 +62,28 @@ _WORKER_STATE: dict = {}
 def _init_worker(renderer: WallRenderer, canvas: BrushCanvas | None,
                  results: dict[str, QueryResult] | None) -> None:
     _WORKER_STATE["renderer"] = renderer
+    _WORKER_STATE["canvas"] = canvas
+    _WORKER_STATE["results"] = results
+
+
+def _init_worker_shm(handle, arena, viewport, projection, style,
+                     canvas: BrushCanvas | None,
+                     results: dict[str, QueryResult] | None) -> None:
+    """Zero-copy pool initializer: attach the shared store and rebuild
+    the renderer around view-backed trajectories.
+
+    An attach failure raises, killing the worker — the supervised
+    pool's retry/serial-fallback ladder then still completes the frame
+    (the parent pre-validates the handle, so this is a race, not the
+    expected path).
+    """
+    from repro.store.arena import attach
+
+    client = attach(handle)
+    _WORKER_STATE["client"] = client  # pins the mapping for the worker's life
+    _WORKER_STATE["renderer"] = WallRenderer(
+        client.dataset, arena, viewport, projection, style
+    )
     _WORKER_STATE["canvas"] = canvas
     _WORKER_STATE["results"] = results
 
@@ -90,6 +124,7 @@ def render_viewport_parallel(
     max_workers: int = 0,
     fault_plan: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
+    store: "SharedArenaStore | StoreHandle | None" = None,
 ) -> ParallelRenderReport:
     """Render all viewport tiles, optionally over a supervised pool.
 
@@ -115,6 +150,13 @@ def render_viewport_parallel(
         hook; pass an empty plan to override the environment.
     retry_policy:
         Per-job retry/backoff/timeout policy for the supervisor.
+    store:
+        A published :class:`~repro.store.SharedArenaStore` (or its
+        :class:`~repro.store.StoreHandle`) for the renderer's dataset.
+        Pool workers then attach zero-copy views instead of receiving
+        a pickled dataset; an unattachable handle degrades to the
+        pickle-ship initializer with a ``shm-attach-failure`` event on
+        the report.
     """
     if results is None and engine is not None and canvas is not None:
         if not canvas.is_empty():
@@ -137,12 +179,30 @@ def render_viewport_parallel(
             fb = renderer.render_job(job, canvas=canvas, results=results)
             return (job.tile.col, job.tile.row, int(job.eye), fb.data)
 
+        # default transport: pickle the whole renderer into each worker
+        initializer, initargs = _init_worker, (renderer, canvas, results)
+        if store is not None:
+            handle = store.handle if isinstance(store, SharedArenaStore) else store
+            try:
+                attach(handle).close()  # parent-side probe: fail fast+cheap
+            except StoreAttachError as exc:
+                degradation.record(
+                    "shm-attach-failure", scope="pool", action="pickle-fallback",
+                    detail=repr(exc),
+                )
+            else:
+                initializer = _init_worker_shm
+                initargs = (
+                    handle, renderer.arena, renderer.viewport,
+                    renderer.projection, renderer.style, canvas, results,
+                )
+
         with SupervisedPool(
             max_workers,
             policy=retry_policy,
             fault_plan=fault_plan,
-            initializer=_init_worker,
-            initargs=(renderer, canvas, results),
+            initializer=initializer,
+            initargs=initargs,
             report=degradation,
         ) as pool:
             outputs = pool.map(_render_one, jobs, serial_fn=_render_local)

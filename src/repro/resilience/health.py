@@ -29,14 +29,17 @@ class FaultEvent:
         validation), ``"injected-*"`` (a fault-plan fault observed as
         such), ``"index-failure"`` / ``"index-build-failure"`` (spatial
         index misbehaved), ``"io-row"`` / ``"io-trajectory"`` (loader
-        quarantine).
+        quarantine), ``"shm-attach-failure"`` (a shared-memory store
+        handle could not be attached — stale epoch or evicted block).
     scope:
         Which layer observed it: ``"job"``, ``"pool"``, ``"index"``,
         ``"io"``, or ``"session"``.
     action:
         What the supervisor did about it: ``"retried"``,
         ``"serial-fallback"``, ``"degraded-brute-force"``,
-        ``"respawned"``, ``"quarantined"``, or ``"skipped"``.
+        ``"respawned"``, ``"quarantined"``, ``"skipped"``, or
+        ``"pickle-fallback"`` (the pool shipped the pickled dataset
+        instead of a zero-copy store handle).
     job:
         Job index the event concerns, when job-scoped.
     attempt:

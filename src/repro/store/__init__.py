@@ -1,0 +1,56 @@
+"""Shared-memory data plane and multi-session serving.
+
+The package splits the system the way encube (Vohl et al.) splits a
+cluster-driven display wall and Dataopsy (Hoque & Elmqvist) splits
+aggregate query serving: a **shared immutable data plane** — one
+resident copy of the packed trajectory arrays and spatial-index tables,
+published once into ``multiprocessing.shared_memory`` — and **cheap
+per-consumer state** on top of it.
+
+* :mod:`repro.store.shm` — block lifecycle (create/attach/close/unlink,
+  atexit safety net, leak registry).
+* :mod:`repro.store.arena` — :class:`SharedArenaStore` (publish),
+  :class:`StoreHandle` (the small picklable address workers receive
+  instead of a pickled dataset), :func:`attach` → :class:`StoreClient`
+  (zero-copy dataset / index / engine rebuilds).
+* :mod:`repro.store.service` — :class:`DatasetService` (one dataset +
+  engine + stage cache behind a lock, store registry/eviction) and
+  :class:`SessionView` (per-user canvas/window/layout/journal), so N
+  concurrent sessions query one resident copy.
+"""
+
+from repro.store.arena import (
+    ArraySpec,
+    SharedArenaStore,
+    StoreClient,
+    StoreHandle,
+    attach,
+)
+from repro.store.service import DatasetService, SessionView, SharedQueryEngine
+from repro.store.shm import (
+    HAVE_SHARED_MEMORY,
+    SharedBlock,
+    StaleHandleError,
+    StoreAttachError,
+    attach_block,
+    create_block,
+    live_blocks,
+)
+
+__all__ = [
+    "ArraySpec",
+    "SharedArenaStore",
+    "StoreClient",
+    "StoreHandle",
+    "attach",
+    "DatasetService",
+    "SessionView",
+    "SharedQueryEngine",
+    "HAVE_SHARED_MEMORY",
+    "SharedBlock",
+    "StaleHandleError",
+    "StoreAttachError",
+    "attach_block",
+    "create_block",
+    "live_blocks",
+]

@@ -1,0 +1,507 @@
+"""The shared-memory arena store: one resident copy of the data plane.
+
+A :class:`SharedArenaStore` materializes everything the query and
+render paths read — the per-trajectory sample arrays, the packed
+columnar segment view (:class:`~repro.trajectory.dataset.PackedSegments`),
+and optionally the :class:`~repro.core.spatial_index.UniformGridIndex`
+cell tables — **once**, into a single ``multiprocessing.shared_memory``
+block.  Consumers receive a :class:`StoreHandle`: a small picklable,
+epoch-tagged address (block name + array table-of-contents) that costs
+O(handle bytes) to ship, against the O(dataset bytes) pickling of the
+trajectories themselves.  :func:`attach` maps the block and rebuilds a
+fully functional :class:`~repro.trajectory.dataset.TrajectoryDataset`
+(and index, and engine) whose arrays are zero-copy views into the
+shared pages — the encube/Dataopsy "shared immutable data plane, cheap
+per-consumer state" split.
+
+Block layout::
+
+    [ 64-byte header: magic | uid | epoch ]
+    [ 16-byte-aligned arrays, per the handle's ArraySpec TOC ]
+    [ JSON metadata blob: name, traj metas ]
+
+Blocks are written once at publish time and never mutated; dataset
+mutation means a *new* store (new uid, new epoch) and eventual eviction
+of the old one — attaching through an outdated handle fails loudly with
+:class:`~repro.store.shm.StaleHandleError` instead of silently serving
+old segments.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+import uuid
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.store.shm import (
+    SharedBlock,
+    StaleHandleError,
+    StoreAttachError,
+    attach_block,
+    create_block,
+)
+from repro.trajectory.dataset import PackedSegments, TrajectoryDataset
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+__all__ = ["ArraySpec", "StoreHandle", "SharedArenaStore", "StoreClient", "attach"]
+
+_MAGIC = b"RSTORE1\n"
+_HEADER = struct.Struct("<8s32sq16x")  # magic, uid hex, epoch, reserved
+_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Table-of-contents entry addressing one array inside the block."""
+
+    key: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        """Byte length of the addressed array."""
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+@dataclass(frozen=True)
+class StoreHandle:
+    """Small picklable, epoch-tagged address of a published store.
+
+    Shipping one of these to a worker replaces pickling the dataset:
+    the handle is a few hundred bytes regardless of how many segments
+    the arena holds.
+
+    Attributes
+    ----------
+    block:
+        Shared-memory block name to attach.
+    uid:
+        Unique id of this store build (changes on every publish).
+    epoch:
+        The dataset's mutation epoch at publish time.
+    name:
+        The published dataset's name.
+    n_traj / n_samples / n_segments:
+        Cardinalities, for sanity checks and reporting.
+    index_res:
+        Grid resolution of the materialized spatial index, or ``None``
+        when the store was published without one.
+    arrays:
+        Array table-of-contents (key → dtype/shape/offset).
+    meta_span:
+        (offset, length) of the JSON metadata blob inside the block.
+    """
+
+    block: str
+    uid: str
+    epoch: int
+    name: str
+    n_traj: int
+    n_samples: int
+    n_segments: int
+    index_res: int | None
+    arrays: tuple[ArraySpec, ...]
+    meta_span: tuple[int, int]
+
+    @property
+    def store_token(self) -> tuple:
+        """Identity embedded into query-plan cache keys for datasets
+        served from this store (uid + epoch: a republished or mutated
+        store can never collide with cached stage outputs)."""
+        return ("shm", self.uid, self.epoch)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total bytes of shared array + metadata payload the handle
+        addresses (what pickle-shipping would have copied per worker)."""
+        return sum(a.nbytes for a in self.arrays) + self.meta_span[1]
+
+    @property
+    def handle_bytes(self) -> int:
+        """Size of this handle itself on the wire."""
+        return len(pickle.dumps(self))
+
+    def spec(self, key: str) -> ArraySpec:
+        """The TOC entry for ``key`` (raises ``KeyError`` if absent)."""
+        for a in self.arrays:
+            if a.key == key:
+                return a
+        raise KeyError(key)
+
+    def has_array(self, key: str) -> bool:
+        """True when the store materialized an array under ``key``."""
+        return any(a.key == key for a in self.arrays)
+
+
+def _aligned(offset: int) -> int:
+    """Round ``offset`` up to the array alignment boundary."""
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArenaStore:
+    """One resident, immutable copy of a dataset's columnar arrays.
+
+    Build via :meth:`publish`; hand :attr:`handle` to consumers; tear
+    down with :meth:`close` / :meth:`unlink` (or use as a context
+    manager).  The publishing process owns the block: closing an
+    attached :class:`StoreClient` never affects other consumers,
+    unlinking is publisher-only.
+    """
+
+    def __init__(self, block: SharedBlock, handle: StoreHandle) -> None:
+        self._block = block
+        self.handle = handle
+
+    # Publication ---------------------------------------------------------
+    @classmethod
+    def publish(
+        cls,
+        dataset: TrajectoryDataset,
+        *,
+        include_index: bool = True,
+        index: "object | None" = None,
+        index_res: int = 64,
+    ) -> "SharedArenaStore":
+        """Materialize ``dataset`` (and optionally its spatial index)
+        into one shared block and return the store.
+
+        Parameters
+        ----------
+        dataset:
+            The trajectory collection to publish (must be non-empty).
+        include_index:
+            Also materialize the uniform-grid cell tables so attachers
+            skip the index build entirely.
+        index:
+            A prebuilt :class:`~repro.core.spatial_index.UniformGridIndex`
+            over ``dataset.packed()`` to reuse (e.g. the service
+            engine's); built fresh when omitted and ``include_index``.
+        index_res:
+            Resolution for a fresh index build.
+        """
+        if len(dataset) == 0:
+            raise ValueError("cannot publish an empty dataset")
+        packed = dataset.packed()
+
+        if include_index and index is None:
+            from repro.core.spatial_index import UniformGridIndex
+
+            try:
+                index = UniformGridIndex(packed, index_res)
+            except Exception:
+                index = None  # publish without; attachers brute-force
+        if index is not None and index.packed is not packed:
+            raise ValueError("index was not built over this dataset's packed view")
+
+        n_traj = len(dataset)
+        sample_offsets = np.zeros(n_traj + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter((t.n_samples for t in dataset), dtype=np.int64, count=n_traj),
+            out=sample_offsets[1:],
+        )
+        n_samples = int(sample_offsets[-1])
+        traj_ids = np.fromiter((t.traj_id for t in dataset), dtype=np.int64, count=n_traj)
+
+        metas_blob = json.dumps(
+            [t.meta.to_dict() for t in dataset], separators=(",", ":")
+        ).encode("utf-8")
+
+        # --- lay out the TOC ------------------------------------------------
+        plan: list[tuple[str, str, tuple[int, ...]]] = [
+            ("pos", "<f8", (n_samples, 2)),
+            ("times", "<f8", (n_samples,)),
+            ("sample_offsets", "<i8", (n_traj + 1,)),
+            ("traj_ids", "<i8", (n_traj,)),
+            ("seg_a", "<f8", (packed.n_segments, 2)),
+            ("seg_b", "<f8", (packed.n_segments, 2)),
+            ("seg_t0", "<f8", (packed.n_segments,)),
+            ("seg_t1", "<f8", (packed.n_segments,)),
+            ("seg_owner", "<i4", (packed.n_segments,)),
+            ("seg_offsets", "<i8", (n_traj + 1,)),
+        ]
+        if index is not None:
+            plan += [
+                ("idx_entries", "<i8", (index.n_entries,)),
+                ("idx_offsets", "<i8", (index.res * index.res + 1,)),
+                ("idx_lo", "<f8", (2,)),
+                ("idx_cell_size", "<f8", (2,)),
+            ]
+        specs: list[ArraySpec] = []
+        cursor = _HEADER.size
+        for key, dtype, shape in plan:
+            cursor = _aligned(cursor)
+            specs.append(ArraySpec(key, dtype, shape, cursor))
+            cursor += specs[-1].nbytes
+        meta_offset = _aligned(cursor)
+        total = meta_offset + len(metas_blob)
+
+        uid = uuid.uuid4().hex
+        block = create_block(total, name=f"repro_store_{uid[:16]}")
+        handle = StoreHandle(
+            block=block.name,
+            uid=uid,
+            epoch=dataset.epoch,
+            name=dataset.name,
+            n_traj=n_traj,
+            n_samples=n_samples,
+            n_segments=packed.n_segments,
+            index_res=None if index is None else index.res,
+            arrays=tuple(specs),
+            meta_span=(meta_offset, len(metas_blob)),
+        )
+
+        # --- fill the block -------------------------------------------------
+        _HEADER.pack_into(
+            block.buf, 0, _MAGIC, uid.encode("ascii"), int(dataset.epoch)
+        )
+        views = {s.key: _map_array(block, s, writable=True) for s in specs}
+        for i, traj in enumerate(dataset):
+            lo, hi = sample_offsets[i], sample_offsets[i + 1]
+            views["pos"][lo:hi] = traj.positions
+            views["times"][lo:hi] = traj.times
+        views["sample_offsets"][:] = sample_offsets
+        views["traj_ids"][:] = traj_ids
+        views["seg_a"][:] = packed.a
+        views["seg_b"][:] = packed.b
+        views["seg_t0"][:] = packed.t0
+        views["seg_t1"][:] = packed.t1
+        views["seg_owner"][:] = packed.owner
+        views["seg_offsets"][:] = packed.offsets
+        if index is not None:
+            views["idx_entries"][:] = index._entries
+            views["idx_offsets"][:] = index._offsets
+            views["idx_lo"][:] = index.lo
+            views["idx_cell_size"][:] = index.cell_size
+        block.buf[meta_offset : meta_offset + len(metas_blob)] = metas_blob
+        del views  # drop rw views so close() can release the mapping
+        return cls(block, handle)
+
+    # Introspection -------------------------------------------------------
+    @property
+    def uid(self) -> str:
+        """Unique id of this store build."""
+        return self.handle.uid
+
+    @property
+    def epoch(self) -> int:
+        """Dataset mutation epoch captured at publish time."""
+        return self.handle.epoch
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the shared block."""
+        return self._block.size
+
+    @property
+    def closed(self) -> bool:
+        """True once the publisher's mapping is released."""
+        return self._block.closed
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArenaStore(uid={self.uid[:8]}, epoch={self.epoch}, "
+            f"{self.handle.n_segments} segs, {self.nbytes}B)"
+        )
+
+    # Lifecycle -----------------------------------------------------------
+    def close(self) -> bool:
+        """Release the publisher's local mapping (consumers unaffected)."""
+        return self._block.close()
+
+    def unlink(self) -> None:
+        """Remove the shared block's name; outstanding attachments keep
+        their mapping, new attaches fail with a stale-handle error."""
+        self._block.unlink()
+
+    def __enter__(self) -> "SharedArenaStore":
+        """Context-manage publisher lifetime (unlink + close on exit)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Unlink the name and release the mapping."""
+        self.unlink()
+        self.close()
+
+
+def _map_array(block: SharedBlock, spec: ArraySpec, *, writable: bool = False) -> np.ndarray:
+    """A numpy view over one TOC entry of a block (zero-copy).
+
+    Must go through ``np.frombuffer`` — it registers a real buffer
+    export on the mapping, so ``block.close()`` refuses (returns False)
+    while views are alive.  ``np.ndarray(buffer=...)`` keeps only a raw
+    pointer: close() would then unmap under live views and any later
+    access is a use-after-free.
+    """
+    dtype = np.dtype(spec.dtype)
+    count = int(np.prod(spec.shape, dtype=np.int64))
+    arr = np.frombuffer(
+        block.buf, dtype=dtype, count=count, offset=spec.offset
+    ).reshape(spec.shape)
+    if not writable:
+        arr.setflags(write=False)
+    return arr
+
+
+class StoreClient:
+    """One process's zero-copy attachment to a published store.
+
+    Lazily rebuilds the dataset / spatial index / engine as views into
+    the shared pages.  :meth:`close` drops the client's references and
+    releases the mapping — arrays handed out remain valid only while
+    some attachment (here or elsewhere) keeps the pages mapped, so drop
+    derived objects before closing.
+    """
+
+    def __init__(self, handle: StoreHandle, block: SharedBlock) -> None:
+        self.handle = handle
+        self._block = block
+        self._dataset: TrajectoryDataset | None = None
+        self._index = None
+
+    # Zero-copy rebuilds --------------------------------------------------
+    @property
+    def dataset(self) -> TrajectoryDataset:
+        """The attached dataset; every array is a view into the block."""
+        if self._dataset is None:
+            h = self.handle
+            pos = _map_array(self._block, h.spec("pos"))
+            times = _map_array(self._block, h.spec("times"))
+            sample_offsets = _map_array(self._block, h.spec("sample_offsets"))
+            traj_ids = _map_array(self._block, h.spec("traj_ids"))
+            mo, ml = h.meta_span
+            metas = json.loads(bytes(self._block.buf[mo : mo + ml]).decode("utf-8"))
+            if len(metas) != h.n_traj:
+                raise StoreAttachError(
+                    f"store metadata lists {len(metas)} trajectories, "
+                    f"handle says {h.n_traj}"
+                )
+            # from_validated: publish() wrote validated arrays, so the
+            # attach path must not re-scan them (that would fault in the
+            # whole mapping per worker and defeat the O(handle) cost)
+            trajs = [
+                Trajectory.from_validated(
+                    pos[sample_offsets[i] : sample_offsets[i + 1]],
+                    times[sample_offsets[i] : sample_offsets[i + 1]],
+                    TrajectoryMeta.from_dict(metas[i]),
+                    traj_id=int(traj_ids[i]),
+                )
+                for i in range(h.n_traj)
+            ]
+            packed = PackedSegments.from_arrays(
+                a=_map_array(self._block, h.spec("seg_a")),
+                b=_map_array(self._block, h.spec("seg_b")),
+                t0=_map_array(self._block, h.spec("seg_t0")),
+                t1=_map_array(self._block, h.spec("seg_t1")),
+                owner=_map_array(self._block, h.spec("seg_owner")),
+                offsets=_map_array(self._block, h.spec("seg_offsets")),
+            )
+            self._dataset = TrajectoryDataset.from_attached(
+                trajs,
+                packed,
+                name=h.name,
+                epoch=h.epoch,
+                store_token=h.store_token,
+            )
+        return self._dataset
+
+    def index(self):
+        """The attached :class:`UniformGridIndex` rebuilt from the
+        shared cell tables, or ``None`` when the store has no index."""
+        if self.handle.index_res is None:
+            return None
+        if self._index is None:
+            from repro.core.spatial_index import UniformGridIndex
+
+            h = self.handle
+            self._index = UniformGridIndex.from_tables(
+                self.dataset.packed(),
+                res=h.index_res,
+                lo=_map_array(self._block, h.spec("idx_lo")).copy(),
+                cell_size=_map_array(self._block, h.spec("idx_cell_size")).copy(),
+                entries=_map_array(self._block, h.spec("idx_entries")),
+                offsets=_map_array(self._block, h.spec("idx_offsets")),
+            )
+        return self._index
+
+    def engine(self, **engine_kwargs):
+        """A :class:`CoordinatedBrushingEngine` over the attached
+        dataset, reusing the shared index tables (no rebuild)."""
+        from repro.core.engine import CoordinatedBrushingEngine
+
+        index = self.index()
+        if index is not None:
+            engine_kwargs.setdefault("index", index)
+        else:
+            engine_kwargs.setdefault("use_index", False)
+        return CoordinatedBrushingEngine(self.dataset, **engine_kwargs)
+
+    # Lifecycle -----------------------------------------------------------
+    def close(self) -> bool:
+        """Drop rebuilt objects and release the mapping.
+
+        Returns False when arrays handed out earlier are still alive
+        (the mapping then stays open and registered — visible to leak
+        checks — until those references drop)."""
+        self._dataset = None
+        self._index = None
+        return self._block.close()
+
+    def __enter__(self) -> "StoreClient":
+        """Context-manage the attachment (close on exit)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Release the client's mapping."""
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"StoreClient({self.handle.block!r}, epoch={self.handle.epoch})"
+
+
+def attach(handle: StoreHandle) -> StoreClient:
+    """Attach to a published store and verify the handle against the
+    block header.
+
+    Raises
+    ------
+    StaleHandleError
+        The block no longer exists (publisher evicted/unlinked it) or
+        its header epoch/uid disagrees with the handle.
+    StoreAttachError
+        The block exists but is not a store (corrupt / foreign block).
+    """
+    block = attach_block(handle.block)
+    try:
+        if block.size < _HEADER.size:
+            raise StoreAttachError(
+                f"block {handle.block!r} too small to be a store ({block.size}B)"
+            )
+        magic, uid, epoch = _HEADER.unpack_from(block.buf, 0)
+        if magic != _MAGIC:
+            raise StoreAttachError(
+                f"block {handle.block!r} is not a SharedArenaStore (bad magic)"
+            )
+        if uid.decode("ascii") != handle.uid or epoch != handle.epoch:
+            raise StaleHandleError(
+                f"handle (uid={handle.uid[:8]}, epoch={handle.epoch}) does not "
+                f"match block (uid={uid.decode('ascii')[:8]}, epoch={epoch}); "
+                "the store was republished — fetch a fresh handle"
+            )
+        need = max(
+            max((s.offset + s.nbytes for s in handle.arrays), default=0),
+            handle.meta_span[0] + handle.meta_span[1],
+        )
+        if block.size < need:
+            raise StoreAttachError(
+                f"block {handle.block!r} truncated: {block.size}B < {need}B"
+            )
+    except Exception:
+        block.close()
+        raise
+    return StoreClient(handle, block)

@@ -1,0 +1,366 @@
+"""Process-wide dataset service and per-user session views.
+
+The multi-session split of the former one-user application object:
+
+* :class:`DatasetService` owns what is expensive and immutable-ish —
+  **one** dataset, **one** packed segment view, **one** spatial index,
+  **one** stage cache — plus a registry of published shared-memory
+  stores (:class:`~repro.store.arena.SharedArenaStore`) with epoch
+  validation and eviction.  Everything queryable sits behind a
+  re-entrant lock so any number of threads can drive sessions
+  concurrently.
+
+* :class:`SessionView` is what is cheap and per-user — a brush canvas,
+  a time window, a layout/paging state, an event journal — layered over
+  the service's shared engine.  N concurrent views return exactly what
+  N independent single-user engines would, while the process holds
+  exactly one copy of the packed arrays (the encube render-node model:
+  shared resident data, per-session query state).
+
+Typical multi-session use::
+
+    service = DatasetService(dataset)
+    alice = service.session(viewport)
+    bob = service.session(viewport, layout_key="2")
+    alice.brush(stroke); bob.set_time_window(TimeWindow.end(0.25))
+    r_a, r_b = alice.run_query("red"), bob.run_query("red")
+
+and for worker processes::
+
+    handle = service.publish_store()          # O(dataset) once
+    pool ships `handle`                       # O(handle bytes) per worker
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.session import ExplorationSession
+from repro.display.viewport import Viewport
+from repro.store.arena import SharedArenaStore, StoreHandle
+from repro.store.shm import StaleHandleError
+from repro.trajectory.dataset import TrajectoryDataset
+
+__all__ = ["SharedQueryEngine", "DatasetService", "SessionView"]
+
+
+class SharedQueryEngine(CoordinatedBrushingEngine):
+    """An engine safe to share across concurrent sessions.
+
+    Identical results to the base engine; every query, plan, and cache
+    operation additionally runs under one re-entrant lock so N threads
+    hammering the shared :class:`StageCache` never interleave a stage
+    lookup with an insertion.  The lock is re-entrant: a locked
+    ``query_all_colors`` calling ``query`` per color nests cleanly.
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        *,
+        lock: "threading.RLock | None" = None,
+        **engine_kwargs,
+    ) -> None:
+        super().__init__(dataset, **engine_kwargs)
+        self._lock = lock if lock is not None else threading.RLock()
+
+    def query(self, *args, **kwargs):
+        """Serialized :meth:`CoordinatedBrushingEngine.query`."""
+        with self._lock:
+            return super().query(*args, **kwargs)
+
+    def query_all_colors(self, *args, **kwargs):
+        """Serialized multi-color evaluation (holds the lock across all
+        colors so the shared temporal mask is computed exactly once)."""
+        with self._lock:
+            return super().query_all_colors(*args, **kwargs)
+
+    def plan(self, *args, **kwargs):
+        """Serialized plan construction (reads the live index token)."""
+        with self._lock:
+            return super().plan(*args, **kwargs)
+
+    def cache_stats(self) -> dict[str, float]:
+        """Serialized cache-counter snapshot."""
+        with self._lock:
+            return super().cache_stats()
+
+    def invalidate_cache(self) -> None:
+        """Serialized cache flush."""
+        with self._lock:
+            return super().invalidate_cache()
+
+
+class SessionView(ExplorationSession):
+    """One user's lightweight state over a shared :class:`DatasetService`.
+
+    Owns everything mutable per user — canvas, time window, layout,
+    paging, groups, event log, optional on-disk journal — and nothing
+    heavy: the dataset, packed arrays, spatial index, and stage cache
+    all live in (and are shared through) the service.  Created via
+    :meth:`DatasetService.session`.
+    """
+
+    def __init__(
+        self,
+        service: "DatasetService",
+        viewport: Viewport,
+        *,
+        layout_key: str = "3",
+        journal_path: str | Path | None = None,
+    ) -> None:
+        self.service = service
+        self.session_id = service._next_session_id()
+        super().__init__(
+            service.dataset,
+            viewport,
+            layout_key=layout_key,
+            journal_path=journal_path,
+            engine=service.engine,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionView(#{self.session_id}, dataset={self.dataset.name!r}, "
+            f"{len(self.events)} events)"
+        )
+
+
+class DatasetService:
+    """Process-wide owner of one dataset's heavy, shareable state.
+
+    Parameters
+    ----------
+    dataset:
+        The trajectory collection to serve (non-empty).
+    use_index / index_res:
+        Spatial-index construction knobs for the shared engine.
+    cache_capacity:
+        Shared stage-cache size; sized up from the single-user default
+        because N sessions' stages compete for it.
+    keep_stores:
+        How many published shared-memory stores to retain; publishing
+        beyond this evicts (closes + unlinks) the oldest, and handles
+        to evicted stores fail to attach with a stale-handle error.
+    """
+
+    def __init__(
+        self,
+        dataset: TrajectoryDataset,
+        *,
+        use_index: bool = True,
+        index_res: int = 64,
+        cache_capacity: int = 512,
+        keep_stores: int = 2,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError("cannot serve an empty dataset")
+        if keep_stores < 1:
+            raise ValueError("keep_stores must be >= 1")
+        self.dataset = dataset
+        self._lock = threading.RLock()
+        self.engine = SharedQueryEngine(
+            dataset,
+            lock=self._lock,
+            use_index=use_index,
+            index_res=index_res,
+            cache_capacity=cache_capacity,
+        )
+        self.keep_stores = int(keep_stores)
+        self._stores: "OrderedDict[str, SharedArenaStore]" = OrderedDict()
+        self._n_sessions = 0
+        self._closed = False
+
+    # Construction helpers -------------------------------------------------
+    @classmethod
+    def from_handle(cls, handle: StoreHandle, **service_kwargs) -> "DatasetService":
+        """A service over a store *another* process published.
+
+        Attaches zero-copy and reuses the shared index tables, so a
+        render/query node process reaches serving state in O(1) data
+        movement.  The attachment stays open for the service's
+        lifetime; :meth:`close` releases it.
+        """
+        from repro.store.arena import attach
+
+        client = attach(handle)
+        service_kwargs.pop("use_index", None)
+        index = client.index()
+        service = cls.__new__(cls)
+        service.dataset = client.dataset
+        service._lock = threading.RLock()
+        service.engine = SharedQueryEngine(
+            client.dataset,
+            lock=service._lock,
+            index=index,
+            use_index=index is not None,
+            **service_kwargs,
+        )
+        service.keep_stores = 1
+        service._stores = OrderedDict()
+        service._n_sessions = 0
+        service._closed = False
+        service._client = client
+        return service
+
+    # Sessions -------------------------------------------------------------
+    def session(
+        self,
+        viewport: Viewport | None = None,
+        *,
+        layout_key: str = "3",
+        journal_path: str | Path | None = None,
+    ) -> SessionView:
+        """Open a new lightweight per-user session view.
+
+        ``viewport`` defaults to the paper's 2/3-surface wall preset
+        (the same default :class:`~repro.app.TrajectoryExplorer` uses).
+        """
+        self._check_open()
+        if viewport is None:
+            from repro.display.presets import CYBER_COMMONS, paper_viewport
+
+            viewport = paper_viewport(CYBER_COMMONS)
+        return SessionView(
+            self, viewport, layout_key=layout_key, journal_path=journal_path
+        )
+
+    def _next_session_id(self) -> int:
+        """Service-scoped session ids (1, 2, ...): two independent
+        services number their sessions identically, so replaying a
+        recorded session into a fresh explorer reproduces its state
+        byte-for-byte (``status()`` includes the id)."""
+        with self._lock:
+            self._n_sessions += 1
+            return self._n_sessions
+
+    @property
+    def n_sessions(self) -> int:
+        """Number of session views opened over this service."""
+        return self._n_sessions
+
+    # Store registry ---------------------------------------------------------
+    def publish_store(self, *, include_index: bool = True) -> StoreHandle:
+        """Publish (or reuse) a shared-memory store of the current
+        dataset epoch and return its handle.
+
+        Idempotent per epoch: repeated calls while the dataset is
+        unchanged return the same handle.  After a mutation, a fresh
+        store is materialized and old ones age out of the registry
+        (evicted beyond ``keep_stores`` — their handles then fail to
+        attach rather than serving stale segments).
+        """
+        self._check_open()
+        with self._lock:
+            epoch = self.dataset.epoch
+            for store in reversed(self._stores.values()):
+                if store.epoch == epoch:
+                    return store.handle
+            index = self.engine.index if include_index else None
+            if index is not None and index.packed is not self.dataset.packed():
+                # the dataset mutated since the engine bound its index;
+                # let publish() build a fresh one over the current epoch
+                index = None
+            store = SharedArenaStore.publish(
+                self.dataset,
+                include_index=include_index,
+                index=index,
+            )
+            self._stores[store.uid] = store
+            while len(self._stores) > self.keep_stores:
+                _, old = self._stores.popitem(last=False)
+                old.unlink()
+                old.close()
+            return store.handle
+
+    def stores(self) -> tuple[StoreHandle, ...]:
+        """Handles of every store currently registered (oldest first)."""
+        with self._lock:
+            return tuple(s.handle for s in self._stores.values())
+
+    def validate_handle(self, handle: StoreHandle) -> None:
+        """Check a handle against the live registry and dataset epoch.
+
+        Raises :class:`~repro.store.shm.StaleHandleError` when the
+        handle's store was evicted or the dataset has mutated past the
+        handle's epoch — callers should re-fetch via
+        :meth:`publish_store`.
+        """
+        with self._lock:
+            if handle.uid not in self._stores:
+                raise StaleHandleError(
+                    f"store {handle.uid[:8]} is not registered here "
+                    "(evicted or foreign); re-publish"
+                )
+            if handle.epoch != self.dataset.epoch:
+                raise StaleHandleError(
+                    f"handle epoch {handle.epoch} != dataset epoch "
+                    f"{self.dataset.epoch}: dataset mutated after publish"
+                )
+
+    def evict_store(self, uid: str) -> bool:
+        """Explicitly unlink and drop one registered store by uid;
+        returns True when something was evicted."""
+        with self._lock:
+            store = self._stores.pop(uid, None)
+        if store is None:
+            return False
+        store.unlink()
+        store.close()
+        return True
+
+    # Introspection ----------------------------------------------------------
+    def stats(self) -> dict:
+        """Service health: sessions, shared-cache counters, stores."""
+        with self._lock:
+            return {
+                "dataset": self.dataset.name,
+                "n_traj": len(self.dataset),
+                "epoch": self.dataset.epoch,
+                "sessions": self._n_sessions,
+                "stores": [s.uid[:8] for s in self._stores.values()],
+                "store_bytes": sum(s.nbytes for s in self._stores.values()),
+                "cache": self.engine.cache_stats(),
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"DatasetService({self.dataset.name!r}, sessions={self._n_sessions}, "
+            f"stores={len(self._stores)})"
+        )
+
+    # Lifecycle --------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("DatasetService is closed")
+
+    def close(self) -> None:
+        """Unlink and release every published store (idempotent); the
+        in-process engine and existing sessions stay usable."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            stores = list(self._stores.values())
+            self._stores.clear()
+        for store in stores:
+            store.unlink()
+            store.close()
+        client = getattr(self, "_client", None)
+        if client is not None:
+            # drop engine/dataset refs first so the mapping can release
+            self.engine = None  # type: ignore[assignment]
+            self.dataset = None  # type: ignore[assignment]
+            self._client = None
+            client.close()
+
+    def __enter__(self) -> "DatasetService":
+        """Context-manage the service (close on exit)."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Unlink published stores and release attachments."""
+        self.close()

@@ -61,6 +61,43 @@ class PackedSegments:
         for arr in (self.a, self.b, self.t0, self.t1, self.owner, self.offsets):
             arr.setflags(write=False)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        a: np.ndarray,
+        b: np.ndarray,
+        t0: np.ndarray,
+        t1: np.ndarray,
+        owner: np.ndarray,
+        offsets: np.ndarray,
+    ) -> "PackedSegments":
+        """Adopt pre-materialized columnar arrays without copying.
+
+        This is the zero-copy rebuild path for shared-memory attachment
+        (:mod:`repro.store`): the arrays are taken as-is — typically
+        views into a shared block — validated for mutual consistency,
+        and marked read-only.
+        """
+        n = len(owner)
+        if not (len(a) == len(b) == len(t0) == len(t1) == n):
+            raise ValueError("packed arrays disagree on segment count")
+        if len(offsets) < 1 or int(offsets[-1]) != n:
+            raise ValueError(
+                f"offsets end at {offsets[-1] if len(offsets) else '??'}, "
+                f"expected {n}"
+            )
+        packed = cls.__new__(cls)
+        packed.a = a
+        packed.b = b
+        packed.t0 = t0
+        packed.t1 = t1
+        packed.owner = owner
+        packed.offsets = offsets
+        for arr in (a, b, t0, t1, owner, offsets):
+            arr.setflags(write=False)
+        return packed
+
     @property
     def n_segments(self) -> int:
         return len(self.owner)
@@ -83,8 +120,44 @@ class TrajectoryDataset:
         self._trajs: list[Trajectory] = []
         self._packed: PackedSegments | None = None
         self._epoch = 0
+        #: Identity of the shared-memory store this dataset is a view
+        #: of (set by :mod:`repro.store` attachment, ``None`` for plain
+        #: in-process datasets); embedded in query-plan cache keys and
+        #: cleared by any mutation.
+        self.store_token: tuple | None = None
         for t in trajectories:
             self.append(t)
+
+    @classmethod
+    def from_attached(
+        cls,
+        trajectories: Sequence[Trajectory],
+        packed: PackedSegments,
+        *,
+        name: str,
+        epoch: int,
+        store_token: tuple | None,
+    ) -> "TrajectoryDataset":
+        """Assemble a dataset around pre-built (typically shared-memory
+        view) trajectories and packed arrays without re-packing.
+
+        Used by :mod:`repro.store` attachment: ``epoch`` restores the
+        publisher's mutation epoch so stage-cache keys line up, and
+        ``store_token`` brands the dataset with the store's identity.
+        Appending to the result invalidates both, like any mutation.
+        """
+        if len(trajectories) + 1 != len(packed.offsets):
+            raise ValueError(
+                f"{len(trajectories)} trajectories vs "
+                f"{len(packed.offsets) - 1} packed ownership ranges"
+            )
+        ds = cls.__new__(cls)
+        ds.name = name
+        ds._trajs = list(trajectories)
+        ds._packed = packed
+        ds._epoch = int(epoch)
+        ds.store_token = store_token
+        return ds
 
     # Container protocol ------------------------------------------------
     def __len__(self) -> int:
@@ -111,6 +184,8 @@ class TrajectoryDataset:
         self._trajs.append(traj)
         self._packed = None
         self._epoch += 1
+        # a mutated dataset no longer mirrors any published store
+        self.store_token = None
 
     @property
     def epoch(self) -> int:

@@ -144,6 +144,32 @@ class Trajectory:
         self.meta = meta if meta is not None else TrajectoryMeta()
         self.traj_id = int(traj_id)
 
+    @classmethod
+    def from_validated(
+        cls,
+        positions: np.ndarray,
+        times: np.ndarray,
+        meta: "TrajectoryMeta",
+        traj_id: int,
+    ) -> "Trajectory":
+        """Wrap already-validated, read-only arrays without re-checking.
+
+        The zero-copy attach path (:mod:`repro.store`) rebuilds every
+        trajectory as views into a shared-memory block that was filled
+        from validated trajectories at publish time; re-running the
+        finiteness/monotonicity scans there would fault in the whole
+        mapping per worker, defeating the O(handle) attach cost.  The
+        caller guarantees the constructor invariants: float64 C-order
+        arrays, matching lengths >= 2, finite values, strictly
+        increasing times, write flags cleared.
+        """
+        traj = cls.__new__(cls)
+        traj._positions = positions
+        traj._times = times
+        traj.meta = meta
+        traj.traj_id = int(traj_id)
+        return traj
+
     # Data access ------------------------------------------------------
     @property
     def positions(self) -> np.ndarray:

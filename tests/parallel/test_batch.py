@@ -54,3 +54,36 @@ class TestShardedQuery:
     def test_default_chunking(self, study_dataset, strokes):
         rep = parallel_query_support(study_dataset, strokes, max_workers=0)
         assert rep.n_chunks >= 1
+
+
+class TestStoreTransport:
+    def test_shm_transport_matches_pickle(self, study_dataset, strokes):
+        from repro.store import SharedArenaStore
+
+        pickle_rep = parallel_query_support(
+            study_dataset, strokes, n_chunks=4, max_workers=2
+        )
+        assert pickle_rep.transport == "pickle"
+        with SharedArenaStore.publish(study_dataset) as store:
+            shm_rep = parallel_query_support(
+                study_dataset, strokes, n_chunks=4, max_workers=2, store=store
+            )
+        assert shm_rep.transport == "shm"
+        np.testing.assert_array_equal(shm_rep.traj_mask, pickle_rep.traj_mask)
+
+    def test_stale_store_falls_back(self, study_dataset, strokes):
+        from repro.store import SharedArenaStore
+
+        store = SharedArenaStore.publish(study_dataset)
+        handle = store.handle
+        store.unlink()
+        store.close()
+        rep = parallel_query_support(
+            study_dataset, strokes, n_chunks=4, max_workers=2, store=handle
+        )
+        assert rep.transport == "pickle-fallback"
+        serial = parallel_query_support(
+            study_dataset, strokes, n_chunks=4, max_workers=0
+        )
+        assert serial.transport == "in-process"
+        np.testing.assert_array_equal(rep.traj_mask, serial.traj_mask)

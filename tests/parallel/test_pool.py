@@ -51,6 +51,32 @@ class TestWorkerPool:
         assert out == [9, 1, 4]
 
 
+class TestChunksizeContract:
+    def test_serial_chunking_preserves_order(self):
+        items = list(range(17))
+        expected = [x * x for x in items]
+        for chunksize in (1, 2, 5, 17, 100):
+            with WorkerPool(0) as pool:
+                assert pool.map(_square, items, chunksize=chunksize) == expected
+
+    def test_serial_and_pooled_agree_for_every_chunksize(self):
+        items = list(range(13))
+        for chunksize in (1, 3, 7):
+            with WorkerPool(2) as pool:
+                pooled = pool.map(_square, items, chunksize=chunksize)
+            assert pooled == WorkerPool(0).map(_square, items, chunksize=chunksize)
+
+    def test_invalid_chunksize_rejected_serially_too(self):
+        # the pooled executor rejects chunksize < 1; the serial path
+        # must not mask that for code tested with max_workers=0
+        for bad in (0, -1):
+            with pytest.raises(ValueError, match="chunksize"):
+                WorkerPool(0).map(_square, [1], chunksize=bad)
+            with WorkerPool(2) as pool:
+                with pytest.raises(ValueError, match="chunksize"):
+                    pool.map(_square, [1], chunksize=bad)
+
+
 class TestPoolMap:
     def test_one_shot(self):
         assert pool_map(_square, [2, 4], max_workers=0) == [4, 16]

@@ -60,6 +60,46 @@ class TestParallelPath:
                 )
 
 
+class TestSharedStoreTransport:
+    def test_store_path_bit_identical(self, setup, study_dataset):
+        from repro.store import SharedArenaStore
+
+        renderer, assignment = setup
+        serial = render_viewport_parallel(renderer, assignment, max_workers=0)
+        with SharedArenaStore.publish(study_dataset) as store:
+            shm = render_viewport_parallel(
+                renderer, assignment, max_workers=2, store=store
+            )
+            assert not shm.degraded  # the handle attached; no fallback
+            for eye in (Eye.LEFT, Eye.RIGHT):
+                for key in serial.frames[eye]:
+                    np.testing.assert_array_equal(
+                        serial.frames[eye][key].data, shm.frames[eye][key].data
+                    )
+
+    def test_unattachable_store_falls_back_to_pickle(self, setup, study_dataset):
+        from repro.store import SharedArenaStore
+
+        renderer, assignment = setup
+        serial = render_viewport_parallel(renderer, assignment, max_workers=0)
+        store = SharedArenaStore.publish(study_dataset)
+        handle = store.handle
+        store.unlink()
+        store.close()  # the handle is now stale
+        report = render_viewport_parallel(
+            renderer, assignment, max_workers=2, store=handle
+        )
+        # degradation ladder: attach failure recorded, pickle path taken,
+        # frames still bit-identical
+        assert report.degradation.by_kind() == {"shm-attach-failure": 1}
+        assert report.degradation.by_action() == {"pickle-fallback": 1}
+        for eye in (Eye.LEFT, Eye.RIGHT):
+            for key in serial.frames[eye]:
+                np.testing.assert_array_equal(
+                    serial.frames[eye][key].data, report.frames[eye][key].data
+                )
+
+
 class TestEngineResults:
     def test_engine_evaluates_once_in_parent(self, setup, study_dataset, arena):
         from repro.core.brush import stroke_from_rect

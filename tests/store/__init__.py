@@ -1,0 +1,1 @@
+"""Tests for the shared-memory data plane and multi-session service."""

@@ -1,0 +1,46 @@
+"""Store-test fixtures: every test must leave zero shared memory behind.
+
+The autouse fixture snapshots both the in-process block registry and
+the ``/dev/shm`` directory (POSIX) around each test and **fails** the
+test on any leftover — the enforcement half of the store's
+close/unlink lifecycle contract.
+"""
+
+from __future__ import annotations
+
+import gc
+from pathlib import Path
+
+import pytest
+
+from repro.store import live_blocks
+from repro.store.shm import BLOCK_PREFIX
+from repro.synth import AntStudyConfig, generate_study_dataset
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _shm_files() -> set[str]:
+    if not _SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in _SHM_DIR.glob(f"{BLOCK_PREFIX}*")}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_blocks():
+    """Fail any store test that leaks an open handle or an unlinked
+    /dev/shm segment."""
+    handles_before = set(live_blocks())
+    files_before = _shm_files()
+    yield
+    gc.collect()
+    leaked_handles = set(live_blocks()) - handles_before
+    assert not leaked_handles, f"leaked open SharedBlock handles: {leaked_handles}"
+    leaked_files = _shm_files() - files_before
+    assert not leaked_files, f"leaked /dev/shm segments: {leaked_files}"
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    """A small deterministic dataset (40 trajectories) for store tests."""
+    return generate_study_dataset(AntStudyConfig(n_trajectories=40, seed=11))

@@ -1,0 +1,56 @@
+"""reprolint — AST-based invariant checking for this repository.
+
+The resilience ladder (PR 1), the staged plan cache (PR 2), and the
+zero-copy shared-memory data plane (PR 3) each rest on invariants that
+ordinary tests exercise only on the paths they happen to cover.
+reprolint encodes them as static rules over the stdlib ``ast`` and
+fails CI on any violation:
+
+========  ==========================================================
+RL001     stage bodies are pure w.r.t. the cache key; cache-served
+          values are never mutated
+RL002     shared-memory blocks are created with paired teardown;
+          attached blocks are never unlinked
+RL003     service shared state is RLock-guarded; nothing blocks
+          while the lock is held
+RL004     degraded outputs never enter the stage cache
+RL005     worker-side views over shared pages are read-only
+RL006     save paths use the atomic temp-file + os.replace helpers
+========  ==========================================================
+
+Run ``python -m repro.tools.reprolint src`` (exit 0 = clean) and see
+DESIGN.md §9 for the invariant → failure-mode table.  Inline
+``# reprolint: disable=RL00x`` suppresses a single line.
+"""
+
+from repro.tools.reprolint.base import (
+    Checker,
+    checker_for,
+    register,
+    registered_rules,
+)
+from repro.tools.reprolint.config import DEFAULT_CONFIG, LintConfig, RuleScope
+from repro.tools.reprolint.model import FileReport, Finding, Severity
+from repro.tools.reprolint.runner import (
+    LintResult,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Checker",
+    "checker_for",
+    "register",
+    "registered_rules",
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "RuleScope",
+    "FileReport",
+    "Finding",
+    "Severity",
+    "LintResult",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

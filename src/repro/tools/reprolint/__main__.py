@@ -1,0 +1,8 @@
+"""``python -m repro.tools.reprolint`` dispatch."""
+
+import sys
+
+from repro.tools.reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Checker base class, rule registry, and shared AST utilities.
+
+Checkers are :class:`ast.NodeVisitor` subclasses registered by rule id.
+The runner instantiates one checker per (file, rule) pair — checkers
+keep per-file state freely and never see two files.
+
+The helpers here cover the recurring needs of invariant checking on
+Python ASTs: resolving dotted call/attribute names, enumerating the
+names an expression reads, and walking function bodies with their
+enclosing class recorded.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Iterator
+
+from repro.tools.reprolint.model import Finding, Severity
+
+__all__ = [
+    "Checker",
+    "register",
+    "registered_rules",
+    "checker_for",
+    "dotted_name",
+    "names_read",
+    "call_name",
+    "iter_functions",
+    "setflags_enables_write",
+]
+
+_REGISTRY: dict[str, type["Checker"]] = {}
+
+
+def register(cls: type["Checker"]) -> type["Checker"]:
+    """Class decorator adding a checker to the global rule registry."""
+    if not cls.rule:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if cls.rule in _REGISTRY:
+        raise ValueError(f"duplicate checker for rule {cls.rule}")
+    _REGISTRY[cls.rule] = cls
+    return cls
+
+
+def registered_rules() -> tuple[str, ...]:
+    """All known rule ids, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def checker_for(rule: str) -> type["Checker"]:
+    """The checker class registered under ``rule`` (KeyError if none)."""
+    return _REGISTRY[rule]
+
+
+class Checker(ast.NodeVisitor):
+    """One rule applied to one file.
+
+    Subclasses set ``rule``, ``summary`` (one-line description for
+    ``--list-rules``), and ``default_options``; they report via
+    :meth:`add` and receive merged per-rule options in
+    ``self.options``.
+    """
+
+    rule: str = ""
+    summary: str = ""
+    default_options: dict[str, Any] = {}
+
+    def __init__(self, path: str, options: dict[str, Any] | None = None) -> None:
+        self.path = path
+        self.options: dict[str, Any] = {**self.default_options, **(options or {})}
+        self.findings: list[Finding] = []
+
+    def check(self, tree: ast.AST) -> list[Finding]:
+        """Run the rule over a parsed module; returns its findings."""
+        self.visit(tree)
+        return self.findings
+
+    def add(
+        self,
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        """Record one finding at ``node``'s location."""
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=self.rule,
+                message=message,
+                severity=severity,
+            )
+        )
+
+
+# AST utilities --------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> str:
+    """Best-effort dotted path of a Name/Attribute chain.
+
+    ``self.cache.put`` → ``"self.cache.put"``; anything that is not a
+    pure attribute chain (calls, subscripts) contributes a ``?`` so the
+    result still ends with the trailing attributes: ``foo().unlink`` →
+    ``"?.unlink"``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return f"{dotted_name(node.value)}.{node.attr}"
+    if isinstance(node, ast.Call):
+        return "?"
+    if isinstance(node, ast.Subscript):
+        return f"{dotted_name(node.value)}[]"
+    return "?"
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call's callee."""
+    return dotted_name(node.func)
+
+
+def names_read(node: ast.AST) -> set[str]:
+    """All bare names loaded anywhere inside ``node``."""
+    return {
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+def setflags_enables_write(call: ast.Call) -> bool:
+    """True for ``x.setflags(write=True)`` / ``x.setflags(True)`` — the
+    call that re-enables writes on a deliberately frozen array."""
+    for kw in call.keywords:
+        if kw.arg == "write" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    if call.args and isinstance(call.args[0], ast.Constant):
+        return bool(call.args[0].value)
+    return False
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]]:
+    """Yield every function definition with its enclosing class (or
+    ``None`` for module-level functions).  Nested functions report the
+    class of their outermost enclosing method."""
+
+    def walk(node: ast.AST, cls: ast.ClassDef | None) -> Iterator[
+        tuple[ast.FunctionDef | ast.AsyncFunctionDef, ast.ClassDef | None]
+    ]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, cls
+                yield from walk(child, cls)
+            else:
+                yield from walk(child, cls)
+
+    yield from walk(tree, None)

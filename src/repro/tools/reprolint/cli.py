@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro.tools.reprolint src``.
+
+Exit codes: 0 clean, 1 findings, 2 parse errors / bad usage — so CI
+can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.tools.reprolint.base import checker_for, registered_rules
+from repro.tools.reprolint.config import DEFAULT_CONFIG, LintConfig
+from repro.tools.reprolint.report import render_human, render_json
+from repro.tools.reprolint.runner import lint_paths
+from repro.util.fileio import atomic_write_text
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.reprolint",
+        description=(
+            "AST-based invariant checker for this repository: cache purity, "
+            "shared-memory lifecycle, lock discipline, degradation taint, "
+            "read-only views, atomic writes."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="stdout format",
+    )
+    parser.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="also write the JSON report to FILE (the CI artifact)",
+    )
+    parser.add_argument(
+        "--rules", metavar="RL001,RL002,...", default=None,
+        help="run only these rules",
+    )
+    parser.add_argument(
+        "--unscoped", action="store_true",
+        help="apply every rule to every file, ignoring package scoping "
+        "(fixture/test runs)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print known rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments, lint, print, and return the exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in registered_rules():
+            print(f"{rule}  {checker_for(rule).summary}")
+        return 0
+
+    enabled: tuple[str, ...] | None = None
+    if args.rules:
+        enabled = tuple(r.strip().upper() for r in args.rules.split(",") if r.strip())
+        unknown = set(enabled) - set(registered_rules())
+        if unknown:
+            print(f"unknown rules: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    config = LintConfig(
+        scopes=DEFAULT_CONFIG.scopes,
+        enabled=enabled,
+        rule_options=DEFAULT_CONFIG.rule_options,
+        unscoped=args.unscoped,
+    )
+
+    result = lint_paths(list(args.paths), config)
+
+    if args.report:
+        atomic_write_text(args.report, render_json(result) + "\n")
+    print(render_json(result) if args.format == "json" else render_human(result))
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

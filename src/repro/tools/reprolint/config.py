@@ -1,0 +1,122 @@
+"""Lint configuration: which rules run where.
+
+Every rule has a *scope* — the set of packages whose invariant it
+encodes.  RL003 (lock discipline) is meaningless outside the
+multi-session service; RL006 (atomic writes) applies to the whole tree
+except the one module that legitimately opens temp files.  Scopes are
+dotted-module prefixes resolved from file paths, so the same config
+drives linting ``src`` in CI and linting fixture files in tests (where
+``unscoped=True`` applies every rule everywhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RuleScope", "LintConfig", "DEFAULT_CONFIG", "module_name_for"]
+
+
+def module_name_for(path: str | Path) -> str:
+    """Dotted module name for a source file.
+
+    Anchored at the last ``repro`` path segment so it is independent of
+    where the tree is checked out (``src/repro/store/shm.py`` →
+    ``repro.store.shm``).  Files outside any ``repro`` package (test
+    fixtures) map to their bare stem — scope patterns never match them,
+    which is why fixture runs use ``unscoped`` configs.
+    """
+    parts = Path(path).with_suffix("").parts
+    parts = tuple(p for p in parts if p not in (".", ""))
+    try:
+        anchor = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+    except ValueError:
+        return parts[-1] if parts else ""
+    module = parts[anchor:]
+    if module[-1] == "__init__":
+        module = module[:-1]
+    return ".".join(module)
+
+
+def _prefix_match(module: str, pattern: str) -> bool:
+    """True when ``module`` is ``pattern`` or lives under it."""
+    if pattern == "":
+        return True
+    return module == pattern or module.startswith(pattern + ".")
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """Include/exclude dotted-module prefixes for one rule."""
+
+    include: tuple[str, ...]
+    exclude: tuple[str, ...] = ()
+
+    def matches(self, module: str) -> bool:
+        """True when the rule should run on ``module``."""
+        if any(_prefix_match(module, p) for p in self.exclude):
+            return False
+        return any(_prefix_match(module, p) for p in self.include)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which rules run, where, and with what per-rule options.
+
+    Parameters
+    ----------
+    scopes:
+        rule id → :class:`RuleScope`.  A rule absent from the map never
+        runs; ``unscoped=True`` overrides all scoping (fixtures).
+    enabled:
+        Optional allow-list of rule ids (``None`` = all registered).
+    rule_options:
+        rule id → option overrides merged over each checker's defaults
+        (e.g. extra guarded classes for RL003).
+    """
+
+    scopes: dict[str, RuleScope] = field(default_factory=dict)
+    enabled: tuple[str, ...] | None = None
+    rule_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+    unscoped: bool = False
+
+    def rule_applies(self, rule: str, path: str | Path) -> bool:
+        """Should ``rule`` run on the file at ``path``?"""
+        if self.enabled is not None and rule not in self.enabled:
+            return False
+        if self.unscoped:
+            return True
+        scope = self.scopes.get(rule)
+        if scope is None:
+            return False
+        return scope.matches(module_name_for(path))
+
+    def options_for(self, rule: str) -> dict[str, Any]:
+        """Option overrides configured for ``rule`` (copy, maybe empty)."""
+        return dict(self.rule_options.get(rule, {}))
+
+
+#: The repository's own invariant map: each rule scoped to the packages
+#: whose PR introduced the invariant it checks (see DESIGN.md §9).
+DEFAULT_CONFIG = LintConfig(
+    scopes={
+        # PR 2: stage outputs are cached by pure, epoch-tagged keys.
+        "RL001": RuleScope(include=("repro.core.plan",)),
+        # PR 3: shared-memory blocks have exactly one owner/unlinker.
+        "RL002": RuleScope(
+            include=("repro.store", "repro.parallel"),
+        ),
+        # PR 3: DatasetService shared state is RLock-guarded.
+        "RL003": RuleScope(include=("repro.store.service",)),
+        # PR 1+2: degraded results must never enter the stage cache.
+        "RL004": RuleScope(include=("repro.core.plan", "repro.core.engine")),
+        # PR 3: worker-side views over shared pages are read-only.
+        "RL005": RuleScope(include=("repro.store", "repro.parallel")),
+        # PR 1: every save path goes through util.fileio's temp+replace.
+        "RL006": RuleScope(
+            include=("repro",),
+            exclude=("repro.util.fileio",),
+        ),
+    },
+)

@@ -1,0 +1,91 @@
+"""Finding model: what a checker reports and how it serializes.
+
+A :class:`Finding` is one rule violation pinned to a ``file:line:col``
+location.  Findings are ordinary frozen dataclasses so checkers can be
+unit-tested without touching the runner, and sort by location so output
+is stable across dict-ordering and filesystem-walk differences.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Severity", "Finding", "FileReport"]
+
+
+class Severity(str, enum.Enum):
+    """How bad a violated invariant is.
+
+    ``ERROR`` findings break a correctness invariant (cache poisoning,
+    use-after-free, torn writes); ``WARNING`` findings are discipline
+    violations that have not corrupted anything *yet* (a missing
+    read-only flag on a view nobody currently writes to).  Both fail
+    the lint run — the split only drives triage order in reports.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file as given to the runner.
+    line / col:
+        1-based line and 0-based column (``ast`` convention).
+    rule:
+        Rule id, e.g. ``"RL003"``.
+    message:
+        Human explanation *with the fix spelled out* — a finding the
+        reader cannot act on is noise.
+    severity:
+        See :class:`Severity`.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def render(self) -> str:
+        """``file:line:col: RLxxx error: message`` (clickable in most
+        editors and CI log viewers)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity.value}: {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the CI artifact schema)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileReport:
+    """Per-file lint outcome: findings kept, findings suppressed, and
+    any parse failure (a file that does not parse cannot be vouched
+    for, so it is an error, not a skip)."""
+
+    path: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    parse_error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and self.parse_error is None

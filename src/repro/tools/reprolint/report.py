@@ -1,0 +1,52 @@
+"""Output rendering: human terminal text and the CI JSON artifact."""
+
+from __future__ import annotations
+
+import json
+
+from repro.tools.reprolint.runner import LintResult
+
+__all__ = ["render_human", "render_json"]
+
+#: Bumped when the JSON artifact schema changes shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_human(result: LintResult) -> str:
+    """Grep-able one-line-per-finding text plus a summary line."""
+    lines = [f.render() for f in result.findings]
+    for path, error in result.parse_errors:
+        lines.append(f"{path}:1:0: PARSE error: {error}")
+    n = len(result.findings)
+    summary = (
+        f"reprolint: {n} finding{'s' if n != 1 else ''} "
+        f"in {result.n_files} files"
+    )
+    if result.suppressed:
+        summary += f" ({len(result.suppressed)} suppressed)"
+    if result.ok:
+        summary = f"reprolint: clean ({result.n_files} files)"
+        if result.suppressed:
+            summary += f", {len(result.suppressed)} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The CI artifact: findings, suppressions, and the run summary."""
+    doc = {
+        "version": JSON_SCHEMA_VERSION,
+        "ok": result.ok,
+        "n_files": result.n_files,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "parse_errors": [
+            {"path": path, "error": error} for path, error in result.parse_errors
+        ],
+        "summary": {
+            "findings": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "parse_errors": len(result.parse_errors),
+        },
+    }
+    return json.dumps(doc, indent=1)

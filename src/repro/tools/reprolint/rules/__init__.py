@@ -1,0 +1,21 @@
+"""Project-specific rule checkers.
+
+Importing this package registers every rule with the base registry;
+the runner imports it once and asks the registry for checkers by id.
+"""
+
+from repro.tools.reprolint.rules.rl001_cache_purity import CachePurityChecker
+from repro.tools.reprolint.rules.rl002_shm_lifecycle import ShmLifecycleChecker
+from repro.tools.reprolint.rules.rl003_lock_discipline import LockDisciplineChecker
+from repro.tools.reprolint.rules.rl004_degradation_taint import DegradationTaintChecker
+from repro.tools.reprolint.rules.rl005_readonly_views import ReadonlyViewChecker
+from repro.tools.reprolint.rules.rl006_atomic_write import AtomicWriteChecker
+
+__all__ = [
+    "CachePurityChecker",
+    "ShmLifecycleChecker",
+    "LockDisciplineChecker",
+    "DegradationTaintChecker",
+    "ReadonlyViewChecker",
+    "AtomicWriteChecker",
+]

@@ -1,0 +1,158 @@
+"""RL003 — lock discipline in the multi-session service.
+
+The :class:`DatasetService` / :class:`SharedQueryEngine` pair (PR 3)
+promises that N concurrent sessions see exactly what N independent
+engines would.  That promise is an RLock, and it only holds if
+
+1. every method touching the service's shared mutable attributes
+   (store registry, session counter) does so inside ``with
+   self._lock``; and
+2. nothing *blocking* — sleeps, file I/O, pool round-trips — runs
+   while the lock is held, or one slow session stalls every other.
+
+``__init__`` (and alternate constructors) are exempt: the object is
+not yet shared while it is being built.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.tools.reprolint.base import (
+    Checker,
+    call_name,
+    dotted_name,
+    iter_functions,
+    register,
+)
+
+__all__ = ["LockDisciplineChecker"]
+
+_BLOCKING_CALLEES = {"sleep", "fsync", "open"}
+
+
+@register
+class LockDisciplineChecker(Checker):
+    rule = "RL003"
+    summary = (
+        "guarded-class methods must access shared attributes under "
+        "self._lock and must not block (sleep/file I/O/pool.map) while "
+        "holding it"
+    )
+    default_options: dict[str, Any] = {
+        # class name -> shared attributes every access to which must be
+        # inside `with self.<lock_attr>`
+        "classes": {
+            "DatasetService": ("_stores", "_n_sessions"),
+            "SharedQueryEngine": (),
+        },
+        "lock_attr": "_lock",
+        "exempt_methods": ("__init__", "from_handle"),
+    }
+
+    def check(self, tree: ast.AST) -> list:
+        """Walk guarded-class methods tracking lock coverage."""
+        guarded: dict[str, tuple[str, ...]] = {
+            k: tuple(v) for k, v in self.options["classes"].items()
+        }
+        for fn, cls in iter_functions(tree):
+            if cls is None or cls.name not in guarded:
+                continue
+            attrs = set(guarded[cls.name])
+            exempt = fn.name in self.options["exempt_methods"]
+            self._walk(fn, fn.body, attrs, locked=False, exempt=exempt)
+        return self.findings
+
+    def _is_lock_ctx(self, expr: ast.expr) -> bool:
+        dotted = call_name(expr) if isinstance(expr, ast.Call) else ""
+        if not dotted and isinstance(expr, (ast.Attribute, ast.Name)):
+            dotted = dotted_name(expr)
+        return dotted.split(".")[-1] == self.options["lock_attr"] or dotted.endswith(
+            "." + self.options["lock_attr"]
+        )
+
+    def _walk(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        stmts: list[ast.stmt],
+        attrs: set[str],
+        *,
+        locked: bool,
+        exempt: bool,
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                takes_lock = any(
+                    self._is_lock_ctx(item.context_expr) for item in stmt.items
+                )
+                for item in stmt.items:
+                    self._check_expr(fn, item.context_expr, attrs, locked, exempt)
+                self._walk(
+                    fn, stmt.body, attrs, locked=locked or takes_lock, exempt=exempt
+                )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested scope, analysed separately
+            else:
+                for field_name, value in ast.iter_fields(stmt):
+                    if field_name in ("body", "orelse", "finalbody", "handlers"):
+                        continue
+                    for expr in _exprs(value):
+                        self._check_expr(fn, expr, attrs, locked, exempt)
+                for block in ("body", "orelse", "finalbody"):
+                    inner = getattr(stmt, block, None)
+                    if inner:
+                        self._walk(fn, inner, attrs, locked=locked, exempt=exempt)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    self._walk(fn, handler.body, attrs, locked=locked, exempt=exempt)
+
+    def _check_expr(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        expr: ast.AST,
+        attrs: set[str],
+        locked: bool,
+        exempt: bool,
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return
+            if (
+                not exempt
+                and not locked
+                and isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in attrs
+            ):
+                self.add(
+                    node,
+                    f"{fn.name!r} accesses shared attribute self.{node.attr} "
+                    f"outside `with self.{self.options['lock_attr']}`: a "
+                    "concurrent session can observe (or corrupt) a half-"
+                    "updated registry — take the lock around the access",
+                )
+            if locked and isinstance(node, ast.Call):
+                dotted = call_name(node)
+                parts = dotted.split(".")
+                if parts[-1] in _BLOCKING_CALLEES or (
+                    parts[-1] == "map"
+                    and len(parts) >= 2
+                    and "pool" in parts[-2].lower()
+                ):
+                    self.add(
+                        node,
+                        f"blocking call {dotted}() while holding "
+                        f"self.{self.options['lock_attr']}: every other "
+                        "session stalls behind it — move the slow work "
+                        "outside the locked region",
+                    )
+
+
+def _exprs(value: Any) -> list[ast.AST]:
+    """Expression nodes inside one statement field (list or single)."""
+    if isinstance(value, ast.AST):
+        return [value]
+    if isinstance(value, list):
+        return [v for v in value if isinstance(v, ast.AST)]
+    return []

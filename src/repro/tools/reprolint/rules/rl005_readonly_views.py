@@ -1,0 +1,172 @@
+"""RL005 — worker-side views over shared memory must be read-only.
+
+The zero-copy data plane (PR 3) hands every worker ``np.frombuffer``
+views directly onto the one resident copy of the packed arrays.  A
+single in-place write through such a view corrupts the dataset for
+**every** attached session simultaneously — the worst failure mode in
+the system, and invisible until someone's query disagrees.
+
+Flagged in shared-view-producing modules:
+
+* any in-place mutation (augmented assignment, subscript assignment,
+  ``.sort()``/``.fill()``/``.resize()``-style calls) of a name bound
+  from a view producer (``np.frombuffer``, ``_map_array``);
+* ``setflags(write=True)`` on such a name (re-arming the footgun);
+* a view created without ``setflags(write=False)`` anywhere in the
+  same function (warning — nothing is corrupted yet, but the guard
+  rail is missing).  Producers called with ``writable=True`` (the
+  publish-time fill path) and chains ending in ``.copy()`` are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.tools.reprolint.base import (
+    Checker,
+    call_name,
+    iter_functions,
+    register,
+    setflags_enables_write,
+)
+from repro.tools.reprolint.model import Severity
+
+__all__ = ["ReadonlyViewChecker"]
+
+_MUTATING_METHODS = {
+    "sort", "fill", "resize", "partition", "itemset", "byteswap", "put",
+}
+
+
+def _kw_true(call: ast.Call, name: str) -> bool:
+    for kw in call.keywords:
+        if kw.arg == name and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+@register
+class ReadonlyViewChecker(Checker):
+    rule = "RL005"
+    summary = (
+        "np.frombuffer / shared-store views in worker modules must be "
+        "setflags(write=False) and never mutated in place"
+    )
+    default_options: dict[str, Any] = {
+        # producers tracked for in-place-mutation findings
+        "producers": ("frombuffer", "_map_array"),
+        # producers whose result additionally needs a local
+        # setflags(write=False) — wrappers like _map_array freeze
+        # internally, raw frombuffer does not
+        "raw_producers": ("frombuffer",),
+    }
+
+    def check(self, tree: ast.AST) -> list:
+        """Check every function's shared-view creation and use."""
+        for fn, _cls in iter_functions(tree):
+            self._check_function(fn)
+        return self.findings
+
+    def _view_assignments(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, ast.Assign]:
+        """name → producing assignment for every tracked view in ``fn``."""
+        producers = tuple(self.options["producers"])
+        views: dict[str, ast.Assign] = {}
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Assign):
+                continue
+            calls = [
+                c
+                for c in ast.walk(node.value)
+                if isinstance(c, ast.Call)
+                and call_name(c).split(".")[-1] in producers
+            ]
+            if not calls:
+                continue
+            if all(_kw_true(c, "writable") for c in calls):
+                continue  # explicit publish-time fill path
+            # a chain ending in .copy() owns its memory — not a view
+            value = node.value
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in ("copy", "tobytes", "tolist")
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    views[target.id] = node
+        return views
+
+    def _check_function(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        views = self._view_assignments(fn)
+        if not views:
+            return
+
+        frozen: set[str] = set()
+
+        def base_name(expr: ast.expr) -> str | None:
+            while isinstance(expr, ast.Subscript):
+                expr = expr.value
+            return expr.id if isinstance(expr, ast.Name) else None
+
+        for node in ast.walk(fn):
+            if isinstance(node, ast.AugAssign):
+                name = base_name(node.target)
+                if name in views:
+                    self.add(
+                        node,
+                        f"in-place update of shared-memory view {name!r}: this "
+                        "writes through to the resident block and corrupts "
+                        "every attached session — operate on a copy",
+                    )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript):
+                        name = base_name(target)
+                        if name in views:
+                            self.add(
+                                node,
+                                f"subscript write into shared-memory view "
+                                f"{name!r}: this mutates the shared block in "
+                                "place — operate on a copy",
+                            )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                name = recv.id if isinstance(recv, ast.Name) else None
+                if name not in views:
+                    continue
+                if node.func.attr in _MUTATING_METHODS:
+                    self.add(
+                        node,
+                        f"mutating call .{node.func.attr}() on shared-memory "
+                        f"view {name!r} — operate on a copy",
+                    )
+                elif node.func.attr == "setflags":
+                    if setflags_enables_write(node):
+                        self.add(
+                            node,
+                            f"setflags(write=True) on shared-memory view "
+                            f"{name!r} re-arms in-place corruption of the "
+                            "shared block",
+                        )
+                    else:
+                        frozen.add(name)
+
+        raw = tuple(self.options["raw_producers"])
+        for name, assign in views.items():
+            needs_freeze = any(
+                isinstance(c, ast.Call) and call_name(c).split(".")[-1] in raw
+                for c in ast.walk(assign.value)
+            )
+            if needs_freeze and name not in frozen:
+                self.add(
+                    assign,
+                    f"shared-memory view {name!r} is created without "
+                    "setflags(write=False): an accidental in-place op would "
+                    "corrupt the resident block for every session — freeze "
+                    "the view at the creation site",
+                    severity=Severity.WARNING,
+                )

@@ -1,0 +1,85 @@
+"""RL006 — save paths must use the atomic-write helpers.
+
+PR 1 made every persistence path crash-safe: payloads are written to a
+same-directory temp file, fsynced, then ``os.replace``-d over the
+destination (:mod:`repro.util.fileio`).  A direct ``open(path, "w")``
+(or ``Path.write_text``) reintroduces the torn-file window — a process
+dying mid-write leaves half a JSON document where a session journal or
+dataset used to be.
+
+Flagged everywhere except :mod:`repro.util.fileio` itself:
+
+* ``open(path, mode)`` / ``path.open(mode)`` with a truncating or
+  creating mode (``w``, ``w+``, ``x`` — append is the journal's legal
+  durability mechanism and stays allowed);
+* ``Path.write_text`` / ``Path.write_bytes`` (truncate-in-place).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.tools.reprolint.base import Checker, register
+
+__all__ = ["AtomicWriteChecker"]
+
+
+def _write_mode(call: ast.Call, *, first_arg_is_mode: bool) -> str | None:
+    """The mode string when the call opens for truncating write."""
+    mode_expr: ast.expr | None = None
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_expr = kw.value
+    if mode_expr is None:
+        idx = 0 if first_arg_is_mode else 1
+        if len(call.args) > idx:
+            mode_expr = call.args[idx]
+    if not isinstance(mode_expr, ast.Constant) or not isinstance(mode_expr.value, str):
+        return None
+    mode = mode_expr.value
+    if "w" in mode or "x" in mode:
+        return mode
+    return None
+
+
+@register
+class AtomicWriteChecker(Checker):
+    rule = "RL006"
+    summary = (
+        "truncating writes (open 'w'/'x', Path.write_text/bytes) must go "
+        "through repro.util.fileio's temp-file + os.replace helpers"
+    )
+    default_options: dict[str, Any] = {}
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag truncating open()/write_text/write_bytes call sites."""
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode = _write_mode(node, first_arg_is_mode=False)
+            if mode is not None:
+                self.add(
+                    node,
+                    f"direct open(..., {mode!r}): a crash mid-write leaves a "
+                    "torn file — use repro.util.fileio.atomic_write (temp "
+                    "file + fsync + os.replace) for save paths",
+                )
+        elif isinstance(node.func, ast.Attribute):
+            attr = node.func.attr
+            if attr == "open":
+                mode = _write_mode(node, first_arg_is_mode=True)
+                if mode is not None:
+                    self.add(
+                        node,
+                        f"direct .open({mode!r}): a crash mid-write leaves a "
+                        "torn file — use repro.util.fileio.atomic_write for "
+                        "save paths",
+                    )
+            elif attr in ("write_text", "write_bytes"):
+                helper = "atomic_" + attr  # atomic_write_text / _bytes
+                self.add(
+                    node,
+                    f".{attr}() truncates the destination in place: a crash "
+                    "mid-write leaves a torn file — use "
+                    f"repro.util.fileio.{helper} instead",
+                )
+        self.generic_visit(node)

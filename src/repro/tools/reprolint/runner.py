@@ -1,0 +1,123 @@
+"""Lint driver: walk files, dispatch checkers, collect findings.
+
+The runner is deliberately dependency-free (stdlib ``ast`` only) so it
+can run in CI before the package's own dependencies install, and fast
+enough (<1 s over this tree) to sit in a pre-commit hook.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import repro.tools.reprolint.rules  # noqa: F401  (registers all checkers)
+from repro.tools.reprolint.base import checker_for, registered_rules
+from repro.tools.reprolint.config import DEFAULT_CONFIG, LintConfig
+from repro.tools.reprolint.model import FileReport, Finding
+from repro.tools.reprolint.suppress import SuppressionIndex
+
+__all__ = ["LintResult", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of one lint run."""
+
+    reports: list[FileReport] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def findings(self) -> list[Finding]:
+        out = [f for r in self.reports for f in r.findings]
+        return sorted(out)
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return sorted(f for r in self.reports for f in r.suppressed)
+
+    @property
+    def parse_errors(self) -> list[tuple[str, str]]:
+        return [
+            (r.path, r.parse_error)
+            for r in self.reports
+            if r.parse_error is not None
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean · 1 findings · 2 parse/internal errors."""
+        if self.parse_errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+def iter_python_files(paths: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    seen[sub] = None
+        elif path.suffix == ".py":
+            seen[path] = None
+    return list(seen)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig = DEFAULT_CONFIG,
+) -> FileReport:
+    """Lint one already-read source blob (unit tests hook in here)."""
+    report = FileReport(path=str(path))
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        report.parse_error = f"line {exc.lineno}: {exc.msg}"
+        return report
+    suppressions = SuppressionIndex(source)
+    for rule in registered_rules():
+        if not config.rule_applies(rule, path):
+            continue
+        checker = checker_for(rule)(str(path), config.options_for(rule))
+        for finding in checker.check(tree):
+            if suppressions.is_suppressed(finding):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    report.findings.sort()
+    return report
+
+
+def lint_file(path: str | Path, config: LintConfig = DEFAULT_CONFIG) -> FileReport:
+    """Lint one file from disk."""
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        report = FileReport(path=str(path))
+        report.parse_error = f"unreadable: {exc}"
+        return report
+    return lint_source(source, str(path), config)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    config: LintConfig = DEFAULT_CONFIG,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``."""
+    result = LintResult()
+    for path in iter_python_files(paths):
+        report = lint_file(path, config)
+        result.n_files += 1
+        if report.findings or report.suppressed or report.parse_error:
+            result.reports.append(report)
+    return result

@@ -1,0 +1,66 @@
+"""Inline suppression comments.
+
+Two forms, mirroring the linters developers already know:
+
+* ``# reprolint: disable=RL002`` on (or immediately above) an offending
+  line suppresses the named rules for that line;
+* ``# reprolint: disable-file=RL006`` anywhere in the file suppresses
+  the named rules for the whole file.
+
+``disable=all`` works in both forms.  Suppressed findings are not
+dropped silently — the runner reports their count and the JSON report
+carries them in full, so a suppression audit is one ``jq`` away.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tools.reprolint.model import Finding
+
+__all__ = ["SuppressionIndex"]
+
+_LINE_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+_FILE_RE = re.compile(r"#\s*reprolint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def _parse_rules(blob: str) -> set[str]:
+    return {part.strip().upper() for part in blob.split(",") if part.strip()}
+
+
+class SuppressionIndex:
+    """Per-file index of suppression comments, built once per lint."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, set[str]] = {}
+        self._file_wide: set[str] = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _FILE_RE.search(text)
+            if match:
+                self._file_wide |= _parse_rules(match.group(1))
+                continue
+            match = _LINE_RE.search(text)
+            if match:
+                self._by_line[lineno] = _parse_rules(match.group(1))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when a comment covers this finding.
+
+        A line comment covers its own line and the line directly below
+        it (so a suppression can sit above a long statement without
+        sharing its line).
+        """
+        if self._covers(self._file_wide, finding.rule):
+            return True
+        for lineno in (finding.line, finding.line - 1):
+            rules = self._by_line.get(lineno)
+            if rules is not None and self._covers(rules, finding.rule):
+                return True
+        return False
+
+    @staticmethod
+    def _covers(rules: set[str], rule: str) -> bool:
+        return "ALL" in rules or rule.upper() in rules
+
+    def __bool__(self) -> bool:
+        return bool(self._by_line or self._file_wide)

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from repro.interaction.events import InputEvent, event_from_dict
+from repro.util.fileio import atomic_write_text
 
 __all__ = ["SessionRecorder"]
 
@@ -54,8 +55,10 @@ class SessionRecorder:
         return len(self._events)
 
     def save(self, path: str | Path) -> None:
-        """Write the event stream to a JSON file."""
-        Path(path).write_text(json.dumps([e.to_dict() for e in self._events]))
+        """Write the event stream to a JSON file (atomically)."""
+        atomic_write_text(
+            Path(path), json.dumps([e.to_dict() for e in self._events])
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "SessionRecorder":

@@ -12,20 +12,30 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.util.fileio import atomic_write
+
 __all__ = ["write_ppm", "read_ppm", "write_npz", "read_npz"]
 
 
 def write_ppm(image: np.ndarray, path: str | Path) -> None:
-    """Write an (H, W, 3) image (float [0,1] or uint8) as binary PPM."""
+    """Write an (H, W, 3) image (float [0,1] or uint8) as binary PPM.
+
+    Atomic: a frame grabbed mid-render-loop crash is either the old
+    complete frame or the new one, never a torn raster.
+    """
     image = np.asarray(image)
     if image.ndim != 3 or image.shape[2] != 3:
         raise ValueError(f"expected (H, W, 3) image, got {image.shape}")
     if image.dtype != np.uint8:
         image = (np.clip(image, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
     h, w = image.shape[:2]
-    with Path(path).open("wb") as fh:
+    payload = np.ascontiguousarray(image).tobytes()
+
+    def _write(fh) -> None:
         fh.write(f"P6\n{w} {h}\n255\n".encode("ascii"))
-        fh.write(np.ascontiguousarray(image).tobytes())
+        fh.write(payload)
+
+    atomic_write(Path(path), _write)
 
 
 def read_ppm(path: str | Path) -> np.ndarray:

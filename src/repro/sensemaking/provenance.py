@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.util.fileio import atomic_write_text
+
 __all__ = ["InsightRecord", "ProvenanceLog"]
 
 
@@ -114,9 +116,9 @@ class ProvenanceLog:
         return [i for i, r in enumerate(self._records) if not r.parents]
 
     def save(self, path: str | Path) -> None:
-        """Write the chain to a JSON file."""
-        Path(path).write_text(
-            json.dumps([r.to_dict() for r in self._records], indent=1)
+        """Write the chain to a JSON file (atomically)."""
+        atomic_write_text(
+            Path(path), json.dumps([r.to_dict() for r in self._records], indent=1)
         )
 
     @classmethod

@@ -36,6 +36,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from pathlib import Path
+from typing import Any
 
 from repro.core.engine import CoordinatedBrushingEngine
 from repro.core.session import ExplorationSession
@@ -62,23 +63,23 @@ class SharedQueryEngine(CoordinatedBrushingEngine):
         dataset: TrajectoryDataset,
         *,
         lock: "threading.RLock | None" = None,
-        **engine_kwargs,
+        **engine_kwargs: Any,
     ) -> None:
         super().__init__(dataset, **engine_kwargs)
         self._lock = lock if lock is not None else threading.RLock()
 
-    def query(self, *args, **kwargs):
+    def query(self, *args: Any, **kwargs: Any) -> Any:
         """Serialized :meth:`CoordinatedBrushingEngine.query`."""
         with self._lock:
             return super().query(*args, **kwargs)
 
-    def query_all_colors(self, *args, **kwargs):
+    def query_all_colors(self, *args: Any, **kwargs: Any) -> Any:
         """Serialized multi-color evaluation (holds the lock across all
         colors so the shared temporal mask is computed exactly once)."""
         with self._lock:
             return super().query_all_colors(*args, **kwargs)
 
-    def plan(self, *args, **kwargs):
+    def plan(self, *args: Any, **kwargs: Any) -> Any:
         """Serialized plan construction (reads the live index token)."""
         with self._lock:
             return super().plan(*args, **kwargs)
@@ -176,7 +177,7 @@ class DatasetService:
 
     # Construction helpers -------------------------------------------------
     @classmethod
-    def from_handle(cls, handle: StoreHandle, **service_kwargs) -> "DatasetService":
+    def from_handle(cls, handle: StoreHandle, **service_kwargs: Any) -> "DatasetService":
         """A service over a store *another* process published.
 
         Attaches zero-copy and reuses the shared index tables, so a
@@ -240,7 +241,8 @@ class DatasetService:
     @property
     def n_sessions(self) -> int:
         """Number of session views opened over this service."""
-        return self._n_sessions
+        with self._lock:
+            return self._n_sessions
 
     # Store registry ---------------------------------------------------------
     def publish_store(self, *, include_index: bool = True) -> StoreHandle:
@@ -327,10 +329,11 @@ class DatasetService:
             }
 
     def __repr__(self) -> str:
-        return (
-            f"DatasetService({self.dataset.name!r}, sessions={self._n_sessions}, "
-            f"stores={len(self._stores)})"
-        )
+        with self._lock:
+            return (
+                f"DatasetService({self.dataset.name!r}, "
+                f"sessions={self._n_sessions}, stores={len(self._stores)})"
+            )
 
     # Lifecycle --------------------------------------------------------------
     def _check_open(self) -> None:
@@ -361,6 +364,6 @@ class DatasetService:
         """Context-manage the service (close on exit)."""
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         """Unlink published stores and release attachments."""
         self.close()

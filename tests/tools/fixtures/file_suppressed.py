@@ -1,0 +1,15 @@
+"""Fixture: a file-wide suppression covering every violation below."""
+
+# reprolint: disable-file=RL006
+
+from pathlib import Path
+
+
+def save_one(path, text):
+    """Covered by the file-wide suppression."""
+    Path(path).write_text(text)
+
+
+def save_two(path, text):
+    """Also covered."""
+    Path(path).write_text(text)

@@ -1,0 +1,21 @@
+"""Fixture: seeded RL001 violations (impure stage body, cached-value
+mutation).  Never imported — parsed by reprolint only."""
+
+import time
+
+_STATE = {"calls": 0}
+
+
+def _execute_stage(cache, key, packed):
+    """Stage body that reads a clock and module mutable state."""
+    t = time.perf_counter()  # seeded: RL001 impure read
+    n = _STATE["calls"]  # seeded: RL001 module mutable state
+    return t + n
+
+
+def serve(cache, key):
+    """Mutates a value served by the stage cache."""
+    value = cache.get(key)
+    value[0] = 1.0  # seeded: RL001 subscript write into cached value
+    value.sort()  # seeded: RL001 mutating call on cached value
+    return value

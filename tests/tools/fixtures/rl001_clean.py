@@ -1,0 +1,15 @@
+"""Fixture: clean twin of rl001_bad — pure stage body, copy-on-write."""
+
+
+def _execute_stage(cache, key, packed):
+    """Pure stage body: output depends only on keyed inputs."""
+    return packed
+
+
+def serve(cache, key):
+    """Copies a cache-served value before modifying it."""
+    value = cache.get(key)
+    out = value.copy()
+    out[0] = 1.0
+    out.sort()
+    return out

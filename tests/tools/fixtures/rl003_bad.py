@@ -1,0 +1,25 @@
+"""Fixture: seeded RL003 violations (unguarded shared access, blocking
+call under the lock).  Never imported — parsed by reprolint only."""
+
+import threading
+import time
+
+
+class DatasetService:
+    """Stand-in for the real service class (rule keys on the name)."""
+
+    def __init__(self):
+        """Construction is exempt: the object is not yet shared."""
+        self._lock = threading.RLock()
+        self._stores = {}
+        self._n_sessions = 0
+
+    def count(self):
+        """Reads the session counter without the lock."""
+        return self._n_sessions  # seeded: RL003 unguarded access
+
+    def slow_publish(self):
+        """Sleeps while holding the lock."""
+        with self._lock:
+            time.sleep(0.1)  # seeded: RL003 blocking call under lock
+            self._stores["x"] = 1

@@ -1,0 +1,26 @@
+"""Fixture: clean twin of rl003_bad — locked access, slow work outside
+the critical section."""
+
+import threading
+import time
+
+
+class DatasetService:
+    """Stand-in for the real service class (rule keys on the name)."""
+
+    def __init__(self):
+        """Construction is exempt: the object is not yet shared."""
+        self._lock = threading.RLock()
+        self._stores = {}
+        self._n_sessions = 0
+
+    def count(self):
+        """Reads the session counter under the lock."""
+        with self._lock:
+            return self._n_sessions
+
+    def slow_publish(self):
+        """Does the slow work before taking the lock."""
+        time.sleep(0.1)
+        with self._lock:
+            self._stores["x"] = 1

@@ -1,0 +1,14 @@
+"""Fixture: seeded RL004 violations (report cached, put under positive
+taint guard).  Never imported — parsed by reprolint only."""
+
+
+def cache_report(cache, key, DegradationReport):
+    """Inserts a degradation report into the stage cache."""
+    report = DegradationReport()
+    cache.put(key, report)  # seeded: RL004 tainted value cached
+
+
+def cache_when_degraded(cache, key, value, degraded):
+    """Caches exactly when the output is degraded (inverted guard)."""
+    if degraded:
+        cache.put(key, value)  # seeded: RL004 put under positive guard

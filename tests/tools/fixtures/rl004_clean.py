@@ -1,0 +1,16 @@
+"""Fixture: clean twin of rl004_bad — the correct `not degraded` gate
+(mirrors the executor's taint-propagation structure)."""
+
+
+def run_stage(cache, key, value, degraded, dep_tainted, record):
+    """Caches only untainted outputs."""
+    if degraded or dep_tainted:
+        record(value)
+    elif key is not None:
+        cache.put(key, value)
+
+
+def run_stage_inverted(cache, key, value, degraded):
+    """`not degraded` positive-branch insertion is also fine."""
+    if not degraded:
+        cache.put(key, value)

@@ -1,0 +1,12 @@
+"""Fixture: seeded RL005 violations (unfrozen view, in-place writes
+through a shared view).  Never imported — parsed by reprolint only."""
+
+import numpy as np
+
+
+def attach_view(buf):
+    """Creates a writable view and mutates the shared pages."""
+    view = np.frombuffer(buf, dtype=np.float64)  # seeded: RL005 no setflags
+    view[0] = 1.0  # seeded: RL005 subscript write
+    view.fill(0.0)  # seeded: RL005 mutating call
+    return view

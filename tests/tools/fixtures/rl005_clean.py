@@ -1,0 +1,13 @@
+"""Fixture: clean twin of rl005_bad — frozen view, copy-on-write."""
+
+import numpy as np
+
+
+def attach_view(buf):
+    """Freezes the view at creation; mutates only an owned copy."""
+    view = np.frombuffer(buf, dtype=np.float64)
+    view.setflags(write=False)
+    out = view.copy()
+    out[0] = 1.0
+    out.fill(0.0)
+    return out

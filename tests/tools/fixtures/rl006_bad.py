@@ -1,0 +1,16 @@
+"""Fixture: seeded RL006 violations (truncating writes bypassing the
+atomic helpers).  Never imported — parsed by reprolint only."""
+
+import json
+from pathlib import Path
+
+
+def save(path, doc):
+    """Writes a document with a torn-file window."""
+    with open(path, "w") as fh:  # seeded: RL006 direct open("w")
+        json.dump(doc, fh)
+
+
+def save_text(path, text):
+    """Truncates the destination in place."""
+    Path(path).write_text(text)  # seeded: RL006 write_text

@@ -1,0 +1,24 @@
+"""Fixture: clean twin of rl006_bad — atomic helpers and append-only
+journals (the two legal persistence shapes)."""
+
+import json
+from pathlib import Path
+
+from repro.util.fileio import atomic_write_text
+
+
+def save(path, doc):
+    """Atomic temp-file + os.replace write."""
+    atomic_write_text(path, json.dumps(doc))
+
+
+def journal(path, line):
+    """Append-only journaling is the other legal durability shape."""
+    with Path(path).open("a") as fh:
+        fh.write(line)
+
+
+def read(path):
+    """Reads are unrestricted."""
+    with open(path) as fh:
+        return fh.read()

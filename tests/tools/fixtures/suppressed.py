@@ -1,0 +1,20 @@
+"""Fixture: seeded violations silenced by inline suppressions (the
+findings must move to the suppressed list, not the findings list)."""
+
+from pathlib import Path
+
+
+def save_same_line(path, text):
+    """Suppression on the offending line."""
+    Path(path).write_text(text)  # reprolint: disable=RL006
+
+
+def save_line_above(path, text):
+    """Suppression on the line above the offending statement."""
+    # reprolint: disable=RL006
+    Path(path).write_text(text)
+
+
+def save_all(path, text):
+    """disable=all silences every rule on the line."""
+    Path(path).write_text(text)  # reprolint: disable=all

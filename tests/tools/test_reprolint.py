@@ -1,0 +1,237 @@
+"""reprolint test suite.
+
+Three layers:
+
+* **Golden fixtures** — one file per rule with seeded violations
+  (asserted by rule id + line) plus a clean twin that must produce
+  nothing, so every rule's true-positive *and* false-positive behavior
+  is pinned.
+* **Suppressions** — line, line-above, ``all``, and file-wide forms.
+* **Meta** — ``reprolint src`` must be clean at HEAD: the tree itself
+  is the biggest fixture, and this test is what keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.tools.reprolint import (
+    DEFAULT_CONFIG,
+    LintConfig,
+    Severity,
+    lint_file,
+    lint_paths,
+    lint_source,
+    registered_rules,
+)
+from repro.tools.reprolint.config import module_name_for
+from repro.tools.reprolint.report import render_human, render_json
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+UNSCOPED = LintConfig(unscoped=True)
+
+#: rule → (bad fixture, {(line, rule), ...}, clean fixture)
+GOLDEN = {
+    "RL001": (
+        "rl001_bad.py",
+        {(11, "RL001"), (12, "RL001"), (19, "RL001"), (20, "RL001")},
+        "rl001_clean.py",
+    ),
+    "RL002": ("rl002_bad.py", {(7, "RL002"), (15, "RL002")}, "rl002_clean.py"),
+    "RL003": ("rl003_bad.py", {(19, "RL003"), (24, "RL003")}, "rl003_clean.py"),
+    "RL004": ("rl004_bad.py", {(8, "RL004"), (14, "RL004")}, "rl004_clean.py"),
+    "RL005": (
+        "rl005_bad.py",
+        {(9, "RL005"), (10, "RL005"), (11, "RL005")},
+        "rl005_clean.py",
+    ),
+    "RL006": ("rl006_bad.py", {(10, "RL006"), (16, "RL006")}, "rl006_clean.py"),
+}
+
+
+def _lint(name: str):
+    return lint_file(FIXTURES / name, UNSCOPED)
+
+
+# Golden fixtures ------------------------------------------------------------
+
+@pytest.mark.parametrize("rule", sorted(GOLDEN))
+def test_seeded_violations_found(rule):
+    bad, expected, _clean = GOLDEN[rule]
+    report = _lint(bad)
+    got = {(f.line, f.rule) for f in report.findings}
+    assert got == expected, f"{bad}: expected {sorted(expected)}, got {sorted(got)}"
+
+
+@pytest.mark.parametrize("rule", sorted(GOLDEN))
+def test_clean_twin_is_clean(rule):
+    _bad, _expected, clean = GOLDEN[rule]
+    report = _lint(clean)
+    assert report.findings == [], [f.render() for f in report.findings]
+    assert report.parse_error is None
+
+
+def test_all_six_rules_covered_by_fixtures():
+    assert set(GOLDEN) == set(registered_rules())
+
+
+def test_findings_carry_location_and_message():
+    report = _lint("rl006_bad.py")
+    for finding in report.findings:
+        assert finding.path.endswith("rl006_bad.py")
+        assert finding.line > 0
+        assert "atomic" in finding.message  # the fix is spelled out
+        rendered = finding.render()
+        assert f":{finding.line}:" in rendered and "RL006" in rendered
+
+
+def test_rl005_missing_setflags_is_warning_mutation_is_error():
+    report = _lint("rl005_bad.py")
+    by_line = {f.line: f.severity for f in report.findings}
+    assert by_line[9] is Severity.WARNING
+    assert by_line[10] is Severity.ERROR
+    assert by_line[11] is Severity.ERROR
+
+
+# Suppressions ---------------------------------------------------------------
+
+def test_line_suppressions():
+    report = _lint("suppressed.py")
+    assert report.findings == []
+    assert len(report.suppressed) == 3
+    assert {f.rule for f in report.suppressed} == {"RL006"}
+
+
+def test_file_wide_suppression():
+    report = _lint("file_suppressed.py")
+    assert report.findings == []
+    assert len(report.suppressed) == 2
+
+
+def test_suppression_of_other_rule_does_not_mask():
+    source = (
+        "from pathlib import Path\n"
+        "def save(path, text):\n"
+        '    """Doc."""\n'
+        "    Path(path).write_text(text)  # reprolint: disable=RL001\n"
+    )
+    report = lint_source(source, "x.py", UNSCOPED)
+    assert [f.rule for f in report.findings] == ["RL006"]
+
+
+# Config / scoping -----------------------------------------------------------
+
+def test_module_name_resolution():
+    assert module_name_for("src/repro/store/shm.py") == "repro.store.shm"
+    assert module_name_for("/abs/src/repro/core/plan/__init__.py") == "repro.core.plan"
+    assert module_name_for("tests/tools/fixtures/rl001_bad.py") == "rl001_bad"
+
+
+def test_default_scoping_applies_rules_where_invariants_live():
+    assert DEFAULT_CONFIG.rule_applies("RL003", "src/repro/store/service.py")
+    assert not DEFAULT_CONFIG.rule_applies("RL003", "src/repro/core/engine.py")
+    assert DEFAULT_CONFIG.rule_applies("RL006", "src/repro/core/session.py")
+    # the atomic-write module itself is the one legal open() site
+    assert not DEFAULT_CONFIG.rule_applies("RL006", "src/repro/util/fileio.py")
+    assert DEFAULT_CONFIG.rule_applies("RL001", "src/repro/core/plan/executor.py")
+    assert not DEFAULT_CONFIG.rule_applies("RL001", "src/repro/render/lines.py")
+
+
+def test_enabled_allowlist_limits_rules():
+    config = LintConfig(unscoped=True, enabled=("RL006",))
+    report = lint_file(FIXTURES / "rl001_bad.py", config)
+    assert report.findings == []
+
+
+def test_parse_error_reported_not_crashing(tmp_path):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def nope(:\n")
+    result = lint_paths([broken], UNSCOPED)
+    assert result.exit_code == 2
+    assert result.parse_errors and "broken.py" in result.parse_errors[0][0]
+
+
+# Output formats -------------------------------------------------------------
+
+def test_json_report_schema():
+    result = lint_paths([FIXTURES / "rl006_bad.py"], UNSCOPED)
+    doc = json.loads(render_json(result))
+    assert doc["version"] == 1
+    assert doc["ok"] is False
+    assert doc["summary"]["findings"] == 2
+    assert {f["rule"] for f in doc["findings"]} == {"RL006"}
+    for f in doc["findings"]:
+        assert set(f) == {"path", "line", "col", "rule", "severity", "message"}
+
+
+def test_human_output_mentions_every_finding():
+    result = lint_paths([FIXTURES / "rl004_bad.py"], UNSCOPED)
+    text = render_human(result)
+    assert text.count("RL004") == 2
+    assert "2 findings" in text
+
+
+# CLI ------------------------------------------------------------------------
+
+def _run_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.tools.reprolint", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_cli_exit_codes_and_report(tmp_path):
+    report_path = tmp_path / "reprolint.json"
+    proc = _run_cli(
+        str(FIXTURES / "rl002_bad.py"), "--unscoped",
+        "--report", str(report_path),
+    )
+    assert proc.returncode == 1
+    assert "RL002" in proc.stdout
+    doc = json.loads(report_path.read_text())
+    assert doc["summary"]["findings"] == 2
+
+    proc = _run_cli(str(FIXTURES / "rl002_clean.py"), "--unscoped")
+    assert proc.returncode == 0
+    assert "clean" in proc.stdout
+
+
+def test_cli_rules_filter_and_list():
+    proc = _run_cli(str(FIXTURES / "rl001_bad.py"), "--unscoped", "--rules", "RL006")
+    assert proc.returncode == 0  # RL001 findings filtered out
+
+    proc = _run_cli("--list-rules")
+    assert proc.returncode == 0
+    for rule in registered_rules():
+        assert rule in proc.stdout
+
+    proc = _run_cli("--rules", "RL999")
+    assert proc.returncode == 2
+
+
+# Meta: the tree itself ------------------------------------------------------
+
+def test_src_is_clean_at_head():
+    """`reprolint src` must exit 0 on the committed tree.
+
+    If this fails, either a real invariant violation crept in (fix the
+    code) or a checker grew a false positive (fix the checker or add a
+    reviewed `# reprolint: disable=` with a comment saying why).
+    """
+    result = lint_paths([SRC], DEFAULT_CONFIG)
+    assert result.parse_errors == []
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)

@@ -34,6 +34,7 @@ import pickle
 import struct
 import uuid
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -46,6 +47,10 @@ from repro.store.shm import (
 )
 from repro.trajectory.dataset import PackedSegments, TrajectoryDataset
 from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+if TYPE_CHECKING:
+    from repro.core.engine import CoordinatedBrushingEngine
+    from repro.core.spatial_index import UniformGridIndex
 
 __all__ = ["ArraySpec", "StoreHandle", "SharedArenaStore", "StoreClient", "attach"]
 
@@ -323,7 +328,7 @@ class SharedArenaStore:
         """Context-manage publisher lifetime (unlink + close on exit)."""
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         """Unlink the name and release the mapping."""
         self.unlink()
         self.close()
@@ -410,7 +415,7 @@ class StoreClient:
             )
         return self._dataset
 
-    def index(self):
+    def index(self) -> "UniformGridIndex | None":
         """The attached :class:`UniformGridIndex` rebuilt from the
         shared cell tables, or ``None`` when the store has no index."""
         if self.handle.index_res is None:
@@ -429,7 +434,7 @@ class StoreClient:
             )
         return self._index
 
-    def engine(self, **engine_kwargs):
+    def engine(self, **engine_kwargs: Any) -> "CoordinatedBrushingEngine":
         """A :class:`CoordinatedBrushingEngine` over the attached
         dataset, reusing the shared index tables (no rebuild)."""
         from repro.core.engine import CoordinatedBrushingEngine
@@ -456,7 +461,7 @@ class StoreClient:
         """Context-manage the attachment (close on exit)."""
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         """Release the client's mapping."""
         self.close()
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import atexit
 import os
 import threading
+from typing import Any
 
 try:  # gate: some minimal builds ship multiprocessing without shm
     from multiprocessing import shared_memory as _shm_mod
@@ -71,7 +72,7 @@ _LIVE_LOCK = threading.Lock()
 _ATTACH_LOCK = threading.Lock()
 
 
-def _new_shared_memory(name: str | None, create: bool, size: int = 0):
+def _new_shared_memory(name: str | None, create: bool, size: int = 0) -> Any:
     """Construct a ``SharedMemory``, never registering attachments with
     the resource tracker (see module docstring)."""
     if _shm_mod is None:
@@ -206,7 +207,7 @@ class SharedBlock:
         """Context-manage the mapping: close (and unlink if owner) on exit."""
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         """Unlink (owner only) then close."""
         self.unlink()
         self.close()

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+#: Anything coercible to a 2-vector / point array via ``np.asarray``.
+ArrayLike = np.ndarray | tuple[float, float] | list[float]
+
 __all__ = [
     "unit_vector",
     "rotate2d",
@@ -65,7 +68,7 @@ def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.sqrt(d2, out=d2)
 
 
-def points_in_circle(points: np.ndarray, center, radius: float) -> np.ndarray:
+def points_in_circle(points: np.ndarray, center: ArrayLike, radius: float) -> np.ndarray:
     """Boolean mask of (N, 2) points inside (or on) a circle."""
     points = np.asarray(points, dtype=np.float64)
     center = np.asarray(center, dtype=np.float64)
@@ -73,7 +76,7 @@ def points_in_circle(points: np.ndarray, center, radius: float) -> np.ndarray:
     return np.einsum("ij,ij->i", d, d) <= radius * radius
 
 
-def points_in_rect(points: np.ndarray, lo, hi) -> np.ndarray:
+def points_in_rect(points: np.ndarray, lo: ArrayLike, hi: ArrayLike) -> np.ndarray:
     """Boolean mask of (N, 2) points inside the axis-aligned box [lo, hi]."""
     points = np.asarray(points, dtype=np.float64)
     lo = np.asarray(lo, dtype=np.float64)
@@ -101,7 +104,7 @@ def point_segment_distance(p: np.ndarray, a: np.ndarray, b: np.ndarray) -> np.nd
 
 
 def segment_circle_overlap_mask(
-    seg_a: np.ndarray, seg_b: np.ndarray, center, radius: float
+    seg_a: np.ndarray, seg_b: np.ndarray, center: ArrayLike, radius: float
 ) -> np.ndarray:
     """Boolean mask over (N, 2) segment endpoints arrays: True where the
     segment a[i]->b[i] comes within ``radius`` of ``center``.
@@ -115,7 +118,7 @@ def segment_circle_overlap_mask(
 
 
 def circle_segment_intersections(
-    a: np.ndarray, b: np.ndarray, center, radius: float
+    a: np.ndarray, b: np.ndarray, center: ArrayLike, radius: float
 ) -> np.ndarray:
     """Parametric entry/exit of segments a[i]->b[i] through a circle.
 
@@ -160,7 +163,7 @@ def circle_segment_intersections(
 
 
 def clip_segments_to_circle(
-    a: np.ndarray, b: np.ndarray, center, radius: float
+    a: np.ndarray, b: np.ndarray, center: ArrayLike, radius: float
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Clip segments to a circle; return (clipped_a, clipped_b, index).
 

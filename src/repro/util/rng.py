@@ -11,10 +11,14 @@ independence between streams regardless of how many are created.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 __all__ = ["RngStream", "derive_rng", "spawn_streams"]
+
+#: Shape argument accepted by the NumPy generator draw methods.
+SizeLike = int | tuple[int, ...] | None
 
 #: Root seed used by the benchmark harness when none is supplied.
 DEFAULT_ROOT_SEED = 20120101  # SC 2012
@@ -85,18 +89,30 @@ class RngStream:
         return RngStream(self.root_seed, self.keys + keys)
 
     # Convenience draws (delegate to the generator) -------------------
-    def uniform(self, low: float = 0.0, high: float = 1.0, size=None):
+    def uniform(
+        self, low: float = 0.0, high: float = 1.0, size: SizeLike = None
+    ) -> Any:
         """Uniform draw (delegates to the generator)."""
         return self._rng.uniform(low, high, size)
 
-    def normal(self, loc: float = 0.0, scale: float = 1.0, size=None):
+    def normal(
+        self, loc: float = 0.0, scale: float = 1.0, size: SizeLike = None
+    ) -> Any:
         """Gaussian draw (delegates to the generator)."""
         return self._rng.normal(loc, scale, size)
 
-    def integers(self, low: int, high: int | None = None, size=None):
+    def integers(
+        self, low: int, high: int | None = None, size: SizeLike = None
+    ) -> Any:
         """Integer draw (delegates to the generator)."""
         return self._rng.integers(low, high, size)
 
-    def choice(self, a, size=None, replace=True, p=None):
+    def choice(
+        self,
+        a: Any,
+        size: SizeLike = None,
+        replace: bool = True,
+        p: Any = None,
+    ) -> Any:
         """Choice draw (delegates to the generator)."""
         return self._rng.choice(a, size=size, replace=replace, p=p)

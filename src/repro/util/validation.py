@@ -14,7 +14,7 @@ import numpy as np
 __all__ = ["check_finite", "check_positive", "check_in_range", "check_shape"]
 
 
-def check_finite(name: str, value) -> np.ndarray:
+def check_finite(name: str, value: object) -> np.ndarray:
     """Coerce to ndarray and require all entries finite."""
     arr = np.asarray(value, dtype=np.float64)
     if not np.all(np.isfinite(arr)):

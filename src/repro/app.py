@@ -23,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.core.brush import BrushStroke
 from repro.core.hypothesis import Hypothesis, Verdict
 from repro.core.result import QueryResult
@@ -299,6 +300,18 @@ class TrajectoryExplorer:
             "session_id": self.session.session_id,
             "service_sessions": self.service.n_sessions,
         }
+
+    def telemetry(self) -> dict:
+        """The process telemetry plane, read back as plain data.
+
+        Returns ``{"enabled": bool, "counters": ..., "gauges": ...,
+        "histograms": ...}`` — the counters/gauges/histograms maps are
+        empty while telemetry is disabled (the default).  Enable with
+        ``repro.obs.enable()``; render a scrape-ready exposition with
+        ``repro.obs.render_prometheus(repro.obs.telemetry_snapshot())``.
+        """
+        snapshot = obs.telemetry_snapshot()
+        return {"enabled": obs.enabled(), **snapshot.as_dict()}
 
     def last_trace(self, color: str | None = None):
         """Per-stage trace of the most recent query for ``color``

@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.core.canvas import BrushCanvas
 from repro.core.plan.cache import StageCache
 from repro.core.plan.executor import QueryExecutor
@@ -218,6 +219,10 @@ class CoordinatedBrushingEngine:
             degradation=degradation if degradation.degraded else None,
             trace=trace,
         )
+        obs.counter_add("query.count", 1, strategy=plan.strategy)
+        obs.observe("query.seconds", trace.total_s, strategy=plan.strategy)
+        if degradation.degraded:
+            obs.counter_add("query.degraded", 1, strategy=plan.strategy)
         return result
 
     def query_all_colors(

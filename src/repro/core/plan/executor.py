@@ -12,6 +12,13 @@ the exact brute-force scan, records the event, and **taints** the
 stage — tainted outputs (and everything computed from them) are never
 inserted into the cache, so a degraded query can never poison the warm
 path.
+
+Observability: every stage runs inside a :func:`repro.obs.stage_span`,
+which both back-fills the :class:`QueryTrace` (the per-result record
+this module always produced) and — when a live registry is installed —
+emits per-stage latency histograms and cache hit/miss/taint counters
+into the process telemetry plane.  Emission is guarded inside the span;
+nothing here can raise because of telemetry.
 """
 
 from __future__ import annotations
@@ -21,10 +28,11 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.core.canvas import BrushCanvas
 from repro.core.plan.cache import StageCache
 from repro.core.plan.planner import QueryPlan
-from repro.core.plan.trace import QueryTrace, StageRecord
+from repro.core.plan.trace import QueryTrace
 from repro.core.result import GroupSupport
 from repro.core.spatial_index import UniformGridIndex
 from repro.core.temporal import TimeWindow
@@ -121,38 +129,25 @@ class QueryExecutor:
             if stage.key is not None:
                 cached, found = self.cache.lookup(stage.key)
                 if found:
-                    outputs[stage.name] = cached
-                    trace.record(
-                        StageRecord(
-                            stage=stage.name,
-                            elapsed_s=0.0,
-                            n_in=self._n_in(stage.name, outputs),
-                            n_out=_cardinality(cached),
-                            cache_hit=True,
-                        )
-                    )
+                    with obs.stage_span(trace, stage.name) as sp:
+                        outputs[stage.name] = cached
+                        sp.cache_hit = True
+                        sp.n_in = self._n_in(stage.name, outputs)
+                        sp.n_out = _cardinality(cached)
                     continue
-            t0 = time.perf_counter()
-            value, degraded, detail = self._execute_stage(
-                stage.name, plan, canvas, window, assignment, outputs, degradation
-            )
-            elapsed = time.perf_counter() - t0
-            outputs[stage.name] = value
-            if degraded or dep_tainted:
-                tainted.add(stage.name)
-            elif stage.key is not None:
-                self.cache.put(stage.key, _freeze(value))
-            trace.record(
-                StageRecord(
-                    stage=stage.name,
-                    elapsed_s=elapsed,
-                    n_in=self._n_in(stage.name, outputs),
-                    n_out=_cardinality(value),
-                    cache_hit=False,
-                    degraded=degraded or dep_tainted,
-                    detail=detail,
+            with obs.stage_span(trace, stage.name) as sp:
+                value, degraded, detail = self._execute_stage(
+                    stage.name, plan, canvas, window, assignment, outputs, degradation
                 )
-            )
+                outputs[stage.name] = value
+                if degraded or dep_tainted:
+                    tainted.add(stage.name)
+                elif stage.key is not None:
+                    self.cache.put(stage.key, _freeze(value))
+                sp.n_in = self._n_in(stage.name, outputs)
+                sp.n_out = _cardinality(value)
+                sp.degraded = degraded or dep_tainted
+                sp.detail = detail
         trace.execute_s += time.perf_counter() - t_run
         return outputs
 

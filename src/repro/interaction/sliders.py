@@ -18,8 +18,10 @@ expensive brush hit-test outright.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable
 
+from repro import obs
 from repro.core.temporal import TimeWindow
 
 if TYPE_CHECKING:
@@ -216,12 +218,22 @@ class IncrementalRequery:
         self.requery()
 
     def requery(self) -> dict[str, "QueryResult"]:
-        """Re-evaluate the active colors under the current window."""
+        """Re-evaluate the active colors under the current window.
+
+        Each effective move lands in the telemetry plane
+        (``interaction.requery.count`` / ``.seconds``) — the
+        end-to-end latency the researcher actually feels while
+        scrubbing, as opposed to the per-stage numbers the query
+        trace reports.
+        """
+        t_move = time.perf_counter()
         colors = self.colors or self.session.canvas.colors()
         results = {color: self.session.run_query(color) for color in colors}
         if results:
             self.last_results = results
             self.n_requeries += 1
+            obs.counter_add("interaction.requery.count", 1)
+            obs.observe("interaction.requery.seconds", time.perf_counter() - t_move)
             if self.on_results is not None:
                 self.on_results(results)
         return results

@@ -1,0 +1,183 @@
+"""Telemetry exporters: Prometheus text exposition and JSONL logs.
+
+Both formats are rendered by **pure functions** over immutable
+snapshots so golden-file tests can pin every byte:
+
+* :func:`render_prometheus` — the Prometheus/OpenMetrics text format
+  (``# TYPE`` headers, ``_total`` counters, ``_bucket``/``_sum``/
+  ``_count`` histogram triplets with cumulative ``le`` buckets,
+  escaped label values, deterministic ordering).
+* :func:`render_jsonl_snapshot` / :func:`render_jsonl_event` — one
+  JSON object per line with sorted keys and compact separators, the
+  schema the :class:`JsonlExporter` appends to disk.
+
+:class:`JsonlExporter` is the only impure piece: it appends rendered
+lines through :func:`repro.util.fileio.append_text` (append is the
+crash-tolerant log discipline; a torn final line is recoverable, a
+torn rewrite is not).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.metrics import LabelTuple, Snapshot
+from repro.util.fileio import append_text
+
+__all__ = [
+    "render_prometheus",
+    "render_jsonl_snapshot",
+    "render_jsonl_event",
+    "JsonlExporter",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """Prometheus-legal metric name: dots become underscores."""
+    base = _NAME_OK.sub("_", name)
+    return f"{prefix}_{base}" if prefix else base
+
+
+def _escape_label_value(value: str) -> str:
+    """Backslash-escape per the exposition format spec."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels: LabelTuple, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    """Rendered ``{k="v",...}`` block ('' when empty); sorted, escaped."""
+    pairs = tuple(sorted(labels + extra))
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{_NAME_OK.sub("_", k)}="{_escape_label_value(v)}"' for k, v in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    """Stable numeric rendering: integral floats print as integers."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Snapshot, *, prefix: str = "repro") -> str:
+    """The Prometheus text exposition of one snapshot.
+
+    Deterministic: metric families sorted by name, series sorted by
+    label tuple, histogram buckets cumulative and ascending with a
+    final ``+Inf`` bucket equal to ``_count``.
+    """
+    lines: list[str] = []
+
+    by_family: dict[str, list[LabelTuple]] = {}
+    for name, labels in sorted(snapshot.counters):
+        by_family.setdefault(name, []).append(labels)
+    for name in sorted(by_family):
+        metric = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        for labels in by_family[name]:
+            value = snapshot.counters[(name, labels)]
+            lines.append(f"{metric}{_label_str(labels)} {_fmt(value)}")
+
+    by_family = {}
+    for name, labels in sorted(snapshot.gauges):
+        by_family.setdefault(name, []).append(labels)
+    for name in sorted(by_family):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        for labels in by_family[name]:
+            value = snapshot.gauges[(name, labels)]
+            lines.append(f"{metric}{_label_str(labels)} {_fmt(value)}")
+
+    by_family = {}
+    for name, labels in sorted(snapshot.histograms):
+        by_family.setdefault(name, []).append(labels)
+    for name in sorted(by_family):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        for labels in by_family[name]:
+            hist = snapshot.histograms[(name, labels)]
+            cum = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cum += count
+                le = (("le", _fmt(bound)),)
+                lines.append(f"{metric}_bucket{_label_str(labels, le)} {cum}")
+            inf = (("le", "+Inf"),)
+            lines.append(f"{metric}_bucket{_label_str(labels, inf)} {hist.count}")
+            lines.append(f"{metric}_sum{_label_str(labels)} {_fmt(hist.sum)}")
+            lines.append(f"{metric}_count{_label_str(labels)} {hist.count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _series(labels: LabelTuple) -> dict[str, str]:
+    return {k: v for k, v in labels}
+
+
+def render_jsonl_snapshot(snapshot: Snapshot, *, ts: float | None = None) -> str:
+    """One snapshot as a single JSON line (sorted keys, compact).
+
+    ``ts`` is caller-provided so renders are reproducible; the live
+    exporter stamps wall-clock time, golden tests pass a constant.
+    """
+    doc: dict[str, Any] = {
+        "type": "snapshot",
+        "ts": ts,
+        "counters": [
+            {"name": n, "labels": _series(ls), "value": snapshot.counters[(n, ls)]}
+            for n, ls in sorted(snapshot.counters)
+        ],
+        "gauges": [
+            {"name": n, "labels": _series(ls), "value": snapshot.gauges[(n, ls)]}
+            for n, ls in sorted(snapshot.gauges)
+        ],
+        "histograms": [
+            {
+                "name": n,
+                "labels": _series(ls),
+                "bounds": list(h.bounds),
+                "counts": list(h.counts),
+                "sum": h.sum,
+                "count": h.count,
+            }
+            for (n, ls), h in (
+                ((n, ls), snapshot.histograms[(n, ls)])
+                for n, ls in sorted(snapshot.histograms)
+            )
+        ],
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def render_jsonl_event(event: Mapping[str, Any]) -> str:
+    """One discrete event (span end, fault) as a stable JSON line."""
+    return json.dumps(dict(event), sort_keys=True, separators=(",", ":"), default=str)
+
+
+class JsonlExporter:
+    """Appends rendered telemetry lines to an on-disk JSONL log.
+
+    Suitable as a registry ``event_sink`` (span-end events) and as a
+    periodic snapshot dumper.  Each line is flushed on return; the
+    append-only discipline means a crash tears at most the final line.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def write_event(self, event: Mapping[str, Any], *, ts: float | None = None) -> None:
+        """Append one event line (optionally stamping ``ts``)."""
+        doc = dict(event)
+        if ts is not None:
+            doc["ts"] = ts
+        append_text(self.path, render_jsonl_event(doc) + "\n")
+
+    def write_snapshot(self, snapshot: Snapshot, *, ts: float | None = None) -> None:
+        """Append one full-snapshot line."""
+        append_text(self.path, render_jsonl_snapshot(snapshot, ts=ts) + "\n")

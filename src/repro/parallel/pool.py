@@ -16,6 +16,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
+from repro import obs
+
 __all__ = ["WorkerPool", "pool_map", "default_workers"]
 
 T = TypeVar("T")
@@ -89,6 +91,9 @@ class WorkerPool:
         """
         if chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        mode = "serial" if self.serial else "pooled"
+        obs.counter_add("pool.map.calls", 1, mode=mode)
+        obs.counter_add("pool.map.items", len(items), mode=mode)
         if self.serial:
             results: list[R] = []
             for start in range(0, len(items), chunksize):

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.canvas import BrushCanvas
 from repro.core.engine import CoordinatedBrushingEngine
 from repro.core.result import QueryResult
@@ -171,7 +172,9 @@ def render_viewport_parallel(
     frames: dict[Eye, dict[tuple[int, int], Framebuffer]] = {eye: {} for eye in eyes}
     if max_workers <= 1:
         for job in jobs:
+            t_tile = time.perf_counter()
             fb = renderer.render_job(job, canvas=canvas, results=results)
+            obs.observe("render.tile.seconds", time.perf_counter() - t_tile)
             frames[job.eye][(job.tile.col, job.tile.row)] = fb
         workers = 1
     else:
@@ -190,6 +193,7 @@ def render_viewport_parallel(
                     "shm-attach-failure", scope="pool", action="pickle-fallback",
                     detail=repr(exc),
                 )
+                obs.counter_add("render.transport.fallbacks", 1)
             else:
                 initializer = _init_worker_shm
                 initargs = (
@@ -212,6 +216,8 @@ def render_viewport_parallel(
             frames[Eye(eye_val)][(col, row)] = fb
         workers = max_workers
     elapsed = time.perf_counter() - t0
+    obs.observe("render.frame.seconds", elapsed, workers=workers)
+    obs.counter_add("render.jobs", len(jobs), workers=workers)
     return ParallelRenderReport(
         frames=frames,
         elapsed_s=elapsed,

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
+
 __all__ = ["FaultEvent", "DegradationReport"]
 
 
@@ -72,9 +74,22 @@ class DegradationReport:
         attempt: int = 0,
         detail: str = "",
     ) -> FaultEvent:
-        """Append one event and return it."""
+        """Append one event and return it.
+
+        Every degradation in the system funnels through here (query
+        fallback, worker supervision, loader quarantine, store
+        transport), so this is also the telemetry chokepoint: each
+        event increments the ``resilience.faults`` counter family
+        (labelled by kind/scope/action) and respawn actions
+        additionally feed ``pool.worker.respawns``.
+        """
         event = FaultEvent(kind, scope, action, job, attempt, detail)
         self.events.append(event)
+        obs.counter_add(
+            "resilience.faults", 1, kind=kind, scope=scope, action=action
+        )
+        if action == "respawned":
+            obs.counter_add("pool.worker.respawns", 1, kind=kind)
         return event
 
     # Introspection --------------------------------------------------------

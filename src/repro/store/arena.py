@@ -32,12 +32,14 @@ from __future__ import annotations
 import json
 import pickle
 import struct
+import time
 import uuid
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro import obs
 from repro.store.shm import (
     SharedBlock,
     StaleHandleError,
@@ -481,6 +483,7 @@ def attach(handle: StoreHandle) -> StoreClient:
     StoreAttachError
         The block exists but is not a store (corrupt / foreign block).
     """
+    t_attach = time.perf_counter()
     block = attach_block(handle.block)
     try:
         if block.size < _HEADER.size:
@@ -508,5 +511,8 @@ def attach(handle: StoreHandle) -> StoreClient:
             )
     except Exception:
         block.close()
+        obs.counter_add("store.attach.failures", 1)
         raise
+    obs.observe("store.attach.seconds", time.perf_counter() - t_attach)
+    obs.counter_add("store.attaches", 1)
     return StoreClient(handle, block)

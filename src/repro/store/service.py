@@ -34,10 +34,12 @@ and for worker processes::
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
+from repro import obs
 from repro.core.engine import CoordinatedBrushingEngine
 from repro.core.session import ExplorationSession
 from repro.display.viewport import Viewport
@@ -69,14 +71,28 @@ class SharedQueryEngine(CoordinatedBrushingEngine):
         self._lock = lock if lock is not None else threading.RLock()
 
     def query(self, *args: Any, **kwargs: Any) -> Any:
-        """Serialized :meth:`CoordinatedBrushingEngine.query`."""
+        """Serialized :meth:`CoordinatedBrushingEngine.query`.
+
+        The time this thread spent waiting for the shared lock is
+        published as the ``service.lock.wait_seconds`` gauge — the
+        first signal to watch when N sessions start queueing behind
+        one hot engine.
+        """
+        t_wait = time.perf_counter()
         with self._lock:
+            obs.gauge_set(
+                "service.lock.wait_seconds", time.perf_counter() - t_wait
+            )
             return super().query(*args, **kwargs)
 
     def query_all_colors(self, *args: Any, **kwargs: Any) -> Any:
         """Serialized multi-color evaluation (holds the lock across all
         colors so the shared temporal mask is computed exactly once)."""
+        t_wait = time.perf_counter()
         with self._lock:
+            obs.gauge_set(
+                "service.lock.wait_seconds", time.perf_counter() - t_wait
+            )
             return super().query_all_colors(*args, **kwargs)
 
     def plan(self, *args: Any, **kwargs: Any) -> Any:
@@ -122,6 +138,14 @@ class SessionView(ExplorationSession):
             journal_path=journal_path,
             engine=service.engine,
         )
+
+    def run_query(self, color: str = "red") -> Any:
+        """Session-attributed query: the shared engine does the work;
+        this view adds its ``session.queries`` accounting so the
+        telemetry plane can answer "which session is hammering us"."""
+        result = super().run_query(color)
+        obs.counter_add("session.queries", 1, session=self.session_id)
+        return result
 
     def __repr__(self) -> str:
         return (
@@ -225,9 +249,11 @@ class DatasetService:
             from repro.display.presets import CYBER_COMMONS, paper_viewport
 
             viewport = paper_viewport(CYBER_COMMONS)
-        return SessionView(
+        view = SessionView(
             self, viewport, layout_key=layout_key, journal_path=journal_path
         )
+        obs.counter_add("service.sessions.opened", 1)
+        return view
 
     def _next_session_id(self) -> int:
         """Service-scoped session ids (1, 2, ...): two independent
@@ -266,11 +292,14 @@ class DatasetService:
                 # the dataset mutated since the engine bound its index;
                 # let publish() build a fresh one over the current epoch
                 index = None
+            t_pub = time.perf_counter()
             store = SharedArenaStore.publish(
                 self.dataset,
                 include_index=include_index,
                 index=index,
             )
+            obs.observe("store.publish.seconds", time.perf_counter() - t_pub)
+            obs.counter_add("store.publishes", 1)
             self._stores[store.uid] = store
             while len(self._stores) > self.keep_stores:
                 _, old = self._stores.popitem(last=False)

@@ -118,5 +118,12 @@ DEFAULT_CONFIG = LintConfig(
             include=("repro",),
             exclude=("repro.util.fileio",),
         ),
+        # PR 5: telemetry emits only through the guarded obs facade;
+        # spans only as context managers.  The facade itself is the one
+        # place bare registry calls legitimately live.
+        "RL007": RuleScope(
+            include=("repro",),
+            exclude=("repro.obs",),
+        ),
     },
 )

@@ -10,6 +10,7 @@ from repro.tools.reprolint.rules.rl003_lock_discipline import LockDisciplineChec
 from repro.tools.reprolint.rules.rl004_degradation_taint import DegradationTaintChecker
 from repro.tools.reprolint.rules.rl005_readonly_views import ReadonlyViewChecker
 from repro.tools.reprolint.rules.rl006_atomic_write import AtomicWriteChecker
+from repro.tools.reprolint.rules.rl007_telemetry_guard import TelemetryGuardChecker
 
 __all__ = [
     "CachePurityChecker",
@@ -18,4 +19,5 @@ __all__ = [
     "DegradationTaintChecker",
     "ReadonlyViewChecker",
     "AtomicWriteChecker",
+    "TelemetryGuardChecker",
 ]

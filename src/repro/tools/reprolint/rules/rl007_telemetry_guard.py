@@ -1,0 +1,95 @@
+"""RL007 — telemetry emits are guarded; spans only via ``with``.
+
+The telemetry plane (:mod:`repro.obs`) promises two things to every
+instrumented hot path:
+
+1. **Emits never raise.**  The guard lives in the facade helpers
+   (``obs.counter_add`` / ``obs.observe`` / ``obs.gauge_set`` /
+   ``obs.emit_event``), which check the enabled flag and swallow
+   registry/sink failures.  Calling methods on a registry object
+   directly (``registry.counter_add(...)``,
+   ``get_registry().observe(...)``) bypasses the guard — an exporter
+   hiccup would then propagate into a query or render path.
+2. **Spans are context-managed.**  A span opened without ``with``
+   (``sp = obs.span(...)``) leaks its timing on any exception path
+   and never lands in the trace/histogram; the context-manager form
+   is the only shape whose exit is guaranteed.
+
+Scoped to everything outside :mod:`repro.obs` itself (the facade is
+where the unguarded calls legitimately live).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.tools.reprolint.base import Checker, dotted_name, register
+
+__all__ = ["TelemetryGuardChecker"]
+
+#: Callable names that must only appear as a ``with`` context expression.
+_SPAN_CALLEES = ("span", "stage_span")
+
+
+def _mentions_registry(node: ast.expr) -> bool:
+    """True when an attribute chain passes through a registry object.
+
+    Matches ``registry.…``, ``self._registry.…``, and
+    ``get_registry().…`` receivers (lowercase names only — the linter
+    registry constants in this package are uppercase and unrelated).
+    """
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id.lstrip("_").startswith("registry"):
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr.lstrip("_").endswith("registry"):
+            return True
+        if isinstance(sub, ast.Call):
+            callee = dotted_name(sub.func)
+            if callee.split(".")[-1] == "get_registry":
+                return True
+    return False
+
+
+@register
+class TelemetryGuardChecker(Checker):
+    rule = "RL007"
+    summary = (
+        "telemetry must go through repro.obs guarded helpers — no bare "
+        "registry.* calls outside obs, and span()/stage_span() only as "
+        "`with` context managers"
+    )
+    default_options: dict[str, Any] = {}
+
+    def check(self, tree: ast.AST) -> list:
+        """Two passes: collect sanctioned span sites, then flag calls."""
+        with_calls: set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        with_calls.add(id(item.context_expr))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute) and _mentions_registry(
+                node.func.value
+            ):
+                self.add(
+                    node,
+                    f"bare registry call {dotted_name(node.func)}(): a failing "
+                    "registry or event sink would raise into the instrumented "
+                    "hot path — emit through the guarded repro.obs helpers "
+                    "(obs.counter_add / obs.observe / obs.gauge_set)",
+                )
+                continue
+            callee = dotted_name(node.func).split(".")[-1]
+            if callee in _SPAN_CALLEES and id(node) not in with_calls:
+                self.add(
+                    node,
+                    f"{callee}() opened outside a `with` statement: only the "
+                    "context-manager form guarantees the span closes (and "
+                    "back-fills the trace) on every exit path — write "
+                    f"`with obs.{callee}(...) as sp:`",
+                )
+        return self.findings

@@ -17,7 +17,7 @@ import tempfile
 from pathlib import Path
 from typing import IO, Callable
 
-__all__ = ["atomic_write", "atomic_write_text", "atomic_write_bytes"]
+__all__ = ["atomic_write", "atomic_write_text", "atomic_write_bytes", "append_text"]
 
 
 def atomic_write(
@@ -65,3 +65,24 @@ def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -
 def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
     """Atomically write a binary file."""
     return atomic_write(path, lambda fh: fh.write(data))
+
+
+def append_text(
+    path: str | Path, text: str, *, encoding: str = "utf-8", fsync: bool = False
+) -> Path:
+    """Append ``text`` to a file (created if missing), flushed on return.
+
+    Appending is the sanctioned durability mechanism for line-oriented
+    logs (session journals, telemetry JSONL): a crash mid-append tears
+    at most the final line, which log readers already tolerate —
+    unlike a truncating rewrite, which can lose the whole file.  Pass
+    ``fsync=True`` when each record must survive power loss, at the
+    cost of one disk sync per call.
+    """
+    path = Path(path)
+    with path.open("a", encoding=encoding) as fh:
+        fh.write(text)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    return path

@@ -1,0 +1,26 @@
+"""Telemetry-test fixtures.
+
+Telemetry is process-global state; every test here must leave the
+process exactly as it found it (disabled, NULL registry) or unrelated
+suites would start emitting.  The autouse guard enforces that.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _restore_registry():
+    """Snapshot and restore the installed registry around every test."""
+    previous = obs.get_registry()
+    yield
+    obs.set_registry(previous)
+
+
+@pytest.fixture()
+def registry() -> obs.MetricsRegistry:
+    """A fresh live registry installed for the duration of one test."""
+    return obs.enable()

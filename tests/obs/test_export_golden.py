@@ -1,0 +1,159 @@
+"""Golden-file tests pinning exporter output byte-for-byte.
+
+Mirrors the reprolint fixture pattern: a deterministic snapshot is
+rendered and compared against committed fixture files, so any change
+to the exposition or JSONL schema shows up as a reviewable fixture
+diff rather than a silent scrape break.
+
+Regenerate (after a *deliberate* format change)::
+
+    PYTHONPATH=src python tests/obs/test_export_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.export import (
+    JsonlExporter,
+    render_jsonl_event,
+    render_jsonl_snapshot,
+    render_prometheus,
+)
+from repro.obs.metrics import HistogramSnapshot, Snapshot
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+GOLDEN_TS = 1700000000.25
+
+
+def golden_snapshot() -> Snapshot:
+    """A hand-built snapshot exercising every renderer feature:
+    label-free and labelled series, escaping, integral and fractional
+    values, and a histogram with overflow observations."""
+    bounds = (0.001, 0.01, 0.1, 1.0)
+    return Snapshot(
+        counters={
+            ("query.count", ()): 7.0,
+            ("query.count", (("strategy", "indexed"),)): 5.0,
+            ("query.count", (("strategy", "brute-force"),)): 2.0,
+            ("resilience.faults", (("kind", 'shm "page"\nloss'),)): 1.0,
+        },
+        gauges={
+            ("service.lock.wait_seconds", ()): 0.00025,
+            ("pool.workers", (("mode", "pooled"),)): 4.0,
+        },
+        histograms={
+            ("query.seconds", (("strategy", "indexed"),)): HistogramSnapshot(
+                bounds=bounds, counts=(2, 1, 1, 0, 1), sum=3.6185, count=5
+            ),
+            ("query.stage.seconds", (("stage", "brush_hit"),)): HistogramSnapshot(
+                bounds=bounds, counts=(3, 0, 0, 0, 0), sum=0.0021, count=3
+            ),
+        },
+    )
+
+
+def golden_events() -> list[dict]:
+    return [
+        {
+            "type": "span",
+            "name": "stage.brush_hit",
+            "seconds": 0.0125,
+            "error": None,
+            "attrs": {"strategy": "indexed"},
+        },
+        {"type": "fault", "kind": "worker-crash", "scope": "tile", "action": "respawned"},
+    ]
+
+
+def render_all() -> tuple[str, str]:
+    prom = render_prometheus(golden_snapshot())
+    lines = [render_jsonl_snapshot(golden_snapshot(), ts=GOLDEN_TS)]
+    lines += [render_jsonl_event(e) for e in golden_events()]
+    return prom, "\n".join(lines) + "\n"
+
+
+# Golden comparisons ------------------------------------------------------
+
+def test_prometheus_exposition_matches_golden():
+    prom, _ = render_all()
+    assert prom == (FIXTURES / "telemetry_golden.prom").read_text()
+
+
+def test_jsonl_log_matches_golden():
+    _, jsonl = render_all()
+    assert jsonl == (FIXTURES / "telemetry_golden.jsonl").read_text()
+
+
+# Schema/format assertions (belt to the golden braces) --------------------
+
+def test_prometheus_counter_names_get_total_suffix():
+    prom, _ = render_all()
+    assert '# TYPE repro_query_count_total counter' in prom
+    assert 'repro_query_count_total{strategy="indexed"} 5' in prom
+    assert 'repro_query_count_total 7' in prom  # label-free series
+
+
+def test_prometheus_escapes_label_values():
+    prom, _ = render_all()
+    assert 'kind="shm \\"page\\"\\nloss"' in prom
+
+
+def test_prometheus_histogram_buckets_are_cumulative_with_inf():
+    prom, _ = render_all()
+    series = [
+        line
+        for line in prom.splitlines()
+        if line.startswith("repro_query_seconds_bucket")
+    ]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in series]
+    assert counts == sorted(counts)  # cumulative → non-decreasing
+    assert series[-1].startswith('repro_query_seconds_bucket{le="+Inf"')
+    assert counts[-1] == 5
+    assert "repro_query_seconds_sum" in prom
+    assert "repro_query_seconds_count" in prom
+
+
+def test_jsonl_lines_are_valid_sorted_compact_json():
+    _, jsonl = render_all()
+    for line in jsonl.splitlines():
+        doc = json.loads(line)
+        assert json.dumps(doc, sort_keys=True, separators=(",", ":")) == line
+    first = json.loads(jsonl.splitlines()[0])
+    assert first["type"] == "snapshot"
+    assert first["ts"] == GOLDEN_TS
+    hists = {h["name"]: h for h in first["histograms"]}
+    h = hists["query.seconds"]
+    assert sum(h["counts"]) == h["count"] == 5
+    assert len(h["counts"]) == len(h["bounds"]) + 1
+
+
+def test_empty_snapshot_renders_empty_exposition():
+    assert render_prometheus(Snapshot()) == ""
+    doc = json.loads(render_jsonl_snapshot(Snapshot(), ts=0.0))
+    assert doc["counters"] == [] and doc["gauges"] == [] and doc["histograms"] == []
+
+
+def test_jsonl_exporter_appends_to_disk(tmp_path):
+    log = tmp_path / "events.jsonl"
+    exporter = JsonlExporter(log)
+    exporter.write_event({"type": "span", "name": "x"}, ts=1.0)
+    exporter.write_snapshot(golden_snapshot(), ts=2.0)
+    exporter.write_event({"type": "span", "name": "y"}, ts=3.0)
+    lines = log.read_text().splitlines()
+    assert len(lines) == 3  # appended, not rewritten
+    assert json.loads(lines[0]) == {"type": "span", "name": "x", "ts": 1.0}
+    assert json.loads(lines[1])["type"] == "snapshot"
+    assert json.loads(lines[2])["name"] == "y"
+
+
+if __name__ == "__main__":  # pragma: no cover - regen helper
+    import sys
+
+    if "--regen" in sys.argv:
+        prom, jsonl = render_all()
+        (FIXTURES / "telemetry_golden.prom").write_text(prom)
+        (FIXTURES / "telemetry_golden.jsonl").write_text(jsonl)
+        print("regenerated golden fixtures")

@@ -1,0 +1,94 @@
+"""Telemetry overhead regression test (wall-clock; ``-m perf``).
+
+The tentpole's cost contract: a warm query with a live registry must
+run within 10% of the same query with telemetry disabled.  Timing on
+shared CI boxes is noisy, so the measurement is defensive:
+
+* **interleaved, alternating order** — enabled/disabled samples pair
+  up with the within-pair order flipped each iteration, so clock
+  drift and cache effects hit both arms equally;
+* **one registry throughout** — toggled via ``set_registry`` so the
+  enabled arm never pays registry/shard construction inside a sample;
+* **min-of-N** — for a CPU-bound section the minimum is the noise-free
+  estimate (every perturbation only adds time);
+* **best-of-attempts** — the assertion passes if *any* attempt meets
+  the bound, failing only on a reproducible regression.
+
+Excluded from tier-1 (``addopts = -m "not perf"``); the CI bench job
+runs it explicitly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.brush import stroke_from_rect
+from repro.core.canvas import BrushCanvas
+from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.temporal import TimeWindow
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+SAMPLES = 30
+ATTEMPTS = 3
+MAX_OVERHEAD = 1.10
+
+
+def _canvas(arena) -> BrushCanvas:
+    c = BrushCanvas()
+    r = arena.radius
+    c.add(
+        stroke_from_rect(
+            (-r, -0.6 * r), (-0.7 * r, 0.6 * r), radius=0.12 * r, color="red"
+        )
+    )
+    return c
+
+
+def _measure_warm_query_pair(engine, canvas, registry) -> tuple[float, float]:
+    """Interleaved minima of (disabled, enabled) warm-query times."""
+    window = TimeWindow.end(0.2)
+    for reg in (registry, NULL_REGISTRY):  # warm cache, shard, both paths
+        obs.set_registry(reg)
+        engine.query(canvas, "red", window=window)
+
+    disabled: list[float] = []
+    enabled: list[float] = []
+    for k in range(SAMPLES):
+        pairs = [(registry, enabled), (NULL_REGISTRY, disabled)]
+        for reg, samples in pairs if k % 2 else reversed(pairs):
+            obs.set_registry(reg)
+            t0 = time.perf_counter()
+            engine.query(canvas, "red", window=window)
+            samples.append(time.perf_counter() - t0)
+    obs.disable()
+    return min(disabled), min(enabled)
+
+
+@pytest.mark.perf
+def test_enabled_telemetry_within_10_percent_of_disabled(study_dataset, arena):
+    engine = CoordinatedBrushingEngine(study_dataset)
+    canvas = _canvas(arena)
+    registry = MetricsRegistry()
+    ratios = []
+    for _ in range(ATTEMPTS):
+        best_off, best_on = _measure_warm_query_pair(engine, canvas, registry)
+        ratio = best_on / best_off
+        ratios.append(round(ratio, 3))
+        if ratio <= MAX_OVERHEAD:
+            return
+    pytest.fail(
+        f"telemetry overhead above {MAX_OVERHEAD:.0%} in every attempt: "
+        f"enabled/disabled ratios {ratios}"
+    )
+
+
+@pytest.mark.perf
+def test_disabled_span_fast_path_allocates_nothing():
+    """The off switch really is free: span() returns the same object
+    every call (no allocation) and a facade emit is just a flag check."""
+    obs.disable()
+    spans = {id(obs.span(f"name-{i}")) for i in range(1000)}
+    assert spans == {id(obs.NULL_SPAN)}

@@ -1,0 +1,186 @@
+"""Property-based tests (hypothesis) on histogram and snapshot algebra.
+
+The telemetry plane's correctness rests on a small algebra:
+bucketing conserves counts, snapshot merge is a commutative monoid
+(so cross-thread/cross-process aggregation order never matters), and
+quantile estimates are monotone.  These properties pin it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    HistogramSnapshot,
+    MetricsRegistry,
+    Snapshot,
+)
+
+finite_floats = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_floats, max_size=60)
+
+bucket_bounds = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+    unique=True,
+).map(lambda bs: tuple(sorted(bs)))
+
+
+@st.composite
+def histograms(draw, bounds=DEFAULT_BOUNDS):
+    return HistogramSnapshot.of(draw(value_lists), bounds=bounds)
+
+
+@st.composite
+def snapshots(draw):
+    names = st.sampled_from(["q.count", "q.seconds", "inflight"])
+    labels = st.sampled_from([(), (("stage", "combine"),)])
+    counters = draw(
+        st.dictionaries(st.tuples(names, labels), finite_floats, max_size=4)
+    )
+    gauges = draw(st.dictionaries(st.tuples(names, labels), finite_floats, max_size=4))
+    hists = draw(st.dictionaries(st.tuples(names, labels), histograms(), max_size=3))
+    return Snapshot(counters=counters, gauges=gauges, histograms=hists)
+
+
+# Bucketing ---------------------------------------------------------------
+
+@given(value_lists, bucket_bounds)
+def test_bucketing_conserves_count_and_sum(values, bounds):
+    hist = HistogramSnapshot.of(values, bounds=bounds)
+    assert sum(hist.counts) == hist.count == len(values)
+    assert abs(hist.sum - sum(values)) < 1e-9 * max(1.0, abs(sum(values)))
+    assert len(hist.counts) == len(bounds) + 1
+
+
+@given(value_lists, bucket_bounds)
+def test_bucketing_respects_le_semantics(values, bounds):
+    hist = HistogramSnapshot.of(values, bounds=bounds)
+    # cumulative count at bound b == number of observations <= b
+    cum = 0
+    for bound, count in zip(hist.bounds, hist.counts):
+        cum += count
+        assert cum == sum(1 for v in values if v <= bound)
+
+
+# Merge algebra -----------------------------------------------------------
+#
+# Bucket counts merge by integer addition — exactly commutative and
+# associative.  Sums are float additions, associative only up to
+# rounding, so the algebra asserts counts bit-exact and sums approx.
+
+def _hists_equal(a: HistogramSnapshot, b: HistogramSnapshot) -> bool:
+    return (
+        a.bounds == b.bounds
+        and a.counts == b.counts
+        and a.count == b.count
+        and abs(a.sum - b.sum) < 1e-9 * max(1.0, abs(a.sum), abs(b.sum))
+    )
+
+
+def _snapshots_equal(a: Snapshot, b: Snapshot) -> bool:
+    if set(a.counters) != set(b.counters) or set(a.gauges) != set(b.gauges):
+        return False
+    if set(a.histograms) != set(b.histograms):
+        return False
+    tol = 1e-9
+    return (
+        all(abs(a.counters[k] - b.counters[k]) < tol for k in a.counters)
+        and all(abs(a.gauges[k] - b.gauges[k]) < tol for k in a.gauges)
+        and all(_hists_equal(a.histograms[k], b.histograms[k]) for k in a.histograms)
+    )
+
+
+@given(histograms(), histograms())
+def test_histogram_merge_commutative(a, b):
+    assert a.merge(b) == b.merge(a)
+
+
+@given(histograms(), histograms(), histograms())
+def test_histogram_merge_associative(a, b, c):
+    assert _hists_equal(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+
+@given(histograms())
+def test_histogram_merge_identity(h):
+    empty = HistogramSnapshot.empty(h.bounds)
+    assert h.merge(empty) == h == empty.merge(h)
+
+
+@given(value_lists, value_lists)
+def test_histogram_merge_equals_joint_observation(xs, ys):
+    merged = HistogramSnapshot.of(xs).merge(HistogramSnapshot.of(ys))
+    joint = HistogramSnapshot.of(xs + ys)
+    assert merged.counts == joint.counts
+    assert merged.count == joint.count
+    assert abs(merged.sum - joint.sum) < 1e-9 * max(1.0, abs(joint.sum))
+
+
+@given(snapshots(), snapshots())
+def test_snapshot_merge_conserves_counters(a, b):
+    merged = a.merge(b)
+    for name in {n for n, _ in {**a.counters, **b.counters}}:
+        assert abs(
+            merged.counter_total(name)
+            - (a.counter_total(name) + b.counter_total(name))
+        ) < 1e-9
+
+
+@given(snapshots(), snapshots(), snapshots())
+def test_snapshot_merge_associative(a, b, c):
+    assert _snapshots_equal(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+
+@given(snapshots())
+def test_snapshot_merge_identity(s):
+    empty = Snapshot()
+    assert s.merge(empty) == s == empty.merge(s)
+
+
+# Quantiles ---------------------------------------------------------------
+
+@given(histograms(), st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_quantile_monotone_in_q(h, q1, q2):
+    lo, hi = sorted((q1, q2))
+    assert h.quantile(lo) <= h.quantile(hi)
+
+
+@given(value_lists.filter(bool), st.floats(0.0, 1.0))
+def test_quantile_is_conservative_upper_bound(values, q):
+    """The estimate never undershoots the true quantile (within the
+    covered range): at least ceil(q*n) observations are <= estimate."""
+    hist = HistogramSnapshot.of(values)
+    estimate = hist.quantile(q)
+    if max(values) <= DEFAULT_BOUNDS[-1]:  # inside the covered range
+        n_below = sum(1 for v in values if v <= estimate)
+        assert n_below >= q * len(values)
+
+
+@given(value_lists, value_lists, st.floats(0.0, 1.0))
+def test_quantile_monotone_under_merge_with_larger_data(xs, ys, q):
+    """Merging in data that is >= everything seen cannot lower any
+    quantile (and merging smaller data cannot raise it)."""
+    base = HistogramSnapshot.of(xs)
+    bigger = base.merge(HistogramSnapshot.of([v + 100.0 for v in ys]))
+    smaller = base.merge(HistogramSnapshot.of([0.0 for _ in ys]))
+    assert bigger.quantile(q) >= base.quantile(q) or base.count == 0
+    assert smaller.quantile(q) <= base.quantile(q) or base.count == 0
+
+
+# Registry round-trip -----------------------------------------------------
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b"]), finite_floats), max_size=40))
+def test_registry_counters_match_direct_sum(increments):
+    reg = MetricsRegistry()
+    totals: dict[str, float] = {}
+    for name, value in increments:
+        reg.counter_add(name, value)
+        totals[name] = totals.get(name, 0.0) + value
+    snap = reg.snapshot()
+    for name, total in totals.items():
+        assert abs(snap.counter(name) - total) < 1e-9

@@ -1,0 +1,15 @@
+"""Fixture: seeded RL007 violations (unguarded telemetry emits and a
+span opened outside ``with``).  Never imported — parsed only."""
+
+from repro.obs import get_registry, span
+
+registry = get_registry()
+
+
+def hot_path(n):
+    """Emits that can raise into the caller."""
+    registry.counter_add("queries", 1)  # seeded: RL007 bare registry call
+    get_registry().observe("q.seconds", 0.5)  # seeded: RL007 via get_registry()
+    sp = span("stage.brush_hit")  # seeded: RL007 span outside `with`
+    sp.annotate(n=n)
+    return n

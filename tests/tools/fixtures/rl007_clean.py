@@ -1,0 +1,21 @@
+"""Fixture: clean twin of rl007_bad — the guarded facade helpers and
+the context-manager span form."""
+
+from repro import obs
+
+
+def hot_path(n):
+    """Guarded emits: obs helpers swallow registry/sink failures."""
+    obs.counter_add("queries", 1)
+    obs.observe("q.seconds", 0.5)
+    obs.gauge_set("inflight", n)
+    with obs.span("stage.brush_hit") as sp:
+        sp.annotate(n=n)
+    return n
+
+
+def snapshot_is_fine():
+    """Reading the registry back is not an emit; lifecycle calls and
+    snapshots are cold-path and allowed."""
+    snap = obs.telemetry_snapshot()
+    return snap.counter_total("queries")

@@ -55,6 +55,11 @@ GOLDEN = {
         "rl005_clean.py",
     ),
     "RL006": ("rl006_bad.py", {(10, "RL006"), (16, "RL006")}, "rl006_clean.py"),
+    "RL007": (
+        "rl007_bad.py",
+        {(11, "RL007"), (12, "RL007"), (13, "RL007")},
+        "rl007_clean.py",
+    ),
 }
 
 
@@ -80,7 +85,7 @@ def test_clean_twin_is_clean(rule):
     assert report.parse_error is None
 
 
-def test_all_six_rules_covered_by_fixtures():
+def test_all_rules_covered_by_fixtures():
     assert set(GOLDEN) == set(registered_rules())
 
 
@@ -144,6 +149,21 @@ def test_default_scoping_applies_rules_where_invariants_live():
     assert not DEFAULT_CONFIG.rule_applies("RL006", "src/repro/util/fileio.py")
     assert DEFAULT_CONFIG.rule_applies("RL001", "src/repro/core/plan/executor.py")
     assert not DEFAULT_CONFIG.rule_applies("RL001", "src/repro/render/lines.py")
+    # RL007 guards every emit site but not the obs facade itself
+    assert DEFAULT_CONFIG.rule_applies("RL007", "src/repro/core/plan/executor.py")
+    assert not DEFAULT_CONFIG.rule_applies("RL007", "src/repro/obs/spans.py")
+
+
+def test_rl007_span_in_with_is_clean_bare_span_is_not():
+    clean = (
+        "from repro import obs\n"
+        "def f():\n"
+        "    with obs.span('x') as sp:\n"
+        "        sp.annotate(k=1)\n"
+    )
+    assert lint_source(clean, "x.py", UNSCOPED).findings == []
+    bare = "from repro import obs\ndef f():\n    sp = obs.span('x')\n"
+    assert [f.rule for f in lint_source(bare, "x.py", UNSCOPED).findings] == ["RL007"]
 
 
 def test_enabled_allowlist_limits_rules():

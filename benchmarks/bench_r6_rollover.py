@@ -1,0 +1,219 @@
+"""R6 — query latency under live ingest rollover (with and without
+injected coordinator crashes).
+
+The crash-safety claim of the streaming-ingest layer (DESIGN.md §11)
+is that epoch rollover is *invisible* to interactive querying: eight
+concurrent sessions keep answering within their deadline budget while
+the coordinator republishes the shared arena underneath them at 0, 1,
+and 4 Hz — and keeps doing so when a seeded :class:`FaultPlan` kills a
+fraction of rollovers mid-flight.
+
+Headline acceptance: at 1 Hz rollover the 8-session query p95 stays
+within 2x the no-rollover baseline (plus a 50 ms absolute floor so a
+sub-millisecond baseline cannot fail on scheduler noise), and no query
+blows its deadline.
+
+Outputs ``out/R6.txt`` (human table) and ``out/BENCH_R6.json``
+(machine-readable, CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.brush import stroke_from_rect
+from repro.core.temporal import TimeWindow
+from repro.resilience import ChaosInterrupt, ChaosMonkey, FaultPlan, InjectedFault
+from repro.store import DatasetService, IngestBuffer, RolloverCoordinator
+from repro.synth import AntStudyConfig, BehaviorParams, generate_study_dataset
+
+pytestmark = pytest.mark.perf
+
+OUT_DIR = Path(__file__).parent / "out"
+
+N_SESSIONS = 8
+DEADLINE_S = 2.0
+DURATION_S = 2.0
+#: Interactive think-time between a session's queries: real wall users
+#: re-query on brush/slider events, not in a busy spin; without this
+#: the shared-engine lock queue measures contention, not rollover cost.
+THINK_S = 0.01
+#: Short walks keep a cold (post-rollover) query cheap enough that the
+#: scenario timing is dominated by rollover effects, not raw query cost.
+BEHAVIOR = BehaviorParams(max_duration_s=40.0, min_duration_s=5.0)
+#: (label, rollover rate in Hz, chaos monkey factory or None)
+SCENARIOS = (
+    ("0hz", 0.0, None),
+    ("1hz", 1.0, None),
+    ("4hz", 4.0, None),
+    (
+        "1hz+faults",
+        1.0,
+        lambda: ChaosMonkey(
+            {
+                "post_stage": FaultPlan.crash_fraction(0.3, seed=6),
+                "pre_swap": FaultPlan.crash_fraction(0.2, seed=7),
+            }
+        ),
+    ),
+)
+
+
+def _brush(session, i: int, edit: int) -> None:
+    """User i's edit-th brush stroke (erase + repaint, slightly moved)."""
+    x0 = -0.45 + 0.08 * i + 0.02 * (edit % 5)
+    session.erase()
+    session.brush(stroke_from_rect((x0, -0.4), (x0 + 0.2, 0.3), 0.05, "red"))
+
+
+def _run_scenario(rate_hz: float, monkey, viewport) -> dict:
+    dataset = generate_study_dataset(
+        AntStudyConfig(n_trajectories=120, seed=31, behavior=BEHAVIOR)
+    )
+    stream = list(
+        generate_study_dataset(
+            AntStudyConfig(n_trajectories=64, seed=32, behavior=BEHAVIOR)
+        )
+    )
+    service = DatasetService(dataset)
+    buffer = IngestBuffer()
+    coordinator = RolloverCoordinator(service, buffer, chaos=monkey)
+
+    stop = threading.Event()
+    stats_lock = threading.Lock()
+    latencies: list[float] = []
+    counts = {"queries": 0, "deadline_exceeded": 0, "stale": 0,
+              "rollovers": 0, "crashes": 0, "rebinds": 0}
+
+    def querier(i: int) -> None:
+        session = service.session(viewport)
+        _brush(session, i, 0)
+        k = 0
+        try:
+            while not stop.is_set():
+                # interactive workload: every query drags the time
+                # slider; every 8th repaints the brush (a cold-ish
+                # query), so the baseline includes the same kind of
+                # recompute a rollover forces
+                k += 1
+                if k % 8 == 0:
+                    _brush(session, i, k // 8)
+                session.set_time_window(
+                    TimeWindow.end(0.3 + 0.05 * (k % 8) + 0.02 * i)
+                )
+                t0 = time.perf_counter()
+                result = session.run_query("red", deadline_s=DEADLINE_S)
+                dt = time.perf_counter() - t0
+                kinds = (
+                    {e.kind for e in result.degradation.events}
+                    if result.degradation
+                    else set()
+                )
+                with stats_lock:
+                    latencies.append(dt)
+                    counts["queries"] += 1
+                    if "deadline-exceeded" in kinds:
+                        counts["deadline_exceeded"] += 1
+                    if "stale-epoch" in kinds:
+                        counts["stale"] += 1
+                if "stale-epoch" in kinds and session.rebind():
+                    with stats_lock:
+                        counts["rebinds"] += 1
+                time.sleep(THINK_S)
+        finally:
+            session.close()
+
+    def ingester() -> None:
+        fed = 0
+        while not stop.is_set():
+            time.sleep(1.0 / rate_hz)
+            take = min(2, len(stream) - fed)
+            if take <= 0:
+                return
+            buffer.extend(stream[fed:fed + take])
+            fed += take
+            try:
+                if coordinator.rollover() is not None:
+                    with stats_lock:
+                        counts["rollovers"] += 1
+            except (ChaosInterrupt, InjectedFault):
+                with stats_lock:
+                    counts["crashes"] += 1
+
+    threads = [
+        threading.Thread(target=querier, args=(i,), name=f"r6-session-{i}")
+        for i in range(N_SESSIONS)
+    ]
+    if rate_hz > 0:
+        threads.append(threading.Thread(target=ingester, name="r6-ingest"))
+    for t in threads:
+        t.start()
+    time.sleep(DURATION_S)
+    stop.set()
+    for t in threads:
+        t.join()
+    n_final = len(service.dataset)
+    service.close()
+
+    return {
+        "rate_hz": rate_hz,
+        "p50_ms": statistics.median(latencies) * 1e3,
+        "p95_ms": statistics.quantiles(latencies, n=20)[-1] * 1e3,
+        "n_final": n_final,
+        **counts,
+    }
+
+
+def test_r6_query_latency_under_rollover(viewport, report_sink):
+    results = {}
+    for label, rate_hz, monkey_factory in SCENARIOS:
+        monkey = monkey_factory() if monkey_factory else None
+        results[label] = _run_scenario(rate_hz, monkey, viewport)
+
+    base, one_hz = results["0hz"], results["1hz"]
+    lines = [
+        f"{N_SESSIONS} concurrent sessions, {DEADLINE_S:.1f} s deadline budget, "
+        f"{DURATION_S:.0f} s per scenario",
+    ]
+    for label, r in results.items():
+        lines.append(
+            f"rollover {label:>10}:  p50 {r['p50_ms']:7.2f} ms   "
+            f"p95 {r['p95_ms']:7.2f} ms   "
+            f"({r['queries']} queries, {r['rollovers']} rollovers, "
+            f"{r['crashes']} crashes, {r['stale']} stale, "
+            f"{r['rebinds']} rebinds, "
+            f"{r['deadline_exceeded']} over deadline)"
+        )
+
+    # acceptance: rollover moves latency a bounded amount, never
+    # correctness or availability
+    budget_ms = max(2.0 * base["p95_ms"], base["p95_ms"] + 50.0)
+    lines.append(
+        f"acceptance: 1 Hz p95 {one_hz['p95_ms']:.2f} ms "
+        f"<= {budget_ms:.2f} ms (2x baseline, 50 ms floor)"
+    )
+    assert one_hz["p95_ms"] <= budget_ms
+    assert one_hz["deadline_exceeded"] == 0
+    assert one_hz["rollovers"] > 0  # the ingester actually ran
+    assert results["1hz+faults"]["queries"] > 0
+    lines += [
+        "(faulted scenario: coordinator crashes absorbed mid-rollover;",
+        " sessions keep answering on their pinned epoch and rebind up)",
+        "machine-readable: out/BENCH_R6.json",
+    ]
+
+    OUT_DIR.mkdir(exist_ok=True)
+    payload = {
+        "n_sessions": N_SESSIONS,
+        "deadline_s": DEADLINE_S,
+        "duration_s": DURATION_S,
+        "scenarios": results,
+    }
+    (OUT_DIR / "BENCH_R6.json").write_text(json.dumps(payload, indent=2))
+    report_sink("R6", "query latency under live ingest rollover", lines)

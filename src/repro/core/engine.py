@@ -41,7 +41,7 @@ import numpy as np
 from repro import obs
 from repro.core.canvas import BrushCanvas
 from repro.core.plan.cache import StageCache
-from repro.core.plan.executor import QueryExecutor
+from repro.core.plan.executor import Deadline, QueryExecutor
 from repro.core.plan.planner import QueryPlan, QueryPlanner
 from repro.core.plan.spec import QuerySpec
 from repro.core.plan.trace import QueryTrace
@@ -74,6 +74,13 @@ class CoordinatedBrushingEngine:
         view to adopt instead of building one — the shared-memory
         attach path (:mod:`repro.store`) passes the index rebuilt from
         shared cell tables here, skipping the counting sort entirely.
+    cache:
+        An existing :class:`StageCache` to adopt instead of building a
+        private one.  The rollover path (:mod:`repro.store.ingest`)
+        hands each successor-epoch engine the *same* cache: keys embed
+        the dataset epoch and store token, so old-epoch entries are
+        unreachable by new-epoch queries (and age out via LRU) while
+        still serving any session pinned to the old epoch.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class CoordinatedBrushingEngine:
         index_res: int = 64,
         cache_capacity: int = 128,
         index: UniformGridIndex | None = None,
+        cache: StageCache | None = None,
     ) -> None:
         if len(dataset) == 0:
             raise ValueError("cannot build an engine over an empty dataset")
@@ -108,7 +116,7 @@ class CoordinatedBrushingEngine:
                 self.index = UniformGridIndex(self.packed, index_res)
             except Exception as exc:
                 self._index_error = repr(exc)
-        self.cache = StageCache(cache_capacity)
+        self.cache = cache if cache is not None else StageCache(cache_capacity)
         self.planner = QueryPlanner()
         self.executor = QueryExecutor(
             dataset, self.packed, self.index, self.cache,
@@ -156,6 +164,7 @@ class CoordinatedBrushingEngine:
         *,
         window: TimeWindow | None = None,
         assignment: CellAssignment | None = None,
+        deadline_s: float | None = None,
     ) -> QueryResult:
         """Run one coordinated-brushing query.
 
@@ -173,12 +182,20 @@ class CoordinatedBrushingEngine:
             cover the whole dataset (highlighting is a property of the
             data); support counts use only displayed trajectories, as
             on the real wall.
+        deadline_s:
+            Wall-clock budget for this query (``None`` = unbounded).
+            The budget starts now — planning counts against it — and is
+            enforced at stage boundaries: on expiry the remaining
+            stages are synthesized as empty partials and the result
+            comes back ``degraded`` (never cached) instead of raising.
         """
         t_plan = time.perf_counter()
+        deadline = Deadline.after(deadline_s) if deadline_s is not None else None
         window = window or TimeWindow.all()
         spec = QuerySpec.capture(
             self.dataset, canvas, color, window, assignment,
             use_index=self._use_index,
+            deadline_s=deadline_s,
         )
         plan = self.planner.plan(spec, index_token=self._index_token())
         trace = QueryTrace(strategy=plan.strategy)
@@ -192,7 +209,8 @@ class CoordinatedBrushingEngine:
         t_exec = time.perf_counter()
         degradation = DegradationReport()
         outputs = self.executor.run(
-            plan, canvas, window, assignment, trace, degradation
+            plan, canvas, window, assignment, trace, degradation,
+            deadline=deadline,
         )
         traj_mask, traj_time = outputs["aggregate"]
 
@@ -231,16 +249,21 @@ class CoordinatedBrushingEngine:
         *,
         window: TimeWindow | None = None,
         assignment: CellAssignment | None = None,
+        deadline_s: float | None = None,
     ) -> dict[str, QueryResult]:
         """Evaluate every color on the canvas (multi-query sessions).
 
         The temporal mask is computed once and shared across all N
         colors through the stage cache (it depends on the window and
         dataset only) — per-trace, at most one ``temporal_mask``
-        execution appears as a cache miss.
+        execution appears as a cache miss.  ``deadline_s`` is a
+        *per-color* budget (each color is one query).
         """
         return {
-            color: self.query(canvas, color, window=window, assignment=assignment)
+            color: self.query(
+                canvas, color, window=window, assignment=assignment,
+                deadline_s=deadline_s,
+            )
             for color in canvas.colors()
         }
 

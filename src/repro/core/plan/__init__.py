@@ -30,7 +30,7 @@ path touches only the stages whose inputs actually changed.
 """
 
 from repro.core.plan.cache import StageCache
-from repro.core.plan.executor import QueryExecutor
+from repro.core.plan.executor import Deadline, DeadlineExceeded, QueryExecutor
 from repro.core.plan.planner import PlannedStage, QueryPlan, QueryPlanner
 from repro.core.plan.spec import QuerySpec
 from repro.core.plan.trace import QueryTrace, StageRecord
@@ -44,4 +44,6 @@ __all__ = [
     "QueryPlan",
     "QueryPlanner",
     "QueryExecutor",
+    "Deadline",
+    "DeadlineExceeded",
 ]

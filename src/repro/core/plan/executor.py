@@ -19,12 +19,24 @@ this module always produced) and — when a live registry is installed —
 emits per-stage latency histograms and cache hit/miss/taint counters
 into the process telemetry plane.  Emission is guarded inside the span;
 nothing here can raise because of telemetry.
+
+Deadlines: a query may carry a :class:`Deadline` (wall-clock budget
+set at query entry).  The budget is checked **only between stages** —
+never inside a stage kernel, so every stage output is either complete
+or absent (reprolint rule RL008 pins this).  Once the budget is
+exhausted the executor stops computing: every remaining stage is
+*synthesized* as an empty partial (all-false masks, zero aggregates),
+recorded as degraded via :class:`DeadlineExceeded` →
+``DegradationReport``, and tainted so nothing partial can ever enter
+the stage cache.  Stages that finished before expiry remain cached —
+their outputs are exact.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Callable
 
 import numpy as np
 
@@ -40,7 +52,76 @@ from repro.layout.cells import CellAssignment
 from repro.resilience.health import DegradationReport
 from repro.trajectory.dataset import PackedSegments, TrajectoryDataset
 
-__all__ = ["QueryExecutor"]
+__all__ = ["Deadline", "DeadlineExceeded", "QueryExecutor"]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A query's wall-clock budget ran out at a stage boundary.
+
+    Raised by :meth:`Deadline.check`; the executor absorbs it into the
+    degradation ladder (partial result, tainted stages) rather than
+    letting it propagate — queries degrade, they do not fail.
+    """
+
+    def __init__(self, budget_s: float, overshoot_s: float, stage: str) -> None:
+        super().__init__(
+            f"query deadline of {budget_s:.3f}s exceeded by "
+            f"{overshoot_s:.3f}s before stage {stage!r}"
+        )
+        self.budget_s = budget_s
+        self.overshoot_s = overshoot_s
+        self.stage = stage
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A per-query wall-clock budget, checked at stage boundaries only.
+
+    Attributes
+    ----------
+    budget_s:
+        The total budget granted at query entry (planning time counts
+        against it).
+    expires_at:
+        Absolute expiry instant on ``clock``'s timeline.
+    clock:
+        Injectable monotonic clock (tests freeze it; production uses
+        ``time.perf_counter``).
+    """
+
+    budget_s: float
+    expires_at: float
+    clock: Callable[[], float] = time.perf_counter
+
+    @classmethod
+    def after(
+        cls,
+        budget_s: float,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "Deadline":
+        """A deadline expiring ``budget_s`` seconds from now."""
+        if budget_s <= 0:
+            raise ValueError("deadline budget must be positive")
+        return cls(budget_s=budget_s, expires_at=clock() + budget_s, clock=clock)
+
+    def remaining_s(self) -> float:
+        """Seconds left on the budget (negative once expired)."""
+        return self.expires_at - self.clock()
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is exhausted."""
+        return self.clock() >= self.expires_at
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is exhausted.
+
+        Called by the executor between stages — the one legal check
+        site (RL008): a stage either runs to completion or not at all.
+        """
+        over = -self.remaining_s()
+        if over >= 0:
+            raise DeadlineExceeded(self.budget_s, over, stage)
 
 
 def _freeze(value: Any) -> Any:
@@ -114,17 +195,49 @@ class QueryExecutor:
         assignment: CellAssignment | None,
         trace: QueryTrace,
         degradation: DegradationReport,
+        deadline: Deadline | None = None,
     ) -> dict[str, Any]:
         """Execute every planned stage; returns the stage-output map.
 
         Cache policy: a stage is served from the cache when its key is
         present; a freshly computed output is inserted only when the
         stage is untainted (neither it nor any dependency degraded).
+
+        Deadline policy: the budget is checked once per stage boundary.
+        On expiry the remaining stages are synthesized as empty
+        partials — degraded, tainted, and never cached — so the caller
+        still receives a structurally complete (if conservative) result
+        within its budget.
         """
         t_run = time.perf_counter()
         outputs: dict[str, Any] = {}
         tainted: set[str] = set()
+        expired = False
         for stage in plan.stages:
+            if deadline is not None and not expired:
+                try:
+                    deadline.check(stage.name)
+                except DeadlineExceeded as exc:
+                    expired = True
+                    degradation.record(
+                        "deadline-exceeded",
+                        scope="query",
+                        action="degraded-partial",
+                        detail=str(exc),
+                    )
+                    obs.counter_add(
+                        "query.deadline_exceeded", 1, stage=stage.name
+                    )
+            if expired:
+                with obs.stage_span(trace, stage.name) as sp:
+                    value = self._partial_stage(stage.name, assignment)
+                    outputs[stage.name] = value
+                    tainted.add(stage.name)
+                    sp.n_in = 0
+                    sp.n_out = _cardinality(value)
+                    sp.degraded = True
+                    sp.detail = "deadline exceeded; synthesized partial"
+                continue
             dep_tainted = any(d in tainted for d in stage.deps)
             if stage.key is not None:
                 cached, found = self.cache.lookup(stage.key)
@@ -237,6 +350,39 @@ class QueryExecutor:
                     support[spec.name] = GroupSupport(spec.name, n_disp, n_hi)
             return support, False, ""
 
+        raise ValueError(f"unknown stage {name!r}")
+
+    def _partial_stage(
+        self, name: str, assignment: CellAssignment | None
+    ) -> Any:
+        """Synthesize the conservative empty output for one skipped stage.
+
+        Used once the query's deadline expired: nothing is highlighted
+        (all-false masks, zero aggregates, zero group support), so a
+        partial result under-reports rather than inventing hits.  The
+        synthesized values are always tainted — they must never reach
+        the stage cache.
+        """
+        if name in ("temporal_mask", "brush_hit", "combine"):
+            return np.zeros(self.packed.n_segments, dtype=bool)
+        if name == "spatial_candidates":
+            return None
+        if name == "aggregate":
+            n_traj = len(self.dataset)
+            return (
+                np.zeros(n_traj, dtype=bool),
+                np.zeros(n_traj, dtype=np.float64),
+            )
+        if name == "group_support":
+            support: dict[str, GroupSupport] = {}
+            if assignment is not None and assignment.groups is not None:
+                for gi, spec in enumerate(assignment.groups):
+                    cells = np.flatnonzero(assignment.group_of_cell == gi)
+                    trajs = assignment.cell_to_traj[cells]
+                    support[spec.name] = GroupSupport(
+                        spec.name, int((trajs >= 0).sum()), 0
+                    )
+            return support
         raise ValueError(f"unknown stage {name!r}")
 
 

@@ -78,6 +78,13 @@ class QuerySpec:
         stage key so two datasets attached from *different* stores —
         whose private epoch counters may coincide — can never collide
         in a shared stage cache.
+    deadline_s:
+        Per-query wall-clock budget in seconds (``None`` = unbounded).
+        Deliberately **excluded** from cache keys: the deadline changes
+        how much of the answer gets computed this time, never what the
+        answer *is* — stages that complete within budget are cached and
+        reusable by deadline-free queries, while stages synthesized
+        after expiry are tainted and never cached at all.
     """
 
     color: str
@@ -90,6 +97,7 @@ class QuerySpec:
     use_index: bool
     n_stamps: int
     store_token: tuple | None = None
+    deadline_s: float | None = None
 
     @classmethod
     def capture(
@@ -101,6 +109,7 @@ class QuerySpec:
         assignment: CellAssignment | None,
         *,
         use_index: bool,
+        deadline_s: float | None = None,
     ) -> "QuerySpec":
         """Snapshot the current epochs/keys into a spec."""
         centers, _ = canvas.stamps_of(color)
@@ -115,4 +124,5 @@ class QuerySpec:
             use_index=use_index,
             n_stamps=len(centers),
             store_token=getattr(dataset, "store_token", None),
+            deadline_s=deadline_s,
         )

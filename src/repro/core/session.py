@@ -286,8 +286,14 @@ class ExplorationSession:
         )
 
     # Queries ---------------------------------------------------------------
-    def run_query(self, color: str = "red") -> QueryResult:
+    def run_query(
+        self, color: str = "red", *, deadline_s: float | None = None
+    ) -> QueryResult:
         """Evaluate the canvas under the current window and layout.
+
+        ``deadline_s`` forwards a per-query wall-clock budget to the
+        engine: an over-budget query returns a degraded empty-partial
+        result instead of blocking the interaction loop.
 
         The per-stage :class:`~repro.core.plan.trace.QueryTrace` is
         journaled alongside the usual counts, so a replayed or audited
@@ -295,7 +301,8 @@ class ExplorationSession:
         stages ran, which were served from the stage cache).
         """
         result = self.engine.query(
-            self.canvas, color, window=self.window, assignment=self._assignment
+            self.canvas, color, window=self.window, assignment=self._assignment,
+            deadline_s=deadline_s,
         )
         detail: dict[str, Any] = dict(
             color=color,

@@ -16,7 +16,11 @@ substrate the reproduction's scaling work builds on:
   retries, and falls back to in-process serial execution (bit-identical
   results) when retries are exhausted;
 * :mod:`health` — :class:`DegradationReport`, the "no silent drops"
-  ledger attached to render and query results.
+  ledger attached to render and query results;
+* :mod:`chaos` — :class:`ChaosHarness` / :class:`ChaosMonkey`, a
+  seeded storm generator for the streaming-ingest rollover path
+  (crash-at-boundary, attach-during-swap, evict-with-live-sessions)
+  with conservation, stale-read, and shm-leak invariants.
 
 The degradation ladder, top to bottom: **indexed** (spatial-index
 accelerated query) → **brute-force** (unindexed full scan) →
@@ -24,6 +28,13 @@ accelerated query) → **brute-force** (unindexed full scan) →
 recorded, never silent, and preserves exact results.
 """
 
+from repro.resilience.chaos import (
+    ROLLOVER_POINTS,
+    ChaosHarness,
+    ChaosInterrupt,
+    ChaosMonkey,
+    ChaosReport,
+)
 from repro.resilience.faults import (
     FAULTS_ENV_VAR,
     CorruptResult,
@@ -44,6 +55,11 @@ from repro.resilience.retry import (
 from repro.resilience.supervisor import SupervisedPool, supervised_map
 
 __all__ = [
+    "ROLLOVER_POINTS",
+    "ChaosHarness",
+    "ChaosInterrupt",
+    "ChaosMonkey",
+    "ChaosReport",
     "FAULTS_ENV_VAR",
     "CorruptResult",
     "FaultPlan",

@@ -9,19 +9,34 @@ enough that a wall's render nodes don't thunder in lockstep).  Clock
 and sleep are injectable so tests assert exact backoff schedules
 without waiting real time.
 
-Per-attempt timeouts: when ``attempt_timeout_s`` is set,
-:func:`retry_call` runs each attempt on a helper thread and abandons it
-on timeout (the thread is left to finish in the background — fine for
-pure computations; process-level jobs get true kill-and-respawn
-timeouts from :class:`repro.resilience.supervisor.SupervisedPool`).
+Per-attempt timeouts — the orphaned-attempt contract
+----------------------------------------------------
+When ``attempt_timeout_s`` is set, each attempt runs on a fresh
+**daemon** thread.  A timed-out attempt is *abandoned, not killed*:
+Python offers no safe thread cancellation, so the orphan runs to
+completion in the background and its result (or exception) is
+discarded.  Consequences callers must design for:
+
+* ``fn``'s side effects should be idempotent or harmless when
+  duplicated — a retry may overlap an orphan still executing;
+* orphans hold whatever resources ``fn`` acquired until they finish;
+  every abandonment is counted on the ``resilience.retry.orphaned``
+  telemetry counter so a leak shows up as a climbing number, not a
+  mystery;
+* the threads are daemons: a process exit never blocks waiting for an
+  orphaned attempt (the historical failure mode of the pool-based
+  implementation, whose non-daemon workers kept finished processes
+  alive).
+
+Process-level jobs that need true kill-and-respawn timeouts belong in
+:class:`repro.resilience.supervisor.SupervisedPool` instead.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
 from typing import Any, Callable, TypeVar
 
@@ -55,7 +70,8 @@ class RetryPolicy:
         Fractional jitter amplitude: each delay is scaled by a
         deterministic factor in ``[1 - jitter, 1 + jitter]``.
     attempt_timeout_s:
-        Per-attempt wall-clock budget (None = unbounded).
+        Per-attempt wall-clock budget (None = unbounded).  See the
+        module docstring for the orphaned-attempt contract.
     seed:
         Seeds the jitter sequence.
     """
@@ -127,6 +143,56 @@ class AttemptTimeout(RuntimeError):
         self.attempt = attempt
 
 
+def _count_orphan() -> None:
+    """Bump ``resilience.retry.orphaned``, tolerating a missing or
+    broken telemetry layer — abandoning an attempt must never itself
+    fail because the counter could not be written."""
+    try:
+        from repro import obs
+
+        obs.counter_add("resilience.retry.orphaned", 1)
+    except Exception:
+        pass
+
+
+def _attempt_with_timeout(
+    fn: Callable[..., R],
+    args: tuple,
+    kwargs: dict,
+    timeout_s: float,
+    attempt: int,
+) -> R:
+    """Run one attempt on a fresh daemon thread with a wall-clock budget.
+
+    On timeout the thread is *orphaned* (see module docstring): it keeps
+    running detached, its eventual result is dropped, and this call
+    raises :class:`AttemptTimeout`.  Exceptions from ``fn`` re-raise
+    here with their original traceback.
+    """
+    box: list[tuple[str, Any]] = []
+    done = threading.Event()
+
+    def _target() -> None:
+        try:
+            box.append(("ok", fn(*args, **kwargs)))
+        except BaseException as exc:  # noqa: BLE001 - relayed to caller
+            box.append(("err", exc))
+        finally:
+            done.set()
+
+    thread = threading.Thread(
+        target=_target, name=f"retry-attempt-{attempt}", daemon=True
+    )
+    thread.start()
+    if not done.wait(timeout_s):
+        _count_orphan()
+        raise AttemptTimeout(timeout_s, attempt)
+    status, value = box[0]
+    if status == "err":
+        raise value
+    return value  # type: ignore[no-any-return]
+
+
 def retry_call(
     fn: Callable[..., R],
     *args: Any,
@@ -158,37 +224,24 @@ def retry_call(
         cause (also chained via ``raise ... from``).
     """
     policy = policy or DEFAULT_POLICY
-    executor: ThreadPoolExecutor | None = None
-    try:
-        last: BaseException | None = None
-        for attempt in range(policy.max_attempts):
-            try:
-                if policy.attempt_timeout_s is None:
-                    return fn(*args, **kwargs)
-                if executor is None:
-                    executor = ThreadPoolExecutor(max_workers=1)
-                future = executor.submit(fn, *args, **kwargs)
-                try:
-                    return future.result(timeout=policy.attempt_timeout_s)
-                except FutureTimeoutError:
-                    # abandon the attempt; the helper thread may linger,
-                    # so refresh the executor for the next try
-                    executor.shutdown(wait=False, cancel_futures=True)
-                    executor = None
-                    raise AttemptTimeout(policy.attempt_timeout_s, attempt) from None
-            except retry_on as exc:
-                last = exc
-                if attempt + 1 >= policy.max_attempts:
-                    break
-                delay = policy.delay_for(attempt)
-                if on_retry is not None:
-                    on_retry(attempt, exc, delay)
-                sleep(delay)
-        assert last is not None
-        raise RetryError(policy.max_attempts, last) from last
-    finally:
-        if executor is not None:
-            executor.shutdown(wait=False, cancel_futures=True)
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            if policy.attempt_timeout_s is None:
+                return fn(*args, **kwargs)
+            return _attempt_with_timeout(
+                fn, args, kwargs, policy.attempt_timeout_s, attempt
+            )
+        except retry_on as exc:
+            last = exc
+            if attempt + 1 >= policy.max_attempts:
+                break
+            delay = policy.delay_for(attempt)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            sleep(delay)
+    assert last is not None
+    raise RetryError(policy.max_attempts, last) from last
 
 
 def retryable(

@@ -14,9 +14,14 @@ per-consumer state** on top of it.
   instead of a pickled dataset), :func:`attach` → :class:`StoreClient`
   (zero-copy dataset / index / engine rebuilds).
 * :mod:`repro.store.service` — :class:`DatasetService` (one dataset +
-  engine + stage cache behind a lock, store registry/eviction) and
-  :class:`SessionView` (per-user canvas/window/layout/journal), so N
-  concurrent sessions query one resident copy.
+  engine + stage cache behind a lock, store registry/eviction, epoch
+  lifecycle) and :class:`SessionView` (per-user canvas/window/layout/
+  journal, pinned to one epoch), so N concurrent sessions query one
+  resident copy.
+* :mod:`repro.store.ingest` — :class:`IngestBuffer` (thread-safe
+  staging for streaming trajectories) and :class:`RolloverCoordinator`
+  (two-phase epoch rollover: stage → validate → atomic swap), so the
+  arena keeps serving while it grows.
 """
 
 from repro.store.arena import (
@@ -25,6 +30,12 @@ from repro.store.arena import (
     StoreClient,
     StoreHandle,
     attach,
+)
+from repro.store.ingest import (
+    IngestBatch,
+    IngestBuffer,
+    RolloverCoordinator,
+    RolloverResult,
 )
 from repro.store.service import DatasetService, SessionView, SharedQueryEngine
 from repro.store.shm import (
@@ -43,6 +54,10 @@ __all__ = [
     "StoreClient",
     "StoreHandle",
     "attach",
+    "IngestBatch",
+    "IngestBuffer",
+    "RolloverCoordinator",
+    "RolloverResult",
     "DatasetService",
     "SessionView",
     "SharedQueryEngine",

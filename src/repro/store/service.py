@@ -17,6 +17,20 @@ The multi-session split of the former one-user application object:
   exactly one copy of the packed arrays (the encube render-node model:
   shared resident data, per-session query state).
 
+Epoch lifecycle (streaming ingest, :mod:`repro.store.ingest`): the
+service keeps one :class:`_EpochState` per live dataset epoch.  A
+session *pins* the active epoch at creation and keeps querying that
+epoch's dataset/engine even after a rollover republishes the arena
+under a new epoch — its results stay exact, merely flagged
+``stale-epoch`` on the :class:`DegradationReport` so callers know a
+fresher epoch exists (call :meth:`SessionView.rebind` to move up).  An
+epoch's shared-memory block is never unlinked while a session pins it;
+the last detach (explicit :meth:`SessionView.close` or garbage
+collection) retires the epoch and releases the block.  The swap itself
+(:meth:`DatasetService._swap_active`) is the commit point of the
+two-phase rollover and is only ever called by
+:class:`~repro.store.ingest.RolloverCoordinator` (reprolint RL008).
+
 Typical multi-session use::
 
     service = DatasetService(dataset)
@@ -35,14 +49,18 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from collections import OrderedDict
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
 
 from repro import obs
 from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.result import QueryResult
 from repro.core.session import ExplorationSession
 from repro.display.viewport import Viewport
+from repro.resilience.health import DegradationReport
 from repro.store.arena import SharedArenaStore, StoreHandle
 from repro.store.shm import StaleHandleError
 from repro.trajectory.dataset import TrajectoryDataset
@@ -111,6 +129,23 @@ class SharedQueryEngine(CoordinatedBrushingEngine):
             return super().invalidate_cache()
 
 
+@dataclass
+class _EpochState:
+    """One live dataset epoch and everything a pinned session needs.
+
+    ``sessions`` counts the views currently pinned to this epoch; the
+    epoch (and its shared-memory ``store``, if a rollover published
+    one) is retired only when the count reaches zero and the epoch is
+    no longer active.  Mutated only under the service lock.
+    """
+
+    epoch: int
+    dataset: TrajectoryDataset
+    engine: SharedQueryEngine
+    store: SharedArenaStore | None = None
+    sessions: int = 0
+
+
 class SessionView(ExplorationSession):
     """One user's lightweight state over a shared :class:`DatasetService`.
 
@@ -119,6 +154,13 @@ class SessionView(ExplorationSession):
     heavy: the dataset, packed arrays, spatial index, and stage cache
     all live in (and are shared through) the service.  Created via
     :meth:`DatasetService.session`.
+
+    The view pins the service's *active epoch* at creation: rollovers
+    never yank the dataset out from under it.  Queries issued after a
+    rollover still answer exactly over the pinned epoch, flagged
+    ``stale-epoch`` on their degradation report; :meth:`rebind` moves
+    the view to the current epoch.  The pin is released by
+    :meth:`close` or, failing that, by garbage collection.
     """
 
     def __init__(
@@ -131,26 +173,98 @@ class SessionView(ExplorationSession):
     ) -> None:
         self.service = service
         self.session_id = service._next_session_id()
+        state = service._pin_active()
+        self.epoch = state.epoch
+        # the pin outlives mistakes: explicit close() releases it, and a
+        # view dropped without close() releases it at collection time
+        self._pin = weakref.finalize(
+            self, service._detach_session, state.epoch
+        )
         super().__init__(
-            service.dataset,
+            state.dataset,
             viewport,
             layout_key=layout_key,
             journal_path=journal_path,
-            engine=service.engine,
+            engine=state.engine,
         )
 
-    def run_query(self, color: str = "red") -> Any:
-        """Session-attributed query: the shared engine does the work;
-        this view adds its ``session.queries`` accounting so the
-        telemetry plane can answer "which session is hammering us"."""
-        result = super().run_query(color)
+    def run_query(
+        self, color: str = "red", *, deadline_s: float | None = None
+    ) -> QueryResult:
+        """Session-attributed query over the view's pinned epoch.
+
+        The shared engine does the work; this view adds its
+        ``session.queries`` accounting and — when a rollover has moved
+        the service past the pinned epoch — marks the (still exact)
+        result degraded with a ``stale-epoch`` event instead of
+        failing, so a query racing a rollover always completes.
+        """
+        result = super().run_query(color, deadline_s=deadline_s)
         obs.counter_add("session.queries", 1, session=self.session_id)
+        active = self.service.active_epoch()
+        if active != self.epoch:
+            report = result.degradation or DegradationReport()
+            report.record(
+                "stale-epoch",
+                scope="session",
+                action="served-old-epoch",
+                detail=(
+                    f"session pinned epoch {self.epoch}, service rolled "
+                    f"over to {active}; rebind() to move up"
+                ),
+            )
+            result = replace(result, degraded=True, degradation=report)
+            obs.counter_add("session.stale_queries", 1, session=self.session_id)
         return result
 
+    def rebind(self) -> bool:
+        """Re-pin this view to the service's current active epoch.
+
+        Returns True when the view actually moved (a rollover had
+        happened); False when it was already current.  Moving re-derives
+        the layout assignment over the new dataset and releases the old
+        epoch's pin — if this view was the last one holding the old
+        epoch, its shared block is unlinked.
+        """
+        state = self.service._pin_active()
+        if state.epoch == self.epoch:
+            self.service._detach_session(state.epoch)
+            return False
+        old_epoch = self.epoch
+        old_pin = self._pin
+        self.dataset = state.dataset
+        self.engine = state.engine
+        self.epoch = state.epoch
+        self._pin = weakref.finalize(
+            self, self.service._detach_session, state.epoch
+        )
+        self._reassign()
+        old_pin()  # release the old epoch (idempotent one-shot)
+        obs.counter_add("session.rebinds", 1, session=self.session_id)
+        self._log("rebind", from_epoch=old_epoch, epoch=state.epoch)
+        return True
+
+    def close(self) -> None:
+        """Close the journal and release this view's epoch pin.
+
+        Idempotent.  After close the view is unusable: its epoch may be
+        retired (and its shared block unlinked) as soon as the pin is
+        released.  The dataset/engine references are dropped *before*
+        the pin — if this view is the last holder of a closed service's
+        epoch, the deferred client release fires inside ``self._pin()``
+        and the mapped block can only be closed once no numpy views
+        (which these attributes transitively hold) remain.
+        """
+        super().close()
+        self.dataset = None  # type: ignore[assignment]
+        self.engine = None  # type: ignore[assignment]
+        self._pin()
+
     def __repr__(self) -> str:
+        name = self.dataset.name if self.dataset is not None else "<closed>"
         return (
-            f"SessionView(#{self.session_id}, dataset={self.dataset.name!r}, "
-            f"{len(self.events)} events)"
+            f"SessionView(#{self.session_id}, dataset={name!r}, "
+            f"epoch={self.epoch}, {len(self.events)} events)"
         )
 
 
@@ -170,6 +284,8 @@ class DatasetService:
         How many published shared-memory stores to retain; publishing
         beyond this evicts (closes + unlinks) the oldest, and handles
         to evicted stores fail to attach with a stale-handle error.
+        A store pinned by live sessions is deregistered but its block
+        survives until the last session detaches.
     """
 
     def __init__(
@@ -195,9 +311,16 @@ class DatasetService:
             cache_capacity=cache_capacity,
         )
         self.keep_stores = int(keep_stores)
+        self._engine_opts: dict[str, Any] = {
+            "use_index": use_index, "index_res": index_res
+        }
         self._stores: "OrderedDict[str, SharedArenaStore]" = OrderedDict()
         self._n_sessions = 0
         self._closed = False
+        self._client: Any = None
+        state = _EpochState(dataset.epoch, dataset, self.engine)
+        self._epochs: dict[int, _EpochState] = {state.epoch: state}
+        self._active_epoch = state.epoch
 
     # Construction helpers -------------------------------------------------
     @classmethod
@@ -207,7 +330,9 @@ class DatasetService:
         Attaches zero-copy and reuses the shared index tables, so a
         render/query node process reaches serving state in O(1) data
         movement.  The attachment stays open for the service's
-        lifetime; :meth:`close` releases it.
+        lifetime; :meth:`close` releases it — deferred, if sessions are
+        still pinned, until the last one detaches (the mapping is what
+        their arrays point into).
         """
         from repro.store.arena import attach
 
@@ -225,10 +350,17 @@ class DatasetService:
             **service_kwargs,
         )
         service.keep_stores = 1
+        service._engine_opts = {
+            "use_index": index is not None,
+            "index_res": handle.index_res or 64,
+        }
         service._stores = OrderedDict()
         service._n_sessions = 0
         service._closed = False
         service._client = client
+        state = _EpochState(client.dataset.epoch, client.dataset, service.engine)
+        service._epochs = {state.epoch: state}
+        service._active_epoch = state.epoch
         return service
 
     # Sessions -------------------------------------------------------------
@@ -243,6 +375,7 @@ class DatasetService:
 
         ``viewport`` defaults to the paper's 2/3-surface wall preset
         (the same default :class:`~repro.app.TrajectoryExplorer` uses).
+        The view pins the current active epoch until closed/collected.
         """
         self._check_open()
         if viewport is None:
@@ -270,6 +403,164 @@ class DatasetService:
         with self._lock:
             return self._n_sessions
 
+    # Epoch lifecycle --------------------------------------------------------
+    def active_epoch(self) -> int:
+        """The epoch new sessions pin (bumped by each rollover swap)."""
+        with self._lock:
+            return self._active_epoch
+
+    def _pin_active(self) -> _EpochState:
+        """Atomically snapshot the active epoch state and pin it.
+
+        The (dataset, engine, epoch) triple is read under the lock so a
+        session can never observe a half-swapped service; the returned
+        state's block cannot be unlinked until :meth:`_detach_session`
+        balances this pin.
+        """
+        with self._lock:
+            state = self._epochs[self._active_epoch]
+            state.sessions += 1
+            return state
+
+    def _detach_session(self, epoch: int) -> None:
+        """Release one session's pin on ``epoch``.
+
+        The last pin out retires a non-active epoch (unlinking its
+        store if it is no longer registered) and — when the service is
+        closed — completes any deferred client release once no session
+        anywhere still needs the mapping.
+        """
+        victims: list[SharedArenaStore] = []
+        release_client: Any = None
+        with self._lock:
+            state = self._epochs.get(epoch)
+            if state is not None:
+                state.sessions = max(0, state.sessions - 1)
+                if state.sessions == 0 and (
+                    epoch != self._active_epoch or self._closed
+                ):
+                    victims = self._retire_locked(state)
+            # drop the frame's ref before any client release below —
+            # a live state would pin the mapping's buffer open
+            del state
+            if self._closed and self._client is not None and not any(
+                s.sessions for s in self._epochs.values()
+            ):
+                release_client = self._client
+                # drop every (now unpinned) epoch state too: their
+                # datasets/engines hold numpy views into the mapping,
+                # which would keep the block from closing
+                self._epochs.clear()
+                self.engine = None  # type: ignore[assignment]
+                self.dataset = None  # type: ignore[assignment]
+                self._client = None
+        for store in victims:
+            store.unlink()
+            store.close()
+        if release_client is not None:
+            release_client.close()
+            obs.counter_add("service.close.completed", 1)
+
+    def _retire_locked(self, state: _EpochState) -> list[SharedArenaStore]:
+        """Drop one epoch state; returns stores to unlink outside the
+        lock (only a store no longer in the registry — registered
+        stores are still attachable and fall to normal eviction)."""
+        with self._lock:
+            self._epochs.pop(state.epoch, None)
+            store = state.store
+            if store is not None and store.uid not in self._stores:
+                return [store]
+        return []
+
+    def _store_pinned_locked(self, uid: str) -> bool:
+        """Is some live session pinned to the epoch served by ``uid``?"""
+        with self._lock:
+            return any(
+                st.sessions > 0
+                and st.store is not None
+                and st.store.uid == uid
+                for st in self._epochs.values()
+            )
+
+    def _evict_overflow_locked(self) -> tuple[list[SharedArenaStore], int]:
+        """Deregister stores beyond ``keep_stores`` (oldest first).
+
+        Returns (victims to unlink outside the lock, count deferred):
+        a store pinned by live sessions is deregistered — its handle
+        stops validating — but its block survives, referenced by the
+        pinning epoch state, until the last session detaches.
+        """
+        victims: list[SharedArenaStore] = []
+        deferred = 0
+        with self._lock:
+            while len(self._stores) > self.keep_stores:
+                uid, old = self._stores.popitem(last=False)
+                if self._store_pinned_locked(uid):
+                    deferred += 1
+                else:
+                    victims.append(old)
+        return victims, deferred
+
+    def _swap_active(
+        self,
+        dataset: TrajectoryDataset,
+        engine: SharedQueryEngine,
+        store: SharedArenaStore | None = None,
+    ) -> int:
+        """Commit point of a rollover: atomically publish a new epoch.
+
+        **Only** :class:`~repro.store.ingest.RolloverCoordinator` may
+        call this (reprolint RL008): the coordinator owns the staging
+        and validation phases that make the swap safe.  Under the lock:
+        the staged (dataset, engine, store) become the active epoch,
+        zero-session old epochs retire, and the store registry evicts
+        overflow — in-flight sessions keep their pinned epoch and
+        finish there.  Slow work (unlinking) happens outside the lock.
+        """
+        t_swap = time.perf_counter()
+        victims: list[SharedArenaStore] = []
+        with self._lock:
+            self._check_open()
+            epoch = dataset.epoch
+            if epoch <= self._active_epoch:
+                raise ValueError(
+                    f"rollover epoch {epoch} must exceed active epoch "
+                    f"{self._active_epoch}"
+                )
+            self._epochs[epoch] = _EpochState(epoch, dataset, engine, store)
+            if store is not None:
+                self._stores[store.uid] = store
+            self.dataset = dataset
+            self.engine = engine
+            self._active_epoch = epoch
+            for old in [
+                s
+                for s in list(self._epochs.values())
+                if s.epoch != epoch and s.sessions == 0
+            ]:
+                victims.extend(self._retire_locked(old))
+            overflow, deferred = self._evict_overflow_locked()
+            victims.extend(overflow)
+        obs.observe("rollover.swap_seconds", time.perf_counter() - t_swap)
+        if deferred:
+            obs.counter_add("store.evict.deferred", deferred)
+        for old_store in victims:
+            old_store.unlink()
+            old_store.close()
+        return epoch
+
+    def _engine_for_epoch(self, dataset: TrajectoryDataset) -> SharedQueryEngine:
+        """Build a successor-epoch engine sharing this service's lock
+        and stage cache (epoch-tagged keys keep entries disjoint).
+
+        The expensive part — packing + index build — runs outside the
+        lock; only the cache/options snapshot is serialized.
+        """
+        with self._lock:
+            cache = self.engine.cache
+            opts = dict(self._engine_opts)
+        return SharedQueryEngine(dataset, lock=self._lock, cache=cache, **opts)
+
     # Store registry ---------------------------------------------------------
     def publish_store(self, *, include_index: bool = True) -> StoreHandle:
         """Publish (or reuse) a shared-memory store of the current
@@ -282,30 +573,38 @@ class DatasetService:
         attach rather than serving stale segments).
         """
         self._check_open()
+        victims: list[SharedArenaStore] = []
+        deferred = 0
         with self._lock:
             epoch = self.dataset.epoch
+            handle: StoreHandle | None = None
             for store in reversed(self._stores.values()):
                 if store.epoch == epoch:
-                    return store.handle
-            index = self.engine.index if include_index else None
-            if index is not None and index.packed is not self.dataset.packed():
-                # the dataset mutated since the engine bound its index;
-                # let publish() build a fresh one over the current epoch
-                index = None
-            t_pub = time.perf_counter()
-            store = SharedArenaStore.publish(
-                self.dataset,
-                include_index=include_index,
-                index=index,
-            )
-            obs.observe("store.publish.seconds", time.perf_counter() - t_pub)
-            obs.counter_add("store.publishes", 1)
-            self._stores[store.uid] = store
-            while len(self._stores) > self.keep_stores:
-                _, old = self._stores.popitem(last=False)
-                old.unlink()
-                old.close()
-            return store.handle
+                    handle = store.handle
+                    break
+            if handle is None:
+                index = self.engine.index if include_index else None
+                if index is not None and index.packed is not self.dataset.packed():
+                    # the dataset mutated since the engine bound its index;
+                    # let publish() build a fresh one over the current epoch
+                    index = None
+                t_pub = time.perf_counter()
+                store = SharedArenaStore.publish(
+                    self.dataset,
+                    include_index=include_index,
+                    index=index,
+                )
+                obs.observe("store.publish.seconds", time.perf_counter() - t_pub)
+                obs.counter_add("store.publishes", 1)
+                self._stores[store.uid] = store
+                handle = store.handle
+                victims, deferred = self._evict_overflow_locked()
+        for old in victims:
+            old.unlink()
+            old.close()
+        if deferred:
+            obs.counter_add("store.evict.deferred", deferred)
+        return handle
 
     def stores(self) -> tuple[StoreHandle, ...]:
         """Handles of every store currently registered (oldest first)."""
@@ -332,12 +631,36 @@ class DatasetService:
                     f"{self.dataset.epoch}: dataset mutated after publish"
                 )
 
-    def evict_store(self, uid: str) -> bool:
+    def evict_store(
+        self, uid: str, *, degradation: DegradationReport | None = None
+    ) -> bool:
         """Explicitly unlink and drop one registered store by uid;
-        returns True when something was evicted."""
+        returns True when something was evicted.
+
+        Refuses (returns False, bumps ``store.evict.refused``, records
+        on ``degradation`` when given) while live sessions are pinned
+        to the store's epoch — evicting would unlink a block those
+        sessions' epoch contract says stays attachable until they
+        detach.
+        """
+        pinned = False
         with self._lock:
-            store = self._stores.pop(uid, None)
-        if store is None:
+            store = self._stores.get(uid)
+            if store is None:
+                return False
+            if self._store_pinned_locked(uid):
+                pinned = True
+            else:
+                self._stores.pop(uid)
+        if pinned:
+            obs.counter_add("store.evict.refused", 1)
+            if degradation is not None:
+                degradation.record(
+                    "evict-refused",
+                    scope="session",
+                    action="skipped",
+                    detail=f"store {uid[:8]} pinned by live sessions",
+                )
             return False
         store.unlink()
         store.close()
@@ -351,6 +674,10 @@ class DatasetService:
                 "dataset": self.dataset.name,
                 "n_traj": len(self.dataset),
                 "epoch": self.dataset.epoch,
+                "active_epoch": self._active_epoch,
+                "epochs": {
+                    e: s.sessions for e, s in sorted(self._epochs.items())
+                },
                 "sessions": self._n_sessions,
                 "stores": [s.uid[:8] for s in self._stores.values()],
                 "store_bytes": sum(s.nbytes for s in self._stores.values()),
@@ -361,7 +688,8 @@ class DatasetService:
         with self._lock:
             return (
                 f"DatasetService({self.dataset.name!r}, "
-                f"sessions={self._n_sessions}, stores={len(self._stores)})"
+                f"sessions={self._n_sessions}, stores={len(self._stores)}, "
+                f"epoch={self._active_epoch})"
             )
 
     # Lifecycle --------------------------------------------------------------
@@ -371,23 +699,56 @@ class DatasetService:
 
     def close(self) -> None:
         """Unlink and release every published store (idempotent); the
-        in-process engine and existing sessions stay usable."""
+        in-process engine and existing sessions stay usable.
+
+        Stores pinned by live sessions are deregistered now but
+        unlinked only when their last session detaches; likewise a
+        ``from_handle`` client mapping (the pages pinned sessions'
+        arrays point into) is released on the final detach rather than
+        yanked mid-query.
+        """
         if self._closed:
             return
         self._closed = True
+        victims: list[SharedArenaStore] = []
+        deferred = 0
+        release_client: Any = None
         with self._lock:
-            stores = list(self._stores.values())
+            doomed: "OrderedDict[str, SharedArenaStore]" = OrderedDict(self._stores)
             self._stores.clear()
-        for store in stores:
+            for e in [
+                e for e, s in self._epochs.items() if s.sessions == 0
+            ]:
+                st = self._epochs.pop(e)
+                if st.store is not None:
+                    doomed.setdefault(st.store.uid, st.store)
+                # drop the frame's ref: the state's shm-backed arrays
+                # must be dead before the client mapping is released
+                del st
+            pinned_uids = {
+                st.store.uid
+                for st in self._epochs.values()
+                if st.sessions > 0 and st.store is not None
+            }
+            victims = [s for uid, s in doomed.items() if uid not in pinned_uids]
+            deferred = len(doomed) - len(victims)
+            if self._client is not None and not any(
+                s.sessions for s in self._epochs.values()
+            ):
+                release_client = self._client
+                # epoch states hold shm-backed arrays; clearing them is
+                # what lets the client's block actually close
+                self._epochs.clear()
+                self.engine = None  # type: ignore[assignment]
+                self.dataset = None  # type: ignore[assignment]
+                self._client = None
+        for store in victims:
             store.unlink()
             store.close()
-        client = getattr(self, "_client", None)
-        if client is not None:
-            # drop engine/dataset refs first so the mapping can release
-            self.engine = None  # type: ignore[assignment]
-            self.dataset = None  # type: ignore[assignment]
-            self._client = None
-            client.close()
+        if deferred:
+            obs.counter_add("service.close.deferred", deferred)
+        if release_client is not None:
+            release_client.close()
 
     def __enter__(self) -> "DatasetService":
         """Context-manage the service (close on exit)."""

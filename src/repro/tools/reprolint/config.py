@@ -125,5 +125,9 @@ DEFAULT_CONFIG = LintConfig(
             include=("repro",),
             exclude=("repro.obs",),
         ),
+        # PR 6: epoch swaps only via RolloverCoordinator; no direct
+        # mutation of a service's active handle; deadline checks only
+        # at stage boundaries.
+        "RL008": RuleScope(include=("repro.store", "repro.core")),
     },
 )

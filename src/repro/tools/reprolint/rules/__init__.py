@@ -11,6 +11,7 @@ from repro.tools.reprolint.rules.rl004_degradation_taint import DegradationTaint
 from repro.tools.reprolint.rules.rl005_readonly_views import ReadonlyViewChecker
 from repro.tools.reprolint.rules.rl006_atomic_write import AtomicWriteChecker
 from repro.tools.reprolint.rules.rl007_telemetry_guard import TelemetryGuardChecker
+from repro.tools.reprolint.rules.rl008_rollover import RolloverDisciplineChecker
 
 __all__ = [
     "CachePurityChecker",
@@ -20,4 +21,5 @@ __all__ = [
     "ReadonlyViewChecker",
     "AtomicWriteChecker",
     "TelemetryGuardChecker",
+    "RolloverDisciplineChecker",
 ]

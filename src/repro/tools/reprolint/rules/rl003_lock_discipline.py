@@ -44,7 +44,12 @@ class LockDisciplineChecker(Checker):
         # class name -> shared attributes every access to which must be
         # inside `with self.<lock_attr>`
         "classes": {
-            "DatasetService": ("_stores", "_n_sessions"),
+            "DatasetService": (
+                "_stores",
+                "_n_sessions",
+                "_epochs",
+                "_active_epoch",
+            ),
             "SharedQueryEngine": (),
         },
         "lock_attr": "_lock",

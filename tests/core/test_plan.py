@@ -397,3 +397,125 @@ class TestSessionTraceJournal:
             "temporal_mask", "combine", "aggregate", "group_support",
         ]
         assert "trace" in queries[0]["detail"]
+
+
+class TestDeadline:
+    """Per-query wall-clock budgets (PR 6): boundary-only enforcement,
+    degraded partials, and strict cache hygiene around expiry."""
+
+    def _deadline(self, budget_s, *, expire_after_checks):
+        """A Deadline on a fake clock that expires after N ``check``s."""
+        from repro.core.plan import Deadline
+
+        ticks = {"n": 0}
+
+        def clock():
+            ticks["n"] += 1
+            return float(ticks["n"] > expire_after_checks) * (budget_s + 1.0)
+
+        return Deadline(budget_s=budget_s, expires_at=budget_s, clock=clock)
+
+    def test_after_rejects_nonpositive_budget(self):
+        from repro.core.plan import Deadline
+
+        with pytest.raises(ValueError, match="positive"):
+            Deadline.after(0.0)
+
+    def test_check_raises_with_stage_and_overshoot(self):
+        from repro.core.plan import Deadline, DeadlineExceeded
+
+        dl = self._deadline(0.5, expire_after_checks=0)
+        assert dl.expired
+        with pytest.raises(DeadlineExceeded) as exc:
+            dl.check("brush_hit")
+        assert exc.value.stage == "brush_hit"
+        assert exc.value.budget_s == 0.5
+
+    def test_expired_query_degrades_to_empty_partial(self, engine, west_canvas):
+        res = engine.query(west_canvas, "red", deadline_s=1e-9)
+        assert res.degraded
+        assert [e.kind for e in res.degradation.events] == ["deadline-exceeded"]
+        # structurally complete, conservatively empty
+        assert len(res.traj_mask) == len(engine.dataset)
+        assert not res.traj_mask.any()
+        assert not res.segment_mask.any()
+        # every synthesized stage is marked degraded in the trace
+        assert all(s.degraded for s in res.trace.stages)
+        # and nothing poisoned the shared cache
+        assert engine.cache.keys() == []
+
+    def test_requery_after_expiry_computes_fresh_and_correct(
+        self, engine, west_canvas, study_dataset
+    ):
+        degraded = engine.query(west_canvas, "red", deadline_s=1e-9)
+        assert degraded.degraded
+        clean = engine.query(west_canvas, "red")
+        assert not clean.degraded
+        assert clean.trace.cache_hits == 0  # nothing served from the expiry run
+        ref = CoordinatedBrushingEngine(study_dataset, use_index=False).query(
+            west_canvas, "red"
+        )
+        np.testing.assert_array_equal(clean.traj_mask, ref.traj_mask)
+
+    def test_mid_query_expiry_keeps_completed_stages_cached(self, engine, west_canvas):
+        """Expiry between stages: stages that finished before the budget
+        ran out are genuine (cached); everything after is a tainted
+        partial that never enters the cache."""
+        from repro.core.plan.trace import QueryTrace
+        from repro.core.temporal import TimeWindow as TW
+        from repro.resilience.health import DegradationReport
+
+        spec = _spec(west_canvas, engine.dataset)
+        plan = engine.planner.plan(spec, index_token=engine._index_token())
+        engine.executor.index = engine.index
+        # first boundary check passes, second one expires
+        deadline = self._deadline(1.0, expire_after_checks=1)
+        trace = QueryTrace(strategy=plan.strategy)
+        report = DegradationReport()
+        outputs = engine.executor.run(
+            plan, west_canvas, TW.all(), None, trace, report, deadline=deadline
+        )
+        assert set(outputs) == {s.name for s in plan.stages}
+        assert [e.kind for e in report.events] == ["deadline-exceeded"]
+        cached_stages = {k[0] for k in engine.cache.keys()}
+        assert cached_stages == {"temporal_mask"}  # the one completed stage
+        degraded_stages = [s.stage for s in trace.stages if s.degraded]
+        assert degraded_stages == [
+            "spatial_candidates", "brush_hit", "combine", "aggregate",
+        ]
+
+    def test_deadline_excluded_from_cache_identity(self, engine, west_canvas):
+        """A budget changes *when* a query may be cut short, never *what*
+        it computes — so a generously-budgeted re-query of a warm
+        (stroke, window) must be served entirely from cache."""
+        w = TimeWindow.end(0.3)
+        cold = engine.query(west_canvas, "red", window=w)
+        warm = engine.query(west_canvas, "red", window=w, deadline_s=60.0)
+        assert not warm.degraded
+        assert warm.trace.cache_misses == 0
+        assert warm.trace.cache_hits > 0
+        np.testing.assert_array_equal(warm.traj_mask, cold.traj_mask)
+
+    def test_degraded_partial_not_cached_across_epoch_bump(self, tmp_path):
+        """Satellite 3: a deadline-degraded query right before an epoch
+        bump must not seed the cache that the post-append epoch sees."""
+        from repro.synth import AntStudyConfig, generate_study_dataset
+        from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+        ds = generate_study_dataset(AntStudyConfig(n_trajectories=14, seed=5))
+        engine = CoordinatedBrushingEngine(ds)
+        canvas = BrushCanvas()
+        canvas.add(stroke_from_rect((-0.4, -0.3), (-0.1, 0.3), 0.1, "red"))
+        assert engine.query(canvas, "red", deadline_s=1e-9).degraded
+        assert engine.cache.keys() == []
+
+        t = np.linspace(0.0, 5.0, 6)
+        pos = np.stack([np.linspace(-0.3, 0.0, 6), np.zeros(6)], axis=1)
+        ds.append(Trajectory(pos, t, TrajectoryMeta(), traj_id=-1))
+        # the successor engine shares the cache, exactly as a rollover
+        # hands the staged epoch's engine the service's live cache
+        successor = CoordinatedBrushingEngine(ds, cache=engine.cache)
+        res = successor.query(canvas, "red")
+        assert not res.degraded
+        assert res.trace.cache_hits == 0
+        assert len(res.traj_mask) == len(ds)

@@ -151,3 +151,53 @@ class TestRetryable:
         assert work() == "ok"
         assert rec.delays == [0.3]
         assert work.__wrapped__ is not None
+
+
+class TestOrphanedAttempts:
+    """PR 6: a timed-out attempt keeps running on its daemon thread —
+    the contract is that it is *counted*, never joined."""
+
+    def test_orphan_counted_and_retry_succeeds(self):
+        import threading
+
+        from repro import obs
+
+        release = threading.Event()
+        calls = []
+
+        def stuck_once():
+            calls.append(None)
+            if len(calls) == 1:
+                release.wait(5.0)  # outlives the attempt budget
+            return "done"
+
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_s=0.0, jitter=0.0, attempt_timeout_s=0.05
+        )
+        obs.enable()
+        try:
+            assert retry_call(stuck_once, policy=policy, sleep=Recorder()) == "done"
+            snap = obs.telemetry_snapshot()
+            assert snap.counter_total("resilience.retry.orphaned") == 1.0
+        finally:
+            release.set()  # let the orphan drain promptly
+            obs.disable()
+        assert len(calls) == 2
+        # the orphan ran on a daemon thread: it cannot block interpreter
+        # shutdown even if it were still stuck
+        lingering = [
+            t for t in threading.enumerate() if t.name.startswith("retry-attempt-")
+        ]
+        assert all(t.daemon for t in lingering)
+
+    def test_no_counter_when_disabled(self):
+        from repro import obs
+
+        policy = RetryPolicy(
+            max_attempts=2, base_delay_s=0.0, jitter=0.0, attempt_timeout_s=0.05
+        )
+        flaky_slow = Flaky(0)
+        # obs disabled: the guarded facade must swallow, not crash
+        assert retry_call(flaky_slow, policy=policy, sleep=Recorder()) == "ok"
+        snap = obs.telemetry_snapshot()
+        assert snap.counters == {}

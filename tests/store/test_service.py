@@ -236,3 +236,64 @@ class TestSharedQueryEngine:
         shared.query_all_colors(canvas, window=window)
         shared.invalidate_cache()
         assert shared.cache_stats()["entries"] == 0
+
+
+class TestCloseWithLiveSessions:
+    """PR 6 regression: closing a service (or its node) while sessions
+    are mid-query must defer resource release, never unlink a mapped
+    block out from under a reader."""
+
+    def test_close_while_querying_defers_client_release(
+        self, small_dataset, viewport, arena
+    ):
+        stroke, window = _session_ops(3, arena)
+        with DatasetService(small_dataset) as origin:
+            handle = origin.publish_store()
+            node = DatasetService.from_handle(handle)
+            session = node.session(viewport)
+            session.brush(stroke)
+            session.set_time_window(window)
+            ref = session.run_query("red").traj_mask.copy()
+
+            start = threading.Event()
+            failures: list[BaseException] = []
+
+            def hammer() -> None:
+                start.wait()
+                try:
+                    for _ in range(30):
+                        got = session.run_query("red")
+                        np.testing.assert_array_equal(got.traj_mask, ref)
+                except BaseException as exc:  # noqa: BLE001 - reported below
+                    failures.append(exc)
+
+            worker = threading.Thread(target=hammer)
+            worker.start()
+            start.set()
+            node.close()  # races the query loop; release must defer
+            worker.join()
+            assert failures == []
+
+            # the pinned session keeps working after the service closed
+            np.testing.assert_array_equal(session.run_query("red").traj_mask, ref)
+            # ... but no new sessions can open
+            with pytest.raises(RuntimeError, match="closed"):
+                node.session(viewport)
+
+            session.close()  # last detach finally releases the mapping
+        # conftest's no_leaked_blocks asserts nothing stayed mapped
+
+    def test_origin_close_defers_unlink_until_sessions_detach(
+        self, small_dataset, viewport, arena
+    ):
+        stroke, window = _session_ops(5, arena)
+        service = DatasetService(small_dataset)
+        service.publish_store()
+        session = service.session(viewport)
+        session.brush(stroke)
+        session.set_time_window(window)
+        ref = session.run_query("red").traj_mask.copy()
+
+        service.close()
+        np.testing.assert_array_equal(session.run_query("red").traj_mask, ref)
+        session.close()

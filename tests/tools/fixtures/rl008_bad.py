@@ -1,0 +1,23 @@
+"""Fixture: seeded RL008 violations (foreign swap call, direct handle
+mutation, mid-stage deadline check).  Never imported — parsed only."""
+
+
+def hot_swap(service, dataset, engine):
+    """Publishes an unvalidated epoch from outside the coordinator."""
+    service._swap_active(dataset, engine)  # seeded: RL008 foreign swap
+
+
+def clobber(service, dataset, engine):
+    """Retargets the active handle directly."""
+    service.dataset = dataset  # seeded: RL008 direct handle mutation
+    service.engine = engine  # seeded: RL008 direct handle mutation
+
+
+class Executor:
+    """Stand-in executor (rule keys on the stage-function names)."""
+
+    def _execute_stage(self, stage, deadline):
+        """Consults the deadline inside a stage body."""
+        if deadline.expired:  # seeded: RL008 mid-stage deadline check
+            return None
+        return stage

@@ -1,0 +1,33 @@
+"""Fixture: clean twin of rl008_bad — rollover through the
+coordinator, deadline handled at the boundary in run()."""
+
+
+def ingest(coordinator, buffer, trajectories):
+    """The sanctioned path: buffer, then coordinator-driven rollover."""
+    for traj in trajectories:
+        buffer.append(traj)
+    return coordinator.rollover()
+
+
+def rebind_session(session):
+    """A session retargeting *itself* after a rollover is fine — the
+    handle-mutation rule keys on service-named receivers."""
+    session.dataset = session.service.dataset
+    return session.rebind()
+
+
+class Executor:
+    """Stand-in executor: deadline consulted in run(), between stages."""
+
+    def run(self, stages, deadline):
+        """Boundary-only deadline checks are the sanctioned shape."""
+        outputs = []
+        for stage in stages:
+            if deadline is not None:
+                deadline.check(stage)
+            outputs.append(self._execute_stage(stage))
+        return outputs
+
+    def _execute_stage(self, stage):
+        """Stage bodies never look at the clock."""
+        return stage

@@ -60,6 +60,11 @@ GOLDEN = {
         {(11, "RL007"), (12, "RL007"), (13, "RL007")},
         "rl007_clean.py",
     ),
+    "RL008": (
+        "rl008_bad.py",
+        {(7, "RL008"), (12, "RL008"), (13, "RL008"), (21, "RL008")},
+        "rl008_clean.py",
+    ),
 }
 
 
@@ -152,6 +157,10 @@ def test_default_scoping_applies_rules_where_invariants_live():
     # RL007 guards every emit site but not the obs facade itself
     assert DEFAULT_CONFIG.rule_applies("RL007", "src/repro/core/plan/executor.py")
     assert not DEFAULT_CONFIG.rule_applies("RL007", "src/repro/obs/spans.py")
+    # RL008 guards the store/core packages where swaps and deadlines live
+    assert DEFAULT_CONFIG.rule_applies("RL008", "src/repro/store/ingest.py")
+    assert DEFAULT_CONFIG.rule_applies("RL008", "src/repro/core/plan/executor.py")
+    assert not DEFAULT_CONFIG.rule_applies("RL008", "src/repro/render/lines.py")
 
 
 def test_rl007_span_in_with_is_clean_bare_span_is_not():

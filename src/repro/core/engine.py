@@ -40,7 +40,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.canvas import BrushCanvas
-from repro.core.plan.cache import StageCache
+from repro.core.plan.cache import ShardedStageCache, StageCache
 from repro.core.plan.executor import Deadline, QueryExecutor
 from repro.core.plan.planner import QueryPlan, QueryPlanner
 from repro.core.plan.spec import QuerySpec
@@ -75,12 +75,21 @@ class CoordinatedBrushingEngine:
         attach path (:mod:`repro.store`) passes the index rebuilt from
         shared cell tables here, skipping the counting sort entirely.
     cache:
-        An existing :class:`StageCache` to adopt instead of building a
+        An existing :class:`StageCache` (or thread-safe
+        :class:`ShardedStageCache`) to adopt instead of building a
         private one.  The rollover path (:mod:`repro.store.ingest`)
         hands each successor-epoch engine the *same* cache: keys embed
         the dataset epoch and store token, so old-epoch entries are
         unreachable by new-epoch queries (and age out via LRU) while
         still serving any session pinned to the old epoch.
+
+    Thread safety: an engine whose ``cache`` is a
+    :class:`ShardedStageCache` is safe for concurrent ``query`` calls —
+    the dataset, packed view, and index are immutable after
+    construction and queries keep all per-call state on the stack.
+    This is the multi-tenant service's lock-free read path; the plain
+    single-user default (private :class:`StageCache`) stays
+    single-threaded.
     """
 
     def __init__(
@@ -91,7 +100,7 @@ class CoordinatedBrushingEngine:
         index_res: int = 64,
         cache_capacity: int = 128,
         index: UniformGridIndex | None = None,
-        cache: StageCache | None = None,
+        cache: StageCache | ShardedStageCache | None = None,
     ) -> None:
         if len(dataset) == 0:
             raise ValueError("cannot build an engine over an empty dataset")
@@ -201,16 +210,16 @@ class CoordinatedBrushingEngine:
         trace = QueryTrace(strategy=plan.strategy)
         trace.plan_s = time.perf_counter() - t_plan
 
-        # tests (and the degradation ladder itself) may swap the index
-        # out underneath a live engine — sync the executor per query
-        self.executor.index = self.index
-        self.executor.index_error = self._index_error
-
         t_exec = time.perf_counter()
         degradation = DegradationReport()
+        # index/index_error travel as per-run arguments (tests and the
+        # degradation ladder may swap self.index between queries, and
+        # concurrent lock-free queries must never mutate the shared
+        # executor to communicate it)
         outputs = self.executor.run(
             plan, canvas, window, assignment, trace, degradation,
             deadline=deadline,
+            index=self.index, index_error=self._index_error,
         )
         traj_mask, traj_time = outputs["aggregate"]
 

@@ -135,6 +135,10 @@ def _freeze(value: Any) -> Any:
     return value
 
 
+#: Distinguishes "not passed" from an explicit ``None`` index.
+_UNSET: Any = object()
+
+
 class QueryExecutor:
     """Executes planned stages over one dataset's packed segments.
 
@@ -156,7 +160,7 @@ class QueryExecutor:
         dataset: TrajectoryDataset,
         packed: PackedSegments,
         index: UniformGridIndex | None,
-        cache: StageCache,
+        cache: "StageCache | Any",
         *,
         index_error: str | None = None,
     ) -> None:
@@ -196,6 +200,9 @@ class QueryExecutor:
         trace: QueryTrace,
         degradation: DegradationReport,
         deadline: Deadline | None = None,
+        *,
+        index: "UniformGridIndex | None | object" = _UNSET,
+        index_error: "str | None | object" = _UNSET,
     ) -> dict[str, Any]:
         """Execute every planned stage; returns the stage-output map.
 
@@ -208,7 +215,18 @@ class QueryExecutor:
         partials — degraded, tainted, and never cached — so the caller
         still receives a structurally complete (if conservative) result
         within its budget.
+
+        Concurrency: ``index``/``index_error`` may be passed per run so
+        a shared executor is never *mutated* between queries — on the
+        lock-free multi-tenant path, N threads run this method against
+        one executor simultaneously and everything they touch is either
+        immutable (dataset, packed view, index) or thread-safe (a
+        sharded stage cache, the per-call locals below).
         """
+        if index is _UNSET:
+            index = self.index
+        if index_error is _UNSET:
+            index_error = self.index_error
         t_run = time.perf_counter()
         outputs: dict[str, Any] = {}
         tainted: set[str] = set()
@@ -250,7 +268,8 @@ class QueryExecutor:
                     continue
             with obs.stage_span(trace, stage.name) as sp:
                 value, degraded, detail = self._execute_stage(
-                    stage.name, plan, canvas, window, assignment, outputs, degradation
+                    stage.name, plan, canvas, window, assignment, outputs,
+                    degradation, index, index_error,
                 )
                 outputs[stage.name] = value
                 if degraded or dep_tainted:
@@ -288,8 +307,15 @@ class QueryExecutor:
         assignment: CellAssignment | None,
         outputs: dict[str, Any],
         degradation: DegradationReport,
+        index: UniformGridIndex | None = None,
+        index_error: str | None = None,
     ) -> tuple[Any, bool, str]:
-        """Dispatch one stage; returns (output, degraded, detail)."""
+        """Dispatch one stage; returns (output, degraded, detail).
+
+        ``index``/``index_error`` arrive as per-run arguments (never
+        read from shared executor state) so concurrent queries cannot
+        observe each other's index swaps.
+        """
         color = plan.spec.color
         if name == "temporal_mask":
             return window.segment_mask(self.packed, self.dataset), False, ""
@@ -297,8 +323,8 @@ class QueryExecutor:
         if name == "spatial_candidates":
             centers, radii = canvas.stamps_of(color)
             try:
-                assert self.index is not None
-                return self.index.candidates_for_discs(centers, radii), False, ""
+                assert index is not None
+                return index.candidates_for_discs(centers, radii), False, ""
             except Exception as exc:
                 # one rung down the ladder: brush_hit scans everything
                 degradation.record(
@@ -312,14 +338,14 @@ class QueryExecutor:
         if name == "brush_hit":
             if plan.strategy == "empty-brush":
                 return np.zeros(self.packed.n_segments, dtype=bool), False, "no stamps"
-            if plan.strategy == "brute-force" and self.index_error is not None:
+            if plan.strategy == "brute-force" and index_error is not None:
                 # the engine-level build failure surfaces on every query
                 # that would have used the index (as the monolith did)
                 degradation.record(
                     "index-build-failure",
                     scope="index",
                     action="degraded-brute-force",
-                    detail=self.index_error,
+                    detail=index_error,
                 )
                 mask = canvas.packed_hit_mask(color, self.packed)
                 return mask, True, "index build failed; brute-force"

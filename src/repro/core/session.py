@@ -136,9 +136,10 @@ class ExplorationSession:
         of building a private one.  This is how
         :class:`repro.store.DatasetService` hands N concurrent sessions
         one resident copy of the packed arrays and one stage cache;
-        pass an engine that serializes its queries (e.g.
-        :class:`repro.store.SharedQueryEngine`) when sessions run on
-        multiple threads.
+        when sessions run on multiple threads, share an engine whose
+        stage cache is thread safe (e.g.
+        :class:`repro.store.SharedQueryEngine`, which is lock-free over
+        a sharded cache).
     """
 
     def __init__(

@@ -13,11 +13,15 @@ per-consumer state** on top of it.
   :class:`StoreHandle` (the small picklable address workers receive
   instead of a pickled dataset), :func:`attach` → :class:`StoreClient`
   (zero-copy dataset / index / engine rebuilds).
-* :mod:`repro.store.service` — :class:`DatasetService` (one dataset +
-  engine + stage cache behind a lock, store registry/eviction, epoch
-  lifecycle) and :class:`SessionView` (per-user canvas/window/layout/
-  journal, pinned to one epoch), so N concurrent sessions query one
-  resident copy.
+* :mod:`repro.store.snapshot` — :class:`EpochSnapshot` (one immutable
+  published epoch: dataset + engine + index + store) and the GIL-atomic
+  pin/retire refcounts under it.
+* :mod:`repro.store.service` — :class:`DatasetService` (registry of
+  epoch snapshots with an atomically-published *active* one, store
+  registry/eviction, epoch lifecycle) and :class:`SessionView`
+  (per-user canvas/window/layout/journal, pinned to one snapshot), so
+  N concurrent sessions query one resident copy **without ever taking
+  the service lock on the read path**.
 * :mod:`repro.store.ingest` — :class:`IngestBuffer` (thread-safe
   staging for streaming trajectories) and :class:`RolloverCoordinator`
   (two-phase epoch rollover: stage → validate → atomic swap), so the
@@ -38,6 +42,7 @@ from repro.store.ingest import (
     RolloverResult,
 )
 from repro.store.service import DatasetService, SessionView, SharedQueryEngine
+from repro.store.snapshot import AtomicCounter, AtomicRefCount, EpochSnapshot
 from repro.store.shm import (
     HAVE_SHARED_MEMORY,
     SharedBlock,
@@ -61,6 +66,9 @@ __all__ = [
     "DatasetService",
     "SessionView",
     "SharedQueryEngine",
+    "AtomicCounter",
+    "AtomicRefCount",
+    "EpochSnapshot",
     "HAVE_SHARED_MEMORY",
     "SharedBlock",
     "StaleHandleError",

@@ -4,29 +4,48 @@ The multi-session split of the former one-user application object:
 
 * :class:`DatasetService` owns what is expensive and immutable-ish —
   **one** dataset, **one** packed segment view, **one** spatial index,
-  **one** stage cache — plus a registry of published shared-memory
-  stores (:class:`~repro.store.arena.SharedArenaStore`) with epoch
-  validation and eviction.  Everything queryable sits behind a
-  re-entrant lock so any number of threads can drive sessions
-  concurrently.
+  **one** sharded stage cache — published as immutable per-epoch
+  :class:`~repro.store.snapshot.EpochSnapshot` objects, plus a registry
+  of shared-memory stores (:class:`~repro.store.arena.SharedArenaStore`)
+  with epoch validation and eviction.
 
 * :class:`SessionView` is what is cheap and per-user — a brush canvas,
   a time window, a layout/paging state, an event journal — layered over
-  the service's shared engine.  N concurrent views return exactly what
-  N independent single-user engines would, while the process holds
+  a pinned epoch snapshot.  N concurrent views return exactly what N
+  independent single-user engines would, while the process holds
   exactly one copy of the packed arrays (the encube render-node model:
   shared resident data, per-session query state).
 
-Epoch lifecycle (streaming ingest, :mod:`repro.store.ingest`): the
-service keeps one :class:`_EpochState` per live dataset epoch.  A
-session *pins* the active epoch at creation and keeps querying that
+Lock discipline (the multi-tenant tentpole).  **Queries never take the
+service lock.**  Everything a query reads is epoch-immutable between
+publishes — the dataset, the packed arrays, the spatial index, the
+read-only arena views — so the read path is:
+
+1. resolve the active snapshot with one atomic attribute read
+   (``service._active``; sessions do this once, at pin time);
+2. run the engine against it lock-free (per-call state on the stack,
+   stage outputs through the thread-safe sharded
+   :class:`~repro.core.plan.cache.ShardedStageCache`).
+
+The service's re-entrant lock survives **only for mutations**: store
+publish/evict, epoch rollover (the atomic snapshot swap), and session
+lifecycle registry bookkeeping.  Pin/retire accounting itself is
+lock-free (GIL-atomic refcounts, :mod:`repro.store.snapshot`), so even
+session open/rebind touches the lock only to read the snapshot
+registry.  Reprolint RL003 machine-checks both halves: the query-path
+methods must not acquire the lock, and registry mutations must happen
+under it.
+
+Epoch lifecycle (streaming ingest, :mod:`repro.store.ingest`): a
+session *pins* the active snapshot at creation and keeps querying that
 epoch's dataset/engine even after a rollover republishes the arena
 under a new epoch — its results stay exact, merely flagged
 ``stale-epoch`` on the :class:`DegradationReport` so callers know a
 fresher epoch exists (call :meth:`SessionView.rebind` to move up).  An
 epoch's shared-memory block is never unlinked while a session pins it;
-the last detach (explicit :meth:`SessionView.close` or garbage
-collection) retires the epoch and releases the block.  The swap itself
+the last unpin (explicit :meth:`SessionView.close` or garbage
+collection) retires the snapshot — exactly once, via the sealed-zero
+refcount — and releases the block.  The swap itself
 (:meth:`DatasetService._swap_active`) is the commit point of the
 two-phase rollover and is only ever called by
 :class:`~repro.store.ingest.RolloverCoordinator` (reprolint RL008).
@@ -51,99 +70,57 @@ import threading
 import time
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import replace
 from pathlib import Path
 from typing import Any
 
 from repro import obs
 from repro.core.engine import CoordinatedBrushingEngine
+from repro.core.plan.cache import ShardedStageCache
 from repro.core.result import QueryResult
 from repro.core.session import ExplorationSession
 from repro.display.viewport import Viewport
 from repro.resilience.health import DegradationReport
 from repro.store.arena import SharedArenaStore, StoreHandle
 from repro.store.shm import StaleHandleError
+from repro.store.snapshot import AtomicCounter, EpochSnapshot
 from repro.trajectory.dataset import TrajectoryDataset
 
 __all__ = ["SharedQueryEngine", "DatasetService", "SessionView"]
 
 
 class SharedQueryEngine(CoordinatedBrushingEngine):
-    """An engine safe to share across concurrent sessions.
+    """An engine safe to share across concurrent sessions — lock-free.
 
-    Identical results to the base engine; every query, plan, and cache
-    operation additionally runs under one re-entrant lock so N threads
-    hammering the shared :class:`StageCache` never interleave a stage
-    lookup with an insertion.  The lock is re-entrant: a locked
-    ``query_all_colors`` calling ``query`` per color nests cleanly.
+    Identical results to the base engine; the difference is purely the
+    concurrency contract.  Queries take **no lock**: the dataset,
+    packed arrays, and spatial index are immutable after construction,
+    every per-query intermediate lives on the calling thread's stack,
+    and stage outputs flow through a thread-safe
+    :class:`~repro.core.plan.cache.ShardedStageCache` whose stripes are
+    the only (micro, bounded) critical sections on the path.  N threads
+    hammering one engine interleave freely and each observes exactly
+    what a private engine would have computed.
+
+    (Before the snapshot refactor this class serialized every query
+    behind the service RLock — the ~24x 8-session wall-clock penalty
+    BENCH_Q3 measured.  The ``service.lock.wait_seconds`` gauge that
+    tracked that queueing is gone with the lock; the
+    ``service.snapshot.*`` family replaces it.)
     """
 
     def __init__(
         self,
         dataset: TrajectoryDataset,
         *,
-        lock: "threading.RLock | None" = None,
+        cache: ShardedStageCache | None = None,
+        cache_capacity: int = 512,
+        cache_shards: int = 8,
         **engine_kwargs: Any,
     ) -> None:
-        super().__init__(dataset, **engine_kwargs)
-        self._lock = lock if lock is not None else threading.RLock()
-
-    def query(self, *args: Any, **kwargs: Any) -> Any:
-        """Serialized :meth:`CoordinatedBrushingEngine.query`.
-
-        The time this thread spent waiting for the shared lock is
-        published as the ``service.lock.wait_seconds`` gauge — the
-        first signal to watch when N sessions start queueing behind
-        one hot engine.
-        """
-        t_wait = time.perf_counter()
-        with self._lock:
-            obs.gauge_set(
-                "service.lock.wait_seconds", time.perf_counter() - t_wait
-            )
-            return super().query(*args, **kwargs)
-
-    def query_all_colors(self, *args: Any, **kwargs: Any) -> Any:
-        """Serialized multi-color evaluation (holds the lock across all
-        colors so the shared temporal mask is computed exactly once)."""
-        t_wait = time.perf_counter()
-        with self._lock:
-            obs.gauge_set(
-                "service.lock.wait_seconds", time.perf_counter() - t_wait
-            )
-            return super().query_all_colors(*args, **kwargs)
-
-    def plan(self, *args: Any, **kwargs: Any) -> Any:
-        """Serialized plan construction (reads the live index token)."""
-        with self._lock:
-            return super().plan(*args, **kwargs)
-
-    def cache_stats(self) -> dict[str, float]:
-        """Serialized cache-counter snapshot."""
-        with self._lock:
-            return super().cache_stats()
-
-    def invalidate_cache(self) -> None:
-        """Serialized cache flush."""
-        with self._lock:
-            return super().invalidate_cache()
-
-
-@dataclass
-class _EpochState:
-    """One live dataset epoch and everything a pinned session needs.
-
-    ``sessions`` counts the views currently pinned to this epoch; the
-    epoch (and its shared-memory ``store``, if a rollover published
-    one) is retired only when the count reaches zero and the epoch is
-    no longer active.  Mutated only under the service lock.
-    """
-
-    epoch: int
-    dataset: TrajectoryDataset
-    engine: SharedQueryEngine
-    store: SharedArenaStore | None = None
-    sessions: int = 0
+        if cache is None:
+            cache = ShardedStageCache(cache_capacity, shards=cache_shards)
+        super().__init__(dataset, cache=cache, **engine_kwargs)
 
 
 class SessionView(ExplorationSession):
@@ -152,15 +129,16 @@ class SessionView(ExplorationSession):
     Owns everything mutable per user — canvas, time window, layout,
     paging, groups, event log, optional on-disk journal — and nothing
     heavy: the dataset, packed arrays, spatial index, and stage cache
-    all live in (and are shared through) the service.  Created via
-    :meth:`DatasetService.session`.
+    all live in (and are shared through) the pinned epoch snapshot.
+    Created via :meth:`DatasetService.session`.
 
-    The view pins the service's *active epoch* at creation: rollovers
-    never yank the dataset out from under it.  Queries issued after a
-    rollover still answer exactly over the pinned epoch, flagged
-    ``stale-epoch`` on their degradation report; :meth:`rebind` moves
-    the view to the current epoch.  The pin is released by
-    :meth:`close` or, failing that, by garbage collection.
+    The view pins the service's *active snapshot* at creation (one
+    atomic reference read + one GIL-atomic refcount increment — no
+    lock): rollovers never yank the dataset out from under it.  Queries
+    issued after a rollover still answer exactly over the pinned epoch,
+    flagged ``stale-epoch`` on their degradation report;
+    :meth:`rebind` moves the view to the current snapshot.  The pin is
+    released by :meth:`close` or, failing that, by garbage collection.
     """
 
     def __init__(
@@ -173,34 +151,40 @@ class SessionView(ExplorationSession):
     ) -> None:
         self.service = service
         self.session_id = service._next_session_id()
-        state = service._pin_active()
-        self.epoch = state.epoch
+        snapshot = service._pin_active()
+        self._snapshot: EpochSnapshot | None = snapshot
+        self.epoch = snapshot.epoch
         # the pin outlives mistakes: explicit close() releases it, and a
-        # view dropped without close() releases it at collection time
+        # view dropped without close() releases it at collection time.
+        # The finalizer carries only the epoch *number* — holding the
+        # snapshot object there would pin its arrays (and a from_handle
+        # client mapping) open past the release.
         self._pin = weakref.finalize(
-            self, service._detach_session, state.epoch
+            self, service._detach_session, snapshot.epoch
         )
         super().__init__(
-            state.dataset,
+            snapshot.dataset,
             viewport,
             layout_key=layout_key,
             journal_path=journal_path,
-            engine=state.engine,
+            engine=snapshot.engine,
         )
 
     def run_query(
         self, color: str = "red", *, deadline_s: float | None = None
     ) -> QueryResult:
-        """Session-attributed query over the view's pinned epoch.
+        """Session-attributed query over the view's pinned snapshot.
 
-        The shared engine does the work; this view adds its
-        ``session.queries`` accounting and — when a rollover has moved
-        the service past the pinned epoch — marks the (still exact)
-        result degraded with a ``stale-epoch`` event instead of
-        failing, so a query racing a rollover always completes.
+        Entirely lock-free: the pinned snapshot's engine does the work,
+        and the staleness probe is one atomic read of the service's
+        active snapshot.  When a rollover has moved the service past
+        the pinned epoch the (still exact) result is marked degraded
+        with a ``stale-epoch`` event instead of failing, so a query
+        racing a rollover always completes.
         """
         result = super().run_query(color, deadline_s=deadline_s)
         obs.counter_add("session.queries", 1, session=self.session_id)
+        obs.counter_add("service.snapshot.queries", 1, epoch=self.epoch)
         active = self.service.active_epoch()
         if active != self.epoch:
             report = result.degradation or DegradationReport()
@@ -218,46 +202,48 @@ class SessionView(ExplorationSession):
         return result
 
     def rebind(self) -> bool:
-        """Re-pin this view to the service's current active epoch.
+        """Re-pin this view to the service's current active snapshot.
 
         Returns True when the view actually moved (a rollover had
         happened); False when it was already current.  Moving re-derives
         the layout assignment over the new dataset and releases the old
-        epoch's pin — if this view was the last one holding the old
+        snapshot's pin — if this view was the last one holding the old
         epoch, its shared block is unlinked.
         """
-        state = self.service._pin_active()
-        if state.epoch == self.epoch:
-            self.service._detach_session(state.epoch)
+        snapshot = self.service._pin_active()
+        if snapshot.epoch == self.epoch:
+            self.service._detach_session(snapshot.epoch)
             return False
         old_epoch = self.epoch
         old_pin = self._pin
-        self.dataset = state.dataset
-        self.engine = state.engine
-        self.epoch = state.epoch
+        self._snapshot = snapshot
+        self.dataset = snapshot.dataset
+        self.engine = snapshot.engine
+        self.epoch = snapshot.epoch
         self._pin = weakref.finalize(
-            self, self.service._detach_session, state.epoch
+            self, self.service._detach_session, snapshot.epoch
         )
         self._reassign()
         old_pin()  # release the old epoch (idempotent one-shot)
         obs.counter_add("session.rebinds", 1, session=self.session_id)
-        self._log("rebind", from_epoch=old_epoch, epoch=state.epoch)
+        self._log("rebind", from_epoch=old_epoch, epoch=snapshot.epoch)
         return True
 
     def close(self) -> None:
-        """Close the journal and release this view's epoch pin.
+        """Close the journal and release this view's snapshot pin.
 
         Idempotent.  After close the view is unusable: its epoch may be
         retired (and its shared block unlinked) as soon as the pin is
-        released.  The dataset/engine references are dropped *before*
-        the pin — if this view is the last holder of a closed service's
-        epoch, the deferred client release fires inside ``self._pin()``
-        and the mapped block can only be closed once no numpy views
-        (which these attributes transitively hold) remain.
+        released.  The dataset/engine/snapshot references are dropped
+        *before* the pin — if this view is the last holder of a closed
+        service's epoch, the deferred client release fires inside
+        ``self._pin()`` and the mapped block can only be closed once no
+        numpy views (which these attributes transitively hold) remain.
         """
         super().close()
         self.dataset = None  # type: ignore[assignment]
         self.engine = None  # type: ignore[assignment]
+        self._snapshot = None
         self._pin()
 
     def __repr__(self) -> str:
@@ -280,12 +266,24 @@ class DatasetService:
     cache_capacity:
         Shared stage-cache size; sized up from the single-user default
         because N sessions' stages compete for it.
+    cache_shards:
+        Stripe count of the shared :class:`ShardedStageCache`; more
+        shards, less contention between concurrent sessions' stage
+        lookups.
     keep_stores:
         How many published shared-memory stores to retain; publishing
         beyond this evicts (closes + unlinks) the oldest, and handles
         to evicted stores fail to attach with a stale-handle error.
         A store pinned by live sessions is deregistered but its block
         survives until the last session detaches.
+
+    Attributes
+    ----------
+    dataset / engine:
+        Read-only views of the *active snapshot's* dataset and engine.
+        They cannot be assigned — retargeting the service goes through
+        :meth:`_swap_active` (rollover) only, which is what keeps the
+        active reference a single atomic publish (reprolint RL008).
     """
 
     def __init__(
@@ -295,20 +293,20 @@ class DatasetService:
         use_index: bool = True,
         index_res: int = 64,
         cache_capacity: int = 512,
+        cache_shards: int = 8,
         keep_stores: int = 2,
     ) -> None:
         if len(dataset) == 0:
             raise ValueError("cannot serve an empty dataset")
         if keep_stores < 1:
             raise ValueError("keep_stores must be >= 1")
-        self.dataset = dataset
         self._lock = threading.RLock()
-        self.engine = SharedQueryEngine(
+        engine = SharedQueryEngine(
             dataset,
-            lock=self._lock,
             use_index=use_index,
             index_res=index_res,
             cache_capacity=cache_capacity,
+            cache_shards=cache_shards,
         )
         self.keep_stores = int(keep_stores)
         self._engine_opts: dict[str, Any] = {
@@ -318,9 +316,13 @@ class DatasetService:
         self._n_sessions = 0
         self._closed = False
         self._client: Any = None
-        state = _EpochState(dataset.epoch, dataset, self.engine)
-        self._epochs: dict[int, _EpochState] = {state.epoch: state}
-        self._active_epoch = state.epoch
+        self._pin_total = AtomicCounter()
+        snapshot = EpochSnapshot(dataset.epoch, dataset, engine)
+        self._snapshots: dict[int, EpochSnapshot] = {snapshot.epoch: snapshot}
+        self._active: EpochSnapshot | None = snapshot
+        obs.counter_add("service.snapshot.published", 1)
+        obs.gauge_set("service.snapshot.active_epoch", float(snapshot.epoch))
+        obs.gauge_set("service.snapshot.live", 1.0)
 
     # Construction helpers -------------------------------------------------
     @classmethod
@@ -340,11 +342,9 @@ class DatasetService:
         service_kwargs.pop("use_index", None)
         index = client.index()
         service = cls.__new__(cls)
-        service.dataset = client.dataset
         service._lock = threading.RLock()
-        service.engine = SharedQueryEngine(
+        engine = SharedQueryEngine(
             client.dataset,
-            lock=service._lock,
             index=index,
             use_index=index is not None,
             **service_kwargs,
@@ -358,10 +358,27 @@ class DatasetService:
         service._n_sessions = 0
         service._closed = False
         service._client = client
-        state = _EpochState(client.dataset.epoch, client.dataset, service.engine)
-        service._epochs = {state.epoch: state}
-        service._active_epoch = state.epoch
+        service._pin_total = AtomicCounter()
+        snapshot = EpochSnapshot(client.dataset.epoch, client.dataset, engine)
+        service._snapshots = {snapshot.epoch: snapshot}
+        service._active = snapshot
+        obs.counter_add("service.snapshot.published", 1)
+        obs.gauge_set("service.snapshot.active_epoch", float(snapshot.epoch))
+        obs.gauge_set("service.snapshot.live", 1.0)
         return service
+
+    # Active-snapshot views --------------------------------------------------
+    @property
+    def dataset(self) -> TrajectoryDataset:
+        """The active snapshot's dataset (atomic read, never assignable)."""
+        snapshot = self._active
+        return snapshot.dataset if snapshot is not None else None  # type: ignore[return-value]
+
+    @property
+    def engine(self) -> SharedQueryEngine:
+        """The active snapshot's engine (atomic read, never assignable)."""
+        snapshot = self._active
+        return snapshot.engine if snapshot is not None else None  # type: ignore[return-value]
 
     # Sessions -------------------------------------------------------------
     def session(
@@ -375,7 +392,7 @@ class DatasetService:
 
         ``viewport`` defaults to the paper's 2/3-surface wall preset
         (the same default :class:`~repro.app.TrajectoryExplorer` uses).
-        The view pins the current active epoch until closed/collected.
+        The view pins the current active snapshot until closed/collected.
         """
         self._check_open()
         if viewport is None:
@@ -405,55 +422,65 @@ class DatasetService:
 
     # Epoch lifecycle --------------------------------------------------------
     def active_epoch(self) -> int:
-        """The epoch new sessions pin (bumped by each rollover swap)."""
-        with self._lock:
-            return self._active_epoch
+        """The epoch new sessions pin (bumped by each rollover swap).
 
-    def _pin_active(self) -> _EpochState:
-        """Atomically snapshot the active epoch state and pin it.
-
-        The (dataset, engine, epoch) triple is read under the lock so a
-        session can never observe a half-swapped service; the returned
-        state's block cannot be unlinked until :meth:`_detach_session`
-        balances this pin.
+        Lock-free: one atomic read of the active snapshot reference —
+        this sits on the per-query staleness probe, so it must never
+        queue behind a publish.
         """
-        with self._lock:
-            state = self._epochs[self._active_epoch]
-            state.sessions += 1
-            return state
+        snapshot = self._active
+        if snapshot is None:
+            raise RuntimeError("DatasetService is closed")
+        return snapshot.epoch
+
+    def _pin_active(self) -> EpochSnapshot:
+        """Resolve and pin the active snapshot — no lock.
+
+        One atomic reference read plus one GIL-atomic refcount
+        increment.  The only retry is losing a race against the
+        retirement of a *just-replaced* snapshot (the sealed-zero
+        protocol in :mod:`repro.store.snapshot`): the loop then
+        re-resolves and lands on the successor.
+        """
+        while True:
+            snapshot = self._active
+            if snapshot is None:
+                raise RuntimeError("DatasetService is closed")
+            if snapshot.try_pin():
+                self._pin_total.incr()
+                obs.counter_add("service.snapshot.pinned", 1)
+                obs.gauge_set(
+                    "service.snapshot.pins", float(self._pin_total.value)
+                )
+                return snapshot
+            if self._closed:
+                raise RuntimeError("DatasetService is closed")
+            # lost the pin race to a retirement mid-rollover: re-resolve
 
     def _detach_session(self, epoch: int) -> None:
         """Release one session's pin on ``epoch``.
 
-        The last pin out retires a non-active epoch (unlinking its
+        The last pin out retires a non-active snapshot (unlinking its
         store if it is no longer registered) and — when the service is
         closed — completes any deferred client release once no session
-        anywhere still needs the mapping.
+        anywhere still needs the mapping.  Receives the epoch *number*
+        (what the session finalizer holds): the snapshot object itself
+        must not live in any frame here when the client mapping is
+        released, or its arrays would pin the mapping open.
         """
-        victims: list[SharedArenaStore] = []
-        release_client: Any = None
         with self._lock:
-            state = self._epochs.get(epoch)
-            if state is not None:
-                state.sessions = max(0, state.sessions - 1)
-                if state.sessions == 0 and (
-                    epoch != self._active_epoch or self._closed
-                ):
-                    victims = self._retire_locked(state)
-            # drop the frame's ref before any client release below —
-            # a live state would pin the mapping's buffer open
-            del state
-            if self._closed and self._client is not None and not any(
-                s.sessions for s in self._epochs.values()
-            ):
-                release_client = self._client
-                # drop every (now unpinned) epoch state too: their
-                # datasets/engines hold numpy views into the mapping,
-                # which would keep the block from closing
-                self._epochs.clear()
-                self.engine = None  # type: ignore[assignment]
-                self.dataset = None  # type: ignore[assignment]
-                self._client = None
+            snapshot = self._snapshots.get(epoch)
+        if snapshot is None:  # pragma: no cover - pins keep epochs registered
+            return
+        snapshot.unpin()
+        self._pin_total.decr()
+        obs.counter_add("service.snapshot.released", 1)
+        obs.gauge_set("service.snapshot.pins", float(self._pin_total.value))
+        victims = self._retire_if_idle(snapshot)
+        # drop the frame's ref before any client release below — a live
+        # snapshot would pin the mapping's buffer open
+        del snapshot
+        release_client = self._release_client_if_drained()
         for store in victims:
             store.unlink()
             store.close()
@@ -461,25 +488,62 @@ class DatasetService:
             release_client.close()
             obs.counter_add("service.close.completed", 1)
 
-    def _retire_locked(self, state: _EpochState) -> list[SharedArenaStore]:
-        """Drop one epoch state; returns stores to unlink outside the
-        lock (only a store no longer in the registry — registered
-        stores are still attachable and fall to normal eviction)."""
+    def _retire_if_idle(self, snapshot: EpochSnapshot) -> list[SharedArenaStore]:
+        """Retire one snapshot iff it is unpinned and non-active.
+
+        Exactly-once: the sealed-zero refcount arbitrates racing
+        retirers (and racing pins — see :mod:`repro.store.snapshot`).
+        Returns stores to unlink *outside* any lock (only a store no
+        longer in the registry — registered stores are still attachable
+        and fall to normal eviction).
+        """
+        if snapshot.pins > 0:
+            return []
+        if snapshot is self._active and not self._closed:
+            return []
+        if not snapshot.refs.seal_if_idle():
+            return []
+        obs.counter_add("service.snapshot.retired", 1)
         with self._lock:
-            self._epochs.pop(state.epoch, None)
-            store = state.store
+            self._snapshots.pop(snapshot.epoch, None)
+            obs.gauge_set("service.snapshot.live", float(len(self._snapshots)))
+            store = snapshot.store
             if store is not None and store.uid not in self._stores:
                 return [store]
         return []
 
+    def _release_client_if_drained(self) -> Any:
+        """The deferred tail of closing a ``from_handle`` service.
+
+        Once the service is closed and no session anywhere pins any
+        snapshot, drop every epoch snapshot (their datasets/engines
+        hold numpy views into the mapping) and hand the client back to
+        the caller to close *outside* the lock.  Pinned snapshots are
+        always in the registry — retirement requires zero pins — so the
+        pin scan under the lock is exhaustive.
+        """
+        if self._client is None or not self._closed:
+            return None
+        with self._lock:
+            if self._client is None:
+                return None
+            if any(s.pins > 0 for s in self._snapshots.values()):
+                return None
+            self._snapshots.clear()
+            self._active = None
+            obs.gauge_set("service.snapshot.live", 0.0)
+            release_client = self._client
+            self._client = None
+        return release_client
+
     def _store_pinned_locked(self, uid: str) -> bool:
-        """Is some live session pinned to the epoch served by ``uid``?"""
+        """Is some live session pinned to the snapshot served by ``uid``?"""
         with self._lock:
             return any(
-                st.sessions > 0
-                and st.store is not None
-                and st.store.uid == uid
-                for st in self._epochs.values()
+                s.pins > 0
+                and s.store is not None
+                and s.store.uid == uid
+                for s in self._snapshots.values()
             )
 
     def _evict_overflow_locked(self) -> tuple[list[SharedArenaStore], int]:
@@ -488,7 +552,7 @@ class DatasetService:
         Returns (victims to unlink outside the lock, count deferred):
         a store pinned by live sessions is deregistered — its handle
         stops validating — but its block survives, referenced by the
-        pinning epoch state, until the last session detaches.
+        pinning snapshot, until the last session detaches.
         """
         victims: list[SharedArenaStore] = []
         deferred = 0
@@ -507,38 +571,46 @@ class DatasetService:
         engine: SharedQueryEngine,
         store: SharedArenaStore | None = None,
     ) -> int:
-        """Commit point of a rollover: atomically publish a new epoch.
+        """Commit point of a rollover: atomically publish a new snapshot.
 
         **Only** :class:`~repro.store.ingest.RolloverCoordinator` may
         call this (reprolint RL008): the coordinator owns the staging
         and validation phases that make the swap safe.  Under the lock:
-        the staged (dataset, engine, store) become the active epoch,
-        zero-session old epochs retire, and the store registry evicts
-        overflow — in-flight sessions keep their pinned epoch and
-        finish there.  Slow work (unlinking) happens outside the lock.
+        the staged (dataset, engine, store) are registered as a new
+        :class:`EpochSnapshot` and the active reference is retargeted
+        with a single atomic assignment — from that instant every new
+        pin lands on the successor, while in-flight sessions keep their
+        pinned snapshot and finish there.  Zero-pin old snapshots
+        retire, the store registry evicts overflow, and slow work
+        (unlinking) happens outside the lock.
         """
         t_swap = time.perf_counter()
         victims: list[SharedArenaStore] = []
         with self._lock:
             self._check_open()
             epoch = dataset.epoch
-            if epoch <= self._active_epoch:
+            active = self._active
+            if active is None or epoch <= active.epoch:
+                current = "<released>" if active is None else active.epoch
                 raise ValueError(
                     f"rollover epoch {epoch} must exceed active epoch "
-                    f"{self._active_epoch}"
+                    f"{current}"
                 )
-            self._epochs[epoch] = _EpochState(epoch, dataset, engine, store)
+            snapshot = EpochSnapshot(epoch, dataset, engine, store)
+            self._snapshots[epoch] = snapshot
             if store is not None:
                 self._stores[store.uid] = store
-            self.dataset = dataset
-            self.engine = engine
-            self._active_epoch = epoch
+            # the publish: one atomic reference assignment.  Readers
+            # (_pin_active, active_epoch) see either the old snapshot
+            # or this one, never anything in between.
+            self._active = snapshot
+            obs.counter_add("service.snapshot.published", 1)
+            obs.gauge_set("service.snapshot.active_epoch", float(epoch))
+            obs.gauge_set("service.snapshot.live", float(len(self._snapshots)))
             for old in [
-                s
-                for s in list(self._epochs.values())
-                if s.epoch != epoch and s.sessions == 0
+                s for s in list(self._snapshots.values()) if s is not snapshot
             ]:
-                victims.extend(self._retire_locked(old))
+                victims.extend(self._retire_if_idle(old))
             overflow, deferred = self._evict_overflow_locked()
             victims.extend(overflow)
         obs.observe("rollover.swap_seconds", time.perf_counter() - t_swap)
@@ -550,8 +622,8 @@ class DatasetService:
         return epoch
 
     def _engine_for_epoch(self, dataset: TrajectoryDataset) -> SharedQueryEngine:
-        """Build a successor-epoch engine sharing this service's lock
-        and stage cache (epoch-tagged keys keep entries disjoint).
+        """Build a successor-epoch engine sharing this service's sharded
+        stage cache (epoch-tagged keys keep entries disjoint).
 
         The expensive part — packing + index build — runs outside the
         lock; only the cache/options snapshot is serialized.
@@ -559,7 +631,8 @@ class DatasetService:
         with self._lock:
             cache = self.engine.cache
             opts = dict(self._engine_opts)
-        return SharedQueryEngine(dataset, lock=self._lock, cache=cache, **opts)
+        assert isinstance(cache, ShardedStageCache)
+        return SharedQueryEngine(dataset, cache=cache, **opts)
 
     # Store registry ---------------------------------------------------------
     def publish_store(self, *, include_index: bool = True) -> StoreHandle:
@@ -668,16 +741,17 @@ class DatasetService:
 
     # Introspection ----------------------------------------------------------
     def stats(self) -> dict:
-        """Service health: sessions, shared-cache counters, stores."""
+        """Service health: sessions, snapshots, shared-cache counters."""
         with self._lock:
             return {
                 "dataset": self.dataset.name,
                 "n_traj": len(self.dataset),
                 "epoch": self.dataset.epoch,
-                "active_epoch": self._active_epoch,
+                "active_epoch": self.active_epoch(),
                 "epochs": {
-                    e: s.sessions for e, s in sorted(self._epochs.items())
+                    e: s.pins for e, s in sorted(self._snapshots.items())
                 },
+                "pins": self._pin_total.value,
                 "sessions": self._n_sessions,
                 "stores": [s.uid[:8] for s in self._stores.values()],
                 "store_bytes": sum(s.nbytes for s in self._stores.values()),
@@ -686,10 +760,12 @@ class DatasetService:
 
     def __repr__(self) -> str:
         with self._lock:
+            name = self.dataset.name if self._active is not None else "<released>"
+            epoch = self._active.epoch if self._active is not None else -1
             return (
-                f"DatasetService({self.dataset.name!r}, "
+                f"DatasetService({name!r}, "
                 f"sessions={self._n_sessions}, stores={len(self._stores)}, "
-                f"epoch={self._active_epoch})"
+                f"epoch={epoch})"
             )
 
     # Lifecycle --------------------------------------------------------------
@@ -712,36 +788,24 @@ class DatasetService:
         self._closed = True
         victims: list[SharedArenaStore] = []
         deferred = 0
-        release_client: Any = None
         with self._lock:
             doomed: "OrderedDict[str, SharedArenaStore]" = OrderedDict(self._stores)
             self._stores.clear()
-            for e in [
-                e for e, s in self._epochs.items() if s.sessions == 0
-            ]:
-                st = self._epochs.pop(e)
-                if st.store is not None:
-                    doomed.setdefault(st.store.uid, st.store)
-                # drop the frame's ref: the state's shm-backed arrays
-                # must be dead before the client mapping is released
-                del st
+            for snapshot in list(self._snapshots.values()):
+                for store in self._retire_if_idle(snapshot):
+                    doomed.setdefault(store.uid, store)
+                # drop the loop ref promptly: a retired snapshot's
+                # shm-backed arrays must be dead before any client
+                # mapping release below
+                del snapshot
             pinned_uids = {
-                st.store.uid
-                for st in self._epochs.values()
-                if st.sessions > 0 and st.store is not None
+                s.store.uid
+                for s in self._snapshots.values()
+                if s.pins > 0 and s.store is not None
             }
             victims = [s for uid, s in doomed.items() if uid not in pinned_uids]
             deferred = len(doomed) - len(victims)
-            if self._client is not None and not any(
-                s.sessions for s in self._epochs.values()
-            ):
-                release_client = self._client
-                # epoch states hold shm-backed arrays; clearing them is
-                # what lets the client's block actually close
-                self._epochs.clear()
-                self.engine = None  # type: ignore[assignment]
-                self.dataset = None  # type: ignore[assignment]
-                self._client = None
+        release_client = self._release_client_if_drained()
         for store in victims:
             store.unlink()
             store.close()

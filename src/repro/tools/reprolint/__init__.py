@@ -11,11 +11,16 @@ RL001     stage bodies are pure w.r.t. the cache key; cache-served
           values are never mutated
 RL002     shared-memory blocks are created with paired teardown;
           attached blocks are never unlinked
-RL003     service shared state is RLock-guarded; nothing blocks
-          while the lock is held
+RL003     service mutations (registries, active-snapshot writes) are
+          lock-guarded and non-blocking; the declared query-path
+          methods acquire no lock at all
 RL004     degraded outputs never enter the stage cache
 RL005     worker-side views over shared pages are read-only
 RL006     save paths use the atomic temp-file + os.replace helpers
+RL007     telemetry emits only through the guarded obs facade;
+          spans only as context managers
+RL008     epoch swaps only via RolloverCoordinator; no direct active-
+          handle mutation; deadline checks at stage boundaries only
 ========  ==========================================================
 
 Run ``python -m repro.tools.reprolint src`` (exit 0 = clean) and see

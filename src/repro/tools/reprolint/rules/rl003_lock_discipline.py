@@ -1,17 +1,29 @@
 """RL003 — lock discipline in the multi-session service.
 
-The :class:`DatasetService` / :class:`SharedQueryEngine` pair (PR 3)
-promises that N concurrent sessions see exactly what N independent
-engines would.  That promise is an RLock, and it only holds if
+Since the lock-free snapshot refactor the service's concurrency story
+has two halves, and RL003 machine-checks both:
 
-1. every method touching the service's shared mutable attributes
-   (store registry, session counter) does so inside ``with
-   self._lock``; and
-2. nothing *blocking* — sleeps, file I/O, pool round-trips — runs
-   while the lock is held, or one slow session stalls every other.
+1. **Mutations only under the lock.**  Methods of guarded classes that
+   touch the shared mutable registries (store registry, snapshot
+   registry, session counter) must do so inside ``with self._lock``,
+   and the atomically-published active-snapshot reference may be
+   *written* only under the lock (reads are the lock-free path and are
+   deliberately unrestricted).  Nothing *blocking* — sleeps, file I/O,
+   pool round-trips — may run while the lock is held, or one slow
+   mutation stalls every session-lifecycle operation.
 
-``__init__`` (and alternate constructors) are exempt: the object is
-not yet shared while it is being built.
+2. **No lock on the query path.**  The read-path methods (resolving
+   the active snapshot, pinning it, running a session query) are
+   declared *lock-free*: any lock acquisition inside them — a ``with
+   ...._lock`` block or an ``.acquire()`` call — is a violation.  This
+   is the invariant that makes N concurrent sessions scale: queries
+   read epoch-immutable snapshot state and never queue behind a
+   publish (the per-shard micro-mutexes of the sharded stage cache
+   live in :mod:`repro.core.plan.cache`, outside this rule's scope, by
+   design).
+
+``__init__`` (and alternate constructors) are exempt from half 1: the
+object is not yet shared while it is being built.
 """
 
 from __future__ import annotations
@@ -36,9 +48,9 @@ _BLOCKING_CALLEES = {"sleep", "fsync", "open"}
 class LockDisciplineChecker(Checker):
     rule = "RL003"
     summary = (
-        "guarded-class methods must access shared attributes under "
-        "self._lock and must not block (sleep/file I/O/pool.map) while "
-        "holding it"
+        "service mutations (shared registries, active-snapshot writes) "
+        "happen under self._lock without blocking calls; declared "
+        "lock-free query-path methods must not acquire any lock"
     )
     default_options: dict[str, Any] = {
         # class name -> shared attributes every access to which must be
@@ -46,11 +58,22 @@ class LockDisciplineChecker(Checker):
         "classes": {
             "DatasetService": (
                 "_stores",
+                "_snapshots",
                 "_n_sessions",
-                "_epochs",
-                "_active_epoch",
             ),
             "SharedQueryEngine": (),
+        },
+        # class name -> attributes whose *writes* must be locked while
+        # reads stay free (the atomically-published references that make
+        # the lock-free read path possible)
+        "write_guarded": {
+            "DatasetService": ("_active",),
+        },
+        # class name -> methods on the query path that must not acquire
+        # any lock at all
+        "lockfree_methods": {
+            "DatasetService": ("active_epoch", "_pin_active"),
+            "SessionView": ("run_query",),
         },
         "lock_attr": "_lock",
         "exempt_methods": ("__init__", "from_handle"),
@@ -61,12 +84,25 @@ class LockDisciplineChecker(Checker):
         guarded: dict[str, tuple[str, ...]] = {
             k: tuple(v) for k, v in self.options["classes"].items()
         }
+        write_guarded: dict[str, tuple[str, ...]] = {
+            k: tuple(v) for k, v in self.options["write_guarded"].items()
+        }
+        lockfree: dict[str, tuple[str, ...]] = {
+            k: tuple(v) for k, v in self.options["lockfree_methods"].items()
+        }
         for fn, cls in iter_functions(tree):
-            if cls is None or cls.name not in guarded:
+            if cls is None:
                 continue
-            attrs = set(guarded[cls.name])
+            if fn.name in lockfree.get(cls.name, ()):
+                self._check_lockfree(fn)
+            if cls.name not in guarded and cls.name not in write_guarded:
+                continue
+            attrs = set(guarded.get(cls.name, ()))
+            write_attrs = set(write_guarded.get(cls.name, ()))
             exempt = fn.name in self.options["exempt_methods"]
-            self._walk(fn, fn.body, attrs, locked=False, exempt=exempt)
+            self._walk(
+                fn, fn.body, attrs, write_attrs, locked=False, exempt=exempt
+            )
         return self.findings
 
     def _is_lock_ctx(self, expr: ast.expr) -> bool:
@@ -77,11 +113,36 @@ class LockDisciplineChecker(Checker):
             "." + self.options["lock_attr"]
         )
 
+    # Half 2: the query path stays lock-free --------------------------------
+    def _check_lockfree(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if self._is_lock_ctx(item.context_expr):
+                        self.add(
+                            item.context_expr,
+                            f"{fn.name!r} is a declared lock-free query-path "
+                            "method but enters a lock context: queries must "
+                            "resolve the active snapshot atomically and never "
+                            "queue behind a publish — move the locked work to "
+                            "a mutation method",
+                        )
+            elif isinstance(node, ast.Call):
+                if call_name(node).split(".")[-1] == "acquire":
+                    self.add(
+                        node,
+                        f"{fn.name!r} is a declared lock-free query-path "
+                        "method but calls .acquire(): the read path must not "
+                        "take any lock",
+                    )
+
+    # Half 1: mutations under the lock ---------------------------------------
     def _walk(
         self,
         fn: ast.FunctionDef | ast.AsyncFunctionDef,
         stmts: list[ast.stmt],
         attrs: set[str],
+        write_attrs: set[str],
         *,
         locked: bool,
         exempt: bool,
@@ -92,9 +153,12 @@ class LockDisciplineChecker(Checker):
                     self._is_lock_ctx(item.context_expr) for item in stmt.items
                 )
                 for item in stmt.items:
-                    self._check_expr(fn, item.context_expr, attrs, locked, exempt)
+                    self._check_expr(
+                        fn, item.context_expr, attrs, write_attrs, locked, exempt
+                    )
                 self._walk(
-                    fn, stmt.body, attrs, locked=locked or takes_lock, exempt=exempt
+                    fn, stmt.body, attrs, write_attrs,
+                    locked=locked or takes_lock, exempt=exempt,
                 )
             elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue  # nested scope, analysed separately
@@ -103,19 +167,28 @@ class LockDisciplineChecker(Checker):
                     if field_name in ("body", "orelse", "finalbody", "handlers"):
                         continue
                     for expr in _exprs(value):
-                        self._check_expr(fn, expr, attrs, locked, exempt)
+                        self._check_expr(
+                            fn, expr, attrs, write_attrs, locked, exempt
+                        )
                 for block in ("body", "orelse", "finalbody"):
                     inner = getattr(stmt, block, None)
                     if inner:
-                        self._walk(fn, inner, attrs, locked=locked, exempt=exempt)
+                        self._walk(
+                            fn, inner, attrs, write_attrs,
+                            locked=locked, exempt=exempt,
+                        )
                 for handler in getattr(stmt, "handlers", []) or []:
-                    self._walk(fn, handler.body, attrs, locked=locked, exempt=exempt)
+                    self._walk(
+                        fn, handler.body, attrs, write_attrs,
+                        locked=locked, exempt=exempt,
+                    )
 
     def _check_expr(
         self,
         fn: ast.FunctionDef | ast.AsyncFunctionDef,
         expr: ast.AST,
         attrs: set[str],
+        write_attrs: set[str],
         locked: bool,
         exempt: bool,
     ) -> None:
@@ -128,15 +201,26 @@ class LockDisciplineChecker(Checker):
                 and isinstance(node, ast.Attribute)
                 and isinstance(node.value, ast.Name)
                 and node.value.id == "self"
-                and node.attr in attrs
             ):
-                self.add(
-                    node,
-                    f"{fn.name!r} accesses shared attribute self.{node.attr} "
-                    f"outside `with self.{self.options['lock_attr']}`: a "
-                    "concurrent session can observe (or corrupt) a half-"
-                    "updated registry — take the lock around the access",
-                )
+                if node.attr in attrs:
+                    self.add(
+                        node,
+                        f"{fn.name!r} accesses shared attribute self.{node.attr} "
+                        f"outside `with self.{self.options['lock_attr']}`: a "
+                        "concurrent session can observe (or corrupt) a half-"
+                        "updated registry — take the lock around the access",
+                    )
+                elif node.attr in write_attrs and isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                ):
+                    self.add(
+                        node,
+                        f"{fn.name!r} writes atomically-published reference "
+                        f"self.{node.attr} outside `with "
+                        f"self.{self.options['lock_attr']}`: publication must "
+                        "be serialized against other mutations (lock-free "
+                        "*reads* of it are the point — writes are not)",
+                    )
             if locked and isinstance(node, ast.Call):
                 dotted = call_name(node)
                 parts = dotted.split(".")

@@ -9,9 +9,13 @@ safety rests on three structural facts:
    validation phases that make the swap safe.  A swap call anywhere
    else publishes an unvalidated epoch.
 2. The service's **active handle is never mutated directly**:
-   assignments like ``service.dataset = ...`` or ``service.engine =
-   ...`` outside the service/ingest modules bypass epoch registration,
-   session pinning, and store eviction in one line.
+   assignments like ``service.dataset = ...``, ``service.engine =
+   ...`` or ``service._active = ...`` outside the service/ingest
+   modules bypass epoch-snapshot registration, session pinning, and
+   store eviction in one line.  (Inside the service, ``_active`` is
+   the atomically-published snapshot reference — the single write the
+   swap performs; RL003 additionally requires that write to happen
+   under the service lock.)
 3. **Deadlines are boundary-only**: the executor consults the query
    deadline *between* stages, never inside stage execution or partial
    synthesis — a mid-kernel deadline check would make stage outputs
@@ -58,7 +62,7 @@ class RolloverDisciplineChecker(Checker):
     default_options: dict[str, Any] = {
         "allowed_modules": ("repro.store.service", "repro.store.ingest"),
         "swap_method": "_swap_active",
-        "handle_attrs": ("dataset", "engine", "_active_epoch"),
+        "handle_attrs": ("dataset", "engine", "_active"),
         "stage_fns": ("_execute_stage", "_partial_stage"),
     }
 

@@ -1,0 +1,175 @@
+"""ShardedStageCache: parity with the single cache, and thread safety.
+
+The sharded cache is a drop-in for :class:`StageCache` with one extra
+property — concurrent callers are safe — and these tests pin the
+"drop-in" half precisely: identical hit/miss/taint behavior per key
+(a key always lands on one shard, so per-key semantics cannot differ),
+exact counter conservation under concurrency, and the epoch-in-key
+staleness story surviving the stripe split (old-epoch entries are
+unreachable by new-epoch keys and eagerly droppable across shards).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.plan.cache import ShardedStageCache, StageCache
+
+
+def _key(stage: str, ds_epoch: int, extra: int = 0) -> tuple:
+    """Planner-shaped keys: ``(stage, ("ds", epoch), ...)``."""
+    return (stage, ("ds", ds_epoch), ("cv", extra))
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedStageCache(0)
+        with pytest.raises(ValueError):
+            ShardedStageCache(8, shards=0)
+
+    def test_shard_count_and_capacity(self):
+        cache = ShardedStageCache(100, shards=8)
+        assert cache.n_shards == 8
+        assert cache.capacity == 100
+        # per-shard capacity is ceil(100/8): aggregate >= requested
+        assert sum(s.capacity for s in cache._shards) >= 100
+
+    def test_single_shard_degenerates_to_plain_cache_semantics(self):
+        single = StageCache(16)
+        sharded = ShardedStageCache(16, shards=1)
+        for i in range(20):  # overflows capacity: identical LRU eviction
+            single.put(_key("s", 0, i), i)
+            sharded.put(_key("s", 0, i), i)
+        assert single.keys() == sharded.keys()
+        assert single.stats.evictions == sharded.stats.evictions
+
+
+class TestParityWithSingleCache:
+    """Same operation sequence, same per-key outcomes (no eviction)."""
+
+    def _drive(self, cache) -> list:
+        observed = []
+        for i in range(30):
+            key = _key("temporal_mask", 3, i % 10)
+            value, found = cache.lookup(key)
+            if not found:
+                cache.put(key, i % 10)
+                value = i % 10
+            observed.append((key, value))
+        return observed
+
+    def test_hit_miss_parity(self):
+        single, sharded = StageCache(64), ShardedStageCache(64, shards=8)
+        assert self._drive(single) == self._drive(sharded)
+        assert single.stats.hits == sharded.stats.hits == 20
+        assert single.stats.misses == sharded.stats.misses == 10
+        assert len(single) == len(sharded) == 10
+        assert single.stats.hit_rate == sharded.stats.hit_rate
+        for key, value in self._drive(single):
+            assert key in sharded
+            assert sharded.get(key) == value
+
+    def test_taint_parity_invalidate_by_epoch(self):
+        single, sharded = StageCache(64), ShardedStageCache(64, shards=8)
+        for cache in (single, sharded):
+            for e in (1, 1, 2, 2, 2):
+                for i in range(3):
+                    cache.put(_key("combine", e, i), (e, i))
+        # eager drop of everything not at epoch 2, across all shards
+        assert single.invalidate(dataset_epoch=2) == sharded.invalidate(
+            dataset_epoch=2
+        )
+        assert sorted(single.keys()) == sorted(sharded.keys())
+        assert all(k[1] == ("ds", 2) for k in sharded.keys())
+        assert single.stats.invalidations == sharded.stats.invalidations
+
+    def test_clear_parity(self):
+        sharded = ShardedStageCache(64, shards=8)
+        for i in range(12):
+            sharded.put(_key("s", 0, i), i)
+        sharded.clear()
+        assert len(sharded) == 0
+        assert sharded.stats.invalidations == 12
+
+
+class TestStaleEpochEntries:
+    def test_old_epoch_entries_unreachable_after_epoch_bump(self):
+        """The rollover story: epoch-tagged keys make pre-swap entries
+        invisible to post-swap queries — no flush required — while a
+        pinned old-epoch session still hits them."""
+        cache = ShardedStageCache(64, shards=8)
+        old, new = 7, 12
+        cache.put(_key("aggregate", old), "old-epoch-output")
+        # a new-epoch query computes a *different* key: structural miss
+        value, found = cache.lookup(_key("aggregate", new))
+        assert not found
+        # the pinned old-epoch session still hits its entry
+        assert cache.get(_key("aggregate", old)) == "old-epoch-output"
+        # retirement hygiene: one eager sweep drops the stale entries
+        dropped = cache.invalidate(dataset_epoch=new)
+        assert dropped == 1
+        assert _key("aggregate", old) not in cache
+
+
+class TestConcurrency:
+    def test_counter_conservation_under_concurrent_load(self):
+        """8 threads, disjoint key ranges: totals are exact (every
+        lookup is one hit or one miss, nothing torn or lost)."""
+        cache = ShardedStageCache(1024, shards=8)
+        n_threads, per_thread = 8, 200
+        barrier = threading.Barrier(n_threads)
+        errors: list[BaseException] = []
+
+        def work(tid: int):
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    key = _key(f"stage-{tid}", tid, i % 50)
+                    value, found = cache.lookup(key)
+                    if found:
+                        assert value == (tid, i % 50)
+                    else:
+                        cache.put(key, (tid, i % 50))
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = cache.stats
+        assert stats.hits + stats.misses == n_threads * per_thread
+        # disjoint ranges, ample capacity: exactly 50 misses per thread
+        assert stats.misses == n_threads * 50
+        assert stats.evictions == 0
+        assert len(cache) == n_threads * 50
+
+    def test_concurrent_same_key_last_put_wins_consistently(self):
+        """Contending on one key never corrupts: every get returns some
+        thread's complete value, never a torn mix."""
+        cache = ShardedStageCache(16, shards=4)
+        key = _key("hot", 1)
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def work(tid: int):
+            try:
+                barrier.wait()
+                for i in range(200):
+                    cache.put(key, (tid, i))
+                    got = cache.get(key)
+                    assert isinstance(got, tuple) and len(got) == 2
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []

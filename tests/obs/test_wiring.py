@@ -178,7 +178,13 @@ class TestEmission:
         assert snap.counter("session.queries", session=b.session_id) == 1.0
         assert snap.counter_total("session.queries") == 3.0
         assert snap.counter("query.count", strategy="empty-brush") == 3.0
-        assert snap.gauge("service.lock.wait_seconds") is not None
+        # the lock-free read path: every query lands on a pinned epoch
+        # snapshot and no lock-wait gauge exists anymore
+        assert snap.counter_total("service.snapshot.queries") == 3.0
+        assert snap.counter("service.snapshot.pinned") == 2.0
+        assert snap.gauge("service.snapshot.pins") == 2.0
+        assert snap.gauge("service.snapshot.active_epoch") is not None
+        assert snap.gauge("service.lock.wait_seconds") is None
 
     def test_pool_map_emits_call_and_item_counters(self, registry):
         with WorkerPool(0) as pool:

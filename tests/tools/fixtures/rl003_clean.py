@@ -1,5 +1,5 @@
-"""Fixture: clean twin of rl003_bad — locked access, slow work outside
-the critical section."""
+"""Fixture: clean twin of rl003_bad — locked mutations, slow work
+outside the critical section, lock-free read path."""
 
 import threading
 import time
@@ -12,7 +12,9 @@ class DatasetService:
         """Construction is exempt: the object is not yet shared."""
         self._lock = threading.RLock()
         self._stores = {}
+        self._snapshots = {}
         self._n_sessions = 0
+        self._active = None
 
     def count(self):
         """Reads the session counter under the lock."""
@@ -24,3 +26,23 @@ class DatasetService:
         time.sleep(0.1)
         with self._lock:
             self._stores["x"] = 1
+
+    def hot_publish(self, snapshot):
+        """Publishes the active snapshot under the mutation lock."""
+        with self._lock:
+            self._snapshots[snapshot.epoch] = snapshot
+            self._active = snapshot
+
+    def _pin_active(self):
+        """Lock-free: one atomic read of the published reference.
+        (Reading self._active unlocked is the sanctioned shape —
+        only *writes* to it are guarded.)"""
+        return self._active
+
+
+class SessionView:
+    """Stand-in for the per-user session view."""
+
+    def run_query(self, color="red"):
+        """Lock-free: the pinned snapshot's engine does the work."""
+        return self.engine.query(self.canvas, color)

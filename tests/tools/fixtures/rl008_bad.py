@@ -11,6 +11,7 @@ def clobber(service, dataset, engine):
     """Retargets the active handle directly."""
     service.dataset = dataset  # seeded: RL008 direct handle mutation
     service.engine = engine  # seeded: RL008 direct handle mutation
+    service._active = None  # seeded: RL008 direct snapshot retarget
 
 
 class Executor:

@@ -47,7 +47,18 @@ GOLDEN = {
         "rl001_clean.py",
     ),
     "RL002": ("rl002_bad.py", {(7, "RL002"), (15, "RL002")}, "rl002_clean.py"),
-    "RL003": ("rl003_bad.py", {(19, "RL003"), (24, "RL003")}, "rl003_clean.py"),
+    "RL003": (
+        "rl003_bad.py",
+        {
+            (22, "RL003"),  # unguarded registry read
+            (27, "RL003"),  # blocking call under the lock
+            (32, "RL003"),  # unguarded registry write
+            (33, "RL003"),  # unlocked publish of the active snapshot
+            (37, "RL003"),  # lock context on the query path
+            (46, "RL003"),  # .acquire() on the query path
+        },
+        "rl003_clean.py",
+    ),
     "RL004": ("rl004_bad.py", {(8, "RL004"), (14, "RL004")}, "rl004_clean.py"),
     "RL005": (
         "rl005_bad.py",
@@ -62,7 +73,13 @@ GOLDEN = {
     ),
     "RL008": (
         "rl008_bad.py",
-        {(7, "RL008"), (12, "RL008"), (13, "RL008"), (21, "RL008")},
+        {
+            (7, "RL008"),  # foreign swap call
+            (12, "RL008"),  # direct dataset retarget
+            (13, "RL008"),  # direct engine retarget
+            (14, "RL008"),  # direct active-snapshot retarget
+            (22, "RL008"),  # mid-stage deadline check
+        },
         "rl008_clean.py",
     ),
 }

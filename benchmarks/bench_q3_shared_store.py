@@ -158,11 +158,26 @@ def test_q3_shared_store(full_dataset, ship_dataset, viewport, arena, report_sin
                 np.testing.assert_array_equal(
                     serial.frames[eye][key].data, pooled.frames[eye][key].data
                 )
+        # Per-stage breakdown, so a pooled-vs-serial "regression" at
+        # small frame sizes is attributable: on tiny tiles the pooled
+        # wall is dominated by dispatch (pool boot + initializer ship)
+        # and ship-back (result transport), not by rendering — the
+        # summed in-worker render time is what should be compared
+        # against the serial render wall.
+        stages = pooled.stage_seconds
         frame = {
             "serial_s": round(serial.elapsed_s, 4),
             "pooled_shm_s": round(pooled.elapsed_s, 4),
             "workers": pooled.workers,
             "bit_identical": True,
+            "pooled_stages": {
+                "dispatch_s": round(stages.get("dispatch", 0.0), 4),
+                "render_worker_total_s": round(stages.get("render", 0.0), 4),
+                "shipback_s": round(stages.get("shipback", 0.0), 4),
+            },
+            "serial_render_s": round(
+                serial.stage_seconds.get("render", serial.elapsed_s), 4
+            ),
         }
 
     # --- 1 vs 8 concurrent sessions over one DatasetService -------------
@@ -239,6 +254,11 @@ def test_q3_shared_store(full_dataset, ship_dataset, viewport, arena, report_sin
         f"parallel frame render (store transport, {frame['workers']} workers): "
         f"serial {frame['serial_s'] * 1e3:.1f} ms vs pooled "
         f"{frame['pooled_shm_s'] * 1e3:.1f} ms, bit-identical",
+        f"  pooled stages: dispatch "
+        f"{frame['pooled_stages']['dispatch_s'] * 1e3:.1f} ms | "
+        f"render (worker total) "
+        f"{frame['pooled_stages']['render_worker_total_s'] * 1e3:.1f} ms | "
+        f"ship-back {frame['pooled_stages']['shipback_s'] * 1e3:.1f} ms",
         f"sessions: solo median query "
         f"{sessions['solo']['median_query_s'] * 1e3:.2f} ms vs 8 concurrent "
         f"{sessions['concurrent_8']['median_query_s'] * 1e3:.2f} ms "

@@ -27,9 +27,18 @@ temporal mask once for N colors.  Every query carries a
 :class:`QueryTrace` (per-stage wall time, cardinality, cache
 hit/miss) on its result.
 
+An engine carrying a :class:`~repro.core.aggregate.SummaryPyramid`
+(``use_aggregate=True``, or a prebuilt/attached pyramid) routes
+through the aggregate-first plan instead: supernodes are tri-stated
+from summary statistics (``agg_temporal → agg_spatial → agg_brush →
+classify``) and only inconclusive cells drill down to the exact
+per-segment kernels (``drilldown``) — bit-identical results, cold cost
+proportional to the brushed region rather than the dataset.
+
 This is the "scalable" in scalable visual queries: the cold path is a
-few vectorized passes over flat arrays, and the warm path touches only
-the stages whose inputs actually changed.
+few vectorized passes over flat arrays (or over supernode summaries),
+and the warm path touches only the stages whose inputs actually
+changed.
 """
 
 from __future__ import annotations
@@ -39,6 +48,12 @@ import time
 import numpy as np
 
 from repro import obs
+from repro.core.aggregate.pyramid import (
+    DEFAULT_LEVELS,
+    DEFAULT_RES,
+    DEFAULT_TBUCKETS,
+    SummaryPyramid,
+)
 from repro.core.canvas import BrushCanvas
 from repro.core.plan.cache import ShardedStageCache, StageCache
 from repro.core.plan.executor import Deadline, QueryExecutor
@@ -82,6 +97,21 @@ class CoordinatedBrushingEngine:
         the dataset epoch and store token, so old-epoch entries are
         unreachable by new-epoch queries (and age out via LRU) while
         still serving any session pinned to the old epoch.
+    use_aggregate:
+        Build a :class:`SummaryPyramid` and route queries through the
+        aggregate-first plan.  Off by default on the base engine (the
+        legacy per-segment route); the multi-tenant
+        :class:`~repro.store.service.SharedQueryEngine` turns it on.
+        Like the index, the pyramid is an acceleration: a failed build
+        degrades to the legacy route instead of failing construction.
+    pyramid:
+        A prebuilt :class:`SummaryPyramid` over this dataset's packed
+        view to adopt instead of building one — the shared-memory
+        attach path passes the pyramid rebuilt from shared arena tables
+        here.  Passing one implies ``use_aggregate=True``.
+    aggregate_res, aggregate_tbuckets, aggregate_levels:
+        Pyramid geometry when building one (leaf grid resolution, time
+        buckets per cell, coarsening ladder).
 
     Thread safety: an engine whose ``cache`` is a
     :class:`ShardedStageCache` is safe for concurrent ``query`` calls —
@@ -101,6 +131,11 @@ class CoordinatedBrushingEngine:
         cache_capacity: int = 128,
         index: UniformGridIndex | None = None,
         cache: StageCache | ShardedStageCache | None = None,
+        use_aggregate: bool = False,
+        pyramid: SummaryPyramid | None = None,
+        aggregate_res: int = DEFAULT_RES,
+        aggregate_tbuckets: int = DEFAULT_TBUCKETS,
+        aggregate_levels: tuple[int, ...] = DEFAULT_LEVELS,
     ) -> None:
         if len(dataset) == 0:
             raise ValueError("cannot build an engine over an empty dataset")
@@ -125,11 +160,36 @@ class CoordinatedBrushingEngine:
                 self.index = UniformGridIndex(self.packed, index_res)
             except Exception as exc:
                 self._index_error = repr(exc)
+        # The summary pyramid follows the same contract as the index:
+        # an acceleration whose build failure degrades the engine to the
+        # legacy per-segment route rather than failing construction.
+        self.pyramid: SummaryPyramid | None = None
+        self._pyramid_error: str | None = None
+        self._use_aggregate = use_aggregate or pyramid is not None
+        if pyramid is not None:
+            if pyramid.packed is not self.packed:
+                raise ValueError(
+                    "prebuilt pyramid was not built over this dataset's "
+                    "packed view"
+                )
+            self.pyramid = pyramid
+        elif use_aggregate:
+            try:
+                self.pyramid = SummaryPyramid.build(
+                    self.packed,
+                    dataset,
+                    res=aggregate_res,
+                    n_tbuckets=aggregate_tbuckets,
+                    levels=aggregate_levels,
+                )
+            except Exception as exc:
+                self._pyramid_error = repr(exc)
         self.cache = cache if cache is not None else StageCache(cache_capacity)
         self.planner = QueryPlanner()
         self.executor = QueryExecutor(
             dataset, self.packed, self.index, self.cache,
             index_error=self._index_error,
+            pyramid=self.pyramid,
         )
 
     # Aggregation helpers (kept as public-ish API; executor owns the
@@ -148,6 +208,11 @@ class CoordinatedBrushingEngine:
             return None
         return getattr(self.index, "cache_token", ("anon-index", id(self.index)))
 
+    def _pyramid_token(self) -> tuple | None:
+        if self.pyramid is None:
+            return None
+        return self.pyramid.cache_token
+
     def plan(
         self,
         canvas: BrushCanvas,
@@ -162,8 +227,13 @@ class CoordinatedBrushingEngine:
         spec = QuerySpec.capture(
             self.dataset, canvas, color, window, assignment,
             use_index=self._use_index,
+            use_aggregate=self._use_aggregate,
         )
-        return self.planner.plan(spec, index_token=self._index_token())
+        return self.planner.plan(
+            spec,
+            index_token=self._index_token(),
+            pyramid_token=self._pyramid_token(),
+        )
 
     # Query ------------------------------------------------------------------
     def query(
@@ -205,8 +275,13 @@ class CoordinatedBrushingEngine:
             self.dataset, canvas, color, window, assignment,
             use_index=self._use_index,
             deadline_s=deadline_s,
+            use_aggregate=self._use_aggregate,
         )
-        plan = self.planner.plan(spec, index_token=self._index_token())
+        plan = self.planner.plan(
+            spec,
+            index_token=self._index_token(),
+            pyramid_token=self._pyramid_token(),
+        )
         trace = QueryTrace(strategy=plan.strategy)
         trace.plan_s = time.perf_counter() - t_plan
 
@@ -220,6 +295,7 @@ class CoordinatedBrushingEngine:
             plan, canvas, window, assignment, trace, degradation,
             deadline=deadline,
             index=self.index, index_error=self._index_error,
+            pyramid=self.pyramid,
         )
         traj_mask, traj_time = outputs["aggregate"]
 
@@ -236,7 +312,7 @@ class CoordinatedBrushingEngine:
         trace.execute_s = time.perf_counter() - t_exec
         result = QueryResult(
             color=color,
-            segment_mask=outputs["combine"],
+            segment_mask=outputs[plan.mask_stage],
             traj_mask=traj_mask,
             traj_highlight_time=traj_time,
             displayed=displayed,

@@ -41,6 +41,16 @@ from typing import Any, Callable
 import numpy as np
 
 from repro import obs
+from repro.core.aggregate.kernels import (
+    IN as AGG_IN,
+    MAYBE as AGG_MAYBE,
+    OUT as AGG_OUT,
+    brush_hit_cells,
+    classify_spatial,
+    classify_temporal,
+    refine_temporal_rows,
+)
+from repro.core.aggregate.pyramid import SummaryPyramid
 from repro.core.canvas import BrushCanvas
 from repro.core.plan.cache import StageCache
 from repro.core.plan.planner import QueryPlan
@@ -153,6 +163,9 @@ class QueryExecutor:
     index_error:
         The recorded index *build* failure, if construction degraded
         the engine to brute force (surfaces in every query's report).
+    pyramid:
+        The summary pyramid backing aggregate-route plans, or ``None``
+        (such plans are never produced without one).
     """
 
     def __init__(
@@ -163,12 +176,14 @@ class QueryExecutor:
         cache: "StageCache | Any",
         *,
         index_error: str | None = None,
+        pyramid: SummaryPyramid | None = None,
     ) -> None:
         self.dataset = dataset
         self.packed = packed
         self.index = index
         self.cache = cache
         self.index_error = index_error
+        self.pyramid = pyramid
         # per-trajectory segment-range bounds for reduceat aggregation
         self._starts = packed.offsets[:-1]
         self._has_segments = packed.offsets[1:] > packed.offsets[:-1]
@@ -203,6 +218,7 @@ class QueryExecutor:
         *,
         index: "UniformGridIndex | None | object" = _UNSET,
         index_error: "str | None | object" = _UNSET,
+        pyramid: "SummaryPyramid | None | object" = _UNSET,
     ) -> dict[str, Any]:
         """Execute every planned stage; returns the stage-output map.
 
@@ -216,17 +232,20 @@ class QueryExecutor:
         still receives a structurally complete (if conservative) result
         within its budget.
 
-        Concurrency: ``index``/``index_error`` may be passed per run so
-        a shared executor is never *mutated* between queries — on the
-        lock-free multi-tenant path, N threads run this method against
-        one executor simultaneously and everything they touch is either
-        immutable (dataset, packed view, index) or thread-safe (a
-        sharded stage cache, the per-call locals below).
+        Concurrency: ``index``/``index_error``/``pyramid`` may be
+        passed per run so a shared executor is never *mutated* between
+        queries — on the lock-free multi-tenant path, N threads run
+        this method against one executor simultaneously and everything
+        they touch is either immutable (dataset, packed view, index,
+        pyramid) or thread-safe (a sharded stage cache, the per-call
+        locals below).
         """
         if index is _UNSET:
             index = self.index
         if index_error is _UNSET:
             index_error = self.index_error
+        if pyramid is _UNSET:
+            pyramid = self.pyramid
         t_run = time.perf_counter()
         outputs: dict[str, Any] = {}
         tainted: set[str] = set()
@@ -248,7 +267,7 @@ class QueryExecutor:
                     )
             if expired:
                 with obs.stage_span(trace, stage.name) as sp:
-                    value = self._partial_stage(stage.name, assignment)
+                    value = self._partial_stage(stage.name, assignment, pyramid)
                     outputs[stage.name] = value
                     tainted.add(stage.name)
                     sp.n_in = 0
@@ -269,7 +288,7 @@ class QueryExecutor:
             with obs.stage_span(trace, stage.name) as sp:
                 value, degraded, detail = self._execute_stage(
                     stage.name, plan, canvas, window, assignment, outputs,
-                    degradation, index, index_error,
+                    degradation, index, index_error, pyramid,
                 )
                 outputs[stage.name] = value
                 if degraded or dep_tainted:
@@ -290,8 +309,16 @@ class QueryExecutor:
         if name == "brush_hit":
             cand = outputs.get("spatial_candidates")
             return len(cand) if cand is not None else self.packed.n_segments
+        if name in ("agg_temporal", "agg_spatial", "classify"):
+            # supernode/cell cardinality — read off the stage's own output
+            value = outputs.get(name)
+            return len(value) if value is not None else 0
+        if name in ("agg_brush", "drilldown"):
+            return self.packed.n_segments
         if name == "aggregate":
-            mask = outputs.get("combine")
+            mask = outputs.get("drilldown")
+            if mask is None:
+                mask = outputs.get("combine")
             return int(mask.sum()) if mask is not None else 0
         if name == "group_support":
             agg = outputs.get("aggregate")
@@ -309,16 +336,78 @@ class QueryExecutor:
         degradation: DegradationReport,
         index: UniformGridIndex | None = None,
         index_error: str | None = None,
+        pyramid: SummaryPyramid | None = None,
     ) -> tuple[Any, bool, str]:
         """Dispatch one stage; returns (output, degraded, detail).
 
-        ``index``/``index_error`` arrive as per-run arguments (never
-        read from shared executor state) so concurrent queries cannot
-        observe each other's index swaps.
+        ``index``/``index_error``/``pyramid`` arrive as per-run
+        arguments (never read from shared executor state) so concurrent
+        queries cannot observe each other's index or pyramid swaps.
         """
         color = plan.spec.color
         if name == "temporal_mask":
             return window.segment_mask(self.packed, self.dataset), False, ""
+
+        if name == "agg_temporal":
+            assert pyramid is not None
+            return classify_temporal(pyramid, window), False, ""
+
+        if name == "agg_spatial":
+            assert pyramid is not None
+            centers, radii = canvas.stamps_of(color)
+            return classify_spatial(pyramid, centers, radii), False, ""
+
+        if name == "agg_brush":
+            # exact full-length brush mask from the tri-state cells:
+            # IN cells are hit wholesale, OUT cells stay False, and only
+            # the inconclusive cells' rows reach the capsule kernel.
+            # Window-independent, so slider sweeps reuse it from cache.
+            assert pyramid is not None
+            scls = outputs["agg_spatial"]
+            mask = np.zeros(self.packed.n_segments, dtype=bool)
+            mask[pyramid.rows_in_cells(np.flatnonzero(scls == AGG_IN))] = True
+            centers, radii = canvas.stamps_of(color)
+            maybe_rows, hits = brush_hit_cells(
+                pyramid, centers, radii, self.packed,
+                np.flatnonzero(scls == AGG_MAYBE),
+            )
+            mask[maybe_rows] = hits
+            obs.counter_add(
+                "service.aggregate.drilldown_segments", len(maybe_rows)
+            )
+            return mask, False, f"refined {len(maybe_rows)} segments"
+
+        if name == "classify":
+            assert pyramid is not None
+            tcls = outputs["agg_temporal"]
+            scls = outputs["agg_spatial"]
+            ncls = np.minimum(np.repeat(scls, pyramid.n_tbuckets), tcls)
+            occupied = pyramid.node_counts > 0
+            for code, label in (
+                (AGG_IN, "all_in"),
+                (AGG_MAYBE, "inconclusive"),
+                (AGG_OUT, "all_out"),
+            ):
+                obs.counter_add(
+                    "service.aggregate.supernodes",
+                    int(((ncls == code) & occupied).sum()),
+                    **{"class": label},
+                )
+            return ncls, False, ""
+
+        if name == "drilldown":
+            # combine brush × temporal: the brush mask is already exact;
+            # rows in temporally-inconclusive nodes get the exact window
+            # predicate, everything else resolves from the tri-state.
+            assert pyramid is not None
+            tcls_rows = outputs["agg_temporal"][pyramid.node_of]
+            mask = outputs["agg_brush"] & (tcls_rows != AGG_OUT)
+            need = np.flatnonzero(mask & (tcls_rows == AGG_MAYBE))
+            if len(need):
+                mask[need] = refine_temporal_rows(
+                    pyramid, self.packed, window, need
+                )
+            return mask, False, f"refined {len(need)} segments"
 
         if name == "spatial_candidates":
             centers, radii = canvas.stamps_of(color)
@@ -357,7 +446,7 @@ class QueryExecutor:
             return outputs["brush_hit"] & outputs["temporal_mask"], False, ""
 
         if name == "aggregate":
-            segment_mask = outputs["combine"]
+            segment_mask = outputs[plan.mask_stage]
             return (
                 self._per_traj_any(segment_mask),
                 self._per_traj_time(segment_mask),
@@ -379,20 +468,30 @@ class QueryExecutor:
         raise ValueError(f"unknown stage {name!r}")
 
     def _partial_stage(
-        self, name: str, assignment: CellAssignment | None
+        self,
+        name: str,
+        assignment: CellAssignment | None,
+        pyramid: SummaryPyramid | None = None,
     ) -> Any:
         """Synthesize the conservative empty output for one skipped stage.
 
         Used once the query's deadline expired: nothing is highlighted
-        (all-false masks, zero aggregates, zero group support), so a
-        partial result under-reports rather than inventing hits.  The
-        synthesized values are always tainted — they must never reach
-        the stage cache.
+        (all-false masks, zero aggregates, zero group support, all-OUT
+        classifications), so a partial result under-reports rather than
+        inventing hits.  The synthesized values are always tainted —
+        they must never reach the stage cache.
         """
-        if name in ("temporal_mask", "brush_hit", "combine"):
+        if name in ("temporal_mask", "brush_hit", "combine",
+                    "agg_brush", "drilldown"):
             return np.zeros(self.packed.n_segments, dtype=bool)
         if name == "spatial_candidates":
             return None
+        if name in ("agg_temporal", "classify"):
+            n = pyramid.n_nodes if pyramid is not None else 0
+            return np.zeros(n, dtype=np.int8)
+        if name == "agg_spatial":
+            n = pyramid.n_cells if pyramid is not None else 0
+            return np.zeros(n, dtype=np.int8)
         if name == "aggregate":
             n_traj = len(self.dataset)
             return (

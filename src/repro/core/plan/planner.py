@@ -1,28 +1,45 @@
 """The query planner.
 
 Turns a :class:`~repro.core.plan.spec.QuerySpec` into a
-:class:`QueryPlan`: a topologically ordered DAG of named stages
+:class:`QueryPlan`: a topologically ordered DAG of named stages.  The
+legacy per-segment route is
 
     temporal_mask → spatial_candidates → brush_hit → combine
                                   → aggregate → group_support
 
-with one cache key per cacheable stage.  The planner makes the routing
-decision the old monolith made inline — index vs brute-force per the
-degradation ladder, trivial plan for an empty brush — so the executor
-stays a mechanical "run stages through the cache" loop.
+and the aggregate-first route (when the engine carries a
+:class:`~repro.core.aggregate.SummaryPyramid`) is
+
+    agg_temporal → agg_spatial → agg_brush → classify → drilldown
+                                  → aggregate → group_support
+
+where the ``agg_*`` stages tri-state supernodes (all-in / all-out /
+inconclusive) from summary statistics and ``drilldown`` assembles the
+final segment mask, running the exact per-segment kernels only over
+inconclusive cells.  Both routes produce bit-identical masks; the
+planner makes the routing decision the old monolith made inline —
+index vs brute-force per the degradation ladder, trivial plan for an
+empty brush, aggregate-first when a pyramid is available — so the
+executor stays a mechanical "run stages through the cache" loop.
 
 Cache-key construction is the heart of the incremental behaviour.
 Keys embed exactly the epochs a stage's output depends on, as tagged
 pairs (``("ds", dataset_epoch)``, ``("cv", color_epoch)``,
 ``("win", window_key)``):
 
-* ``temporal_mask`` depends on the dataset and window only — a
-  color-only change reuses it outright;
-* ``spatial_candidates`` / ``brush_hit`` depend on the dataset and the
-  *color's own* stroke epoch, never the window — a slider-only change
-  reuses the (expensive) capsule hit-test and re-runs just
-  ``temporal_mask → combine → aggregate``;
-* ``combine`` / ``aggregate`` / ``group_support`` depend on both.
+* ``temporal_mask`` / ``agg_temporal`` depend on the dataset and
+  window only — a color-only change reuses them outright;
+* ``spatial_candidates`` / ``brush_hit`` / ``agg_spatial`` /
+  ``agg_brush`` depend on the dataset and the *color's own* stroke
+  epoch, never the window — a slider-only change reuses the
+  (expensive) capsule hit-tests and re-runs just the cheap temporal
+  stages (``agg_temporal → classify → drilldown → aggregate`` on the
+  aggregate route);
+* ``combine`` / ``classify`` / ``drilldown`` / ``aggregate`` /
+  ``group_support`` depend on both.
+
+Aggregate-route keys additionally embed the pyramid's build token so a
+republished pyramid invalidates every classification derived from it.
 """
 
 from __future__ import annotations
@@ -38,6 +55,11 @@ STAGE_ORDER = (
     "temporal_mask",
     "spatial_candidates",
     "brush_hit",
+    "agg_temporal",
+    "agg_spatial",
+    "agg_brush",
+    "classify",
+    "drilldown",
     "combine",
     "aggregate",
     "group_support",
@@ -90,6 +112,16 @@ class QueryPlan:
         """Planned stage names in execution order."""
         return tuple(s.name for s in self.stages)
 
+    @property
+    def mask_stage(self) -> str:
+        """Name of the stage producing the final segment mask.
+
+        ``drilldown`` on the aggregate route, ``combine`` otherwise —
+        downstream consumers (the ``aggregate`` reduction, the engine's
+        result assembly) read this instead of hard-coding the route.
+        """
+        return "drilldown" if "drilldown" in self else "combine"
+
     def __contains__(self, name: str) -> bool:
         return any(s.name == name for s in self.stages)
 
@@ -103,19 +135,38 @@ class QueryPlanner:
         Identity of the engine's spatial index build (``None`` when no
         index is available); embedded in spatial keys so a rebuilt
         index invalidates cached candidate sets.
+    pyramid_token:
+        Identity of the engine's summary-pyramid build (``None`` when
+        no pyramid is available); embedded in every aggregate-route key
+        so a republished pyramid invalidates cached classifications.
     """
 
-    def __init__(self, index_token: tuple | None = None) -> None:
+    def __init__(
+        self,
+        index_token: tuple | None = None,
+        pyramid_token: tuple | None = None,
+    ) -> None:
         self.index_token = index_token
+        self.pyramid_token = pyramid_token
 
-    def plan(self, spec: QuerySpec, *, index_token: tuple | None = None) -> QueryPlan:
+    def plan(
+        self,
+        spec: QuerySpec,
+        *,
+        index_token: tuple | None = None,
+        pyramid_token: tuple | None = None,
+    ) -> QueryPlan:
         """Build the stage plan for one spec.
 
-        ``index_token`` overrides the constructor's (the engine passes
-        the *current* index identity so index swaps re-plan correctly).
+        ``index_token`` / ``pyramid_token`` override the constructor's
+        (the engine passes the *current* identities so index or pyramid
+        swaps re-plan correctly).
         """
         t0 = time.perf_counter()
         token = index_token if index_token is not None else self.index_token
+        pyr = (
+            pyramid_token if pyramid_token is not None else self.pyramid_token
+        )
         # store-attached datasets carry the store's identity inside the
         # dataset tag: epochs of two datasets attached from different
         # shared stores may coincide, the (uid, epoch) store token never
@@ -128,42 +179,79 @@ class QueryPlanner:
 
         if spec.n_stamps == 0:
             strategy = "empty-brush"
+        elif spec.use_aggregate and pyr is not None:
+            strategy = "aggregate"
         elif spec.use_index and token is not None:
             strategy = "indexed"
         else:
             strategy = "brute-force"
 
-        stages: list[PlannedStage] = [
-            PlannedStage("temporal_mask", ("temporal_mask", ds, win))
-        ]
-        hit_deps: tuple[str, ...] = ()
-        if strategy == "indexed":
+        stages: list[PlannedStage] = []
+        if strategy == "aggregate":
+            mask_deps: tuple[str, ...]
+            stages.append(
+                PlannedStage("agg_temporal", ("agg_temporal", ds, win, pyr))
+            )
             stages.append(
                 PlannedStage(
-                    "spatial_candidates",
-                    ("spatial_candidates", ds, cv, spec.color, token),
+                    "agg_spatial", ("agg_spatial", ds, cv, spec.color, pyr)
                 )
             )
-            hit_deps = ("spatial_candidates",)
-        stages.append(
-            PlannedStage(
-                "brush_hit",
-                ("brush_hit", ds, cv, spec.color, strategy),
-                deps=hit_deps,
+            stages.append(
+                PlannedStage(
+                    "agg_brush",
+                    ("agg_brush", ds, cv, spec.color, pyr),
+                    deps=("agg_spatial",),
+                )
             )
-        )
-        stages.append(
-            PlannedStage(
-                "combine",
-                ("combine", ds, cv, win, spec.color, strategy),
-                deps=("temporal_mask", "brush_hit"),
+            stages.append(
+                PlannedStage(
+                    "classify",
+                    ("classify", ds, cv, win, spec.color, pyr),
+                    deps=("agg_temporal", "agg_spatial"),
+                )
             )
-        )
+            stages.append(
+                PlannedStage(
+                    "drilldown",
+                    ("drilldown", ds, cv, win, spec.color, pyr),
+                    deps=("agg_temporal", "agg_brush", "classify"),
+                )
+            )
+            mask_deps = ("drilldown",)
+        else:
+            stages.append(
+                PlannedStage("temporal_mask", ("temporal_mask", ds, win))
+            )
+            hit_deps: tuple[str, ...] = ()
+            if strategy == "indexed":
+                stages.append(
+                    PlannedStage(
+                        "spatial_candidates",
+                        ("spatial_candidates", ds, cv, spec.color, token),
+                    )
+                )
+                hit_deps = ("spatial_candidates",)
+            stages.append(
+                PlannedStage(
+                    "brush_hit",
+                    ("brush_hit", ds, cv, spec.color, strategy),
+                    deps=hit_deps,
+                )
+            )
+            stages.append(
+                PlannedStage(
+                    "combine",
+                    ("combine", ds, cv, win, spec.color, strategy),
+                    deps=("temporal_mask", "brush_hit"),
+                )
+            )
+            mask_deps = ("combine",)
         stages.append(
             PlannedStage(
                 "aggregate",
                 ("aggregate", ds, cv, win, spec.color, strategy),
-                deps=("combine",),
+                deps=mask_deps,
             )
         )
         if spec.assignment_id is not None:

@@ -85,6 +85,13 @@ class QuerySpec:
         answer *is* — stages that complete within budget are cached and
         reusable by deadline-free queries, while stages synthesized
         after expiry are tainted and never cached at all.
+    use_aggregate:
+        Whether the plan may route through the aggregate-first summary
+        pyramid (tri-state supernode classification + drill-down).
+        Like ``use_index`` this is a *routing* preference, not an
+        answer-changing one — aggregate-first plans are bit-identical
+        to per-segment plans — but it is part of the spec because the
+        planner keys stage identity on the route taken.
     """
 
     color: str
@@ -98,6 +105,7 @@ class QuerySpec:
     n_stamps: int
     store_token: tuple | None = None
     deadline_s: float | None = None
+    use_aggregate: bool = False
 
     @classmethod
     def capture(
@@ -110,6 +118,7 @@ class QuerySpec:
         *,
         use_index: bool,
         deadline_s: float | None = None,
+        use_aggregate: bool = False,
     ) -> "QuerySpec":
         """Snapshot the current epochs/keys into a spec."""
         centers, _ = canvas.stamps_of(color)
@@ -125,4 +134,5 @@ class QuerySpec:
             n_stamps=len(centers),
             store_token=getattr(dataset, "store_token", None),
             deadline_s=deadline_s,
+            use_aggregate=use_aggregate,
         )

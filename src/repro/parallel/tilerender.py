@@ -89,23 +89,38 @@ def _init_worker_shm(handle, arena, viewport, projection, style,
     _WORKER_STATE["results"] = results
 
 
-def _render_one(job: RenderJob) -> tuple[int, int, int, np.ndarray]:
+def _render_one(job: RenderJob) -> tuple[int, int, int, np.ndarray, float]:
+    """Render one job in a worker; the trailing float is the in-worker
+    render seconds, shipped back so the parent can split frame wall time
+    into dispatch / render / ship-back (worker processes cannot emit
+    into the parent's telemetry registry directly)."""
     renderer: WallRenderer = _WORKER_STATE["renderer"]
+    t0 = time.perf_counter()
     fb = renderer.render_job(
         job, canvas=_WORKER_STATE["canvas"], results=_WORKER_STATE["results"]
     )
-    return (job.tile.col, job.tile.row, int(job.eye), fb.data)
+    return (job.tile.col, job.tile.row, int(job.eye), fb.data,
+            time.perf_counter() - t0)
 
 
 @dataclass(frozen=True)
 class ParallelRenderReport:
-    """Frames plus timing and health of a parallel render pass."""
+    """Frames plus timing and health of a parallel render pass.
+
+    ``stage_seconds`` splits ``elapsed_s`` for the pooled path:
+    ``dispatch`` (pool bring-up + initializer shipping), ``render``
+    (summed in-worker render time across all jobs) and ``shipback``
+    (result transport, queueing, and parent-side frame assembly —
+    everything in the map wall not accounted to rendering).  The serial
+    path reports only ``render``.
+    """
 
     frames: dict[Eye, dict[tuple[int, int], Framebuffer]]
     elapsed_s: float
     n_jobs: int
     workers: int
     degradation: DegradationReport = field(default_factory=DegradationReport)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -170,6 +185,7 @@ def render_viewport_parallel(
     degradation = DegradationReport()
     t0 = time.perf_counter()
     frames: dict[Eye, dict[tuple[int, int], Framebuffer]] = {eye: {} for eye in eyes}
+    stage_seconds: dict[str, float] = {}
     if max_workers <= 1:
         for job in jobs:
             t_tile = time.perf_counter()
@@ -177,10 +193,13 @@ def render_viewport_parallel(
             obs.observe("render.tile.seconds", time.perf_counter() - t_tile)
             frames[job.eye][(job.tile.col, job.tile.row)] = fb
         workers = 1
+        stage_seconds["render"] = time.perf_counter() - t0
     else:
-        def _render_local(job: RenderJob) -> tuple[int, int, int, np.ndarray]:
+        def _render_local(job: RenderJob) -> tuple[int, int, int, np.ndarray, float]:
+            t_job = time.perf_counter()
             fb = renderer.render_job(job, canvas=canvas, results=results)
-            return (job.tile.col, job.tile.row, int(job.eye), fb.data)
+            return (job.tile.col, job.tile.row, int(job.eye), fb.data,
+                    time.perf_counter() - t_job)
 
         # default transport: pickle the whole renderer into each worker
         initializer, initargs = _init_worker, (renderer, canvas, results)
@@ -209,13 +228,28 @@ def render_viewport_parallel(
             initargs=initargs,
             report=degradation,
         ) as pool:
+            dispatch_s = time.perf_counter() - t0
+            t_map = time.perf_counter()
             outputs = pool.map(_render_one, jobs, serial_fn=_render_local)
-        for col, row, eye_val, data in outputs:
+            map_s = time.perf_counter() - t_map
+        for col, row, eye_val, data, _job_s in outputs:
             fb = Framebuffer(data.shape[1], data.shape[0])
             fb.data[...] = data
             frames[Eye(eye_val)][(col, row)] = fb
         workers = max_workers
+        render_s = float(sum(out[4] for out in outputs))
+        # everything in the map wall not spent rendering (even spread
+        # perfectly across workers) is transport: job pickling, result
+        # queues, and parent-side assembly
+        shipback_s = max(map_s - render_s / max_workers, 0.0)
+        stage_seconds = {
+            "dispatch": dispatch_s,
+            "render": render_s,
+            "shipback": shipback_s,
+        }
     elapsed = time.perf_counter() - t0
+    for stage, seconds in stage_seconds.items():
+        obs.observe("render.frame.stage_seconds", seconds, stage=stage)
     obs.observe("render.frame.seconds", elapsed, workers=workers)
     obs.counter_add("render.jobs", len(jobs), workers=workers)
     return ParallelRenderReport(
@@ -224,4 +258,5 @@ def render_viewport_parallel(
         n_jobs=len(jobs),
         workers=workers,
         degradation=degradation,
+        stage_seconds={k: round(v, 6) for k, v in stage_seconds.items()},
     )

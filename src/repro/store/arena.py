@@ -103,6 +103,11 @@ class StoreHandle:
         Array table-of-contents (key → dtype/shape/offset).
     meta_span:
         (offset, length) of the JSON metadata blob inside the block.
+    pyramid_meta:
+        ``(res, n_tbuckets, levels)`` of the materialized summary
+        pyramid, or ``None`` when published without one.  The shapes of
+        every ``pyr_*`` TOC entry derive from this triple, so the
+        handle stays a few hundred bytes.
     """
 
     block: str
@@ -115,6 +120,7 @@ class StoreHandle:
     index_res: int | None
     arrays: tuple[ArraySpec, ...]
     meta_span: tuple[int, int]
+    pyramid_meta: tuple | None = None
 
     @property
     def store_token(self) -> tuple:
@@ -174,9 +180,10 @@ class SharedArenaStore:
         include_index: bool = True,
         index: "object | None" = None,
         index_res: int = 64,
+        pyramid: "object | None" = None,
     ) -> "SharedArenaStore":
-        """Materialize ``dataset`` (and optionally its spatial index)
-        into one shared block and return the store.
+        """Materialize ``dataset`` (and optionally its spatial index
+        and summary pyramid) into one shared block and return the store.
 
         Parameters
         ----------
@@ -191,6 +198,12 @@ class SharedArenaStore:
             engine's); built fresh when omitted and ``include_index``.
         index_res:
             Resolution for a fresh index build.
+        pyramid:
+            A prebuilt :class:`~repro.core.aggregate.SummaryPyramid`
+            over ``dataset.packed()`` to materialize alongside the
+            segments, so attachers rebuild it zero-copy from the shared
+            tables (no re-summarization).  Omitted → the store has no
+            pyramid and attached engines take the legacy route.
         """
         if len(dataset) == 0:
             raise ValueError("cannot publish an empty dataset")
@@ -205,6 +218,8 @@ class SharedArenaStore:
                 index = None  # publish without; attachers brute-force
         if index is not None and index.packed is not packed:
             raise ValueError("index was not built over this dataset's packed view")
+        if pyramid is not None and pyramid.packed is not packed:
+            raise ValueError("pyramid was not built over this dataset's packed view")
 
         n_traj = len(dataset)
         sample_offsets = np.zeros(n_traj + 1, dtype=np.int64)
@@ -239,6 +254,20 @@ class SharedArenaStore:
                 ("idx_lo", "<f8", (2,)),
                 ("idx_cell_size", "<f8", (2,)),
             ]
+        if pyramid is not None:
+            plan += [
+                ("pyr_node_of", "<i4", (packed.n_segments,)),
+                ("pyr_entries", "<i8", (packed.n_segments,)),
+                ("pyr_offsets", "<i8", (pyramid.n_nodes + 1,)),
+                ("pyr_bbox", "<f8", (pyramid.n_nodes, 4)),
+                ("pyr_tstats", "<f8", (pyramid.n_nodes, 8)),
+                ("pyr_bits", "<u8", (pyramid.n_cells, pyramid.n_words)),
+                ("pyr_level_bbox", "<f8", (len(pyramid.level_bbox), 4)),
+                ("pyr_lo", "<f8", (2,)),
+                ("pyr_cell_size", "<f8", (2,)),
+                ("pyr_traj_start", "<f8", (n_traj,)),
+                ("pyr_traj_dur", "<f8", (n_traj,)),
+            ]
         specs: list[ArraySpec] = []
         cursor = _HEADER.size
         for key, dtype, shape in plan:
@@ -261,6 +290,9 @@ class SharedArenaStore:
             index_res=None if index is None else index.res,
             arrays=tuple(specs),
             meta_span=(meta_offset, len(metas_blob)),
+            pyramid_meta=None if pyramid is None else (
+                pyramid.res, pyramid.n_tbuckets, pyramid.levels
+            ),
         )
 
         # --- fill the block -------------------------------------------------
@@ -285,6 +317,18 @@ class SharedArenaStore:
             views["idx_offsets"][:] = index._offsets
             views["idx_lo"][:] = index.lo
             views["idx_cell_size"][:] = index.cell_size
+        if pyramid is not None:
+            views["pyr_node_of"][:] = pyramid.node_of
+            views["pyr_entries"][:] = pyramid.entries
+            views["pyr_offsets"][:] = pyramid.offsets
+            views["pyr_bbox"][:] = pyramid.bbox
+            views["pyr_tstats"][:] = pyramid.tstats
+            views["pyr_bits"][:] = pyramid.bits
+            views["pyr_level_bbox"][:] = pyramid.level_bbox
+            views["pyr_lo"][:] = pyramid.lo
+            views["pyr_cell_size"][:] = pyramid.cell_size
+            views["pyr_traj_start"][:] = pyramid.traj_start
+            views["pyr_traj_dur"][:] = pyramid.traj_dur
         block.buf[meta_offset : meta_offset + len(metas_blob)] = metas_blob
         del views  # drop rw views so close() can release the mapping
         return cls(block, handle)
@@ -442,6 +486,7 @@ class StoreClient:
         self._block = block
         self._dataset: TrajectoryDataset | None = None
         self._index = None
+        self._pyramid = None
 
     # Zero-copy rebuilds --------------------------------------------------
     @property
@@ -508,9 +553,41 @@ class StoreClient:
             )
         return self._index
 
+    def pyramid(self) -> "object | None":
+        """The attached :class:`~repro.core.aggregate.SummaryPyramid`
+        rebuilt zero-copy from the shared tables, or ``None`` when the
+        store was published without one."""
+        if self.handle.pyramid_meta is None:
+            return None
+        if self._pyramid is None:
+            from repro.core.aggregate.pyramid import SummaryPyramid
+
+            h = self.handle
+            res, n_tbuckets, levels = h.pyramid_meta
+            self._pyramid = SummaryPyramid.from_tables(
+                self.dataset.packed(),
+                res=res,
+                n_tbuckets=n_tbuckets,
+                levels=tuple(levels),
+                lo=_map_array(self._block, h.spec("pyr_lo")).copy(),
+                cell_size=_map_array(self._block, h.spec("pyr_cell_size")).copy(),
+                node_of=_map_array(self._block, h.spec("pyr_node_of")),
+                entries=_map_array(self._block, h.spec("pyr_entries")),
+                offsets=_map_array(self._block, h.spec("pyr_offsets")),
+                bbox=_map_array(self._block, h.spec("pyr_bbox")),
+                tstats=_map_array(self._block, h.spec("pyr_tstats")),
+                bits=_map_array(self._block, h.spec("pyr_bits")),
+                level_bbox=_map_array(self._block, h.spec("pyr_level_bbox")),
+                traj_start=_map_array(self._block, h.spec("pyr_traj_start")),
+                traj_dur=_map_array(self._block, h.spec("pyr_traj_dur")),
+            )
+        return self._pyramid
+
     def engine(self, **engine_kwargs: Any) -> "CoordinatedBrushingEngine":
         """A :class:`CoordinatedBrushingEngine` over the attached
-        dataset, reusing the shared index tables (no rebuild)."""
+        dataset, reusing the shared index and pyramid tables (no
+        rebuild).  Stores published without a pyramid yield a
+        legacy-route engine."""
         from repro.core.engine import CoordinatedBrushingEngine
 
         index = self.index()
@@ -518,6 +595,9 @@ class StoreClient:
             engine_kwargs.setdefault("index", index)
         else:
             engine_kwargs.setdefault("use_index", False)
+        pyramid = self.pyramid()
+        if pyramid is not None:
+            engine_kwargs.setdefault("pyramid", pyramid)
         return CoordinatedBrushingEngine(self.dataset, **engine_kwargs)
 
     # Lifecycle -----------------------------------------------------------
@@ -529,6 +609,7 @@ class StoreClient:
         checks — until those references drop)."""
         self._dataset = None
         self._index = None
+        self._pyramid = None
         return self._block.close()
 
     def __enter__(self) -> "StoreClient":

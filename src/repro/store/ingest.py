@@ -305,6 +305,7 @@ class RolloverCoordinator:
                 successor,
                 include_index=self.include_index,
                 index=engine.index,
+                pyramid=engine.pyramid,
             )
             # brand the dataset so stage-cache keys carry the store
             # identity, exactly as the attach path does

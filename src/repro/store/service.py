@@ -107,6 +107,13 @@ class SharedQueryEngine(CoordinatedBrushingEngine):
     BENCH_Q3 measured.  The ``service.lock.wait_seconds`` gauge that
     tracked that queueing is gone with the lock; the
     ``service.snapshot.*`` family replaces it.)
+
+    Unlike the single-user base engine, the shared engine defaults to
+    **aggregate-first** query planning (``use_aggregate=True``): the
+    multi-tenant service is the production path where dataset scale
+    dominates, and the summary pyramid's build cost amortizes over
+    every session.  Pass ``use_aggregate=False`` to pin the legacy
+    per-segment route (results are bit-identical either way).
     """
 
     def __init__(
@@ -120,6 +127,7 @@ class SharedQueryEngine(CoordinatedBrushingEngine):
     ) -> None:
         if cache is None:
             cache = ShardedStageCache(cache_capacity, shards=cache_shards)
+        engine_kwargs.setdefault("use_aggregate", True)
         super().__init__(dataset, cache=cache, **engine_kwargs)
 
 
@@ -341,13 +349,19 @@ class DatasetService:
         client = attach(handle)
         service_kwargs.pop("use_index", None)
         index = client.index()
+        pyramid = client.pyramid()
         service = cls.__new__(cls)
         service._lock = threading.RLock()
+        engine_kwargs: dict[str, Any] = dict(service_kwargs)
+        if pyramid is not None:
+            # zero-copy adoption of the published pyramid tables; stores
+            # without one leave the engine to build (or skip) its own
+            engine_kwargs.setdefault("pyramid", pyramid)
         engine = SharedQueryEngine(
             client.dataset,
             index=index,
             use_index=index is not None,
-            **service_kwargs,
+            **engine_kwargs,
         )
         service.keep_stores = 1
         service._engine_opts = {
@@ -661,11 +675,15 @@ class DatasetService:
                     # the dataset mutated since the engine bound its index;
                     # let publish() build a fresh one over the current epoch
                     index = None
+                pyramid = self.engine.pyramid
+                if pyramid is not None and pyramid.packed is not self.dataset.packed():
+                    pyramid = None  # same staleness guard as the index
                 t_pub = time.perf_counter()
                 store = SharedArenaStore.publish(
                     self.dataset,
                     include_index=include_index,
                     index=index,
+                    pyramid=pyramid,
                 )
                 obs.observe("store.publish.seconds", time.perf_counter() - t_pub)
                 obs.counter_add("store.publishes", 1)

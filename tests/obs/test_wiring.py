@@ -226,3 +226,38 @@ class TestEmission:
         doc = explorer.telemetry()
         assert doc["enabled"] is False
         assert doc["counters"] == {}
+
+
+class TestAggregateEmission:
+    """The aggregate route's documented metrics: pyramid build time,
+    per-class supernode counts, and drill-down workload size."""
+
+    def test_build_and_classification_metrics(
+        self, registry, study_dataset, west_canvas
+    ):
+        engine = CoordinatedBrushingEngine(study_dataset, use_aggregate=True)
+        engine.query(west_canvas, "red", window=TimeWindow.end(0.2))
+        snap = obs.telemetry_snapshot()
+        build = snap.histogram("service.aggregate.build_seconds")
+        assert build is not None and build.count == 1
+        assert snap.counter("query.count", strategy="aggregate") == 1.0
+        # the three classes partition the occupied supernodes exactly
+        per_class = {
+            label: snap.counter("service.aggregate.supernodes", **{"class": label})
+            for label in ("all_in", "inconclusive", "all_out")
+        }
+        occupied = int((engine.pyramid.node_counts > 0).sum())
+        assert sum(per_class.values()) == occupied
+        assert any(
+            name == "service.aggregate.drilldown_segments"
+            for name, _ in snap.counters
+        )
+
+    def test_warm_query_does_not_recount(self, registry, study_dataset, west_canvas):
+        engine = CoordinatedBrushingEngine(study_dataset, use_aggregate=True)
+        w = TimeWindow.end(0.2)
+        engine.query(west_canvas, "red", window=w)
+        cold = obs.telemetry_snapshot().counter_total("service.aggregate.supernodes")
+        engine.query(west_canvas, "red", window=w)  # all stages cache-hit
+        warm = obs.telemetry_snapshot().counter_total("service.aggregate.supernodes")
+        assert warm == cold

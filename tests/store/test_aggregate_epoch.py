@@ -1,0 +1,104 @@
+"""Epoch coherence of the summary pyramid under rollover chaos.
+
+The pyramid is epoch state: it summarizes exactly one packed segment
+set, so a query must never pair one epoch's pyramid with another
+epoch's segments.  Both travel inside the same
+:class:`~repro.store.snapshot.EpochSnapshot` (the engine owns its
+pyramid, the snapshot owns the engine), which makes the invariant
+checkable at any instant: ``engine.pyramid.packed is engine.packed``.
+
+These tests fire queries from the chaos hooks *inside* a rollover —
+after staging, just before the swap, and just after it — and assert
+the invariant plus bit-identical answers over the pinned epoch at
+every interleaving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.brush import stroke_from_rect
+from repro.store import DatasetService, IngestBuffer, RolloverCoordinator
+from repro.synth import AntStudyConfig, generate_study_dataset
+from repro.trajectory.model import Trajectory, TrajectoryMeta
+
+pytestmark = pytest.mark.chaos
+
+
+def _traj(i: int, n: int = 6) -> Trajectory:
+    t = np.linspace(0.0, 5.0, n)
+    pos = np.stack([np.linspace(-0.4, 0.4, n), np.full(n, 0.01 * i)], axis=1)
+    return Trajectory(pos, t, TrajectoryMeta(), traj_id=2000 + i)
+
+
+@pytest.fixture()
+def dataset():
+    return generate_study_dataset(AntStudyConfig(n_trajectories=12, seed=5))
+
+
+def _assert_coherent(engine) -> None:
+    assert engine.pyramid is not None, engine._pyramid_error
+    assert engine.pyramid.packed is engine.packed
+
+
+def test_mid_rollover_query_never_mixes_epochs(dataset, viewport):
+    with DatasetService(dataset) as service:
+        session = service.session(viewport)
+        session.brush(
+            stroke_from_rect((-0.5, -0.4), (-0.1, 0.4), radius=0.08, color="red")
+        )
+        baseline = session.run_query("red")
+        assert baseline.trace.strategy == "aggregate"
+        n_seg_epoch0 = baseline.segment_mask.shape[0]
+        probes: list[tuple[str, int]] = []
+
+        def chaos(point: str) -> None:
+            if point not in ("post_stage", "pre_swap", "post_swap"):
+                return
+            # the session's pinned engine stays internally coherent …
+            _assert_coherent(session.engine)
+            # … and whatever engine is active right now is coherent too
+            # (post_swap: the successor with its freshly built pyramid)
+            _assert_coherent(service.engine)
+            res = session.run_query("red")
+            assert res.trace.strategy == "aggregate"
+            # the pinned epoch answers are bit-identical mid-swap: the
+            # mask is sized to (and computed over) epoch 0's segments,
+            # never the successor's
+            np.testing.assert_array_equal(res.segment_mask, baseline.segment_mask)
+            probes.append((point, res.segment_mask.shape[0]))
+
+        buf = IngestBuffer()
+        buf.extend([_traj(i) for i in range(4)])
+        coord = RolloverCoordinator(service, buf, chaos=chaos)
+        result = coord.rollover()
+        assert result.n_ingested == 4
+        assert [p for p, _ in probes] == ["post_stage", "pre_swap", "post_swap"]
+        assert all(n == n_seg_epoch0 for _, n in probes)
+
+        # after rebinding, the session serves the successor epoch with
+        # the successor's pyramid — more segments, still coherent
+        assert session.rebind() is True
+        _assert_coherent(session.engine)
+        grown = session.run_query("red")
+        assert grown.trace.strategy == "aggregate"
+        assert grown.segment_mask.shape[0] > n_seg_epoch0
+        assert grown.segment_mask.shape[0] == service.dataset.packed().n_segments
+        session.close()
+
+
+def test_successor_pyramid_is_rebuilt_not_reused(dataset, viewport):
+    """The rollover must never copy the predecessor's pyramid forward:
+    the successor summarizes a different packed set."""
+    with DatasetService(dataset) as service:
+        old_engine = service.engine
+        _assert_coherent(old_engine)
+        old_pyramid = old_engine.pyramid
+        buf = IngestBuffer()
+        buf.extend([_traj(i) for i in range(2)])
+        RolloverCoordinator(service, buf).rollover()
+        new_engine = service.engine
+        _assert_coherent(new_engine)
+        assert new_engine.pyramid is not old_pyramid
+        assert new_engine.pyramid.packed is not old_pyramid.packed

@@ -81,7 +81,7 @@ def test_no_lost_increments_across_8_sessions(small_dataset):
         if name == "query.stage.seconds"
     )
     assert hits + misses == stage_histogram_count
-    q_hist = snap.histograms.get(("query.seconds", (("strategy", "indexed"),)))
+    q_hist = snap.histograms.get(("query.seconds", (("strategy", "aggregate"),)))
     assert q_hist is not None and q_hist.count == total
 
 

@@ -1,0 +1,22 @@
+"""Fixture: seeded violations in the summary-pyramid arena tables
+(publish/attach idiom of the ``pyr_*`` blocks).  Never imported —
+parsed by reprolint only."""
+
+import numpy as np
+
+
+def publish_pyramid(create_block, pyramid, nbytes):
+    """Packs the pyramid tables into a block it then drops."""
+    block = create_block(nbytes)  # seeded: RL002 unpaired creation
+    block.write(pyramid.tstats.tobytes())
+    return pyramid.res
+
+
+def attach_pyramid_tables(attach_block, name):
+    """Attaches the tables, mutates them in place, unlinks on exit."""
+    client = attach_block(name)
+    tstats = np.frombuffer(client.buf, dtype=np.float64)  # seeded: RL005
+    tstats[0] = 0.0  # seeded: RL005 write through shared view
+    client.unlink()  # seeded: RL002 attach-side unlink
+    client.close()
+    return tstats

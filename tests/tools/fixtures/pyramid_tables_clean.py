@@ -1,0 +1,34 @@
+"""Fixture: clean twin of pyramid_tables_bad — the publish/attach
+idiom the shared arena actually uses for the ``pyr_*`` tables."""
+
+import numpy as np
+
+
+def publish_pyramid(create_block, pyramid, nbytes):
+    """try/finally-paired creation, tables copied in before handoff."""
+    block = create_block(nbytes)
+    try:
+        block.write(pyramid.tstats.tobytes())
+    finally:
+        block.close()
+    return block.name
+
+
+def attach_pyramid_tables(attach_block, name):
+    """Frozen zero-copy views; the consumer closes, never unlinks."""
+    client = attach_block(name)
+    tstats = np.frombuffer(client.buf, dtype=np.float64)
+    tstats.setflags(write=False)
+    client.close()
+    return tstats
+
+
+def rebuild_locally(attach_block, name):
+    """Mutation happens only on an owned copy of the attached table."""
+    client = attach_block(name)
+    view = np.frombuffer(client.buf, dtype=np.float64)
+    view.setflags(write=False)
+    own = view.copy()
+    own[0] = 1.0
+    client.close()
+    return own

@@ -281,3 +281,23 @@ def test_src_is_clean_at_head():
     result = lint_paths([SRC], DEFAULT_CONFIG)
     assert result.parse_errors == []
     assert result.findings == [], "\n".join(f.render() for f in result.findings)
+
+
+# Pyramid arena tables -------------------------------------------------------
+# The aggregate refactor added pyr_* tables to the shared arena; these
+# fixtures pin the lint behavior of their publish/attach idiom without
+# widening GOLDEN (which must stay exactly the registered rule set).
+
+def test_pyramid_table_fixtures():
+    report = _lint("pyramid_tables_bad.py")
+    got = {(f.line, f.rule) for f in report.findings}
+    assert got == {
+        (10, "RL002"),  # block created for the tables, never paired
+        (18, "RL005"),  # unfrozen frombuffer view of the tables
+        (19, "RL005"),  # in-place write through the shared view
+        (20, "RL002"),  # consumer unlinking the tables it attached
+    }, sorted(got)
+
+    clean = _lint("pyramid_tables_clean.py")
+    assert clean.findings == [], [f.render() for f in clean.findings]
+    assert clean.parse_error is None

@@ -243,6 +243,9 @@ def brush_hit_rows(
     return out
 
 
+# reprolint: exempt=RL011 — boundary-atomic stage kernel: deadline checks
+# happen between stages (RL008 bans mid-stage checks), and the per-cell
+# loop is bounded by the drill-down cell budget upstream
 def brush_hit_cells(
     pyramid: SummaryPyramid,
     centers: np.ndarray,

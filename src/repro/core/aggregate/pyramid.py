@@ -407,7 +407,7 @@ class SummaryPyramid:
         return np.diff(self.offsets)
 
     @property
-    def cache_token(self) -> tuple:
+    def cache_token(self) -> tuple[str, int, int, int, int]:
         """Identity of this pyramid build for query-plan cache keys — a
         rebuilt (or differently parameterized) pyramid must invalidate
         cached aggregate stages, exactly like the index token."""

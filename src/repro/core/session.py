@@ -60,23 +60,33 @@ def _json_default(value: Any) -> Any:
 class SessionJournal:
     """Crash-safe append-only event journal (JSON lines).
 
-    Each record is one line, flushed and fsync'd before :meth:`append`
-    returns — an interrupted session loses at most the action that was
-    mid-write, and :meth:`read` tolerates exactly that torn final line.
+    Each record is one line, flushed (and, when ``durable``, fsync'd)
+    before :meth:`append` returns — an interrupted session loses at
+    most the action that was mid-write, and :meth:`read` tolerates
+    exactly that torn final line.
+
+    ``durable=False`` drops the per-record fsync: appends still flush
+    to the OS page cache (safe against *process* crash, not power
+    loss), trading the ~ms synchronous disk wait for query latency.
+    The multi-tenant service tier runs its per-session journals this
+    way — the journal is an audit trail there, not the system of
+    record — while standalone sessions keep the durable default.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, durable: bool = True) -> None:
         self.path = Path(path)
+        self.durable = durable
         self._fh = self.path.open("a", encoding="utf-8")
 
     def append(self, kind: str, detail: dict[str, Any]) -> None:
-        """Durably append one event record."""
+        """Append one event record (fsync'd when ``durable``)."""
         if self._fh is None:
             raise RuntimeError("journal is closed")
         line = json.dumps({"kind": kind, "detail": detail}, default=_json_default)
         self._fh.write(line + "\n")
         self._fh.flush()
-        os.fsync(self._fh.fileno())
+        if self.durable:
+            os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         """Close the underlying file; further appends raise."""
@@ -131,6 +141,11 @@ class ExplorationSession:
         Optional path of a crash-safe append-only event journal; every
         action is durably recorded so :func:`replay_session` can
         rebuild an interrupted session.
+    journal_durable:
+        Whether the journal fsyncs every record (the default).  The
+        service tier passes ``False`` so a shared-store query never
+        waits on a synchronous disk write — see
+        :class:`SessionJournal`.
     engine:
         A pre-existing engine over the *same* dataset to share instead
         of building a private one.  This is how
@@ -150,6 +165,7 @@ class ExplorationSession:
         layout_key: str = "3",
         use_index: bool = True,
         journal_path: str | Path | None = None,
+        journal_durable: bool = True,
         engine: CoordinatedBrushingEngine | None = None,
     ) -> None:
         if engine is not None and engine.dataset is not dataset:
@@ -170,7 +186,9 @@ class ExplorationSession:
         self._assignment: CellAssignment | None = None
         self._config: LayoutConfig | None = None
         self.journal: SessionJournal | None = (
-            SessionJournal(journal_path) if journal_path is not None else None
+            SessionJournal(journal_path, durable=journal_durable)
+            if journal_path is not None
+            else None
         )
         self.switch_layout(layout_key)
 

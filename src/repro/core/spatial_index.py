@@ -155,6 +155,9 @@ class UniformGridIndex:
         return self._entries[self._offsets[flat] : self._offsets[flat + 1]]
 
     # Queries --------------------------------------------------------------
+    # reprolint: exempt=RL011 — boundary-atomic index probe: runs inside one
+    # pipeline stage whose deadline check sits at the stage boundary (RL008);
+    # the loop is bounded by the brush disc count, not dataset size
     def candidates_for_discs(self, centers: np.ndarray, radii: np.ndarray) -> np.ndarray:
         """Unique segment rows whose cells a set of discs may touch.
 

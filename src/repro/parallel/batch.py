@@ -20,6 +20,10 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.store.arena import StoreHandle
 
 import numpy as np
 
@@ -32,7 +36,9 @@ from repro.trajectory.dataset import TrajectoryDataset
 
 __all__ = ["BatchQueryReport", "parallel_query_support"]
 
-_WORKER_DATA: dict = {}
+# Heterogeneous per-worker state (dataset, strokes, pinned client) —
+# an explicit Any beats casting at every read site.
+_WORKER_DATA: dict[str, Any] = {}
 
 
 def _init_batch_worker(dataset: TrajectoryDataset, strokes: list[BrushStroke],
@@ -43,7 +49,7 @@ def _init_batch_worker(dataset: TrajectoryDataset, strokes: list[BrushStroke],
     _WORKER_DATA["window"] = window
 
 
-def _init_batch_worker_shm(handle, strokes: list[BrushStroke],
+def _init_batch_worker_shm(handle: StoreHandle, strokes: list[BrushStroke],
                            color: str, window: TimeWindow) -> None:
     """Zero-copy initializer: attach the shared store once per worker
     and serve every chunk from view-backed trajectories."""

@@ -55,7 +55,7 @@ class WorkerPool:
             self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None

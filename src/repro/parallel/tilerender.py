@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -43,21 +44,27 @@ from repro.core.canvas import BrushCanvas
 from repro.core.engine import CoordinatedBrushingEngine
 from repro.core.result import QueryResult
 from repro.core.temporal import TimeWindow
+from repro.display.viewport import Viewport
 from repro.layout.cells import CellAssignment
 from repro.render.framebuffer import Framebuffer
 from repro.render.pipeline import RenderJob, WallRenderer
+from repro.render.raster import CellStyle
 from repro.resilience.faults import FaultPlan
 from repro.resilience.health import DegradationReport
 from repro.resilience.retry import RetryPolicy
 from repro.resilience.supervisor import SupervisedPool
 from repro.stereo.camera import Eye
+from repro.stereo.projection import SpaceTimeProjection
 from repro.store.arena import SharedArenaStore, StoreHandle, attach
+from repro.synth.arena import Arena
 from repro.store.shm import StoreAttachError
 
 __all__ = ["render_viewport_parallel", "ParallelRenderReport"]
 
-# Per-worker state installed by the pool initializer.
-_WORKER_STATE: dict = {}
+# Per-worker state installed by the pool initializer.  Values are
+# heterogeneous (renderer, canvas, results, pinned client) — an explicit
+# Any beats casting at every read site.
+_WORKER_STATE: dict[str, Any] = {}
 
 
 def _init_worker(renderer: WallRenderer, canvas: BrushCanvas | None,
@@ -67,7 +74,9 @@ def _init_worker(renderer: WallRenderer, canvas: BrushCanvas | None,
     _WORKER_STATE["results"] = results
 
 
-def _init_worker_shm(handle, arena, viewport, projection, style,
+def _init_worker_shm(handle: StoreHandle, arena: Arena, viewport: Viewport,
+                     projection: SpaceTimeProjection | None,
+                     style: CellStyle | None,
                      canvas: BrushCanvas | None,
                      results: dict[str, QueryResult] | None) -> None:
     """Zero-copy pool initializer: attach the shared store and rebuild

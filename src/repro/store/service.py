@@ -170,11 +170,17 @@ class SessionView(ExplorationSession):
         self._pin = weakref.finalize(
             self, service._detach_session, snapshot.epoch
         )
+        # journal_durable=False: the service-tier journal is an audit
+        # trail, not the system of record, and replay tolerates a torn
+        # tail — a per-query fsync on the lock-free path is the exact
+        # blocking call RL009 exists to catch (the rule's allowlist on
+        # SessionJournal.append documents this flag; see DESIGN.md §14)
         super().__init__(
             snapshot.dataset,
             viewport,
             layout_key=layout_key,
             journal_path=journal_path,
+            journal_durable=False,
             engine=snapshot.engine,
         )
 

@@ -21,21 +21,30 @@ RL007     telemetry emits only through the guarded obs facade;
           spans only as context managers
 RL008     epoch swaps only via RolloverCoordinator; no direct active-
           handle mutation; deadline checks at stage boundaries only
+RL009     [program] declared-lock-free methods reach no lock, blocking
+          call, shm lifecycle op, or ``_active`` write transitively
+RL010     [program] values from different epoch pins never meet in one
+          operation (taint seeded at pin/attach sites)
+RL011     [program] query-path functions looping over segments/
+          supernodes/tiles accept + thread the deadline budget
 ========  ==========================================================
 
 Run ``python -m repro.tools.reprolint src`` (exit 0 = clean) and see
-DESIGN.md §9 for the invariant → failure-mode table.  Inline
-``# reprolint: disable=RL00x`` suppresses a single line.
+DESIGN.md §9/§14 for the invariant → failure-mode tables.  Inline
+``# reprolint: disable=RL00x`` suppresses a single line; program rules
+(RL009–RL011) run under ``--program`` and render their call/taint
+chains below each finding.
 """
 
 from repro.tools.reprolint.base import (
     Checker,
+    ProgramChecker,
     checker_for,
     register,
     registered_rules,
 )
 from repro.tools.reprolint.config import DEFAULT_CONFIG, LintConfig, RuleScope
-from repro.tools.reprolint.model import FileReport, Finding, Severity
+from repro.tools.reprolint.model import ChainHop, FileReport, Finding, Severity
 from repro.tools.reprolint.runner import (
     LintResult,
     lint_file,
@@ -45,6 +54,8 @@ from repro.tools.reprolint.runner import (
 
 __all__ = [
     "Checker",
+    "ProgramChecker",
+    "ChainHop",
     "checker_for",
     "register",
     "registered_rules",

@@ -13,12 +13,17 @@ enclosing class recorded.
 from __future__ import annotations
 
 import ast
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.tools.reprolint.model import Finding, Severity
+from repro.tools.reprolint.model import ChainHop, Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tools.reprolint.program.analysis import ProgramAnalysis
+    from repro.tools.reprolint.program.symbols import ModuleSymbols
 
 __all__ = [
     "Checker",
+    "ProgramChecker",
     "register",
     "registered_rules",
     "checker_for",
@@ -64,16 +69,39 @@ class Checker(ast.NodeVisitor):
     rule: str = ""
     summary: str = ""
     default_options: dict[str, Any] = {}
+    #: True for whole-program rules (run once per tree, not per file)
+    program_scope: bool = False
 
-    def __init__(self, path: str, options: dict[str, Any] | None = None) -> None:
+    def __init__(
+        self,
+        path: str,
+        options: dict[str, Any] | None = None,
+        symbols: "ModuleSymbols | None" = None,
+    ) -> None:
         self.path = path
         self.options: dict[str, Any] = {**self.default_options, **(options or {})}
         self.findings: list[Finding] = []
+        #: per-file symbol table (import-alias resolution); always built
+        #: by the runner, ``None`` only when a checker is constructed by
+        #: hand in a unit test.
+        self.symbols = symbols
 
     def check(self, tree: ast.AST) -> list[Finding]:
         """Run the rule over a parsed module; returns its findings."""
         self.visit(tree)
         return self.findings
+
+    def resolve(self, dotted: str) -> str:
+        """Canonicalize a dotted name through the file's import map, so
+        ``from threading import RLock as _L`` cannot hide ``_L`` from a
+        rule that matches ``threading.RLock``."""
+        if self.symbols is None:
+            return dotted
+        return self.symbols.resolve(dotted)
+
+    def resolved_call_name(self, call: ast.Call) -> str:
+        """Alias-resolved dotted name of a call's callee."""
+        return self.resolve(call_name(call))
 
     def add(
         self,
@@ -92,6 +120,56 @@ class Checker(ast.NodeVisitor):
                 message=message,
                 severity=severity,
             )
+        )
+
+    def add_at(
+        self,
+        path: str,
+        line: int,
+        message: str,
+        *,
+        col: int = 0,
+        severity: Severity = Severity.ERROR,
+        chain: tuple[ChainHop, ...] = (),
+    ) -> None:
+        """Record a finding at an explicit location (program rules land
+        findings in whatever file the violation's root lives in)."""
+        self.findings.append(
+            Finding(
+                path=path,
+                line=line,
+                col=col,
+                rule=self.rule,
+                message=message,
+                severity=severity,
+                chain=chain,
+            )
+        )
+
+
+class ProgramChecker(Checker):
+    """One rule applied to the whole program.
+
+    The runner instantiates a program checker once per run (not per
+    file) and calls :meth:`check_program` with the shared
+    :class:`~repro.tools.reprolint.program.analysis.ProgramAnalysis`.
+    Findings carry explicit paths (via :meth:`add_at`) and optional
+    call/taint chains; scoping and suppressions are applied afterwards
+    per finding location, exactly like per-file findings.
+    """
+
+    program_scope = True
+
+    def __init__(self, options: dict[str, Any] | None = None) -> None:
+        super().__init__(path="<program>", options=options)
+
+    def check_program(self, analysis: "ProgramAnalysis") -> list[Finding]:
+        """Run the rule over the whole-program :class:`ProgramAnalysis`."""
+        raise NotImplementedError
+
+    def check(self, tree: ast.AST) -> list[Finding]:  # pragma: no cover
+        raise TypeError(
+            f"{self.rule} is a program rule; run it via check_program()"
         )
 
 

@@ -7,12 +7,13 @@ can gate on it directly.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.tools.reprolint.base import checker_for, registered_rules
 from repro.tools.reprolint.config import DEFAULT_CONFIG, LintConfig
 from repro.tools.reprolint.report import render_human, render_json
-from repro.tools.reprolint.runner import lint_paths
+from repro.tools.reprolint.runner import DEFAULT_CACHE_DIR, lint_paths
 from repro.util.fileio import atomic_write_text
 
 __all__ = ["main"]
@@ -51,6 +52,26 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true", help="print known rules and exit",
     )
+    parser.add_argument(
+        "--program", action="store_true",
+        help="also run the whole-program rules (call-graph + dataflow: "
+        "RL009 transitive lock-free, RL010 epoch provenance, RL011 "
+        "deadline propagation)",
+    )
+    parser.add_argument(
+        "--callgraph-dump", metavar="FILE", default=None,
+        help="write the conservative call graph as JSON to FILE "
+        "(the CI artifact; implies building program analysis)",
+    )
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="incremental mode: reuse cached results for files whose "
+        "content hash and dependency interface summaries are unchanged",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=DEFAULT_CACHE_DIR,
+        help=f"incremental cache location (default: {DEFAULT_CACHE_DIR})",
+    )
     return parser
 
 
@@ -60,7 +81,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.list_rules:
         for rule in registered_rules():
-            print(f"{rule}  {checker_for(rule).summary}")
+            cls = checker_for(rule)
+            tag = " [program]" if cls.program_scope else ""
+            print(f"{rule}  {cls.summary}{tag}")
         return 0
 
     enabled: tuple[str, ...] | None = None
@@ -78,8 +101,19 @@ def main(argv: list[str] | None = None) -> int:
         unscoped=args.unscoped,
     )
 
-    result = lint_paths(list(args.paths), config)
+    result = lint_paths(
+        list(args.paths),
+        config,
+        program=args.program,
+        with_callgraph=args.callgraph_dump is not None,
+        changed_only=args.changed_only,
+        cache_dir=args.cache_dir,
+    )
 
+    if args.callgraph_dump and result.callgraph is not None:
+        atomic_write_text(
+            args.callgraph_dump, json.dumps(result.callgraph, indent=1) + "\n"
+        )
     if args.report:
         atomic_write_text(args.report, render_json(result) + "\n")
     print(render_json(result) if args.format == "json" else render_human(result))

@@ -129,5 +129,16 @@ DEFAULT_CONFIG = LintConfig(
         # mutation of a service's active handle; deadline checks only
         # at stage boundaries.
         "RL008": RuleScope(include=("repro.store", "repro.core")),
+        # PR 7→9: declared-lock-free query path stays lock-free through
+        # every transitive callee (whole-program rule; findings land at
+        # the declared root's definition site).
+        "RL009": RuleScope(include=("repro",)),
+        # PR 7→9: values pinned from different epoch snapshots never
+        # meet in one operation (whole-program taint rule).
+        "RL010": RuleScope(include=("repro",)),
+        # PR 6→9: functions on the query path that loop over
+        # segments/supernodes/tiles accept and thread the deadline
+        # budget, or carry an explicit `# reprolint: exempt=RL011`.
+        "RL011": RuleScope(include=("repro",)),
     },
 )

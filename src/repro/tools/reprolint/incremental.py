@@ -1,0 +1,161 @@
+"""Content-hash incremental cache for ``--changed-only`` runs.
+
+Stored under ``.reprolint_cache/cache.json``.  Three reuse tiers:
+
+1. **Per-file rules** — a file whose content hash matches the cache
+   reuses its stored per-file report verbatim; per-file rules read
+   nothing outside the file.
+2. **Everything** — when *no* hash changed (and the tool fingerprint
+   matches), the whole run including program rules is served from
+   cache without parsing a single file.
+3. **Program rules** — when files changed but (a) every module's
+   *interface summary* (what program rules read from a dependency —
+   see :meth:`ProgramAnalysis.interface_summary`) is unchanged and
+   (b) no changed file hosts a cached program finding or chain hop,
+   the cached program findings are provably still valid and reused.
+   Otherwise program rules re-run over the full tree.
+
+The fingerprint hashes reprolint's own source tree plus the effective
+config, so editing a rule or a scope invalidates everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.tools.reprolint.model import FileReport, Finding
+from repro.util.fileio import atomic_write_text
+
+__all__ = ["LintCache", "content_hash", "tool_fingerprint"]
+
+CACHE_VERSION = 1
+
+
+def content_hash(source: str) -> str:
+    """sha256 of a file's text — the per-file cache key."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def tool_fingerprint(config_repr: str) -> str:
+    """Hash of reprolint's own sources + the effective configuration."""
+    digest = hashlib.sha256()
+    package_root = Path(__file__).parent
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(str(path.relative_to(package_root)).encode())
+        digest.update(path.read_bytes())
+    digest.update(config_repr.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _report_to_dict(report: FileReport) -> dict[str, Any]:
+    return {
+        "path": report.path,
+        "findings": [f.to_dict() for f in report.findings],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "parse_error": report.parse_error,
+    }
+
+
+def _report_from_dict(doc: dict[str, Any]) -> FileReport:
+    report = FileReport(path=doc["path"])
+    report.findings = [Finding.from_dict(f) for f in doc["findings"]]
+    report.suppressed = [Finding.from_dict(f) for f in doc["suppressed"]]
+    report.parse_error = doc["parse_error"]
+    return report
+
+
+class LintCache:
+    """Load/consult/update the on-disk cache for one lint run."""
+
+    def __init__(self, cache_dir: str | Path) -> None:
+        self.path = Path(cache_dir) / "cache.json"
+        self._data: dict[str, Any] = {}
+        self.loaded = False
+
+    def load(self, fingerprint: str) -> None:
+        """Read the cache; a version/fingerprint mismatch empties it."""
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            data = {}
+        if (
+            data.get("version") != CACHE_VERSION
+            or data.get("fingerprint") != fingerprint
+        ):
+            data = {}
+        self._data = data
+        self.loaded = bool(data)
+
+    # per-file tier ----------------------------------------------------------
+
+    def file_report(self, path: str, sha: str) -> FileReport | None:
+        """Cached per-file report, or None when absent or stale."""
+        entry = self._data.get("files", {}).get(path)
+        if entry is None or entry.get("sha") != sha:
+            return None
+        return _report_from_dict(entry["report"])
+
+    # program tier -----------------------------------------------------------
+
+    @property
+    def program_signature(self) -> str | None:
+        return self._data.get("program", {}).get("signature")
+
+    def program_reports(self) -> list[FileReport] | None:
+        """Cached program-rule reports, or None when never stored."""
+        program = self._data.get("program")
+        if program is None or "reports" not in program:
+            return None
+        return [_report_from_dict(doc) for doc in program["reports"]]
+
+    def program_hosts(self) -> set[str]:
+        """Paths hosting any cached program finding or chain hop."""
+        out: set[str] = set()
+        for report in self.program_reports() or []:
+            for finding in report.findings + report.suppressed:
+                out.add(finding.path)
+                out.update(hop.path for hop in finding.chain)
+        return out
+
+    def all_unchanged(self, shas: dict[str, str]) -> bool:
+        """True when the cached file set exactly matches ``shas``."""
+        files = self._data.get("files", {})
+        if set(files) != set(shas):
+            return False
+        return all(files[p].get("sha") == sha for p, sha in shas.items())
+
+    # write-back -------------------------------------------------------------
+
+    def store(
+        self,
+        fingerprint: str,
+        shas: dict[str, str],
+        file_reports: dict[str, FileReport],
+        program_signature: str | None,
+        program_reports: list[FileReport] | None,
+    ) -> None:
+        """Atomically persist this run's results as the new cache."""
+        doc: dict[str, Any] = {
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "files": {
+                path: {
+                    "sha": shas[path],
+                    "report": _report_to_dict(file_reports[path]),
+                }
+                for path in shas
+                if path in file_reports
+            },
+        }
+        if program_signature is not None:
+            doc["program"] = {
+                "signature": program_signature,
+                "reports": [
+                    _report_to_dict(r) for r in (program_reports or [])
+                ],
+            }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(self.path, json.dumps(doc, separators=(",", ":")))

@@ -12,7 +12,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["Severity", "Finding", "FileReport"]
+__all__ = ["Severity", "ChainHop", "Finding", "FileReport"]
 
 
 class Severity(str, enum.Enum):
@@ -27,6 +27,19 @@ class Severity(str, enum.Enum):
 
     ERROR = "error"
     WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class ChainHop:
+    """One step of a rendered call/taint chain (program rules)."""
+
+    path: str
+    line: int
+    note: str
+
+    def render(self) -> str:
+        """``file:line: note`` — one hop of a finding's chain."""
+        return f"{self.path}:{self.line}: {self.note}"
 
 
 @dataclass(frozen=True, order=True)
@@ -46,6 +59,11 @@ class Finding:
         reader cannot act on is noise.
     severity:
         See :class:`Severity`.
+    chain:
+        For program-scope rules, the call/taint path from the violated
+        declaration to the offending operation, one hop per file:line.
+        Excluded from ordering so chained and chainless findings at the
+        same location sort identically.
     """
 
     path: str
@@ -54,14 +72,19 @@ class Finding:
     rule: str
     message: str
     severity: Severity = Severity.ERROR
+    chain: tuple[ChainHop, ...] = field(default=(), compare=False)
 
     def render(self) -> str:
         """``file:line:col: RLxxx error: message`` (clickable in most
-        editors and CI log viewers)."""
-        return (
+        editors and CI log viewers), chain hops indented below."""
+        head = (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule} {self.severity.value}: {self.message}"
         )
+        if not self.chain:
+            return head
+        hops = "\n".join(f"    via {hop.render()}" for hop in self.chain)
+        return f"{head}\n{hops}"
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (the CI artifact schema)."""
@@ -72,7 +95,27 @@ class Finding:
             "rule": self.rule,
             "severity": self.severity.value,
             "message": self.message,
+            "chain": [
+                {"path": hop.path, "line": hop.line, "note": hop.note}
+                for hop in self.chain
+            ],
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (incremental-cache rehydration)."""
+        return cls(
+            path=doc["path"],
+            line=doc["line"],
+            col=doc["col"],
+            rule=doc["rule"],
+            message=doc["message"],
+            severity=Severity(doc["severity"]),
+            chain=tuple(
+                ChainHop(path=h["path"], line=h["line"], note=h["note"])
+                for h in doc.get("chain", ())
+            ),
+        )
 
 
 @dataclass

@@ -1,0 +1,42 @@
+"""Whole-program analysis layer for reprolint.
+
+Per-file AST checks cannot see that ``SessionView.run_query`` reaches a
+lock three calls away, that two values mixed in one expression came from
+different epoch pins, or that a deadline parameter was dropped one hop
+into the call tree.  This package supplies the missing machinery:
+
+* :mod:`symbols` — a project-wide symbol table: import-alias →
+  canonical-name resolution, class/method/function indexes, base-class
+  (mro) resolution, attribute- and local-variable type inference.
+* :mod:`callgraph` — a conservative call graph over those symbols with
+  method-receiver heuristics and BFS chain reconstruction.
+* :mod:`dataflow` — a small forward taint framework with per-function
+  summaries (param→return flows, param-combine sites).
+* :mod:`analysis` — the :class:`ProgramAnalysis` facade handed to
+  :class:`~repro.tools.reprolint.base.ProgramChecker` rules, plus
+  content-hash interface summaries driving the incremental cache.
+
+Everything here is stdlib-``ast`` only, like the rest of reprolint.
+"""
+
+from __future__ import annotations
+
+from repro.tools.reprolint.program.analysis import ProgramAnalysis
+from repro.tools.reprolint.program.callgraph import CallGraph, CallSite, Edge
+from repro.tools.reprolint.program.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleSymbols,
+    ProjectSymbols,
+)
+
+__all__ = [
+    "ProgramAnalysis",
+    "CallGraph",
+    "CallSite",
+    "Edge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleSymbols",
+    "ProjectSymbols",
+]

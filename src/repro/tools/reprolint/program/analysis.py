@@ -1,0 +1,231 @@
+"""`ProgramAnalysis`: the facade handed to program-scope rules.
+
+One instance per lint run holds the project symbol table, the lazily
+built call graph, per-function side-effect ops and loop sites, and the
+per-module *interface summaries* that drive the incremental cache
+(see :mod:`repro.tools.reprolint.incremental`).
+
+An interface summary digests exactly what the program rules read from a
+module — imports, class bases and attribute types, function signatures,
+exempt markers, resolved call names, side-effect ops, and loop iterable
+names.  Two module versions with equal summaries are interchangeable
+*as a dependency*: no program finding in another file can differ
+between them (line numbers inside the module itself can, which is why a
+changed file always recomputes its own findings).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.tools.reprolint.program.callgraph import (
+    CallGraph,
+    build_call_graph,
+)
+from repro.tools.reprolint.program.ops import Op, lock_attrs_of_class, scan_ops
+from repro.tools.reprolint.program.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleSymbols,
+    ProjectSymbols,
+)
+
+__all__ = ["ProgramAnalysis", "LoopSite"]
+
+
+@dataclass(frozen=True)
+class LoopSite:
+    """One ``for``/``while`` statement and the names its header reads."""
+
+    path: str
+    line: int
+    names: tuple[str, ...]
+
+
+def _header_names(expr: ast.expr) -> tuple[str, ...]:
+    """Bare names and attribute names read by a loop header expression."""
+    out: set[str] = set()
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Name):
+            out.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            out.add(node.attr)
+    return tuple(sorted(out))
+
+
+class ProgramAnalysis:
+    """Whole-program view over one set of parsed files."""
+
+    def __init__(self, modules: dict[str, ModuleSymbols]) -> None:
+        self.project = ProjectSymbols(modules)
+        self._graph: CallGraph | None = None
+        self._lock_attrs: dict[str, frozenset[str]] = {}
+        self._ops: dict[str, list[Op]] = {}
+        self._loops: dict[str, list[LoopSite]] = {}
+
+    @classmethod
+    def build(
+        cls, files: list[tuple[str, str, str, ast.Module]]
+    ) -> "ProgramAnalysis":
+        """From ``(path, module_name, source, tree)`` tuples.
+
+        Later files win module-name collisions (only plausible between
+        unrelated fixture stems; real packages have unique dotted names).
+        """
+        modules: dict[str, ModuleSymbols] = {}
+        for path, module, source, tree in files:
+            modules[module] = ModuleSymbols.from_source(
+                source, path, module, tree=tree
+            )
+        return cls(modules)
+
+    # graph ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = build_call_graph(self.project)
+        return self._graph
+
+    # per-function facts -----------------------------------------------------
+
+    def lock_attrs(self, cls_info: ClassInfo) -> frozenset[str]:
+        """Lock-typed attribute names of a class, MRO included (memoized)."""
+        cached = self._lock_attrs.get(cls_info.qualname)
+        if cached is None:
+            mod = self.project.modules[cls_info.module]
+            cached = frozenset(
+                attr
+                for step in self.project.mro(cls_info)
+                for attr in lock_attrs_of_class(
+                    step, self.project.modules[step.module]
+                )
+            ) | lock_attrs_of_class(cls_info, mod)
+            self._lock_attrs[cls_info.qualname] = cached
+        return cached
+
+    def ops_of(self, fn: FunctionInfo) -> list[Op]:
+        """Forbidden-op sites (lock/blocking/shm/active-write) in a
+        function body (memoized)."""
+        cached = self._ops.get(fn.qualname)
+        if cached is None:
+            mod = self.project.modules[fn.module]
+            lock_attrs: frozenset[str] = frozenset()
+            if fn.cls:
+                ci = self.project.class_index.get(fn.cls)
+                if ci is not None:
+                    lock_attrs = self.lock_attrs(ci)
+            cached = scan_ops(fn.node, fn.path, mod, lock_attrs)
+            self._ops[fn.qualname] = cached
+        return cached
+
+    def loops_of(self, fn: FunctionInfo) -> list[LoopSite]:
+        """Loop sites in a function body with their header names (memoized)."""
+        cached = self._loops.get(fn.qualname)
+        if cached is None:
+            cached = []
+            for node in ast.walk(fn.node):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    cached.append(
+                        LoopSite(fn.path, node.lineno, _header_names(node.iter))
+                    )
+                elif isinstance(node, ast.While):
+                    cached.append(
+                        LoopSite(fn.path, node.lineno, _header_names(node.test))
+                    )
+            self._loops[fn.qualname] = cached
+        return cached
+
+    # root resolution --------------------------------------------------------
+
+    def resolve_roots(
+        self, roots: dict[str, tuple[str, ...]]
+    ) -> dict[str, FunctionInfo]:
+        """``{class name: (method, ...)}`` → qualname → FunctionInfo.
+
+        Class names are matched by bare name across the project (so the
+        same defaults drive both ``src`` and fixture mini-packages);
+        methods resolve through the mro so a subclass inheriting
+        ``query`` maps to the defining base method.
+        """
+        out: dict[str, FunctionInfo] = {}
+        for cls_name, methods in roots.items():
+            for ci in self.project.classes_by_name.get(cls_name, []):
+                for method in methods:
+                    fn = self.project.lookup_method(ci, method)
+                    if fn is not None:
+                        out[fn.qualname] = fn
+        return out
+
+    # interface summaries ----------------------------------------------------
+
+    def interface_summary(self, module: str) -> str:
+        """Content hash of everything program rules read from ``module``."""
+        mod = self.project.modules[module]
+        doc: dict = {"imports": sorted(mod.imports.items()), "defs": []}
+        for cls_info in sorted(mod.classes.values(), key=lambda c: c.qualname):
+            doc["defs"].append(
+                {
+                    "class": cls_info.qualname,
+                    "bases": list(cls_info.bases),
+                    "attrs": sorted(
+                        (k, list(v)) for k, v in cls_info.attr_types.items()
+                    ),
+                }
+            )
+        for fn in sorted(mod.iter_functions(), key=lambda f: f.qualname):
+            calls = sorted(
+                {
+                    mod.resolve(d)
+                    for node in ast.walk(fn.node)
+                    if isinstance(node, ast.Call)
+                    for d in [_call_dotted(node)]
+                    if d is not None
+                }
+            )
+            doc["defs"].append(
+                {
+                    "fn": fn.qualname,
+                    "params": list(fn.params),
+                    "ptypes": sorted(
+                        (k, list(v)) for k, v in fn.param_types.items()
+                    ),
+                    "rtypes": list(fn.return_types),
+                    "exempt": sorted(fn.exempt),
+                    "calls": calls,
+                    "ops": sorted(
+                        (op.kind, op.detail) for op in self.ops_of(fn)
+                    ),
+                    "loops": sorted(
+                        loop.names for loop in self.loops_of(fn)
+                    ),
+                }
+            )
+        blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def program_signature(self) -> str:
+        """Hash over every module's interface summary."""
+        blob = json.dumps(
+            sorted(
+                (name, self.interface_summary(name))
+                for name in self.project.modules
+            ),
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _call_dotted(node: ast.Call) -> str | None:
+    parts: list[str] = []
+    cur: ast.AST = node.func
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None

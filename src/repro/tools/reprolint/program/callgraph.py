@@ -1,0 +1,346 @@
+"""Conservative call graph with method-receiver heuristics.
+
+Edges connect project functions; calls that cannot be pinned to a
+project definition are recorded as *external* calls under their
+canonical (alias-resolved) name so sink rules still see them.
+
+Receiver resolution, in decreasing confidence:
+
+1. ``self.m()`` / ``super().m()`` — mro lookup in the enclosing class.
+2. ``self.attr.m()`` — the attribute's inferred class (harvested from
+   ``self.attr = Ctor()`` / annotations), then mro lookup.
+3. ``var.m()`` — local type inference: parameter annotations,
+   ``var = Ctor()``, ``var = self.attr``, ``var = f()`` via ``f``'s
+   return annotation, ``var: T`` annotations.
+4. ``mod.f()`` / ``Class.m()`` — canonical name resolved through the
+   import map against the project indexes.
+5. Bounded method-name fallback: an unknown receiver calling ``.m()``
+   links to *every* project method named ``m`` when there are at most
+   ``fallback_max`` of them (edges marked ``heuristic=True``).  More
+   candidates than that and the call stays external — a documented
+   soundness hole in exchange for a usable signal-to-noise ratio.
+
+Calls inside nested functions/lambdas are attributed to the enclosing
+definition (conservative: the closure usually runs within it).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.tools.reprolint.program.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleSymbols,
+    ProjectSymbols,
+    annotation_names,
+)
+
+__all__ = ["CallSite", "Edge", "CallGraph", "build_call_graph"]
+
+#: receiver-unknown fallback links to ≤ this many same-named methods
+FALLBACK_MAX = 4
+
+#: builtin container/str method names never resolved by name fallback —
+#: an unknown receiver calling `.append()` is a list long before it is
+#: a project method that happens to share the name
+_FALLBACK_EXCLUDE = frozenset(
+    {
+        "append", "appendleft", "extend", "insert", "remove", "pop",
+        "popleft", "clear", "sort", "reverse", "copy", "count", "index",
+        "add", "discard", "update", "get", "setdefault", "keys",
+        "values", "items", "join", "split", "rsplit", "strip", "lstrip",
+        "rstrip", "startswith", "endswith", "format", "replace",
+        "encode", "decode", "upper", "lower", "title",
+    }
+)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """Where a call happens and what the source spelled it as."""
+
+    path: str
+    line: int
+    callee_repr: str
+
+
+@dataclass(frozen=True)
+class Edge:
+    """``caller`` qualname → ``callee`` qualname at ``site``."""
+
+    caller: str
+    callee: str
+    site: CallSite
+    heuristic: bool = False
+
+
+class CallGraph:
+    """Adjacency over function qualnames plus external-call records."""
+
+    def __init__(self) -> None:
+        self.edges_from: dict[str, list[Edge]] = {}
+        #: caller qualname → [(canonical external name, site), ...]
+        self.external_calls: dict[str, list[tuple[str, CallSite]]] = {}
+
+    def add_edge(self, edge: Edge) -> None:
+        """Record one project-internal caller → callee edge."""
+        self.edges_from.setdefault(edge.caller, []).append(edge)
+
+    def add_external(self, caller: str, name: str, site: CallSite) -> None:
+        """Record a call that resolves outside the project (e.g. os.fsync)."""
+        self.external_calls.setdefault(caller, []).append((name, site))
+
+    def callees(self, qualname: str) -> list[Edge]:
+        """Outgoing edges of a function, empty when it calls nothing."""
+        return self.edges_from.get(qualname, [])
+
+    def reachable_from(self, roots: list[str]) -> dict[str, list[Edge]]:
+        """BFS closure: reached qualname → shortest edge path from a root."""
+        paths: dict[str, list[Edge]] = {r: [] for r in roots}
+        queue = list(roots)
+        while queue:
+            cur = queue.pop(0)
+            for edge in self.callees(cur):
+                if edge.callee not in paths:
+                    paths[edge.callee] = paths[cur] + [edge]
+                    queue.append(edge.callee)
+        return paths
+
+    def dump(self) -> dict[str, Any]:
+        """JSON-ready form (the ``--callgraph-dump`` CI artifact)."""
+        return {
+            "edges": [
+                {
+                    "caller": e.caller,
+                    "callee": e.callee,
+                    "path": e.site.path,
+                    "line": e.site.line,
+                    "call": e.site.callee_repr,
+                    "heuristic": e.heuristic,
+                }
+                for edges in self.edges_from.values()
+                for e in sorted(edges, key=lambda e: (e.callee, e.site.line))
+            ],
+            "external": [
+                {"caller": caller, "callee": name, "path": s.path, "line": s.line}
+                for caller, calls in sorted(self.external_calls.items())
+                for name, s in sorted(calls, key=lambda c: (c[0], c[1].line))
+            ],
+        }
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Pure Name/Attribute chain as a dotted string, else ``None``."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_super_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "super"
+    )
+
+
+class _FunctionScope:
+    """Receiver-type context for resolving calls inside one function."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        mod: ModuleSymbols,
+        project: ProjectSymbols,
+    ) -> None:
+        self.fn = fn
+        self.mod = mod
+        self.project = project
+        self.cls: ClassInfo | None = (
+            project.class_index.get(fn.cls) if fn.cls else None
+        )
+        self.locals: dict[str, ClassInfo] = {}
+        self._seed_params()
+        self._infer_assignments()
+
+    def _resolve_raw_class(self, raws: tuple[str, ...]) -> ClassInfo | None:
+        for raw in raws:
+            ci = self.project.resolve_class(raw, within=self.mod)
+            if ci is not None:
+                return ci
+        return None
+
+    def _seed_params(self) -> None:
+        for name, raws in self.fn.param_types.items():
+            ci = self._resolve_raw_class(raws)
+            if ci is not None:
+                self.locals[name] = ci
+
+    def _infer_assignments(self) -> None:
+        for node in ast.walk(self.fn.node):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.annotation is not None:
+                if isinstance(node.target, ast.Name):
+                    ci = self._resolve_raw_class(annotation_names(node.annotation))
+                    if ci is not None:
+                        self.locals[node.target.id] = ci
+                continue
+            if not isinstance(target, ast.Name) or value is None:
+                continue
+            ci = self.expr_class(value)
+            if ci is not None:
+                self.locals[target.id] = ci
+
+    def expr_class(self, expr: ast.expr) -> ClassInfo | None:
+        """Best-effort class of an expression's value."""
+        if isinstance(expr, ast.Name):
+            return self.locals.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base: ClassInfo | None
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                base = self.cls
+            else:
+                base = self.expr_class(expr.value)
+            if base is not None:
+                return self.project.attr_class(base, expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            targets, _ = self.resolve_call(expr)
+            for t in targets:
+                if t.name == "__init__" and t.cls:
+                    return self.project.class_index.get(t.cls)
+                ci = self._resolve_raw_class(t.return_types)
+                if ci is not None:
+                    return ci
+            # Ctor with no __init__ of its own
+            dotted = _dotted(expr.func)
+            if dotted is not None:
+                ci = self.project.resolve_class(dotted, within=self.mod)
+                if ci is not None:
+                    return ci
+            return None
+        return None
+
+    def resolve_call(
+        self, call: ast.Call
+    ) -> tuple[list[FunctionInfo], bool]:
+        """Project targets of ``call`` plus a heuristic flag."""
+        func = call.func
+        # super().m(...)
+        if isinstance(func, ast.Attribute) and _is_super_call(func.value):
+            if self.cls is not None:
+                for step in self.project.mro(self.cls)[1:]:
+                    if func.attr in step.methods:
+                        return [step.methods[func.attr]], False
+            return [], False
+        dotted = _dotted(func)
+        if dotted is None:
+            # chained receiver like f(x).m() — fall back on the method name
+            if isinstance(func, ast.Attribute):
+                return self._name_fallback(func.attr)
+            return [], False
+        parts = dotted.split(".")
+        # self.m() / self.attr.m()
+        if parts[0] == "self" and self.cls is not None:
+            if len(parts) == 2:
+                hit = self.project.lookup_method(self.cls, parts[1])
+                return ([hit], False) if hit else self._name_fallback(parts[1])
+            if len(parts) == 3:
+                owner = self.project.attr_class(self.cls, parts[1])
+                if owner is not None:
+                    hit = self.project.lookup_method(owner, parts[2])
+                    if hit is not None:
+                        return [hit], False
+                return self._name_fallback(parts[2])
+            return self._name_fallback(parts[-1])
+        # local variable receiver: var.m() / var.attr.m()
+        if parts[0] in self.locals:
+            owner = self.locals[parts[0]]
+            for attr in parts[1:-1]:
+                nxt = self.project.attr_class(owner, attr)
+                if nxt is None:
+                    return self._name_fallback(parts[-1])
+                owner = nxt
+            hit = self.project.lookup_method(owner, parts[-1])
+            return ([hit], False) if hit else self._name_fallback(parts[-1])
+        # bare function / class in this module
+        if len(parts) == 1:
+            if parts[0] in self.mod.functions:
+                return [self.mod.functions[parts[0]]], False
+            ci = self.project.resolve_class(parts[0], within=self.mod)
+            if ci is not None:
+                ctor = self.project.lookup_method(ci, "__init__")
+                return ([ctor], False) if ctor else ([], False)
+        # canonical dotted resolution: mod.f / pkg.mod.Class.m / Class.m
+        canonical = self.mod.resolve(dotted)
+        hit = self.project.resolve_function(canonical)
+        if hit is not None:
+            return [hit], False
+        # Class referenced through an import: Ctor() under an alias
+        ci = self.project.resolve_class(canonical, within=self.mod)
+        if ci is not None:
+            ctor = self.project.lookup_method(ci, "__init__")
+            return ([ctor], False) if ctor else ([], False)
+        if len(parts) > 1:
+            return self._name_fallback(parts[-1])
+        return [], False
+
+    def _name_fallback(self, method: str) -> tuple[list[FunctionInfo], bool]:
+        if method.startswith("__") and method.endswith("__"):
+            return [], False
+        if method in _FALLBACK_EXCLUDE:
+            return [], False
+        candidates = self.project.methods_by_name.get(method, [])
+        if 1 <= len(candidates) <= FALLBACK_MAX:
+            return list(candidates), True
+        return [], False
+
+
+def _iter_calls(fn: FunctionInfo) -> Iterator[ast.Call]:
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def build_call_graph(project: ProjectSymbols) -> CallGraph:
+    """Resolve every call site in every project function into edges."""
+    graph = CallGraph()
+    for fn in project.iter_functions():
+        mod = project.modules[fn.module]
+        scope = _FunctionScope(fn, mod, project)
+        for call in _iter_calls(fn):
+            dotted = _dotted(call.func)
+            repr_ = dotted or (
+                f"?.{call.func.attr}"
+                if isinstance(call.func, ast.Attribute)
+                else "?"
+            )
+            site = CallSite(path=fn.path, line=call.lineno, callee_repr=repr_)
+            targets, heuristic = scope.resolve_call(call)
+            if targets:
+                for target in targets:
+                    if target is None:
+                        continue
+                    graph.add_edge(
+                        Edge(
+                            caller=fn.qualname,
+                            callee=target.qualname,
+                            site=site,
+                            heuristic=heuristic,
+                        )
+                    )
+            elif dotted is not None:
+                graph.add_external(fn.qualname, mod.resolve(dotted), site)
+    return graph

@@ -1,0 +1,420 @@
+"""Small forward dataflow/taint framework with function summaries.
+
+Built for RL010 (epoch provenance) but rule-agnostic: the rule supplies
+a *seed* predicate (which calls mint a new taint tag — e.g. epoch pin
+sites) and receives *mix* callbacks (sites where values carrying two or
+more distinct tags meet in one operation).
+
+Scope and approximations, by design:
+
+* Flow-sensitive per function, statements walked in source order, one
+  pass — loops are not iterated to fixpoint.
+* Only simple-name bindings are tracked; tags die on attribute/subscript
+  stores.  Attribute *loads* propagate the base object's tags, except
+  attributes the rule declares identity-stripping (``.epoch``).
+* Comparisons never mix — ``snap.epoch == self.epoch`` is the legitimate
+  staleness probe, not cross-epoch data flow.
+* Interprocedural flow via per-function summaries: which params reach
+  the return value, and which param *pairs* the body combines.  Applied
+  at call sites so a helper that merges rows from two different pins
+  fires with the callee's combine site in the chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.tools.reprolint.program.callgraph import _FunctionScope
+from repro.tools.reprolint.program.symbols import (
+    FunctionInfo,
+    ProjectSymbols,
+)
+
+__all__ = ["Tag", "Hop", "Mix", "Summary", "TaintAnalysis"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One step of a rendered taint chain."""
+
+    path: str
+    line: int
+    note: str
+
+
+@dataclass(frozen=True)
+class Tag:
+    """One taint origin (a seed site, or a synthetic parameter tag)."""
+
+    ident: str
+    path: str
+    line: int
+    note: str
+
+
+#: tag → provenance chain from its seed to here
+Env = dict[str, dict[Tag, tuple[Hop, ...]]]
+TagChains = dict[Tag, tuple[Hop, ...]]
+
+
+@dataclass
+class Mix:
+    """Two-plus distinct tags meeting in one operation."""
+
+    path: str
+    line: int
+    note: str
+    tags: TagChains
+
+
+@dataclass
+class Summary:
+    """Interprocedural digest of one function."""
+
+    #: parameter indices whose tags reach a return value
+    returns_params: set[int] = field(default_factory=set)
+    #: (param_i, param_j, line) pairs the body combines
+    combines: list[tuple[int, int, int]] = field(default_factory=list)
+
+
+def _merge(into: TagChains, more: TagChains) -> TagChains:
+    for tag, chain in more.items():
+        into.setdefault(tag, chain)
+    return into
+
+
+class TaintAnalysis:
+    """Run the taint pass over every function in a project."""
+
+    def __init__(
+        self,
+        project: ProjectSymbols,
+        *,
+        seed_for_call: Callable[[ast.Call, _FunctionScope], Tag | None],
+        strip_attrs: tuple[str, ...] = (),
+    ) -> None:
+        self.project = project
+        self.seed_for_call = seed_for_call
+        self.strip_attrs = strip_attrs
+        self.mixes: list[Mix] = []
+        self._summaries: dict[str, Summary] = {}
+        self._in_progress: set[str] = set()
+
+    # summaries --------------------------------------------------------------
+
+    def summary_of(self, fn: FunctionInfo) -> Summary:
+        """Memoized per-function summary (empty on recursion cycles)."""
+        if fn.qualname in self._summaries:
+            return self._summaries[fn.qualname]
+        if fn.qualname in self._in_progress:
+            return Summary()
+        self._in_progress.add(fn.qualname)
+        try:
+            summary = self._compute_summary(fn)
+        finally:
+            self._in_progress.discard(fn.qualname)
+        self._summaries[fn.qualname] = summary
+        return summary
+
+    def _compute_summary(self, fn: FunctionInfo) -> Summary:
+        env: Env = {}
+        param_tags: dict[Tag, int] = {}
+        for i, name in enumerate(fn.params):
+            tag = Tag(
+                ident=f"{fn.qualname}#p{i}",
+                path=fn.path,
+                line=fn.lineno,
+                note=f"parameter `{name}` of {fn.qualname}",
+            )
+            env[name] = {tag: ()}
+            param_tags[tag] = i
+        summary = Summary()
+        run = _FunctionTaint(self, fn, env, collect_mixes=False)
+        run.execute()
+        for value_tags in run.returned:
+            for tag in value_tags:
+                if tag in param_tags:
+                    summary.returns_params.add(param_tags[tag])
+        for mix in run.local_mixes:
+            indices = sorted(
+                {param_tags[t] for t in mix.tags if t in param_tags}
+            )
+            for a in range(len(indices)):
+                for b in range(a + 1, len(indices)):
+                    summary.combines.append((indices[a], indices[b], mix.line))
+        return summary
+
+    # analysis entry ---------------------------------------------------------
+
+    def run(self) -> list[Mix]:
+        """Analyze every project function with an empty initial env."""
+        for fn in self.project.iter_functions():
+            run = _FunctionTaint(self, fn, env={}, collect_mixes=True)
+            run.execute()
+            self.mixes.extend(run.local_mixes)
+        return self.mixes
+
+
+class _FunctionTaint:
+    """One forward pass over one function body."""
+
+    def __init__(
+        self,
+        owner: TaintAnalysis,
+        fn: FunctionInfo,
+        env: Env,
+        *,
+        collect_mixes: bool,
+    ) -> None:
+        self.owner = owner
+        self.fn = fn
+        self.env = env
+        self.collect_mixes = collect_mixes
+        self.local_mixes: list[Mix] = []
+        self.returned: list[TagChains] = []
+        self.scope = _FunctionScope(
+            fn, owner.project.modules[fn.module], owner.project
+        )
+
+    def execute(self) -> None:
+        for stmt in self.fn.node.body:
+            self._stmt(stmt)
+
+    # statements -------------------------------------------------------------
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            tags = self._tags(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, tags)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._bind(stmt.target, self._tags(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            tags = self._tags(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                _merge(self.env.setdefault(stmt.target.id, {}), tags)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returned.append(self._tags(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self._tags(stmt.value)
+        elif isinstance(stmt, (ast.If,)):
+            self._tags(stmt.test)
+            for s in stmt.body + stmt.orelse:
+                self._stmt(s)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._bind(stmt.target, self._tags(stmt.iter))
+            for s in stmt.body + stmt.orelse:
+                self._stmt(s)
+        elif isinstance(stmt, ast.While):
+            self._tags(stmt.test)
+            for s in stmt.body + stmt.orelse:
+                self._stmt(s)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tags = self._tags(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, tags)
+            for s in stmt.body:
+                self._stmt(s)
+        elif isinstance(stmt, ast.Try):
+            for s in (
+                stmt.body
+                + [h_s for h in stmt.handlers for h_s in h.body]
+                + stmt.orelse
+                + stmt.finalbody
+            ):
+                self._stmt(s)
+        # nested defs/classes: not entered — their bodies run later
+
+    def _bind(self, target: ast.expr, tags: TagChains) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = dict(tags)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, tags)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tags)
+        # attribute/subscript stores drop tags (see module docstring)
+
+    # expressions ------------------------------------------------------------
+
+    def _tags(self, expr: ast.expr) -> TagChains:
+        if isinstance(expr, ast.Name):
+            return dict(self.env.get(expr.id, {}))
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in self.owner.strip_attrs:
+                return {}
+            return self._tags(expr.value)
+        if isinstance(expr, ast.Subscript):
+            base = self._tags(expr.value)
+            if isinstance(expr.slice, ast.expr):
+                _merge(base, self._tags(expr.slice))
+            return base
+        if isinstance(expr, ast.Call):
+            return self._call_tags(expr)
+        if isinstance(expr, ast.BinOp):
+            left = self._tags(expr.left)
+            right = self._tags(expr.right)
+            combined = _merge(dict(left), right)
+            self._check_mix(expr, combined, "binary operation")
+            return combined
+        if isinstance(expr, ast.Compare):
+            # staleness probes (`snap.epoch == self.epoch`) are legitimate
+            return {}
+        if isinstance(expr, ast.BoolOp):
+            out: TagChains = {}
+            for v in expr.values:
+                _merge(out, self._tags(v))
+            return out
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = {}
+            for elt in expr.elts:
+                _merge(out, self._tags(elt))
+            return out
+        if isinstance(expr, ast.Dict):
+            out = {}
+            for v in expr.values:
+                if v is not None:
+                    _merge(out, self._tags(v))
+            return out
+        if isinstance(expr, ast.Starred):
+            return self._tags(expr.value)
+        if isinstance(expr, ast.IfExp):
+            self._tags(expr.test)
+            out = self._tags(expr.body)
+            _merge(out, self._tags(expr.orelse))
+            return out
+        if isinstance(expr, ast.UnaryOp):
+            return self._tags(expr.operand)
+        if isinstance(expr, ast.Await):
+            return self._tags(expr.value)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            out = {}
+            for gen in expr.generators:
+                _merge(out, self._tags(gen.iter))
+            return out
+        if isinstance(expr, ast.DictComp):
+            out = {}
+            for gen in expr.generators:
+                _merge(out, self._tags(gen.iter))
+            return out
+        if isinstance(expr, ast.JoinedStr):
+            return {}
+        return {}
+
+    def _call_tags(self, call: ast.Call) -> TagChains:
+        receiver: TagChains = {}
+        if isinstance(call.func, ast.Attribute):
+            receiver = self._tags(call.func.value)
+        arg_tags: list[TagChains] = [self._tags(a) for a in call.args]
+        kw_tags: dict[str, TagChains] = {
+            kw.arg: self._tags(kw.value)
+            for kw in call.keywords
+            if kw.arg is not None
+        }
+        star_kw = [
+            self._tags(kw.value) for kw in call.keywords if kw.arg is None
+        ]
+
+        all_in: TagChains = dict(receiver)
+        for t in arg_tags:
+            _merge(all_in, t)
+        for t in kw_tags.values():
+            _merge(all_in, t)
+        for t in star_kw:
+            _merge(all_in, t)
+        self._check_mix(call, all_in, "call")
+
+        # seeding: a pin/attach call on an untagged receiver mints a tag
+        if not receiver:
+            seed = self.owner.seed_for_call(call, self.scope)
+            if seed is not None:
+                return {seed: (Hop(seed.path, seed.line, seed.note),)}
+
+        # interprocedural: apply the callee's summary where we know it
+        targets, heuristic = self.scope.resolve_call(call)
+        result: TagChains = {}
+        applied = False
+        for target in targets:
+            if target is None or heuristic:
+                continue
+            summary = self.owner.summary_of(target)
+            applied = True
+            positional = self._positional_map(target, call, receiver, arg_tags, kw_tags)
+            for idx in summary.returns_params:
+                chains = positional.get(idx)
+                if chains:
+                    for tag, chain in chains.items():
+                        result.setdefault(
+                            tag,
+                            chain
+                            + (
+                                Hop(
+                                    self.fn.path,
+                                    call.lineno,
+                                    f"returned through {target.qualname}",
+                                ),
+                            ),
+                        )
+            for i, j, line in summary.combines:
+                a, b = positional.get(i, {}), positional.get(j, {})
+                if a and b and set(a) != set(b):
+                    mixed: TagChains = {}
+                    for tag, chain in {**a, **b}.items():
+                        mixed[tag] = chain + (
+                            Hop(
+                                self.fn.path,
+                                call.lineno,
+                                f"passed into {target.qualname}",
+                            ),
+                        )
+                    self._record_mix(
+                        Mix(
+                            path=target.path,
+                            line=line,
+                            note=f"combined inside {target.qualname}",
+                            tags=mixed,
+                        )
+                    )
+        if applied:
+            return result
+        # unknown callee: conservative propagate-through
+        return all_in
+
+    def _positional_map(
+        self,
+        target: FunctionInfo,
+        call: ast.Call,
+        receiver: TagChains,
+        arg_tags: list[TagChains],
+        kw_tags: dict[str, TagChains],
+    ) -> dict[int, TagChains]:
+        out: dict[int, TagChains] = {}
+        params = list(target.params)
+        offset = 0
+        if target.cls is not None and params and params[0] in ("self", "cls"):
+            out[0] = receiver
+            offset = 1
+        for i, tags in enumerate(arg_tags):
+            out[i + offset] = tags
+        for name, tags in kw_tags.items():
+            if name in params:
+                out[params.index(name)] = tags
+        return out
+
+    def _check_mix(self, node: ast.expr, tags: TagChains, what: str) -> None:
+        if len(tags) >= 2:
+            self._record_mix(
+                Mix(
+                    path=self.fn.path,
+                    line=node.lineno,
+                    note=f"{what} in {self.fn.qualname}",
+                    tags=dict(tags),
+                )
+            )
+
+    def _record_mix(self, mix: Mix) -> None:
+        self.local_mixes.append(mix)

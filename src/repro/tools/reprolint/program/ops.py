@@ -1,0 +1,154 @@
+"""Side-effect operation scanning shared by RL003 and RL009.
+
+``scan_ops`` classifies the operations inside one function body that a
+declared-lock-free path must never reach: lock acquisition (``with
+self._lock`` / ``.acquire()``), blocking calls (``sleep``, ``fsync``,
+``open``), shared-memory lifecycle (create/unlink), and mutation of a
+service's atomically-published ``_active`` snapshot.
+
+Lock detection resolves through the symbol table instead of matching
+the literal attribute name ``_lock``: any attribute assigned from a
+(possibly aliased) ``threading.Lock``/``RLock``/… constructor counts,
+which closes the ``from threading import RLock as _L`` blind spot.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.tools.reprolint.program.symbols import (
+    ClassInfo,
+    ModuleSymbols,
+)
+
+__all__ = ["Op", "scan_ops", "lock_attrs_of_class", "LOCK_TYPES"]
+
+#: canonical constructor names that produce a mutex-like object
+LOCK_TYPES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+    }
+)
+
+#: canonical callables that block the calling thread
+BLOCKING_CALLS = frozenset({"time.sleep", "os.fsync", "os.fdatasync", "open"})
+
+_SHM_CREATE_SUFFIXES = ("create_block",)
+_SHM_CTOR_SUFFIXES = ("SharedBlock", "SharedMemory")
+
+
+@dataclass(frozen=True)
+class Op:
+    """One side-effecting operation at one location."""
+
+    kind: str  #: "lock" | "blocking" | "shm-create" | "shm-unlink" | "active-write"
+    path: str
+    line: int
+    detail: str
+
+
+def lock_attrs_of_class(cls: ClassInfo, mod: ModuleSymbols) -> frozenset[str]:
+    """Instance attributes of ``cls`` holding a lock, alias-resolved."""
+    out = set()
+    for attr, raws in cls.attr_types.items():
+        for raw in raws:
+            if mod.resolve(raw) in LOCK_TYPES:
+                out.add(attr)
+    return frozenset(out)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _looks_like_lock(expr: ast.expr, lock_attrs: frozenset[str]) -> str | None:
+    """Dotted repr when ``expr`` denotes a lock object, else ``None``."""
+    target = expr
+    if isinstance(target, ast.Subscript):  # self._locks[i]
+        target = target.value
+    dotted = _dotted(target)
+    if dotted is None:
+        return None
+    last = dotted.rsplit(".", 1)[-1]
+    if last in lock_attrs or "lock" in last.lower() or "mutex" in last.lower():
+        return dotted
+    return None
+
+
+def scan_ops(
+    fn_node: ast.FunctionDef | ast.AsyncFunctionDef,
+    path: str,
+    mod: ModuleSymbols,
+    lock_attrs: frozenset[str],
+) -> list[Op]:
+    """All lock/blocking/shm/active-write operations in one body."""
+    ops: list[Op] = []
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                ctx = item.context_expr
+                expr = ctx.func if isinstance(ctx, ast.Call) else ctx
+                lockish = _looks_like_lock(expr, lock_attrs)
+                if lockish:
+                    ops.append(
+                        Op("lock", path, node.lineno, f"with {lockish}")
+                    )
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            canonical = mod.resolve(dotted)
+            last = canonical.rsplit(".", 1)[-1]
+            if (
+                last == "acquire"
+                and isinstance(node.func, ast.Attribute)
+                and _looks_like_lock(node.func.value, lock_attrs)
+            ):
+                ops.append(Op("lock", path, node.lineno, f"{dotted}()"))
+            elif canonical in BLOCKING_CALLS or last in ("sleep", "fsync"):
+                ops.append(Op("blocking", path, node.lineno, f"{canonical}()"))
+            elif last == "open" and isinstance(node.func, ast.Attribute):
+                ops.append(Op("blocking", path, node.lineno, f"{dotted}()"))
+            elif last.endswith(_SHM_CREATE_SUFFIXES):
+                ops.append(Op("shm-create", path, node.lineno, f"{canonical}()"))
+            elif last in _SHM_CTOR_SUFFIXES and any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value
+                for kw in node.keywords
+            ):
+                ops.append(
+                    Op("shm-create", path, node.lineno, f"{canonical}(create=True)")
+                )
+            elif last == "unlink":
+                ops.append(Op("shm-unlink", path, node.lineno, f"{dotted}()"))
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr == "_active":
+                    ops.append(
+                        Op(
+                            "active-write",
+                            path,
+                            node.lineno,
+                            f"{_dotted(target) or target.attr} = …",
+                        )
+                    )
+    return ops

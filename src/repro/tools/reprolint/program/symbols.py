@@ -1,0 +1,423 @@
+"""Project-wide symbol table: canonical names, classes, and types.
+
+The per-file rules' historic blind spot is dotted-*string* matching:
+``from threading import RLock as _L`` or ``import repro.store.shm as s``
+rename the thing being matched.  :class:`ModuleSymbols` closes that hole
+by recording every import binding and resolving any dotted name seen in
+the module back to its canonical form (``_L`` → ``threading.RLock``,
+``s.create_block`` → ``repro.store.shm.create_block``).
+
+:class:`ProjectSymbols` stitches the per-module tables into project
+indexes — functions and classes by qualified name, methods by bare name,
+base-class (mro) chains — and adds the type inference the call graph
+needs: class attribute types harvested from ``self.x = Ctor()`` /
+``self.x: T`` sites and annotation parsing that understands string
+annotations, ``Optional[T]``/``Union``, and PEP 604 unions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleSymbols",
+    "ProjectSymbols",
+    "annotation_names",
+    "exempt_rules_for_line",
+]
+
+_EXEMPT_MARK = "# reprolint: exempt="
+
+
+def exempt_rules_for_line(lines: list[str], lineno: int) -> frozenset[str]:
+    """Rules a ``# reprolint: exempt=RLxxx[,RLyyy]`` marker waives for the
+    definition at 1-based ``lineno``.  The marker may sit on the def line
+    itself or anywhere in the contiguous comment block directly above it
+    (so a multi-line rationale can follow the rule list)."""
+    found: set[str] = set()
+
+    def harvest(idx: int) -> None:
+        if 0 <= idx < len(lines) and _EXEMPT_MARK in lines[idx]:
+            spec = lines[idx].split(_EXEMPT_MARK, 1)[1]
+            # the rule list ends at whitespace so a rationale can follow
+            spec = spec.split()[0] if spec.split() else ""
+            found.update(r.strip().upper() for r in spec.split(",") if r.strip())
+
+    harvest(lineno - 1)
+    idx = lineno - 2
+    while 0 <= idx < len(lines) and lines[idx].lstrip().startswith("#"):
+        harvest(idx)
+        idx -= 1
+    return frozenset(found)
+
+
+def annotation_names(node: ast.AST | None) -> tuple[str, ...]:
+    """Dotted names an annotation could denote, unions flattened.
+
+    ``"DatasetService"`` (string annotation) → ``("DatasetService",)``;
+    ``StageCache | None`` → ``("StageCache",)``; ``Optional[Deadline]``
+    → ``("Deadline",)``.  Unresolvable shapes yield ``()``.
+    """
+    if node is None:
+        return ()
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            inner = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return ()
+        return annotation_names(inner)
+    if isinstance(node, ast.Name):
+        return () if node.id == "None" else (node.id,)
+    if isinstance(node, ast.Attribute):
+        parts: list[str] = []
+        cur: ast.AST = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            parts.append(cur.id)
+            return (".".join(reversed(parts)),)
+        return ()
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return annotation_names(node.left) + annotation_names(node.right)
+    if isinstance(node, ast.Subscript):
+        head = annotation_names(node.value)
+        if head and head[0].rsplit(".", 1)[-1] in ("Optional", "Union"):
+            elts = (
+                node.slice.elts
+                if isinstance(node.slice, ast.Tuple)
+                else [node.slice]
+            )
+            out: tuple[str, ...] = ()
+            for elt in elts:
+                out += annotation_names(elt)
+            return out
+        # list[Segment], dict[str, X] … — the container is the type
+        return head
+    return ()
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    name: str
+    qualname: str  #: ``module.[Class.]name``
+    module: str
+    path: str
+    lineno: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None  #: enclosing class qualname, if a method
+    params: tuple[str, ...] = ()
+    #: param name → raw annotation names (unresolved)
+    param_types: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: raw annotation names of the return type
+    return_types: tuple[str, ...] = ()
+    exempt: frozenset[str] = frozenset()
+
+    @property
+    def display(self) -> str:
+        return self.qualname
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its methods and inferred attr types."""
+
+    name: str
+    qualname: str
+    module: str
+    path: str
+    lineno: int
+    node: ast.ClassDef
+    #: raw dotted base names as written (resolved via module imports)
+    bases: tuple[str, ...] = ()
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: self-attribute name → raw annotation/ctor names
+    attr_types: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+
+def _all_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[ast.arg]:
+    a = node.args
+    yield from a.posonlyargs
+    yield from a.args
+    if a.vararg:
+        yield a.vararg
+    yield from a.kwonlyargs
+    if a.kwarg:
+        yield a.kwarg
+
+
+class ModuleSymbols:
+    """Symbol table for one module: imports, functions, classes.
+
+    ``resolve`` is the alias killer: it rewrites the leading segment of
+    any dotted name through the import map, so rule logic compares
+    canonical names instead of whatever the file happened to call them.
+    """
+
+    def __init__(self, module: str, path: str) -> None:
+        self.module = module
+        self.path = path
+        #: local binding → canonical dotted name
+        self.imports: dict[str, str] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+
+    # construction -----------------------------------------------------------
+
+    @classmethod
+    def from_source(
+        cls, source: str, path: str, module: str, tree: ast.Module | None = None
+    ) -> "ModuleSymbols":
+        if tree is None:
+            tree = ast.parse(source, filename=path)
+        self = cls(module, path)
+        lines = source.splitlines()
+        self._collect_imports(tree)
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._function_info(stmt, lines, cls_qual=None)
+                self.functions[info.name] = info
+            elif isinstance(stmt, ast.ClassDef):
+                self.classes[stmt.name] = self._class_info(stmt, lines)
+        return self
+
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                    self.imports[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    pkg_parts = self.module.split(".")
+                    pkg_parts = pkg_parts[: len(pkg_parts) - node.level] or []
+                    base = ".".join(pkg_parts + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{base}.{alias.name}" if base else alias.name
+
+    def _function_info(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        lines: list[str],
+        cls_qual: str | None,
+    ) -> FunctionInfo:
+        params = tuple(a.arg for a in _all_params(node))
+        param_types = {
+            a.arg: annotation_names(a.annotation)
+            for a in _all_params(node)
+            if a.annotation is not None
+        }
+        owner = cls_qual or self.module
+        return FunctionInfo(
+            name=node.name,
+            qualname=f"{owner}.{node.name}",
+            module=self.module,
+            path=self.path,
+            lineno=node.lineno,
+            node=node,
+            cls=cls_qual,
+            params=params,
+            param_types=param_types,
+            return_types=annotation_names(node.returns),
+            exempt=exempt_rules_for_line(lines, node.lineno),
+        )
+
+    def _class_info(self, node: ast.ClassDef, lines: list[str]) -> ClassInfo:
+        qual = f"{self.module}.{node.name}"
+        info = ClassInfo(
+            name=node.name,
+            qualname=qual,
+            module=self.module,
+            path=self.path,
+            lineno=node.lineno,
+            node=node,
+            bases=tuple(
+                name for b in node.bases for name in annotation_names(b)
+            ),
+        )
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info.methods[stmt.name] = self._function_info(
+                    stmt, lines, cls_qual=qual
+                )
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                info.attr_types[stmt.target.id] = annotation_names(stmt.annotation)
+        # harvest self.x = … / self.x: T from method bodies
+        for method in info.methods.values():
+            for sub in ast.walk(method.node):
+                target: ast.expr | None = None
+                value: ast.expr | None = None
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    target, value = sub.targets[0], sub.value
+                elif isinstance(sub, ast.AnnAssign):
+                    target, value = sub.target, sub.value
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and sub.annotation is not None
+                    ):
+                        info.attr_types.setdefault(
+                            target.attr, annotation_names(sub.annotation)
+                        )
+                        continue
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and value is not None
+                ):
+                    inferred = self._value_type_names(value, method)
+                    if inferred:
+                        info.attr_types.setdefault(target.attr, inferred)
+        return info
+
+    def _value_type_names(
+        self, value: ast.expr, method: FunctionInfo
+    ) -> tuple[str, ...]:
+        """Raw type names for the RHS of a ``self.x = value`` assignment."""
+        if isinstance(value, ast.Call):
+            # self.x = Ctor(...) — the callee name doubles as the type
+            names: list[str] = []
+            cur: ast.AST = value.func
+            while isinstance(cur, ast.Attribute):
+                names.append(cur.attr)
+                cur = cur.value
+            if isinstance(cur, ast.Name):
+                names.append(cur.id)
+                return (".".join(reversed(names)),)
+            return ()
+        if isinstance(value, ast.Name) and value.id in method.param_types:
+            # self.x = param — propagate the param's annotation
+            return method.param_types[value.id]
+        return ()
+
+    # resolution -------------------------------------------------------------
+
+    def resolve(self, dotted: str) -> str:
+        """Canonicalize ``dotted`` through this module's import map."""
+        if not dotted:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every function and method defined in this module."""
+        yield from self.functions.values()
+        for cls in self.classes.values():
+            yield from cls.methods.values()
+
+
+class ProjectSymbols:
+    """All modules' symbols plus the project-level indexes."""
+
+    def __init__(self, modules: dict[str, ModuleSymbols]) -> None:
+        self.modules = modules
+        self.function_index: dict[str, FunctionInfo] = {}
+        self.class_index: dict[str, ClassInfo] = {}
+        self.classes_by_name: dict[str, list[ClassInfo]] = {}
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        for mod in modules.values():
+            for fn in mod.functions.values():
+                self.function_index[fn.qualname] = fn
+            for ci in mod.classes.values():
+                self.class_index[ci.qualname] = ci
+                self.classes_by_name.setdefault(ci.name, []).append(ci)
+                for m in ci.methods.values():
+                    self.function_index[m.qualname] = m
+                    self.methods_by_name.setdefault(m.name, []).append(m)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        """Every function and method across the whole project."""
+        for mod in self.modules.values():
+            yield from mod.iter_functions()
+
+    def resolve_class(
+        self, raw: str, within: ModuleSymbols | None = None
+    ) -> ClassInfo | None:
+        """Class named by ``raw`` (possibly aliased / bare) or ``None``.
+
+        Tries: canonical form via ``within``'s imports, the raw name as a
+        qualname, then a unique bare-name match — ambiguity returns
+        ``None`` (conservative: no guessing between same-named classes).
+        """
+        candidates = [raw]
+        if within is not None:
+            candidates.insert(0, within.resolve(raw))
+            if "." not in raw and raw in within.classes:
+                return within.classes[raw]
+        for cand in candidates:
+            if cand in self.class_index:
+                return self.class_index[cand]
+        bare = raw.rsplit(".", 1)[-1]
+        same = self.classes_by_name.get(bare, [])
+        if len(same) == 1:
+            return same[0]
+        return None
+
+    def mro(self, cls: ClassInfo) -> list[ClassInfo]:
+        """The class plus its resolvable bases, breadth-first."""
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            cur = queue.pop(0)
+            if cur.qualname in seen:
+                continue
+            seen.add(cur.qualname)
+            out.append(cur)
+            mod = self.modules.get(cur.module)
+            for base in cur.bases:
+                resolved = self.resolve_class(base, within=mod)
+                if resolved is not None:
+                    queue.append(resolved)
+        return out
+
+    def lookup_method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """``name`` resolved through ``cls``'s mro, or ``None``."""
+        for step in self.mro(cls):
+            if name in step.methods:
+                return step.methods[name]
+        return None
+
+    def attr_class(
+        self, cls: ClassInfo, attr: str
+    ) -> ClassInfo | None:
+        """The class an instance attribute holds, walking the mro."""
+        for step in self.mro(cls):
+            if attr in step.attr_types:
+                mod = self.modules.get(step.module)
+                for raw in step.attr_types[attr]:
+                    resolved = self.resolve_class(raw, within=mod)
+                    if resolved is not None:
+                        return resolved
+        return None
+
+    def resolve_function(self, canonical: str) -> FunctionInfo | None:
+        """FunctionInfo for a canonical dotted name, trying both
+        ``module.func`` and ``module.Class.method`` shapes."""
+        hit = self.function_index.get(canonical)
+        if hit is not None:
+            return hit
+        if "." in canonical:
+            owner, name = canonical.rsplit(".", 1)
+            ci = self.class_index.get(owner)
+            if ci is not None:
+                return self.lookup_method(ci, name)
+        return None

@@ -9,7 +9,8 @@ from repro.tools.reprolint.runner import LintResult
 __all__ = ["render_human", "render_json"]
 
 #: Bumped when the JSON artifact schema changes shape.
-JSON_SCHEMA_VERSION = 1
+#: v2: findings gained a ``chain`` list (program-rule call/taint hops).
+JSON_SCHEMA_VERSION = 2
 
 
 def render_human(result: LintResult) -> str:
@@ -28,6 +29,8 @@ def render_human(result: LintResult) -> str:
         summary = f"reprolint: clean ({result.n_files} files)"
         if result.suppressed:
             summary += f", {len(result.suppressed)} suppressed"
+    if result.n_cached:
+        summary += f" [{result.n_cached} cached]"
     lines.append(summary)
     return "\n".join(lines)
 

@@ -12,6 +12,15 @@ from repro.tools.reprolint.rules.rl005_readonly_views import ReadonlyViewChecker
 from repro.tools.reprolint.rules.rl006_atomic_write import AtomicWriteChecker
 from repro.tools.reprolint.rules.rl007_telemetry_guard import TelemetryGuardChecker
 from repro.tools.reprolint.rules.rl008_rollover import RolloverDisciplineChecker
+from repro.tools.reprolint.rules.rl009_transitive_lockfree import (
+    TransitiveLockFreeChecker,
+)
+from repro.tools.reprolint.rules.rl010_epoch_provenance import (
+    EpochProvenanceChecker,
+)
+from repro.tools.reprolint.rules.rl011_deadline_propagation import (
+    DeadlinePropagationChecker,
+)
 
 __all__ = [
     "CachePurityChecker",
@@ -22,4 +31,7 @@ __all__ = [
     "AtomicWriteChecker",
     "TelemetryGuardChecker",
     "RolloverDisciplineChecker",
+    "TransitiveLockFreeChecker",
+    "EpochProvenanceChecker",
+    "DeadlinePropagationChecker",
 ]

@@ -132,14 +132,22 @@ class CachePurityChecker(Checker):
                 node.ctx, ast.Load
             ):
                 dotted = dotted_name(node)
+                # match on the canonical name so `from time import
+                # monotonic as now` cannot hide the clock read
+                canonical = self.resolve(dotted)
                 matched = False
                 for prefix in _IMPURE_PREFIXES:
-                    if dotted == prefix.rstrip(".") or dotted.startswith(prefix):
+                    if canonical == prefix.rstrip(".") or canonical.startswith(prefix):
                         # report once, at the outermost matching chain
                         covered.update(id(sub) for sub in ast.walk(node))
+                        shown = (
+                            dotted
+                            if canonical == dotted
+                            else f"{dotted} (= {canonical})"
+                        )
                         self.add(
                             node,
-                            f"stage body {fn.name!r} reads {dotted!r}: stage "
+                            f"stage body {fn.name!r} reads {shown!r}: stage "
                             "outputs are cached under epoch-tagged keys that do "
                             "not encode this input, so a cache hit would return "
                             "a different value than recomputation; move the "

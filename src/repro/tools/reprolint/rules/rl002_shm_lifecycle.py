@@ -39,18 +39,6 @@ def _kw_true(call: ast.Call, name: str) -> bool:
     return False
 
 
-def _is_creation(call: ast.Call) -> bool:
-    callee = call_name(call)
-    last = callee.split(".")[-1]
-    if last in _CREATE_SUFFIXES:
-        return True
-    return last in _CTOR_SUFFIXES and _kw_true(call, "create")
-
-
-def _is_attach(call: ast.Call) -> bool:
-    return call_name(call).split(".")[-1] in _ATTACH_SUFFIXES
-
-
 @register
 class ShmLifecycleChecker(Checker):
     rule = "RL002"
@@ -63,6 +51,17 @@ class ShmLifecycleChecker(Checker):
         # modules where attach-side unlink handling is the whole point
         "attach_unlink_allowed_modules": ("repro.store.shm",),
     }
+
+    def _is_creation(self, call: ast.Call) -> bool:
+        # resolve through the import map so `from repro.store.shm import
+        # create_block as _cb` cannot hide the creation site
+        last = self.resolved_call_name(call).split(".")[-1]
+        if last in _CREATE_SUFFIXES:
+            return True
+        return last in _CTOR_SUFFIXES and _kw_true(call, "create")
+
+    def _is_attach(self, call: ast.Call) -> bool:
+        return self.resolved_call_name(call).split(".")[-1] in _ATTACH_SUFFIXES
 
     def check(self, tree: ast.AST) -> list:
         """Check creation pairing and attach-side unlinks per function."""
@@ -93,12 +92,12 @@ class ShmLifecycleChecker(Checker):
             if isinstance(node, (ast.With, ast.AsyncWith)):
                 for item in node.items:
                     ctx = item.context_expr
-                    if isinstance(ctx, ast.Call) and _is_creation(ctx):
+                    if isinstance(ctx, ast.Call) and self._is_creation(ctx):
                         with_managed.add(id(ctx))
                     elif isinstance(ctx, ast.Name):
                         names_in_with.add(ctx.id)
             elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
-                if _is_creation(node.value):
+                if self._is_creation(node.value):
                     for target in node.targets:
                         if isinstance(target, ast.Name):
                             created[target.id] = node.value
@@ -106,12 +105,12 @@ class ShmLifecycleChecker(Checker):
                             # created straight into an attribute/registry:
                             # ownership lives on the receiving object
                             with_managed.add(id(node.value))
-                elif _is_attach(node.value):
+                elif self._is_attach(node.value):
                     for target in node.targets:
                         if isinstance(target, ast.Name):
                             attached.add(target.id)
             elif isinstance(node, ast.Return) and node.value is not None:
-                if isinstance(node.value, ast.Call) and _is_creation(node.value):
+                if isinstance(node.value, ast.Call) and self._is_creation(node.value):
                     with_managed.add(id(node.value))  # caller takes ownership
                 for name_node in ast.walk(node.value):
                     if isinstance(name_node, ast.Name):
@@ -126,14 +125,14 @@ class ShmLifecycleChecker(Checker):
                                 names_finally_closed.add(parts[0])
 
         for node in own_nodes:
-            if isinstance(node, ast.Call) and _is_creation(node):
+            if isinstance(node, ast.Call) and self._is_creation(node):
                 if id(node) not in with_managed and not _is_assigned_or_returned(
                     node, own_nodes
                 ):
                     bare_creations.append(node)
-            if isinstance(node, ast.Call) and call_name(node).endswith(
-                "atexit.register"
-            ):
+            if isinstance(node, ast.Call) and self.resolved_call_name(
+                node
+            ).endswith("atexit.register"):
                 for arg in ast.walk(node):
                     if isinstance(arg, ast.Name):
                         names_atexit.add(arg.id)

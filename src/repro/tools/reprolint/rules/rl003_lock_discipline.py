@@ -93,6 +93,10 @@ class LockDisciplineChecker(Checker):
         for fn, cls in iter_functions(tree):
             if cls is None:
                 continue
+            # attributes whose inferred type is a threading lock — catches
+            # `self._mtx = _L()` under `from threading import RLock as _L`,
+            # which the configured attr-name match alone cannot see
+            self._lock_typed_attrs = self._lock_attrs_for(cls.name)
             if fn.name in lockfree.get(cls.name, ()):
                 self._check_lockfree(fn)
             if cls.name not in guarded and cls.name not in write_guarded:
@@ -105,11 +109,24 @@ class LockDisciplineChecker(Checker):
             )
         return self.findings
 
+    def _lock_attrs_for(self, class_name: str) -> frozenset[str]:
+        if self.symbols is None:
+            return frozenset()
+        ci = self.symbols.classes.get(class_name)
+        if ci is None:
+            return frozenset()
+        from repro.tools.reprolint.program.ops import lock_attrs_of_class
+
+        return lock_attrs_of_class(ci, self.symbols)
+
     def _is_lock_ctx(self, expr: ast.expr) -> bool:
         dotted = call_name(expr) if isinstance(expr, ast.Call) else ""
         if not dotted and isinstance(expr, (ast.Attribute, ast.Name)):
             dotted = dotted_name(expr)
-        return dotted.split(".")[-1] == self.options["lock_attr"] or dotted.endswith(
+        last = dotted.split(".")[-1]
+        if last in getattr(self, "_lock_typed_attrs", frozenset()):
+            return True
+        return last == self.options["lock_attr"] or dotted.endswith(
             "." + self.options["lock_attr"]
         )
 
@@ -222,7 +239,9 @@ class LockDisciplineChecker(Checker):
                         "*reads* of it are the point — writes are not)",
                     )
             if locked and isinstance(node, ast.Call):
-                dotted = call_name(node)
+                # alias-resolved, so `from time import sleep as zzz`
+                # still reads as time.sleep
+                dotted = self.resolve(call_name(node))
                 parts = dotted.split(".")
                 if parts[-1] in _BLOCKING_CALLEES or (
                     parts[-1] == "map"

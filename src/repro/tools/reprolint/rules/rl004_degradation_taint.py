@@ -82,7 +82,9 @@ class DegradationTaintChecker(Checker):
         args = list(fn.args.args) + list(fn.args.kwonlyargs) + list(fn.args.posonlyargs)
         for arg in args:
             if arg.annotation is not None:
-                ann = dotted_name(arg.annotation).split(".")[-1]
+                # alias-resolved: `import …resilience as r` + `r.DegradationReport`
+                # and `… import DegradationReport as DR` both canonicalize
+                ann = self.resolve(dotted_name(arg.annotation)).split(".")[-1]
                 if ann in taint_classes:
                     tainted.add(arg.arg)
         for node in ast.walk(fn):
@@ -91,7 +93,7 @@ class DegradationTaintChecker(Checker):
             value = node.value
             source_tainted = False
             if isinstance(value, ast.Call):
-                if call_name(value).split(".")[-1] in taint_classes:
+                if self.resolved_call_name(value).split(".")[-1] in taint_classes:
                     source_tainted = True
             elif isinstance(value, (ast.Name, ast.Attribute)):
                 # direct aliasing only: `x = report` / `x = report.events`;

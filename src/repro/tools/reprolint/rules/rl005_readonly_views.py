@@ -25,7 +25,6 @@ from typing import Any
 
 from repro.tools.reprolint.base import (
     Checker,
-    call_name,
     iter_functions,
     register,
     setflags_enables_write,
@@ -77,11 +76,13 @@ class ReadonlyViewChecker(Checker):
         for node in ast.walk(fn):
             if not isinstance(node, ast.Assign):
                 continue
+            # alias-resolved: `from numpy import frombuffer as fb`
+            # still reads as numpy.frombuffer
             calls = [
                 c
                 for c in ast.walk(node.value)
                 if isinstance(c, ast.Call)
-                and call_name(c).split(".")[-1] in producers
+                and self.resolved_call_name(c).split(".")[-1] in producers
             ]
             if not calls:
                 continue
@@ -158,7 +159,8 @@ class ReadonlyViewChecker(Checker):
         raw = tuple(self.options["raw_producers"])
         for name, assign in views.items():
             needs_freeze = any(
-                isinstance(c, ast.Call) and call_name(c).split(".")[-1] in raw
+                isinstance(c, ast.Call)
+                and self.resolved_call_name(c).split(".")[-1] in raw
                 for c in ast.walk(assign.value)
             )
             if needs_freeze and name not in frozen:

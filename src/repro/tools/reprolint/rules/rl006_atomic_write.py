@@ -54,7 +54,13 @@ class AtomicWriteChecker(Checker):
 
     def visit_Call(self, node: ast.Call) -> None:
         """Flag truncating open()/write_text/write_bytes call sites."""
-        if isinstance(node.func, ast.Name) and node.func.id == "open":
+        # alias-resolved: `from io import open as iopen` and
+        # `import builtins as b; b.open(...)` still read as open
+        if isinstance(node.func, ast.Name) and self.resolve(node.func.id) in (
+            "open",
+            "io.open",
+            "builtins.open",
+        ):
             mode = _write_mode(node, first_arg_is_mode=False)
             if mode is not None:
                 self.add(

@@ -83,7 +83,9 @@ class TelemetryGuardChecker(Checker):
                     "(obs.counter_add / obs.observe / obs.gauge_set)",
                 )
                 continue
-            callee = dotted_name(node.func).split(".")[-1]
+            # alias-resolved: `from repro.obs import span as sp` still
+            # reads as repro.obs.span
+            callee = self.resolve(dotted_name(node.func)).split(".")[-1]
             if callee in _SPAN_CALLEES and id(node) not in with_calls:
                 self.add(
                     node,

@@ -41,7 +41,6 @@ from typing import Any
 
 from repro.tools.reprolint.base import (
     Checker,
-    call_name,
     dotted_name,
     iter_functions,
     register,
@@ -82,7 +81,7 @@ class RolloverDisciplineChecker(Checker):
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
-            if call_name(node).split(".")[-1] == swap:
+            if self.resolved_call_name(node).split(".")[-1] == swap:
                 self.add(
                     node,
                     f"call to {swap}() outside the service/ingest modules: "

@@ -1,0 +1,211 @@
+"""RL011 — deadline budgets must survive composition on the query path.
+
+PR 6 gave queries wall-clock deadline budgets checked at stage
+boundaries (RL008 bans mid-stage checks).  That contract only holds if
+every function the query path *reaches* that does per-segment /
+per-supernode / per-tile work either receives the budget (so its caller
+can check before and after) or is an explicitly reviewed boundary-atomic
+kernel.  A refactor that extracts a loop into a helper and drops the
+``deadline`` parameter silently unbounds the query — no per-file rule
+can see it.
+
+RL011 walks the call graph from the query roots and flags any reachable
+function that loops over collection names matching the configured
+tokens (``segment``, ``supernode``, ``tile``, …) unless it
+
+* accepts a deadline/budget-ish parameter (``deadline``,
+  ``deadline_s``, ``budget``…), or
+* carries ``# reprolint: exempt=RL011 — <why>`` on/above its ``def``:
+  the marker for RL008-style boundary-atomic kernels, reviewed rather
+  than silently skipped.
+
+Additionally, a caller that *has* a deadline parameter and calls a
+known function that *accepts one without passing it on* is flagged —
+the drop site itself — when the callee transitively contains such a
+loop.  Findings render the call chain from the root.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.tools.reprolint.base import ProgramChecker, register
+from repro.tools.reprolint.model import ChainHop, Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tools.reprolint.program.analysis import ProgramAnalysis
+    from repro.tools.reprolint.program.callgraph import Edge
+    from repro.tools.reprolint.program.symbols import FunctionInfo
+
+
+@register
+class DeadlinePropagationChecker(ProgramChecker):
+    rule = "RL011"
+    summary = (
+        "query-path functions looping over segments/supernodes/tiles "
+        "must accept and thread the deadline budget (or be annotated "
+        "`# reprolint: exempt=RL011`)"
+    )
+    default_options = {
+        "roots": {
+            "SessionView": ("run_query",),
+            "SharedQueryEngine": ("query", "query_all_colors"),
+            "CoordinatedBrushingEngine": ("query", "query_all_colors"),
+            "ExplorationSession": ("run_query",),
+        },
+        # substrings of names a flagged loop iterates over
+        "loop_tokens": (
+            "segment",
+            "supernode",
+            "tile",
+            "stamp",
+            "traj",
+            "center",
+            "cell",
+        ),
+        # parameter names that count as carrying the budget
+        "deadline_params": ("deadline", "deadline_s", "budget", "budget_s"),
+    }
+
+    def _has_deadline_param(self, fn: "FunctionInfo") -> bool:
+        params = set(self.options["deadline_params"])
+        return any(p in params for p in fn.params)
+
+    def _keyword_loops(self, analysis, fn: "FunctionInfo"):
+        tokens = tuple(self.options["loop_tokens"])
+        for loop in analysis.loops_of(fn):
+            hits = sorted(
+                {
+                    name
+                    for name in loop.names
+                    for token in tokens
+                    if token in name.lower()
+                }
+            )
+            if hits:
+                yield loop, hits
+
+    def check_program(self, analysis: "ProgramAnalysis") -> list[Finding]:
+        """Flag reachable keyword-loopers with no deadline parameter and
+        call sites that hold a deadline but drop it."""
+        roots = analysis.resolve_roots(self.options["roots"])
+        root_quals = sorted(roots)
+        paths = analysis.graph.reachable_from(root_quals)
+        reported: set[tuple[str, int]] = set()
+
+        for qualname in sorted(paths):
+            fn = analysis.project.function_index.get(qualname)
+            if fn is None or self.rule in fn.exempt:
+                continue
+            if self._has_deadline_param(fn):
+                self._check_drops(analysis, fn, paths[qualname], reported)
+                continue
+            for loop, hits in self._keyword_loops(analysis, fn):
+                key = (loop.path, loop.line)
+                if key in reported:
+                    continue
+                reported.add(key)
+                self._report_loop(fn, paths[qualname], loop, hits)
+        return self.findings
+
+    def _check_drops(
+        self,
+        analysis,
+        fn: "FunctionInfo",
+        path_edges: list["Edge"],
+        reported: set[tuple[str, int]],
+    ) -> None:
+        """``fn`` holds the budget; flag calls that drop it into a
+        deadline-accepting callee that loops over keyword collections."""
+        params = set(self.options["deadline_params"])
+        for edge in analysis.graph.callees(fn.qualname):
+            callee = analysis.project.function_index.get(edge.callee)
+            if callee is None or edge.heuristic:
+                continue
+            accepted = [p for p in callee.params if p in params]
+            if not accepted:
+                continue
+            if not any(True for _ in self._keyword_loops(analysis, callee)):
+                continue
+            if self._call_passes_deadline(fn, edge.site.line, params):
+                continue
+            key = (edge.site.path, edge.site.line)
+            if key in reported:
+                continue
+            reported.add(key)
+            chain = self._chain(path_edges) + [
+                ChainHop(
+                    edge.site.path,
+                    edge.site.line,
+                    f"calls {edge.callee} without passing "
+                    f"`{accepted[0]}`",
+                )
+            ]
+            self.add_at(
+                edge.site.path,
+                edge.site.line,
+                f"{fn.qualname} holds a deadline budget but calls "
+                f"{edge.callee} (which accepts `{accepted[0]}` and loops "
+                f"over bounded work) without threading it; pass the "
+                f"budget through",
+                chain=tuple(chain),
+            )
+
+    def _call_passes_deadline(
+        self, fn: "FunctionInfo", line: int, params: set[str]
+    ) -> bool:
+        for node in ast.walk(fn.node):
+            if not (isinstance(node, ast.Call) and node.lineno == line):
+                continue
+            for kw in node.keywords:
+                if kw.arg in params or kw.arg is None:
+                    return True
+            for arg in node.args:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Name) and sub.id in params:
+                        return True
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and sub.attr in params
+                    ):
+                        return True
+        return False
+
+    def _chain(self, path_edges: list["Edge"]) -> list[ChainHop]:
+        return [
+            ChainHop(
+                e.site.path,
+                e.site.line,
+                f"calls {e.callee}"
+                + (" (receiver-heuristic)" if e.heuristic else ""),
+            )
+            for e in path_edges
+        ]
+
+    def _report_loop(self, fn, path_edges, loop, hits) -> None:
+        chain = self._chain(path_edges)
+        chain.append(
+            ChainHop(
+                fn.path,
+                fn.lineno,
+                f"{fn.qualname} accepts no deadline/budget parameter",
+            )
+        )
+        chain.append(
+            ChainHop(
+                loop.path,
+                loop.line,
+                f"loops over {', '.join(hits)}",
+            )
+        )
+        self.add_at(
+            fn.path,
+            fn.lineno,
+            f"{fn.qualname} is reachable from the query path and loops "
+            f"over {', '.join(hits)} (line {loop.line}) but accepts no "
+            f"deadline/budget parameter; thread the budget through, or "
+            f"annotate the def `# reprolint: exempt=RL011 — <why>` if "
+            f"the loop is boundary-atomic",
+            chain=tuple(chain),
+        )

@@ -3,6 +3,18 @@
 The runner is deliberately dependency-free (stdlib ``ast`` only) so it
 can run in CI before the package's own dependencies install, and fast
 enough (<1 s over this tree) to sit in a pre-commit hook.
+
+Two rule kinds dispatch differently:
+
+* **Per-file rules** run once per (file, rule) pair against that file's
+  AST plus its :class:`ModuleSymbols` (import-alias resolution).
+* **Program rules** (``program_scope=True``) run once per lint run
+  against a :class:`ProgramAnalysis` over every file, land findings in
+  whatever file each violation's root lives in, and go through the same
+  scoping/suppression filters per finding location.
+
+``--changed-only`` layers the :mod:`incremental` cache on top: content
+hashes gate per-file work, interface summaries gate program re-runs.
 """
 
 from __future__ import annotations
@@ -10,16 +22,24 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any
 
 import repro.tools.reprolint.rules  # noqa: F401  (registers all checkers)
 from repro.tools.reprolint.base import checker_for, registered_rules
-from repro.tools.reprolint.config import DEFAULT_CONFIG, LintConfig
+from repro.tools.reprolint.config import DEFAULT_CONFIG, LintConfig, module_name_for
+from repro.tools.reprolint.incremental import (
+    LintCache,
+    content_hash,
+    tool_fingerprint,
+)
 from repro.tools.reprolint.model import FileReport, Finding
 from repro.tools.reprolint.suppress import SuppressionIndex
 
 __all__ = ["LintResult", "lint_source", "lint_file", "lint_paths", "iter_python_files"]
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+DEFAULT_CACHE_DIR = ".reprolint_cache"
 
 
 @dataclass
@@ -28,6 +48,10 @@ class LintResult:
 
     reports: list[FileReport] = field(default_factory=list)
     n_files: int = 0
+    #: ``--callgraph-dump`` payload, present when program analysis ran
+    callgraph: dict[str, Any] | None = None
+    #: files served from the incremental cache (observability only)
+    n_cached: int = 0
 
     @property
     def findings(self) -> list[Finding]:
@@ -72,23 +96,47 @@ def iter_python_files(paths: list[str | Path]) -> list[Path]:
     return list(seen)
 
 
+def _per_file_rules() -> list[str]:
+    return [r for r in registered_rules() if not checker_for(r).program_scope]
+
+
+def _program_rules() -> list[str]:
+    return [r for r in registered_rules() if checker_for(r).program_scope]
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     config: LintConfig = DEFAULT_CONFIG,
+    *,
+    tree: ast.Module | None = None,
+    symbols: "Any | None" = None,
 ) -> FileReport:
-    """Lint one already-read source blob (unit tests hook in here)."""
+    """Lint one already-read source blob (unit tests hook in here).
+
+    Runs per-file rules only — program rules need the whole tree and go
+    through :func:`lint_paths` with ``program=True``.
+    """
+    from repro.tools.reprolint.program.symbols import ModuleSymbols
+
     report = FileReport(path=str(path))
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        report.parse_error = f"line {exc.lineno}: {exc.msg}"
-        return report
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            report.parse_error = f"line {exc.lineno}: {exc.msg}"
+            return report
+    if symbols is None:
+        symbols = ModuleSymbols.from_source(
+            source, str(path), module_name_for(path), tree=tree
+        )
     suppressions = SuppressionIndex(source)
-    for rule in registered_rules():
+    for rule in _per_file_rules():
         if not config.rule_applies(rule, path):
             continue
-        checker = checker_for(rule)(str(path), config.options_for(rule))
+        checker = checker_for(rule)(
+            str(path), config.options_for(rule), symbols=symbols
+        )
         for finding in checker.check(tree):
             if suppressions.is_suppressed(finding):
                 report.suppressed.append(finding)
@@ -109,15 +157,170 @@ def lint_file(path: str | Path, config: LintConfig = DEFAULT_CONFIG) -> FileRepo
     return lint_source(source, str(path), config)
 
 
+def _run_program_rules(
+    analysis: "Any",
+    config: LintConfig,
+    sources: dict[str, str],
+) -> list[FileReport]:
+    """Run every program rule once; filter per finding location."""
+    suppression_cache: dict[str, SuppressionIndex] = {}
+    by_path: dict[str, FileReport] = {}
+    for rule in _program_rules():
+        if config.enabled is not None and rule not in config.enabled:
+            continue
+        checker = checker_for(rule)(config.options_for(rule))
+        for finding in checker.check_program(analysis):
+            if not config.rule_applies(rule, finding.path):
+                continue
+            report = by_path.setdefault(
+                finding.path, FileReport(path=finding.path)
+            )
+            index = suppression_cache.get(finding.path)
+            if index is None and finding.path in sources:
+                index = SuppressionIndex(sources[finding.path])
+                suppression_cache[finding.path] = index
+            if index is not None and index.is_suppressed(finding):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    for report in by_path.values():
+        report.findings.sort()
+    return [by_path[p] for p in sorted(by_path)]
+
+
 def lint_paths(
     paths: list[str | Path],
     config: LintConfig = DEFAULT_CONFIG,
+    *,
+    program: bool = False,
+    with_callgraph: bool = False,
+    changed_only: bool = False,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
 ) -> LintResult:
-    """Lint every ``.py`` file under ``paths``."""
+    """Lint every ``.py`` file under ``paths``.
+
+    ``program=True`` additionally runs the whole-program rules;
+    ``with_callgraph=True`` attaches the call-graph dump to the result
+    (implied analysis build even without program rules);
+    ``changed_only=True`` consults/updates the incremental cache.
+    """
+    from repro.tools.reprolint.program.analysis import ProgramAnalysis
+    from repro.tools.reprolint.program.symbols import ModuleSymbols
+
     result = LintResult()
-    for path in iter_python_files(paths):
-        report = lint_file(path, config)
-        result.n_files += 1
-        if report.findings or report.suppressed or report.parse_error:
+    files = iter_python_files(paths)
+    result.n_files = len(files)
+
+    # read + hash everything up front (unreadable files become reports)
+    sources: dict[str, str] = {}
+    shas: dict[str, str] = {}
+    for path in files:
+        key = str(path)
+        try:
+            sources[key] = Path(path).read_text(encoding="utf-8")
+            shas[key] = content_hash(sources[key])
+        except (OSError, UnicodeDecodeError) as exc:
+            report = FileReport(path=key)
+            report.parse_error = f"unreadable: {exc}"
             result.reports.append(report)
+
+    cache: LintCache | None = None
+    fingerprint = ""
+    if changed_only:
+        fingerprint = tool_fingerprint(repr((config, program)))
+        cache = LintCache(cache_dir)
+        cache.load(fingerprint)
+
+    # tier 2: nothing changed at all → serve the whole run from cache
+    if (
+        cache is not None
+        and cache.loaded
+        and cache.all_unchanged(shas)
+        and (not program or cache.program_signature is not None)
+        and not with_callgraph
+    ):
+        for key in shas:
+            cached = cache.file_report(key, shas[key])
+            if cached is not None and (
+                cached.findings or cached.suppressed or cached.parse_error
+            ):
+                result.reports.append(cached)
+        if program:
+            result.reports.extend(cache.program_reports() or [])
+        result.n_cached = len(shas)
+        return result
+
+    # per-file pass (tier 1: sha-hit files reuse their cached report)
+    trees: dict[str, ast.Module] = {}
+    symbols: dict[str, ModuleSymbols] = {}
+    file_reports: dict[str, FileReport] = {}
+    changed: set[str] = set()
+
+    def _parse(key: str) -> ast.Module | None:
+        if key in trees:
+            return trees[key]
+        try:
+            tree = ast.parse(sources[key], filename=key)
+        except SyntaxError:
+            return None
+        trees[key] = tree
+        symbols[key] = ModuleSymbols.from_source(
+            sources[key], key, module_name_for(key), tree=tree
+        )
+        return tree
+
+    for key in shas:
+        cached = cache.file_report(key, shas[key]) if cache is not None else None
+        if cached is not None:
+            file_reports[key] = cached
+            result.n_cached += 1
+            continue
+        changed.add(key)
+        tree = _parse(key)
+        if tree is None:
+            file_reports[key] = lint_source(sources[key], key, config)
+            continue
+        file_reports[key] = lint_source(
+            sources[key], key, config, tree=tree, symbols=symbols[key]
+        )
+
+    program_reports: list[FileReport] | None = None
+    program_signature: str | None = None
+    if program or with_callgraph:
+        parsed: list[tuple[str, str, str, ast.Module]] = []
+        for key in shas:
+            tree = _parse(key)
+            if tree is not None:
+                parsed.append((key, module_name_for(key), sources[key], tree))
+        analysis = ProgramAnalysis(
+            {symbols[key].module: symbols[key] for key, _, _, _ in parsed}
+        )
+        if with_callgraph:
+            result.callgraph = analysis.graph.dump()
+        if program:
+            program_signature = analysis.program_signature()
+            reuse = (
+                cache is not None
+                and cache.loaded
+                and program_signature == cache.program_signature
+                and not (changed & cache.program_hosts())
+            )
+            if reuse and cache is not None:
+                program_reports = cache.program_reports() or []
+            else:
+                program_reports = _run_program_rules(analysis, config, sources)
+
+    for key in shas:
+        report = file_reports.get(key)
+        if report is not None and (
+            report.findings or report.suppressed or report.parse_error
+        ):
+            result.reports.append(report)
+    if program_reports:
+        result.reports.extend(program_reports)
+
+    if cache is not None:
+        cache.store(
+            fingerprint, shas, file_reports, program_signature, program_reports
+        )
     return result

@@ -1,0 +1,13 @@
+"""Journal helper whose append fsyncs — the op RL009 must surface."""
+
+import os
+
+
+class Journal:
+    def __init__(self, path):
+        self._fh = open(path, "a")
+
+    def append(self, record):
+        self._fh.write(record)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())

@@ -1,0 +1,17 @@
+"""Declared-lock-free query path that transitively reaches a blocking
+call two hops away, in another file — invisible to any per-file rule."""
+
+from journal import Journal
+
+
+class SessionView:
+    def __init__(self, path):
+        self.journal = Journal(path)
+
+    def run_query(self, color):
+        result = {"color": color}
+        self._log("query", result)
+        return result
+
+    def _log(self, kind, detail):
+        self.journal.append(f"{kind}:{detail}\n")

@@ -1,0 +1,17 @@
+"""Clean twin of the transitive-lock-free fixture: same call shape,
+no blocking op anywhere on the reachable path."""
+
+from journal import Journal
+
+
+class SessionView:
+    def __init__(self, path):
+        self.journal = Journal(path)
+
+    def run_query(self, color):
+        result = {"color": color}
+        self._log("query", result)
+        return result
+
+    def _log(self, kind, detail):
+        self.journal.append(f"{kind}:{detail}\n")

@@ -1,0 +1,12 @@
+"""Rows from one pin combined with a mask from another — the exact
+mid-rollover wrong-answer bug RL010 exists to catch statically."""
+
+
+def mix_epochs(service):
+    snap_a = service._pin_active()
+    snap_b = service._pin_active()
+    return combine(snap_a.table, snap_b.mask)
+
+
+def combine(rows, mask):
+    return [rows, mask]

@@ -1,0 +1,13 @@
+"""Snapshot store whose pin sites seed the provenance taint."""
+
+
+class Snapshot:
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self.table = [epoch]
+        self.mask = [epoch]
+
+
+class Service:
+    def _pin_active(self):
+        return Snapshot(0)

@@ -1,0 +1,13 @@
+"""Clean twin's snapshot store (same shape as the bad package's)."""
+
+
+class Snapshot:
+    def __init__(self, epoch):
+        self.epoch = epoch
+        self.table = [epoch]
+        self.mask = [epoch]
+
+
+class Service:
+    def _pin_active(self):
+        return Snapshot(0)

@@ -1,0 +1,36 @@
+"""Query root whose helpers loop over bounded work without the budget.
+
+Two seeded violations and one reviewed exemption:
+
+* ``scan_segments`` — reachable, loops over segments, accepts no
+  deadline parameter (flagged at its def).
+* ``refine_tiles`` — accepts the budget, but ``query`` drops it at the
+  call site (flagged at the call).
+* ``exempt_kernel`` — boundary-atomic, annotated, must stay silent.
+"""
+
+from kernels import exempt_kernel
+
+
+class SharedQueryEngine:
+    def __init__(self, segments):
+        self.segments = segments
+
+    def query(self, color, deadline_s=None):
+        part = scan_segments(self.segments, color)
+        part = refine_tiles(part)
+        return exempt_kernel(part)
+
+
+def scan_segments(segments, color):
+    hits = []
+    for seg in segments:
+        hits.append((seg, color))
+    return hits
+
+
+def refine_tiles(tiles, deadline_s=None):
+    out = []
+    for tile in tiles:
+        out.append(tile)
+    return out

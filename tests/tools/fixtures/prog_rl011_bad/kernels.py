@@ -1,0 +1,10 @@
+"""Reviewed boundary-atomic kernel: exempt, never flagged."""
+
+
+# reprolint: exempt=RL011 — boundary-atomic kernel fixture: the caller
+# checks the deadline at the stage boundary around this call
+def exempt_kernel(supernodes):
+    total = 0
+    for node in supernodes:
+        total += 1 if node else 0
+    return total

@@ -1,0 +1,24 @@
+"""Clean twin: every reachable keyword loop receives the budget."""
+
+
+class SharedQueryEngine:
+    def __init__(self, segments):
+        self.segments = segments
+
+    def query(self, color, deadline_s=None):
+        part = scan_segments(self.segments, color, deadline_s=deadline_s)
+        return refine_tiles(part, deadline_s)
+
+
+def scan_segments(segments, color, deadline_s=None):
+    hits = []
+    for seg in segments:
+        hits.append((seg, color))
+    return hits
+
+
+def refine_tiles(tiles, deadline_s=None):
+    out = []
+    for tile in tiles:
+        out.append(tile)
+    return out

@@ -1,0 +1,28 @@
+"""Aliased-import regression fixture.
+
+Both renaming forms — ``from X import y as z`` and ``import a.b as c``
+— historically evaded the dotted-string matching in RL002/RL003; the
+symbol table resolves them back to canonical names.
+"""
+
+import repro.store.shm as s
+from repro.store.shm import create_block as _cb
+from threading import RLock as _L
+
+
+def leaky(nbytes):
+    _cb("plane", nbytes)
+
+
+def consumer_unlink(name):
+    block = s.attach_block(name)
+    block.unlink()
+
+
+class DatasetService:
+    def __init__(self):
+        self._mtx = _L()
+
+    def _pin_active(self):
+        with self._mtx:
+            return object()

@@ -1,0 +1,29 @@
+"""Clean twin of the aliased-import regression fixture: the same
+aliases used correctly (paired creation, no attach-side unlink, the
+aliased lock only in mutation methods)."""
+
+import repro.store.shm as s
+from repro.store.shm import create_block as _cb
+from threading import RLock as _L
+
+
+def paired(nbytes):
+    block = _cb("plane", nbytes)
+    try:
+        return block.size
+    finally:
+        block.close()
+
+
+def consumer(name):
+    block = s.attach_block(name)
+    return block
+
+
+class DatasetService:
+    def __init__(self):
+        self._mtx = _L()
+
+    def mutate(self):
+        with self._mtx:
+            return object()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import subprocess
 import sys
 from pathlib import Path
@@ -30,7 +31,9 @@ from repro.tools.reprolint import (
     lint_source,
     registered_rules,
 )
+from repro.tools.reprolint.base import checker_for
 from repro.tools.reprolint.config import module_name_for
+from repro.tools.reprolint.program.symbols import exempt_rules_for_line
 from repro.tools.reprolint.report import render_human, render_json
 
 FIXTURES = Path(__file__).parent / "fixtures"
@@ -85,8 +88,33 @@ GOLDEN = {
 }
 
 
+#: program rule → (bad package dir, {(file, line), ...}, clean package dir)
+PROGRAM_GOLDEN = {
+    "RL009": (
+        "prog_rl009_bad",
+        {("svc.py", 11)},
+        "prog_rl009_clean",
+    ),
+    "RL010": (
+        "prog_rl010_bad",
+        {("query.py", 8)},
+        "prog_rl010_clean",
+    ),
+    "RL011": (
+        "prog_rl011_bad",
+        {("engine.py", 21), ("engine.py", 25)},
+        "prog_rl011_clean",
+    ),
+}
+
+
 def _lint(name: str):
     return lint_file(FIXTURES / name, UNSCOPED)
+
+
+def _lint_program(package: str, rule: str):
+    config = LintConfig(unscoped=True, enabled=(rule,))
+    return lint_paths([FIXTURES / package], config, program=True)
 
 
 # Golden fixtures ------------------------------------------------------------
@@ -108,7 +136,187 @@ def test_clean_twin_is_clean(rule):
 
 
 def test_all_rules_covered_by_fixtures():
-    assert set(GOLDEN) == set(registered_rules())
+    per_file = {
+        r for r in registered_rules() if not checker_for(r).program_scope
+    }
+    program = {r for r in registered_rules() if checker_for(r).program_scope}
+    assert set(GOLDEN) == per_file
+    assert set(PROGRAM_GOLDEN) == program
+    assert program == {"RL009", "RL010", "RL011"}
+
+
+def test_alias_regressions():
+    """`from X import y as z` / `import a.b as c` cannot evade the
+    symbol-table-resolved rules (the pre-program-analysis blind spot)."""
+    report = _lint("rl_alias_bad.py")
+    got = {(f.line, f.rule) for f in report.findings}
+    assert got == {
+        (14, "RL002"),  # aliased create_block, created and dropped
+        (19, "RL002"),  # attach via module alias, then unlink
+        (27, "RL003"),  # aliased RLock attr entered on the lock-free path
+    }, sorted(got)
+
+    clean = _lint("rl_alias_clean.py")
+    assert clean.findings == [], [f.render() for f in clean.findings]
+
+
+# Program rules (RL009–RL011) ------------------------------------------------
+
+@pytest.mark.parametrize("rule", sorted(PROGRAM_GOLDEN))
+def test_program_seeded_violations_found(rule):
+    bad, expected, _clean = PROGRAM_GOLDEN[rule]
+    result = _lint_program(bad, rule)
+    got = {(Path(f.path).name, f.line) for f in result.findings}
+    assert got == expected, "\n".join(f.render() for f in result.findings)
+    assert all(f.rule == rule for f in result.findings)
+
+
+@pytest.mark.parametrize("rule", sorted(PROGRAM_GOLDEN))
+def test_program_clean_twin_is_clean(rule):
+    _bad, _expected, clean = PROGRAM_GOLDEN[rule]
+    result = _lint_program(clean, rule)
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)
+    assert result.parse_errors == []
+
+
+def test_rl009_chain_renders_cross_file_hops():
+    """The finding walks the whole call chain, file:line per hop, ending
+    at the blocking op in the *other* file."""
+    result = _lint_program("prog_rl009_bad", "RL009")
+    (finding,) = result.findings
+    assert finding.chain, "program finding must carry a chain"
+    hops = [(Path(h.path).name, h.line) for h in finding.chain]
+    assert hops == [
+        ("svc.py", 11),      # declared lock-free root
+        ("svc.py", 13),      # calls SessionView._log
+        ("svc.py", 17),      # calls Journal.append
+        ("journal.py", 13),  # os.fsync
+    ]
+    rendered = finding.render()
+    assert rendered.count("    via ") == 4
+    assert "journal.py:13: makes a blocking call: os.fsync()" in rendered
+    assert "declared lock-free" in rendered
+
+
+def test_rl010_chain_names_both_pin_sites():
+    result = _lint_program("prog_rl010_bad", "RL010")
+    (finding,) = result.findings
+    notes = [h.note for h in finding.chain]
+    assert sum("snapshot pinned via" in n for n in notes) == 2
+    assert any("mixed here" in n for n in notes)
+    pin_lines = sorted(h.line for h in finding.chain if "pinned" in h.note)
+    assert pin_lines == [6, 7]
+
+
+def test_rl011_chain_and_messages():
+    result = _lint_program("prog_rl011_bad", "RL011")
+    by_line = {f.line: f for f in result.findings}
+    # drop site: the caller holds the budget and fails to pass it on
+    assert "without threading it" in by_line[21].message
+    assert any("without passing" in h.note for h in by_line[21].chain)
+    # missing parameter: flagged at the def, chain ends at the loop
+    assert "accepts no deadline/budget parameter" in by_line[25].message
+    assert by_line[25].chain[-1].note == "loops over segments"
+    assert by_line[25].chain[-1].line == 27
+    # the annotated kernel is exempt, not flagged
+    assert not any("exempt_kernel" in f.message for f in result.findings)
+
+
+def test_exempt_marker_parsing():
+    lines = [
+        "# reprolint: exempt=RL011 — boundary-atomic kernel: the",
+        "# caller checks the deadline at the stage boundary",
+        "def kernel(tiles):",
+        "    pass",
+    ]
+    assert exempt_rules_for_line(lines, 3) == frozenset({"RL011"})
+    # marker on the def line itself
+    assert exempt_rules_for_line(
+        ["def f():  # reprolint: exempt=RL009,RL011 — reviewed"], 1
+    ) == frozenset({"RL009", "RL011"})
+    # non-comment line breaks the upward scan
+    assert exempt_rules_for_line(
+        ["# reprolint: exempt=RL011", "x = 1", "def f():"], 3
+    ) == frozenset()
+
+
+def test_callgraph_snapshot_for_seeded_package():
+    """Golden call-graph snapshot over the RL009 mini-package: every
+    call site resolves to the expected project edge, none heuristic."""
+    config = LintConfig(unscoped=True, enabled=("RL009",))
+    result = lint_paths(
+        [FIXTURES / "prog_rl009_bad"], config, program=True, with_callgraph=True
+    )
+    assert result.callgraph is not None
+    edges = {
+        (e["caller"], e["callee"], e["line"], e["heuristic"])
+        for e in result.callgraph["edges"]
+    }
+    assert edges == {
+        ("svc.SessionView.__init__", "journal.Journal.__init__", 9, False),
+        ("svc.SessionView.run_query", "svc.SessionView._log", 13, False),
+        ("svc.SessionView._log", "journal.Journal.append", 17, False),
+    }
+    external = {
+        (e["caller"], e["callee"]) for e in result.callgraph["external"]
+    }
+    assert ("journal.Journal.append", "os.fsync") in external
+
+
+# Incremental cache (--changed-only) -----------------------------------------
+
+def _copy_package(tmp_path, package: str) -> Path:
+    dest = tmp_path / package
+    shutil.copytree(FIXTURES / package, dest)
+    return dest
+
+
+def test_changed_only_serves_unchanged_run_from_cache(tmp_path):
+    pkg = _copy_package(tmp_path, "prog_rl009_bad")
+    config = LintConfig(unscoped=True, enabled=("RL009",))
+    cache_dir = tmp_path / "cache"
+
+    first = lint_paths(
+        [pkg], config, program=True, changed_only=True, cache_dir=cache_dir
+    )
+    assert len(first.findings) == 1 and first.n_cached == 0
+
+    second = lint_paths(
+        [pkg], config, program=True, changed_only=True, cache_dir=cache_dir
+    )
+    assert second.n_cached == second.n_files == 2
+    assert [f.render() for f in second.findings] == [
+        f.render() for f in first.findings
+    ]
+
+
+def test_changed_only_recomputes_after_edit(tmp_path):
+    pkg = _copy_package(tmp_path, "prog_rl009_bad")
+    config = LintConfig(unscoped=True, enabled=("RL009",))
+    cache_dir = tmp_path / "cache"
+
+    first = lint_paths(
+        [pkg], config, program=True, changed_only=True, cache_dir=cache_dir
+    )
+    assert len(first.findings) == 1
+
+    # remove the fsync: the dependency's interface summary changes, so
+    # the cached program findings must be invalidated, not replayed
+    journal = pkg / "journal.py"
+    journal.write_text(
+        journal.read_text(encoding="utf-8").replace(
+            "        os.fsync(self._fh.fileno())\n", ""
+        ),
+        encoding="utf-8",
+    )
+    second = lint_paths(
+        [pkg], config, program=True, changed_only=True, cache_dir=cache_dir
+    )
+    assert second.findings == [], "\n".join(
+        f.render() for f in second.findings
+    )
+    # the unchanged file is still served from cache
+    assert second.n_cached == 1
 
 
 def test_findings_carry_location_and_message():
@@ -211,12 +419,25 @@ def test_parse_error_reported_not_crashing(tmp_path):
 def test_json_report_schema():
     result = lint_paths([FIXTURES / "rl006_bad.py"], UNSCOPED)
     doc = json.loads(render_json(result))
-    assert doc["version"] == 1
+    assert doc["version"] == 2
     assert doc["ok"] is False
     assert doc["summary"]["findings"] == 2
     assert {f["rule"] for f in doc["findings"]} == {"RL006"}
     for f in doc["findings"]:
-        assert set(f) == {"path", "line", "col", "rule", "severity", "message"}
+        assert set(f) == {
+            "path", "line", "col", "rule", "severity", "message", "chain",
+        }
+        assert f["chain"] == []  # per-file rules carry no chain
+
+
+def test_json_report_chain_hops():
+    config = LintConfig(unscoped=True, enabled=("RL009",))
+    result = lint_paths([FIXTURES / "prog_rl009_bad"], config, program=True)
+    doc = json.loads(render_json(result))
+    (finding,) = doc["findings"]
+    assert len(finding["chain"]) == 4
+    for hop in finding["chain"]:
+        assert set(hop) == {"path", "line", "note"}
 
 
 def test_human_output_mentions_every_finding():
@@ -264,9 +485,54 @@ def test_cli_rules_filter_and_list():
     assert proc.returncode == 0
     for rule in registered_rules():
         assert rule in proc.stdout
+    # program-scope rules are tagged so readers know they need --program
+    for line in proc.stdout.splitlines():
+        if any(r in line for r in ("RL009", "RL010", "RL011")):
+            assert "[program]" in line
 
     proc = _run_cli("--rules", "RL999")
     assert proc.returncode == 2
+
+
+def test_cli_program_mode_and_callgraph_dump(tmp_path):
+    dump = tmp_path / "callgraph.json"
+    proc = _run_cli(
+        str(FIXTURES / "prog_rl009_bad"), "--unscoped",
+        "--program", "--rules", "RL009",
+        "--callgraph-dump", str(dump),
+    )
+    assert proc.returncode == 1
+    assert "RL009" in proc.stdout and "via " in proc.stdout
+
+    doc = json.loads(dump.read_text())
+    assert {e["callee"] for e in doc["edges"]} == {
+        "journal.Journal.__init__",
+        "svc.SessionView._log",
+        "journal.Journal.append",
+    }
+
+    proc = _run_cli(
+        str(FIXTURES / "prog_rl009_clean"), "--unscoped",
+        "--program", "--rules", "RL009",
+    )
+    assert proc.returncode == 0
+
+
+def test_cli_changed_only_uses_cache(tmp_path):
+    pkg = tmp_path / "pkg"
+    shutil.copytree(FIXTURES / "prog_rl009_clean", pkg)
+    cache = tmp_path / "cache"
+    args = (
+        str(pkg), "--unscoped", "--program", "--rules", "RL009",
+        "--changed-only", "--cache-dir", str(cache),
+    )
+    proc = _run_cli(*args)
+    assert proc.returncode == 0
+    assert cache.is_dir()
+
+    proc = _run_cli(*args)
+    assert proc.returncode == 0
+    assert "cached" in proc.stdout
 
 
 # Meta: the tree itself ------------------------------------------------------
@@ -279,6 +545,17 @@ def test_src_is_clean_at_head():
     reviewed `# reprolint: disable=` with a comment saying why).
     """
     result = lint_paths([SRC], DEFAULT_CONFIG)
+    assert result.parse_errors == []
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)
+
+
+def test_src_is_clean_under_program_analysis():
+    """The interprocedural rules (RL009–RL011) must also hold at HEAD.
+
+    Every allowlist entry and ``# reprolint: exempt=`` annotation that
+    keeps this green is a reviewed decision — see DESIGN.md §14.
+    """
+    result = lint_paths([SRC], DEFAULT_CONFIG, program=True)
     assert result.parse_errors == []
     assert result.findings == [], "\n".join(f.render() for f in result.findings)
 

@@ -129,6 +129,14 @@ def test_q3_shared_store(full_dataset, ship_dataset, viewport, arena, report_sin
 
     with SharedArenaStore.publish(full_dataset) as store:
         # --- parallel frame render over the store -----------------------
+        # Wall-size brushed frames: a 4x2-panel wall at 256x144 px per
+        # panel, an 8x4 small-multiple grid, and a 6-stamp 3-color brush
+        # with its highlights evaluated once in the parent.  This is the
+        # workload the batched shared-framebuffer transport is built
+        # for: batches amortize the per-(cell size, color) footprint
+        # raster across each worker's tile list, and slot writes replace
+        # the per-tile pixel ship-back.
+        from repro.core.engine import CoordinatedBrushingEngine
         from repro.display.bezel import BezelSpec
         from repro.display.viewport import Viewport
         from repro.display.wall import DisplayWall
@@ -140,41 +148,73 @@ def test_q3_shared_store(full_dataset, ship_dataset, viewport, arena, report_sin
         from repro.synth.arena import Arena
 
         wall = DisplayWall(
-            cols=2, rows=1, panel_width=0.3, panel_height=0.16875,
-            panel_px_width=160, panel_px_height=90, bezel=BezelSpec(),
+            cols=4, rows=2, panel_width=0.3, panel_height=0.16875,
+            panel_px_width=256, panel_px_height=144, bezel=BezelSpec(),
         )
-        small_viewport = Viewport(wall)
-        grid = BezelAwareGrid(small_viewport, 4, 2)
-        renderer = WallRenderer(full_dataset, Arena(), small_viewport)
+        frame_viewport = Viewport(wall)
+        grid = BezelAwareGrid(frame_viewport, 8, 4)
+        renderer = WallRenderer(full_dataset, Arena(), frame_viewport)
         assignment = assign_sequential(full_dataset, grid)
-
-        serial = render_viewport_parallel(renderer, assignment, max_workers=0)
-        pooled = render_viewport_parallel(
-            renderer, assignment, max_workers=4, store=store
-        )
-        assert not pooled.degraded, pooled.degradation.summary()
-        for eye in (Eye.LEFT, Eye.RIGHT):  # acceptance: bit-identical
-            for key in serial.frames[eye]:
-                np.testing.assert_array_equal(
-                    serial.frames[eye][key].data, pooled.frames[eye][key].data
+        canvas = BrushCanvas()
+        colors = ("red", "blue", "green")
+        r = arena.radius
+        for i in range(6):
+            x0 = -r + 0.22 * r * i
+            canvas.add(
+                stroke_from_rect(
+                    (x0, -0.6 * r), (x0 + 0.3 * r, 0.5 * r),
+                    0.1 * r, colors[i % 3],
                 )
-        # Per-stage breakdown, so a pooled-vs-serial "regression" at
-        # small frame sizes is attributable: on tiny tiles the pooled
-        # wall is dominated by dispatch (pool boot + initializer ship)
-        # and ship-back (result transport), not by rendering — the
-        # summed in-worker render time is what should be compared
-        # against the serial render wall.
-        stages = pooled.stage_seconds
+            )
+        results = CoordinatedBrushingEngine(full_dataset).query_all_colors(
+            canvas, assignment=assignment
+        )
+
+        def _best_of(n_reps, **kw):
+            best = None
+            for _ in range(n_reps):
+                report = render_viewport_parallel(
+                    renderer, assignment, canvas=canvas, results=results, **kw
+                )
+                if best is None or report.elapsed_s < best.elapsed_s:
+                    best = report
+            return best
+
+        serial = _best_of(3, max_workers=0)
+        shipback = _best_of(3, max_workers=4, store=store, shared_fb=False)
+        pooled = _best_of(3, max_workers=4, store=store, shared_fb=True)
+        for run in (shipback, pooled):
+            assert not run.degraded, run.degradation.summary()
+            for eye in (Eye.LEFT, Eye.RIGHT):  # acceptance: bit-identical
+                for key in serial.frames[eye]:
+                    np.testing.assert_array_equal(
+                        serial.frames[eye][key].data, run.frames[eye][key].data
+                    )
+
+        def _stages(report):
+            s = report.stage_seconds
+            return {
+                "dispatch_s": round(s.get("dispatch", 0.0), 4),
+                "render_worker_total_s": round(s.get("render", 0.0), 4),
+                "shipback_s": round(s.get("shipback", 0.0), 4),
+                "assemble_s": round(s.get("assemble", 0.0), 4),
+            }
+
         frame = {
             "serial_s": round(serial.elapsed_s, 4),
-            "pooled_shm_s": round(pooled.elapsed_s, 4),
+            "pooled_shipback_s": round(shipback.elapsed_s, 4),
+            "pooled_sharedfb_s": round(pooled.elapsed_s, 4),
             "workers": pooled.workers,
+            "n_jobs": pooled.n_jobs,
+            "n_batches": pooled.n_batches,
             "bit_identical": True,
-            "pooled_stages": {
-                "dispatch_s": round(stages.get("dispatch", 0.0), 4),
-                "render_worker_total_s": round(stages.get("render", 0.0), 4),
-                "shipback_s": round(stages.get("shipback", 0.0), 4),
-            },
+            # the CI render-bench gate: the default pooled transport
+            # (batched + shared framebuffer) must not lose to serial on
+            # a wall-size brushed frame
+            "pooled_beats_serial": bool(pooled.elapsed_s <= serial.elapsed_s),
+            "speedup": round(serial.elapsed_s / pooled.elapsed_s, 2),
+            "shipback_stages": _stages(shipback),
+            "sharedfb_stages": _stages(pooled),
             "serial_render_s": round(
                 serial.stage_seconds.get("render", serial.elapsed_s), 4
             ),
@@ -251,14 +291,19 @@ def test_q3_shared_store(full_dataset, ship_dataset, viewport, arena, report_sin
             f"shm {w['shm_attach_s'] * 1e3:8.1f} ms | {w['speedup']:.1f}x"
         )
     lines += [
-        f"parallel frame render (store transport, {frame['workers']} workers): "
-        f"serial {frame['serial_s'] * 1e3:.1f} ms vs pooled "
-        f"{frame['pooled_shm_s'] * 1e3:.1f} ms, bit-identical",
-        f"  pooled stages: dispatch "
-        f"{frame['pooled_stages']['dispatch_s'] * 1e3:.1f} ms | "
+        f"parallel frame render ({frame['workers']} workers, "
+        f"{frame['n_jobs']} jobs in {frame['n_batches']} batches, "
+        f"best of 3): serial {frame['serial_s'] * 1e3:.1f} ms vs "
+        f"ship-back {frame['pooled_shipback_s'] * 1e3:.1f} ms vs "
+        f"shared-fb {frame['pooled_sharedfb_s'] * 1e3:.1f} ms "
+        f"({frame['speedup']:.2f}x, bit-identical, "
+        f"pooled_beats_serial={frame['pooled_beats_serial']})",
+        f"  shared-fb stages: dispatch "
+        f"{frame['sharedfb_stages']['dispatch_s'] * 1e3:.1f} ms | "
         f"render (worker total) "
-        f"{frame['pooled_stages']['render_worker_total_s'] * 1e3:.1f} ms | "
-        f"ship-back {frame['pooled_stages']['shipback_s'] * 1e3:.1f} ms",
+        f"{frame['sharedfb_stages']['render_worker_total_s'] * 1e3:.1f} ms | "
+        f"ship-back {frame['sharedfb_stages']['shipback_s'] * 1e3:.1f} ms | "
+        f"assemble {frame['sharedfb_stages']['assemble_s'] * 1e3:.1f} ms",
         f"sessions: solo median query "
         f"{sessions['solo']['median_query_s'] * 1e3:.2f} ms vs 8 concurrent "
         f"{sessions['concurrent_8']['median_query_s'] * 1e3:.2f} ms "

@@ -86,7 +86,8 @@ def test_r1_latency_under_failure(setup, report_sink, benchmark):
                 fault_plan=plan, retry_policy=POLICY,
             )
             _check_identical(serial, report)
-        n_injected = len(plan.planned_jobs(serial.n_jobs)) if plan else 0
+        # fault job indices address batches (one submit per worker)
+        n_injected = len(plan.planned_jobs(report.n_batches)) if plan else 0
         degr = report.degradation
         lines.append(
             f"crash fraction {p:4.0%}:      {report.elapsed_s:6.3f} s   "
@@ -94,7 +95,7 @@ def test_r1_latency_under_failure(setup, report_sink, benchmark):
             f"{degr.n_fallbacks} serial fallback(s))"
         )
         # the contract: failures cost time, never correctness
-        assert not plan or set(plan.planned_jobs(serial.n_jobs)) <= degr.jobs_touched()
+        assert not plan or set(plan.planned_jobs(report.n_batches)) <= degr.jobs_touched()
     lines += [
         "(every run bit-identical to the serial reference; injected",
         " crashes are absorbed by pool respawn + retry, exhausted jobs",

@@ -48,6 +48,7 @@ __all__ = [
     "classify_temporal",
     "classify_spatial",
     "brush_hit_cells",
+    "brush_hit_mask",
     "brush_hit_rows",
     "brush_hit_rows_scalar",
     "refine_temporal_rows",
@@ -178,6 +179,10 @@ def _disc_covers_bbox(
     return ok.any(axis=0)
 
 
+# reprolint: exempt=RL011 — boundary-atomic stage kernel: the loop is
+# bounded by the brush stamp count (not dataset size) and deadline
+# checks sit at the enclosing stage boundary (RL008 bans mid-stage
+# checks)
 def brush_hit_rows(
     centers: np.ndarray,
     radii: np.ndarray,
@@ -310,6 +315,36 @@ def brush_hit_cells(
         d = point_segment_distance(centers[j], a[cand], b[cand])
         out[cand] = d <= radii[j]
     return rows, out
+
+
+def brush_hit_mask(
+    centers: np.ndarray,
+    radii: np.ndarray,
+    packed: PackedSegments,
+    candidates: np.ndarray | None = None,
+) -> np.ndarray:
+    """Full-length exact hit mask over packed segments.
+
+    The index-backed ``brush_hit`` stage kernel: with ``candidates``
+    (rows from :meth:`UniformGridIndex.candidates_for_discs`) only
+    those rows run the exact capsule test via :func:`brush_hit_rows`;
+    all other rows are False by the index's conservativeness.  Without
+    candidates every row is tested.  Either way the verdict per row is
+    the same float expression the legacy
+    :meth:`~repro.core.canvas.BrushCanvas.segment_hit_mask` evaluates,
+    so the stage output stays bit-identical to the scalar oracle.
+    """
+    out = np.zeros(packed.n_segments, dtype=bool)
+    if len(centers) == 0:
+        return out
+    if candidates is None:
+        rows = np.arange(packed.n_segments, dtype=np.int64)
+        out[:] = brush_hit_rows(centers, radii, packed, rows)
+        return out
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if len(candidates):
+        out[candidates] = brush_hit_rows(centers, radii, packed, candidates)
+    return out
 
 
 def brush_hit_rows_scalar(

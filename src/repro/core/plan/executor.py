@@ -46,6 +46,7 @@ from repro.core.aggregate.kernels import (
     MAYBE as AGG_MAYBE,
     OUT as AGG_OUT,
     brush_hit_cells,
+    brush_hit_mask,
     classify_spatial,
     classify_temporal,
     refine_temporal_rows,
@@ -439,7 +440,12 @@ class QueryExecutor:
                 mask = canvas.packed_hit_mask(color, self.packed)
                 return mask, True, "index build failed; brute-force"
             candidates = outputs.get("spatial_candidates")
-            mask = canvas.packed_hit_mask(color, self.packed, candidates=candidates)
+            if candidates is None:
+                # degraded brute-force rung: no index candidates to gate on
+                mask = canvas.packed_hit_mask(color, self.packed)
+            else:
+                centers, radii = canvas.stamps_of(color)
+                mask = brush_hit_mask(centers, radii, self.packed, candidates)
             return mask, False, plan.strategy
 
         if name == "combine":

@@ -35,6 +35,26 @@ class Framebuffer:
         self.data = np.empty((self.height, self.width, 3), dtype=np.float32)
         self.clear(background)
 
+    @classmethod
+    def from_array(cls, data: np.ndarray) -> "Framebuffer":
+        """Adopt existing (H, W, 3) pixel storage without clearing.
+
+        The assembly path for shared-framebuffer renders: the parent
+        wraps a slot copy that workers already filled, so re-clearing
+        (or re-allocating) would discard the rendered pixels.  The
+        array is taken as-is when it is already contiguous float32.
+        """
+        data = np.asarray(data)
+        if data.ndim != 3 or data.shape[2] != 3:
+            raise ValueError(f"pixel array must be (H, W, 3), got {data.shape}")
+        if data.shape[0] < 1 or data.shape[1] < 1:
+            raise ValueError(f"framebuffer size must be positive, got {data.shape}")
+        fb = cls.__new__(cls)
+        fb.height = int(data.shape[0])
+        fb.width = int(data.shape[1])
+        fb.data = np.ascontiguousarray(data, dtype=np.float32)
+        return fb
+
     def clear(self, color: Color = (0.0, 0.0, 0.0)) -> None:
         """Fill the whole buffer with one color (in place)."""
         self.data[...] = np.asarray(color, dtype=np.float32)

@@ -122,15 +122,25 @@ class WallRenderer:
         *,
         canvas: BrushCanvas | None = None,
         results: dict[str, QueryResult] | None = None,
+        footprint_cache: dict[tuple[int, int, str], np.ndarray] | None = None,
     ) -> Framebuffer:
-        """Rasterize one tile/eye job into a fresh framebuffer."""
+        """Rasterize one tile/eye job into a fresh framebuffer.
+
+        ``footprint_cache`` may be shared across the jobs of one frame:
+        brush-footprint coverage depends only on the cell's pixel size
+        and the stroke set of a color, both constant within a frame, so
+        a batch worker passes one dict for its whole job list and pays
+        the footprint rasterization once per (size, color) instead of
+        once per job.  Never reuse a cache across canvas changes.
+        """
         tile = job.tile
         fb = Framebuffer(tile.px_width, tile.px_height, self.style.background)
         renderer = CellRenderer(tile, self.projection, self.style)
         packed = self.dataset.packed() if results else None
         # brush-footprint coverage is identical across same-sized cells;
         # cache it per (cell pixel size, color)
-        footprint_cache: dict[tuple[int, int, str], np.ndarray] = {}
+        if footprint_cache is None:
+            footprint_cache = {}
         labels = job.cell_labels or ("",) * len(job.cell_rects)
         for rect, traj_idx, color, label in zip(
             job.cell_rects, job.cell_traj, job.cell_colors, labels

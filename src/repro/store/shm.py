@@ -36,6 +36,7 @@ except ImportError:  # pragma: no cover - exercised only on exotic builds
 
 __all__ = [
     "HAVE_SHARED_MEMORY",
+    "BLOCK_PREFIX",
     "StoreAttachError",
     "StaleHandleError",
     "SharedBlock",

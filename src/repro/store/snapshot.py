@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.core.engine import CoordinatedBrushingEngine
+    from repro.core.spatial_index import CellBitsets
     from repro.store.arena import SharedArenaStore
     from repro.trajectory.dataset import TrajectoryDataset
 
@@ -183,6 +184,23 @@ class EpochSnapshot:
     def retired(self) -> bool:
         """Has this snapshot been retired (sealed)?"""
         return self.refs.sealed
+
+    @property
+    def bitsets(self) -> "CellBitsets | None":
+        """The epoch's per-grid-cell segment bitset cache, or ``None``
+        when the engine runs without a spatial index.
+
+        The vectorized ``spatial_candidates``/``brush_hit`` kernels
+        union these precomputed masks instead of re-gathering CSR
+        entries per query.  Caching *here* — on the snapshot's index —
+        is what makes the lazy build safe: everything queryable on a
+        snapshot is immutable for the epoch's lifetime, so concurrent
+        lazy inserts can only ever write identical words (see
+        :class:`~repro.core.spatial_index.CellBitsets`), and the cache
+        dies with the epoch instead of surviving a rollover stale.
+        """
+        index = getattr(self.engine, "index", None)
+        return None if index is None else index.bitsets()
 
     def __repr__(self) -> str:
         return (

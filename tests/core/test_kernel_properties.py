@@ -1,0 +1,161 @@
+"""Property tests pinning the vectorized query kernels to scalar oracles.
+
+The bitset-mask spatial path (PR 10) rewrites two hot kernels —
+``candidates_for_discs`` (CSR gather-and-unique → word-wise bitset OR)
+and the ``brush_hit`` stage (per-row scalar test → bbox-prefiltered
+vectorized capsule test).  Hypothesis drives randomized segment sets
+and brush stamps through both implementations and their scalar
+references; any byte of disagreement is a failed property.  Directed
+cases cover the degenerate corners the randomized sweep may under-hit:
+empty brushes, full-cover brushes, and single-segment cells.
+"""
+
+from __future__ import annotations
+
+import hypothesis.extra.numpy as hnp
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregate.kernels import (
+    brush_hit_mask,
+    brush_hit_rows,
+    brush_hit_rows_scalar,
+)
+from repro.core.spatial_index import UniformGridIndex
+from repro.trajectory.dataset import PackedSegments
+
+_coord = st.floats(-1.0, 1.0, allow_nan=False, allow_infinity=False, width=64)
+
+
+@st.composite
+def packed_segments(draw) -> PackedSegments:
+    """Random small segment sets as one-trajectory packed arrays."""
+    n = draw(st.integers(1, 32))
+    pts = draw(hnp.arrays(np.float64, (n, 2, 2), elements=_coord))
+    return PackedSegments.from_arrays(
+        a=np.ascontiguousarray(pts[:, 0]),
+        b=np.ascontiguousarray(pts[:, 1]),
+        t0=np.zeros(n),
+        t1=np.ones(n),
+        owner=np.zeros(n, dtype=np.int64),
+        offsets=np.array([0, n], dtype=np.int64),
+    )
+
+
+@st.composite
+def brushes(draw) -> tuple[np.ndarray, np.ndarray]:
+    """0-3 disc stamps, spilling slightly outside the segment box."""
+    k = draw(st.integers(0, 3))
+    centers = draw(
+        hnp.arrays(
+            np.float64, (k, 2),
+            elements=st.floats(-1.3, 1.3, allow_nan=False, width=64),
+        )
+    )
+    radii = draw(
+        hnp.arrays(
+            np.float64, (k,),
+            elements=st.floats(0.0, 0.8, allow_nan=False, width=64),
+        )
+    )
+    return centers, radii
+
+
+@given(packed_segments(), brushes())
+@settings(max_examples=25, deadline=None)
+def test_brush_hit_rows_matches_scalar_oracle(packed, brush):
+    centers, radii = brush
+    rows = np.arange(packed.n_segments, dtype=np.int64)
+    for subset in (rows, rows[::2], rows[:0]):
+        np.testing.assert_array_equal(
+            brush_hit_rows(centers, radii, packed, subset),
+            brush_hit_rows_scalar(centers, radii, packed, subset),
+        )
+
+
+@given(packed_segments(), brushes(), st.integers(1, 12))
+@settings(max_examples=25, deadline=None)
+def test_bitset_candidates_match_csr_oracle(packed, brush, res):
+    centers, radii = brush
+    index = UniformGridIndex(packed, res=res)
+    np.testing.assert_array_equal(
+        index.candidates_for_discs(centers, radii),
+        index.candidates_for_discs_scalar(centers, radii),
+    )
+
+
+@given(packed_segments(), brushes())
+@settings(max_examples=25, deadline=None)
+def test_indexed_mask_matches_brute_force(packed, brush):
+    """Conservativeness end to end: pruning rows through the bitset
+    candidates never changes the stage verdict of any row."""
+    centers, radii = brush
+    index = UniformGridIndex(packed, res=8)
+    candidates = index.candidates_for_discs(centers, radii)
+    np.testing.assert_array_equal(
+        brush_hit_mask(centers, radii, packed, candidates),
+        brush_hit_mask(centers, radii, packed, None),
+    )
+
+
+@given(packed_segments(), brushes())
+@settings(max_examples=25, deadline=None)
+def test_union_mask_cache_is_idempotent(packed, brush):
+    """The second call answers from the per-cell bitset cache; it must
+    be indistinguishable from the cold build."""
+    centers, radii = brush
+    index = UniformGridIndex(packed, res=4)
+    cells = index.touched_cells_for_discs(centers, radii)
+    bitsets = index.bitsets()
+    cold = bitsets.union_mask(cells)
+    warm = bitsets.union_mask(cells)
+    np.testing.assert_array_equal(cold, warm)
+    assert index.bitsets() is bitsets  # memoized on the index
+
+
+class TestDirectedCorners:
+    def _packed(self, n=5):
+        x = np.linspace(-1.0, 1.0, n)
+        a = np.stack([x, np.zeros(n)], axis=1)
+        b = np.stack([x, np.ones(n)], axis=1)
+        return PackedSegments.from_arrays(
+            a=a, b=b, t0=np.zeros(n), t1=np.ones(n),
+            owner=np.zeros(n, dtype=np.int64),
+            offsets=np.array([0, n], dtype=np.int64),
+        )
+
+    def test_empty_brush_hits_nothing(self):
+        packed = self._packed()
+        empty_c = np.empty((0, 2))
+        empty_r = np.empty(0)
+        index = UniformGridIndex(packed, res=8)
+        assert len(index.candidates_for_discs(empty_c, empty_r)) == 0
+        assert not brush_hit_mask(empty_c, empty_r, packed).any()
+        assert not brush_hit_rows_scalar(
+            empty_c, empty_r, packed, np.arange(packed.n_segments)
+        ).any()
+
+    def test_full_cover_brush_hits_everything(self):
+        packed = self._packed()
+        centers = np.array([[0.0, 0.5]])
+        radii = np.array([100.0])
+        index = UniformGridIndex(packed, res=8)
+        candidates = index.candidates_for_discs(centers, radii)
+        np.testing.assert_array_equal(
+            candidates, np.arange(packed.n_segments, dtype=np.int64)
+        )
+        assert brush_hit_mask(centers, radii, packed, candidates).all()
+
+    def test_single_segment_cells(self):
+        packed = self._packed(n=1)
+        index = UniformGridIndex(packed, res=1)
+        centers = np.array([[-1.0, 0.0]])
+        radii = np.array([0.05])
+        np.testing.assert_array_equal(
+            index.candidates_for_discs(centers, radii),
+            index.candidates_for_discs_scalar(centers, radii),
+        )
+        bitsets = index.bitsets()
+        words = bitsets.words_of(0)
+        assert words.dtype == np.uint64 and not words.flags.writeable

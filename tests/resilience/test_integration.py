@@ -63,22 +63,24 @@ class TestRenderingUnderFaults:
     def test_thirty_percent_crashes_bit_identical(self, render_setup):
         renderer, assignment = render_setup
         serial = render_viewport_parallel(renderer, assignment, max_workers=0)
-        # seed 6 fires on jobs {1, 2} of the 4 (2 tiles x 2 eyes) at
-        # attempt 0 and on none at attempt 1: both crashes are absorbed
-        # by one respawn-and-retry round
+        # fault job indices address batches (one submit per worker); at
+        # 2 workers the 4 (2 tiles x 2 eyes) jobs deal into 2 batches.
+        # seed 6 fires on batch 1 at attempt 0 and on none at attempt 1:
+        # the crash is absorbed by one respawn-and-retry round
         plan = FaultPlan.crash_fraction(0.3, seed=6)
-        planned = set(plan.planned_jobs(4))
-        assert planned, "plan must actually fire for this test to bite"
         faulty = render_viewport_parallel(
             renderer, assignment, max_workers=2,
             fault_plan=plan, retry_policy=FAST,
         )
+        assert faulty.n_batches == 2
+        planned = set(plan.planned_jobs(faulty.n_batches))
+        assert planned, "plan must actually fire for this test to bite"
         _frames_equal(serial, faulty)
         report = faulty.degradation
         assert faulty.degraded and report.degraded
         # no silent drops: every planned fault shows up in the accounting,
         # attributed as *injected* (collateral pool-death events on the
-        # other in-flight jobs stay plain "crash")
+        # other in-flight batches stay plain "crash")
         injected = {e.job for e in report.events if e.kind == "injected-crash"}
         assert planned <= injected
         assert planned <= report.jobs_touched()
@@ -86,15 +88,15 @@ class TestRenderingUnderFaults:
     def test_error_faults_fall_back_serial(self, render_setup):
         renderer, assignment = render_setup
         serial = render_viewport_parallel(renderer, assignment, max_workers=0)
-        # every attempt of every job errors: all jobs must complete on
-        # the bottom rung of the ladder (in-process serial fallback)
+        # every attempt of every batch errors: all batches must complete
+        # on the bottom rung of the ladder (in-process serial fallback)
         plan = FaultPlan(specs=(FaultSpec("error", p=1.0),))
         faulty = render_viewport_parallel(
             renderer, assignment, max_workers=2,
             fault_plan=plan, retry_policy=FAST,
         )
         _frames_equal(serial, faulty)
-        assert faulty.degradation.n_fallbacks == 4
+        assert faulty.degradation.n_fallbacks == faulty.n_batches == 2
 
     def test_healthy_run_reports_clean(self, render_setup):
         renderer, assignment = render_setup

@@ -49,7 +49,14 @@ GOLDEN = {
         {(11, "RL001"), (12, "RL001"), (19, "RL001"), (20, "RL001")},
         "rl001_clean.py",
     ),
-    "RL002": ("rl002_bad.py", {(7, "RL002"), (15, "RL002")}, "rl002_clean.py"),
+    "RL002": (
+        "rl002_bad.py",
+        # block pair (7/15) plus the framebuffer-wrapper pair (21/29):
+        # create_framebuffer/attach_framebuffer own a block and follow
+        # the same lifecycle discipline
+        {(7, "RL002"), (15, "RL002"), (21, "RL002"), (29, "RL002")},
+        "rl002_clean.py",
+    ),
     "RL003": (
         "rl003_bad.py",
         {
@@ -470,7 +477,7 @@ def test_cli_exit_codes_and_report(tmp_path):
     assert proc.returncode == 1
     assert "RL002" in proc.stdout
     doc = json.loads(report_path.read_text())
-    assert doc["summary"]["findings"] == 2
+    assert doc["summary"]["findings"] == 4
 
     proc = _run_cli(str(FIXTURES / "rl002_clean.py"), "--unscoped")
     assert proc.returncode == 0
